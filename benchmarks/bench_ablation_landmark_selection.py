@@ -1,0 +1,23 @@
+"""Ablation: degree-based vs random landmark selection.
+
+DESIGN.md calls this design choice out: degree landmarks cover more
+shortest paths on complex networks, so query times should not degrade
+versus random selection.
+"""
+
+from repro.bench.experiments import experiment_ablation_landmarks
+
+
+def test_ablation_landmark_selection(run_table):
+    table = run_table(
+        experiment_ablation_landmarks,
+        "ablation_landmark_selection.csv",
+    )
+    by_dataset: dict = {}
+    for row in table.rows:
+        by_dataset.setdefault(row["dataset"], {})[row["strategy"]] = row
+    for dataset, strategies in by_dataset.items():
+        degree = strategies["degree"]
+        rand = strategies["random"]
+        # Degree landmarks must not be dramatically worse at query time.
+        assert degree["QT_ms"] <= rand["QT_ms"] * 2.0, (dataset, strategies)

@@ -1,0 +1,27 @@
+"""Figure 2: number of vertices affected by batch updates of varying sizes.
+
+Paper shape to reproduce: on both datasets, affected counts order as
+BHL+ << BHL <= BHLs <= UHL, with the gap widening as batches grow (batch
+processing de-duplicates work that the unit-update setting repeats).
+"""
+
+from repro.bench.experiments import experiment_fig2
+
+
+def test_fig2_affected_vertices(run_table):
+    table = run_table(
+        experiment_fig2,
+        "fig2_affected.csv",
+        datasets=("indochina", "twitter"),
+        batch_sizes=(50, 100, 250, 500, 1000),
+    )
+    for row in table.rows:
+        assert row["BHL+"] <= row["BHL"], row
+        assert row["BHL"] <= row["UHL"], row
+    # The batch/unit gap must widen with batch size on each dataset.
+    for dataset in ("indochina", "twitter"):
+        rows = [r for r in table.rows if r["dataset"] == dataset]
+        small, large = rows[0], rows[-1]
+        gap_small = small["UHL"] / max(small["BHL+"], 1)
+        gap_large = large["UHL"] / max(large["BHL+"], 1)
+        assert gap_large >= gap_small * 0.8, (gap_small, gap_large)

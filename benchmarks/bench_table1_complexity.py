@@ -1,0 +1,19 @@
+"""Table 1 (empirical): the complexity claims, checked by scaling.
+
+Construction should scale as O(|R| (V + E)) and batch update as
+O(|R| a d l): per-unit costs stay within a small band as the graph grows.
+"""
+
+from repro.bench.experiments import experiment_table1_scaling
+
+
+def test_table1_complexity_scaling(run_table):
+    table = run_table(
+        experiment_table1_scaling,
+        "table1_complexity.csv",
+        sizes=(1000, 2000, 4000, 8000),
+    )
+    per_unit_ct = [row["CT_per_RVE_ns"] for row in table.rows]
+    assert max(per_unit_ct) <= 6 * min(per_unit_ct), per_unit_ct
+    per_unit_update = [row["update_per_affected_us"] for row in table.rows]
+    assert max(per_unit_update) <= 8 * min(per_unit_update), per_unit_update

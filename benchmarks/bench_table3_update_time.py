@@ -1,0 +1,46 @@
+"""Table 3: batch update time in the fully-dynamic / incremental /
+decremental settings for BHLp, BHL+, BHL, UHL+, FulFD and FulPLL.
+
+Paper shapes reproduced at replica scale: the batch-dynamic variants beat
+the unit-update baselines everywhere; FulPLL is the slowest method by
+orders of magnitude where it runs; BHLp (the paper's headline
+configuration) beats FulFD on the majority of datasets.
+
+Honest divergence (recorded in EXPERIMENTS.md): *sequential* BHL+ does not
+outrun FulFD on thousand-vertex replicas — FulFD's per-(update, root)
+repairs are O(1) no-ops for most pairs at this scale, while BatchHL pays a
+fixed per-landmark pass.  The paper's 15x advantage is driven by
+million-vertex affected regions, whose *counts* (Figure 2 / Table 5) this
+reproduction does match.
+"""
+
+from repro.bench.experiments import experiment_table3
+
+
+def test_table3_update_times(run_table):
+    table = run_table(
+        experiment_table3,
+        "table3_update_time.csv",
+        num_batches=1,
+        batch_size=60,
+    )
+    fully = [r for r in table.rows if r["setting"] == "fully-dynamic"]
+    assert len(fully) == 14  # every dataset appears
+
+    # The paper's headline parallel configuration beats FulFD on most
+    # datasets.
+    wins = sum(1 for r in fully if r["BHLp"] < r["FulFD"])
+    assert wins >= len(fully) * 0.6, f"BHLp beat FulFD on only {wins}/14"
+
+    # FulPLL, where it runs, is the slowest method by a wide margin.
+    for r in fully:
+        if r["FulPLL"] is not None:
+            assert r["FulPLL"] > 10 * r["BHL+"], r
+
+    # Batch processing beats unit updates on every dataset and setting.
+    for r in table.rows:
+        assert r["BHL+"] < r["UHL+"], r
+
+    # Parallel makespan never exceeds the sequential time.
+    for r in table.rows:
+        assert r["BHLp"] <= r["BHL+"], r

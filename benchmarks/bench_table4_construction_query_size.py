@@ -1,0 +1,30 @@
+"""Table 4: construction time, query time and labelling size for BHL+,
+FulFD, FulPLL and PSL*.
+
+Paper shape to reproduce: BHL+ has the smallest construction time and by
+far the smallest labelling; FulFD's stored size is an order of magnitude
+larger (full SPTs); the PLL family's labels dwarf both; query times of
+BHL+ and FulFD are comparable.
+"""
+
+from repro.bench.experiments import experiment_table4
+
+
+def test_table4_construction_query_size(run_table):
+    table = run_table(
+        experiment_table4,
+        "table4_construction_query_size.csv",
+        num_queries=250,
+    )
+    assert len(table.rows) == 14
+    for row in table.rows:
+        # Labelling size: BHL+ (minimal, bounded by |R| per vertex) is far
+        # below FulFD's full SPT storage.
+        assert row["LS_BHL+"] < row["LS_FulFD"], row
+        # Construction: BHL+ never slower than FulFD (it builds strictly
+        # less: same BFSs, no bit-parallel pass / full tree storage).
+        assert row["CT_BHL+"] <= row["CT_FulFD"] * 1.5, row
+        if row.get("LS_FulPLL") is not None:
+            assert row["LS_BHL+"] < row["LS_FulPLL"], row
+        if row.get("CT_PSL") is not None:
+            assert row["CT_BHL+"] < row["CT_PSL"], row

@@ -1,0 +1,23 @@
+"""Table 5: average number of vertices affected by batch updates, for BHL+
+(delete / add / mixed) and BHL (mixed).
+
+Paper shape to reproduce: deletions affect orders of magnitude more
+vertices than insertions; BHL+'s improved pruning yields smaller mixed
+affected sets than BHL on every dataset.
+"""
+
+from repro.bench.experiments import experiment_table5
+
+
+def test_table5_affected_counts(run_table):
+    table = run_table(
+        experiment_table5,
+        "table5_affected_counts.csv",
+        num_batches=1,
+        batch_size=100,
+    )
+    assert len(table.rows) == 14
+    for row in table.rows:
+        assert row["BHL+_mix"] <= row["BHL_mix"], row
+        if row.get("BHL+_delete") is not None:
+            assert row["BHL+_add"] <= row["BHL+_delete"], row

@@ -1,0 +1,22 @@
+"""Table 6: directed graphs — update time (BHLp/BHL+/BHL), construction
+time, query time and labelling size.
+
+Paper shape to reproduce: updates remain far cheaper than reconstruction;
+BHLp is fastest; BHL+ generally beats BHL (the paper notes Livejournal as
+the exception, where extended-landmark-length bookkeeping does not pay).
+"""
+
+from repro.bench.experiments import experiment_table6
+
+
+def test_table6_directed(run_table):
+    table = run_table(
+        experiment_table6,
+        "table6_directed.csv",
+        num_batches=1,
+        batch_size=100,
+    )
+    assert len(table.rows) == 4
+    for row in table.rows:
+        assert row["BHLp"] <= row["BHL+"] * 1.1, row
+        assert row["BHL+"] < row["CT"], row  # update beats rebuild

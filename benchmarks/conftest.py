@@ -1,0 +1,29 @@
+"""Shared fixture: run one experiment driver under pytest-benchmark.
+
+Each benchmark module regenerates one paper table/figure.  The driver runs
+exactly once (``pedantic`` round) — these are end-to-end experiments, not
+microbenchmarks — and the resulting table is printed and saved as CSV under
+``results/`` for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def run_table(benchmark):
+    def _run(driver, csv_name: str, **kwargs):
+        holder: dict = {}
+
+        def once():
+            holder["table"] = driver(**kwargs)
+
+        benchmark.pedantic(once, rounds=1, iterations=1)
+        table = holder["table"]
+        print("\n" + table.to_text())
+        path = table.save_csv(csv_name)
+        print(f"[saved {path}]")
+        return table
+
+    return _run

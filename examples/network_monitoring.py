@@ -1,0 +1,83 @@
+"""Communication-network monitoring under link failures and repairs.
+
+The paper's first application: links between routers fail (congestion,
+faults) and are restored; operators need shortest-path distances between
+service endpoints to stay fresh so traffic can be re-routed.  Failures
+arrive in batches — a failing switch takes all its links down at once —
+which is modelled here as vertex-failure batches of edge deletions.
+
+Run:  python examples/network_monitoring.py
+"""
+
+import random
+
+from repro import EdgeUpdate, HighwayCoverIndex
+from repro.graph import generators
+
+
+def fail_router(graph, router: int) -> list[EdgeUpdate]:
+    """A router failure takes down every incident link (one batch)."""
+    return [EdgeUpdate.delete(router, peer) for peer in graph.neighbors(router)]
+
+
+def restore_router(links: list[EdgeUpdate]) -> list[EdgeUpdate]:
+    return [EdgeUpdate.insert(u.u, u.v) for u in links]
+
+
+def main() -> None:
+    rng = random.Random(3)
+    # A small-world backbone: high clustering, short paths.
+    graph = generators.powerlaw_cluster(600, 4, 0.5, seed=3)
+    index = HighwayCoverIndex(graph, num_landmarks=8)
+
+    # Service pairs whose latency (hop count) we monitor.
+    monitored = [(5, 411), (17, 300), (222, 590), (48, 133)]
+
+    def report(tag: str) -> None:
+        hops = {pair: index.distance(*pair) for pair in monitored}
+        pretty = ", ".join(f"{s}->{t}: {d}" for (s, t), d in hops.items())
+        print(f"{tag:<28} {pretty}")
+
+    report("baseline")
+
+    # Fail the three busiest routers that are not landmarks.
+    busiest = sorted(
+        (v for v in graph.vertices() if v not in index.landmarks),
+        key=graph.degree,
+        reverse=True,
+    )[:3]
+    failed: dict[int, list[EdgeUpdate]] = {}
+    for router in busiest:
+        links = fail_router(index.graph, router)
+        stats = index.batch_update(links)
+        failed[router] = links
+        print(
+            f"router {router} failed ({len(links)} links,"
+            f" repaired in {stats.total_seconds * 1000:.1f} ms)"
+        )
+        report(f"after failing {router}")
+
+    # Repair crews bring routers back in one maintenance window — a single
+    # mixed batch also re-balancing two congested links.
+    maintenance: list[EdgeUpdate] = []
+    for links in failed.values():
+        maintenance.extend(restore_router(links))
+    spare_links = 0
+    while spare_links < 2:
+        a, b = rng.randrange(600), rng.randrange(600)
+        if a != b and not index.graph.has_edge(a, b):
+            maintenance.append(EdgeUpdate.insert(a, b))
+            spare_links += 1
+    stats = index.batch_update(maintenance)
+    print(
+        f"maintenance window: {stats.n_applied} link changes in one batch,"
+        f" {stats.total_seconds * 1000:.1f} ms"
+    )
+    report("after maintenance")
+
+    assert index.check_minimality() == []
+    print("labelling verified minimal")
+
+
+if __name__ == "__main__":
+    main()

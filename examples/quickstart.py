@@ -1,0 +1,46 @@
+"""Quickstart: build an index, query distances, apply a batch update.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import DynamicGraph, EdgeUpdate, HighwayCoverIndex
+
+
+def main() -> None:
+    # A small social graph: edges are friendships.
+    graph = DynamicGraph.from_edges(
+        [
+            (0, 1), (0, 2), (1, 2),          # a triangle of close friends
+            (2, 3), (3, 4), (4, 5),          # a chain reaching out
+            (5, 6), (6, 7), (5, 7),          # another cluster
+        ]
+    )
+    index = HighwayCoverIndex(graph, num_landmarks=2)
+    print(f"built {index}")
+    print(f"landmarks: {index.landmarks}")
+
+    print(f"d(0, 7) = {index.distance(0, 7)}")      # long way around: 6
+    print(f"d(1, 3) = {index.distance(1, 3)}")      # 2
+    print(f"bound(0, 7) = {index.upper_bound(0, 7)} (labelling-only)")
+
+    # A batch update: two users become friends, one friendship ends.
+    stats = index.batch_update(
+        [EdgeUpdate.insert(0, 7), EdgeUpdate.delete(3, 4)]
+    )
+    print(
+        f"batch applied: {stats.n_applied} updates,"
+        f" {stats.total_affected} affected vertex-landmark pairs,"
+        f" {stats.total_seconds * 1000:.2f} ms"
+    )
+
+    print(f"d(0, 7) = {index.distance(0, 7)}")      # now 1
+    print(f"d(1, 4) = {index.distance(1, 4)}")      # rerouted through 0-7
+    print(f"d(2, 4) = {index.distance(2, 4)}")
+
+    # The maintained labelling is *minimal*: identical to a fresh build.
+    assert index.check_minimality() == []
+    print("labelling verified minimal after the update")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The canonical metadata lives in ``pyproject.toml``; this file exists so that
+``pip install -e . --no-use-pep517`` works in offline environments whose
+setuptools/pip combination cannot build editable wheels (no ``wheel``
+package available).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,62 @@
+"""BatchHL — answering distance queries on batch-dynamic networks.
+
+A complete, from-scratch Python reproduction of *BatchHL: Answering Distance
+Queries on Batch-Dynamic Networks at Scale* (Farhan, Wang, Koehler —
+SIGMOD 2022), including the highway cover labelling substrate, the
+batch-dynamic search/repair algorithms and all evaluation baselines
+(FulFD, FulPLL, PSL*, BiBFS).
+
+Quickstart::
+
+    from repro import DynamicGraph, HighwayCoverIndex, EdgeUpdate
+
+    graph = DynamicGraph.from_edges([(0, 1), (1, 2), (2, 3), (3, 4)])
+    index = HighwayCoverIndex(graph, num_landmarks=2)
+    assert index.distance(0, 4) == 4
+    index.batch_update([EdgeUpdate.insert(0, 4), EdgeUpdate.delete(1, 2)])
+    assert index.distance(0, 4) == 1
+"""
+
+from repro.constants import INF
+from repro.core.batchhl import Variant
+from repro.core.directed import DirectedHighwayCoverIndex
+from repro.core.index import HighwayCoverIndex
+from repro.core.labelling import HighwayCoverLabelling
+from repro.core.stats import UpdateStats
+from repro.core.weighted import WeightedHighwayCoverIndex
+from repro.errors import (
+    BatchError,
+    GraphError,
+    IndexStateError,
+    ReproError,
+    WorkloadError,
+)
+from repro.graph.batch import Batch, EdgeUpdate, UpdateKind
+from repro.graph.digraph import DynamicDiGraph
+from repro.graph.dynamic_graph import DynamicGraph
+from repro.graph.weighted_graph import WeightedDynamicGraph, WeightUpdate
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "INF",
+    "Variant",
+    "HighwayCoverIndex",
+    "DirectedHighwayCoverIndex",
+    "WeightedHighwayCoverIndex",
+    "HighwayCoverLabelling",
+    "UpdateStats",
+    "Batch",
+    "EdgeUpdate",
+    "UpdateKind",
+    "DynamicGraph",
+    "DynamicDiGraph",
+    "WeightedDynamicGraph",
+    "WeightUpdate",
+    "ReproError",
+    "GraphError",
+    "BatchError",
+    "IndexStateError",
+    "WorkloadError",
+    "__version__",
+]

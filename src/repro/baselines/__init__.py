@@ -1,0 +1,25 @@
+"""Evaluation baselines, implemented from scratch.
+
+* :class:`BiBFSIndex` — online bidirectional BFS (no index);
+* :class:`PrunedLandmarkLabelling` — static PLL (Akiba et al., SIGMOD'13);
+* :class:`FullPLLIndex` — FulPLL: IncPLL insertions (Akiba et al., WWW'14)
+  + DecPLL deletions (D'Angelo et al., JEA'19), unit-update only;
+* :class:`FulFDIndex` — FulFD (Hayashi et al., CIKM'16): dynamic root SPTs
+  with bit-parallel query bounds, unit-update only;
+* :class:`PSLIndex` — PSL* (Li et al., SIGMOD'19): propagation-style
+  parallel PLL construction for static graphs.
+"""
+
+from repro.baselines.bibfs import BiBFSIndex
+from repro.baselines.fulfd import FulFDIndex
+from repro.baselines.fulpll import FullPLLIndex
+from repro.baselines.pll import PrunedLandmarkLabelling
+from repro.baselines.psl import PSLIndex
+
+__all__ = [
+    "BiBFSIndex",
+    "FulFDIndex",
+    "FullPLLIndex",
+    "PrunedLandmarkLabelling",
+    "PSLIndex",
+]

@@ -1,0 +1,53 @@
+"""BiBFS — the online-search baseline.
+
+No index at all: every query runs a bidirectional BFS that always expands
+the smaller frontier (the optimised strategy credited to Hayashi et al. in
+the paper).  Updates are free (the graph is the only state); queries pay
+O(E) in the worst case, which is the trade-off Figure 6 explores.
+"""
+
+from __future__ import annotations
+
+from repro.constants import INF, externalise
+from repro.core.stats import UpdateStats
+from repro.graph.batch import apply_batch, normalize_batch
+from repro.graph.dynamic_graph import DynamicGraph
+from repro.graph.traversal import bidirectional_bfs
+
+
+class BiBFSIndex:
+    """Query-by-search baseline over a dynamic graph."""
+
+    def __init__(self, graph: DynamicGraph):
+        self._graph = graph
+
+    @property
+    def graph(self) -> DynamicGraph:
+        return self._graph
+
+    def distance(self, s: int, t: int) -> float:
+        best = bidirectional_bfs(self._graph, s, t, excluded=(), bound=INF)
+        return externalise(min(best, INF))
+
+    def query(self, s: int, t: int) -> float:
+        return self.distance(s, t)
+
+    def batch_update(self, updates) -> UpdateStats:
+        """Apply updates to the graph; nothing else to maintain."""
+        batch = normalize_batch(updates, self._graph)
+        if len(batch):
+            highest = max(max(u.u, u.v) for u in batch)
+            self._graph.ensure_vertex(highest)
+            apply_batch(self._graph, batch)
+        stats = UpdateStats(variant="bibfs", n_requested=len(batch))
+        stats.n_applied = len(batch)
+        stats.n_insertions = len(batch.insertions)
+        stats.n_deletions = len(batch.deletions)
+        return stats
+
+    def label_size(self) -> int:
+        """BiBFS keeps no labelling."""
+        return 0
+
+    def __repr__(self) -> str:
+        return f"BiBFSIndex(|V|={self._graph.num_vertices}, |E|={self._graph.num_edges})"

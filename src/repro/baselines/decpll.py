@@ -1,0 +1,82 @@
+"""DecPLL — decremental PLL maintenance (after D'Angelo et al., JEA 2019).
+
+Deletions are the hard direction for 2-hop covers: distances grow, so stale
+entries *underestimate* and must be removed or queries become wrong.  The
+scheme follows the published three-phase structure:
+
+1. **Detect** the affected vertex set ``AFF = {v : d(v,a) or d(v,b)
+   changed}``.  A distance ``d(h, p)`` can change only if *both* ``h`` and
+   ``p`` are in AFF (if every shortest h-p path crossed the deleted edge,
+   an unchanged d(h, b) or d(p, a) would splice into a surviving shortest
+   h-p path — contradiction), so AFF localises every distance change.
+2. **Remove** every label entry ``(h, v)`` with both ``h`` and ``v``
+   affected.  All surviving entries therefore remain exact (or safe
+   overestimates left behind by IncPLL, which this deletion cannot turn
+   into underestimates outside AFF x AFF).
+3. **Restore** cover by re-running a pruned BFS, in rank order, from every
+   hub in ``AFF ∪ {hubs labelling a G'-neighbourhood of AFF}``.
+
+Why the restore set is larger than AFF: whether ``(h, v)`` belongs in the
+labelling depends only on *distances* (h must outrank every z with
+``d(z,h) + d(z,v) = d(h,v)``), so a deletion can promote an **unaffected**
+hub ``m`` to canonical for some pair ``(p, q)`` with ``q`` affected — the
+old, higher-ranked cover hub sat in AFF and lost its entries (the paper's
+Example 5.10 shows the same effect for highway cover labellings).  Walking
+the new shortest m-q path back from ``q``, the first unaffected vertex
+``w*`` already held the entry ``(m, w*)`` before the deletion (its
+canonicality involves only unchanged distances), and ``w*`` neighbours an
+affected vertex — hence every such ``m`` appears among the label hubs of
+``N_{G'}(AFF)``, which is exactly the set re-run here.
+
+Cost is dominated by |restore| pruned BFSs plus four full BFSs for
+detection — the expensive behaviour Table 3 of the BatchHL paper reports
+for DecPLL.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.pll import PrunedLandmarkLabelling
+from repro.graph.traversal import bfs_distances
+
+
+def delete_edge(pll: PrunedLandmarkLabelling, a: int, b: int) -> None:
+    """Delete edge ``(a, b)`` from the graph *and* repair the labels.
+
+    Unlike :func:`repro.baselines.incpll.insert_edge` this removes the edge
+    itself: affected-set detection needs BFS distances both before and after
+    the removal.
+    """
+    graph = pll.graph
+    dist_a_old = bfs_distances(graph, a)
+    dist_b_old = bfs_distances(graph, b)
+    graph.remove_edge(a, b)
+    dist_a_new = bfs_distances(graph, a)
+    dist_b_new = bfs_distances(graph, b)
+
+    affected_mask = (dist_a_old != dist_a_new) | (dist_b_old != dist_b_new)
+    affected = [int(v) for v in np.nonzero(affected_mask)[0]]
+    if not affected:
+        return
+    affected_set = set(affected)
+
+    # Phase 2: drop entries whose stored distance may now underestimate.
+    for v in affected:
+        label = pll.labels[v]
+        stale = [h for h in label if h != v and h in affected_set]
+        for h in stale:
+            del label[h]
+
+    # Phase 3: restore cover (see module docstring for why the hub set is
+    # wider than AFF).
+    restore_hubs = set(affected)
+    for q in affected:
+        for w in graph.neighbors(q):
+            restore_hubs.update(pll.labels[w].keys())
+        restore_hubs.update(pll.labels[q].keys())
+    # Pruned BFSs from low-rank hubs terminate almost immediately (their
+    # label footprint is tiny), so re-running each restore hub outright is
+    # both the published algorithm and the fastest known option here.
+    for hub in sorted(restore_hubs, key=lambda v: pll.rank[v]):
+        pll.pruned_bfs(hub)

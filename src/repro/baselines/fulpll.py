@@ -1,0 +1,85 @@
+"""FulPLL — the fully dynamic 2-hop cover baseline.
+
+Combines IncPLL (insertions, Akiba et al. WWW'14) with DecPLL (deletions,
+D'Angelo et al. JEA'19) over one shared pruned landmark labelling, exactly
+as the BatchHL paper's FulPLL baseline does.  Strictly unit-update: a batch
+is processed one edge at a time, which is the repeated-work behaviour the
+batch-dynamic algorithms are designed to beat.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.baselines import decpll, incpll
+from repro.baselines.pll import PrunedLandmarkLabelling
+from repro.core.stats import UpdateStats
+from repro.errors import BatchError
+from repro.graph.batch import normalize_batch
+from repro.graph.dynamic_graph import DynamicGraph
+
+
+class FullPLLIndex:
+    """Fully dynamic PLL: exact queries under edge insertions/deletions."""
+
+    def __init__(self, graph: DynamicGraph, order: list[int] | None = None):
+        self._pll = PrunedLandmarkLabelling(graph, order)
+
+    @property
+    def graph(self) -> DynamicGraph:
+        return self._pll.graph
+
+    @property
+    def pll(self) -> PrunedLandmarkLabelling:
+        return self._pll
+
+    def distance(self, s: int, t: int) -> float:
+        return self._pll.distance(s, t)
+
+    def query(self, s: int, t: int) -> float:
+        return self.distance(s, t)
+
+    def insert_edge(self, a: int, b: int) -> None:
+        if not self.graph.add_edge(a, b):
+            return  # invalid update: already present
+        incpll.insert_edge(self._pll, a, b)
+
+    def delete_edge(self, a: int, b: int) -> None:
+        if not self.graph.has_edge(a, b):
+            return  # invalid update: nothing to delete
+        decpll.delete_edge(self._pll, a, b)
+
+    def batch_update(self, updates) -> UpdateStats:
+        """Unit-update loop: FulPLL cannot exploit batches (by design)."""
+        graph = self.graph
+        batch = normalize_batch(updates, graph)
+        if len(batch):
+            highest = max(max(u.u, u.v) for u in batch)
+            if highest >= graph.num_vertices:
+                raise BatchError(
+                    "FullPLLIndex does not support growing the vertex set"
+                )
+        stats = UpdateStats(variant="fulpll", n_requested=len(batch))
+        started = time.perf_counter()
+        for update in batch:
+            if update.is_insert:
+                self.insert_edge(update.u, update.v)
+                stats.n_insertions += 1
+            else:
+                self.delete_edge(update.u, update.v)
+                stats.n_deletions += 1
+            stats.n_applied += 1
+        stats.total_seconds = time.perf_counter() - started
+        return stats
+
+    def label_size(self) -> int:
+        return self._pll.label_size()
+
+    def size_bytes(self) -> int:
+        return self._pll.size_bytes()
+
+    def __repr__(self) -> str:
+        return (
+            f"FullPLLIndex(|V|={self.graph.num_vertices},"
+            f" entries={self.label_size()})"
+        )

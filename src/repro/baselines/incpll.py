@@ -1,0 +1,32 @@
+"""IncPLL — incremental PLL maintenance (Akiba, Iwata, Yoshida, WWW 2014).
+
+On inserting edge ``(a, b)``, every hub that labels either endpoint may now
+reach the other side more cheaply, so its pruned BFS is *resumed* across the
+new edge.  Following the paper, outdated entries are **not** removed: an
+insertion only shrinks distances, so old entries are harmless upper bounds
+for the min-query, and removing them was judged too costly by the authors —
+this is why FulPLL's labelling size grows over time (Section 7.2.2 of the
+BatchHL paper).
+"""
+
+from __future__ import annotations
+
+from repro.baselines.pll import PrunedLandmarkLabelling
+
+
+def insert_edge(pll: PrunedLandmarkLabelling, a: int, b: int) -> None:
+    """Reflect the already-applied insertion ``(a, b)`` into the labels.
+
+    The caller must have added the edge to ``pll.graph`` beforehand.
+    """
+    # Resume from every hub of a towards b and vice versa, in rank order
+    # (highest-priority hubs first, mirroring construction order).
+    for source, target in ((a, b), (b, a)):
+        hubs = sorted(pll.labels[source].items(), key=lambda item: pll.rank[item[0]])
+        for hub, d_hub_source in hubs:
+            if hub == target:
+                continue  # resuming a hub at itself adds nothing
+            pll.pruned_bfs(
+                hub, start=target, start_dist=d_hub_source + 1,
+                rank_cutoff=False,
+            )

@@ -1,0 +1,6 @@
+"""Benchmark harness: experiment drivers for every paper table and figure."""
+
+from repro.bench.reporting import ResultTable, results_dir
+from repro.bench.harness import average_query_time, time_call
+
+__all__ = ["ResultTable", "results_dir", "average_query_time", "time_call"]

@@ -1,0 +1,43 @@
+"""Timing utilities and method-capability gating for the experiments."""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Callable
+
+from repro.workloads.datasets import FULPLL_CAPABLE, PSL_CAPABLE
+
+
+def time_call(fn: Callable, *args, **kwargs) -> tuple[object, float]:
+    """Run ``fn`` and return ``(result, elapsed_seconds)``."""
+    started = time.perf_counter()
+    result = fn(*args, **kwargs)
+    return result, time.perf_counter() - started
+
+
+def average_query_time(index, pairs) -> float:
+    """Mean seconds per query over a pair sample."""
+    started = time.perf_counter()
+    for s, t in pairs:
+        index.distance(s, t)
+    return (time.perf_counter() - started) / max(len(pairs), 1)
+
+
+def fulpll_allowed(dataset: str) -> bool:
+    """The paper's FulPLL finishes on the four smallest datasets only."""
+    return dataset in FULPLL_CAPABLE
+
+
+def psl_allowed(dataset: str) -> bool:
+    """The paper's PSL* fails on the three largest datasets."""
+    return dataset in PSL_CAPABLE
+
+
+def bench_scale() -> float:
+    """Global size multiplier for the benchmark suite.
+
+    ``REPRO_BENCH_SCALE=0.5`` halves every replica's vertex count — handy
+    for smoke runs; the default 1.0 regenerates the recorded tables.
+    """
+    return float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))

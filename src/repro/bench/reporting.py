@@ -1,0 +1,90 @@
+"""Result tables that mirror the paper's presentation.
+
+Every experiment driver returns a :class:`ResultTable`; benchmarks print it
+(so the paper-shaped rows land in the pytest output) and persist a CSV under
+``results/`` for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import csv
+import os
+from pathlib import Path
+from typing import Any
+
+
+def results_dir() -> Path:
+    """The artefact directory (created on demand); override via REPRO_RESULTS."""
+    path = Path(os.environ.get("REPRO_RESULTS", "results"))
+    path.mkdir(parents=True, exist_ok=True)
+    return path
+
+
+def format_value(value: Any) -> str:
+    """Paper-style compact formatting: 3 significant digits for floats."""
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "-"
+        if value == float("inf"):
+            return "inf"
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.001:
+            return f"{value:.3g}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+class ResultTable:
+    """An ordered collection of result rows with aligned text rendering."""
+
+    def __init__(self, title: str, columns: list[str]):
+        self.title = title
+        self.columns = list(columns)
+        self.rows: list[dict[str, Any]] = []
+        self.notes: list[str] = []
+
+    def add_row(self, **values: Any) -> None:
+        unknown = set(values) - set(self.columns)
+        if unknown:
+            raise KeyError(f"unknown columns {sorted(unknown)} for {self.title}")
+        self.rows.append(values)
+
+    def add_note(self, note: str) -> None:
+        self.notes.append(note)
+
+    def column(self, name: str) -> list[Any]:
+        return [row.get(name) for row in self.rows]
+
+    def to_text(self) -> str:
+        rendered = [
+            [format_value(row.get(col)) for col in self.columns]
+            for row in self.rows
+        ]
+        widths = [
+            max(len(col), *(len(r[i]) for r in rendered)) if rendered else len(col)
+            for i, col in enumerate(self.columns)
+        ]
+        lines = [f"== {self.title} =="]
+        header = "  ".join(col.ljust(widths[i]) for i, col in enumerate(self.columns))
+        lines.append(header)
+        lines.append("-" * len(header))
+        for r in rendered:
+            lines.append("  ".join(r[i].ljust(widths[i]) for i in range(len(r))))
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+    def save_csv(self, filename: str) -> Path:
+        path = results_dir() / filename
+        with open(path, "w", newline="") as handle:
+            writer = csv.DictWriter(handle, fieldnames=self.columns)
+            writer.writeheader()
+            for row in self.rows:
+                writer.writerow({col: row.get(col, "") for col in self.columns})
+        return path
+
+    def __str__(self) -> str:
+        return self.to_text()

@@ -1,0 +1,138 @@
+"""Command-line interface: ``repro-bench`` / ``python -m repro``.
+
+Subcommands:
+
+* ``list``        — the 14 dataset replicas and their original statistics;
+* ``run NAME``    — run one experiment driver and print its table
+                    (fig2, fig5, fig6, fig7, fig8, table1, table3, table4,
+                    table5, table6, ablation);
+* ``quickcheck``  — fast end-to-end correctness sweep (minimality +
+                    query oracle) on random graphs; exits non-zero on any
+                    violation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+
+from repro.bench import experiments
+from repro.workloads.datasets import PAPER_DATASETS
+
+EXPERIMENTS = {
+    "fig2": experiments.experiment_fig2,
+    "fig5": experiments.experiment_fig5,
+    "fig6": experiments.experiment_fig6,
+    "fig7": experiments.experiment_fig7,
+    "fig8": experiments.experiment_fig8,
+    "table1": experiments.experiment_table1_scaling,
+    "table3": experiments.experiment_table3,
+    "table4": experiments.experiment_table4,
+    "table5": experiments.experiment_table5,
+    "table6": experiments.experiment_table6,
+    "ablation": experiments.experiment_ablation_landmarks,
+}
+
+
+def _cmd_list(_args) -> int:
+    header = (
+        f"{'name':<14}{'kind':<8}{'replica |V|':>12}{'paper |V|':>12}"
+        f"{'paper |E|':>12}  temporal"
+    )
+    print(header)
+    print("-" * len(header))
+    for spec in PAPER_DATASETS.values():
+        print(
+            f"{spec.name:<14}{spec.kind:<8}{spec.num_vertices:>12}"
+            f"{spec.paper_vertices:>12.2g}{spec.paper_edges:>12.2g}"
+            f"  {'yes' if spec.temporal else 'no'}"
+        )
+    return 0
+
+
+def _cmd_run(args) -> int:
+    driver = EXPERIMENTS.get(args.experiment)
+    if driver is None:
+        print(
+            f"unknown experiment {args.experiment!r};"
+            f" choose from {', '.join(sorted(EXPERIMENTS))}",
+            file=sys.stderr,
+        )
+        return 2
+    kwargs = {}
+    if args.datasets:
+        kwargs["datasets"] = tuple(args.datasets.split(","))
+    table = driver(**kwargs)
+    print(table.to_text())
+    if args.csv:
+        path = table.save_csv(args.csv)
+        print(f"saved {path}")
+    return 0
+
+
+def _cmd_quickcheck(args) -> int:
+    from repro import EdgeUpdate, HighwayCoverIndex
+    from repro.constants import INF
+    from repro.graph import generators
+    from repro.graph.traversal import bfs_distance_pair
+
+    rng = random.Random(args.seed)
+    failures = 0
+    for trial in range(args.trials):
+        n = rng.randint(20, 120)
+        graph = generators.erdos_renyi(n, rng.uniform(0.03, 0.15), seed=trial)
+        index = HighwayCoverIndex(graph, num_landmarks=min(5, n))
+        edges = list(graph.edges())
+        rng.shuffle(edges)
+        updates = [EdgeUpdate.delete(a, b) for a, b in edges[:5]]
+        for _ in range(5):
+            a, b = rng.randrange(n), rng.randrange(n)
+            if a != b:
+                updates.append(EdgeUpdate.insert(a, b))
+        index.batch_update(updates, variant=rng.choice(["bhl", "bhl+"]))
+        problems = index.check_minimality()
+        if problems:
+            failures += 1
+            print(f"trial {trial}: labelling diverged: {problems[:3]}")
+            continue
+        for _ in range(20):
+            s, t = rng.randrange(n), rng.randrange(n)
+            expected = bfs_distance_pair(graph, s, t)
+            expected = float("inf") if expected >= INF else expected
+            if index.distance(s, t) != expected:
+                failures += 1
+                print(f"trial {trial}: query ({s},{t}) wrong")
+                break
+    print(f"quickcheck: {args.trials - failures}/{args.trials} trials clean")
+    return 1 if failures else 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-bench",
+        description="BatchHL reproduction: datasets, experiments, checks",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list dataset replicas").set_defaults(
+        func=_cmd_list
+    )
+
+    run = sub.add_parser("run", help="run one experiment driver")
+    run.add_argument("experiment", help=", ".join(sorted(EXPERIMENTS)))
+    run.add_argument("--datasets", help="comma-separated dataset subset")
+    run.add_argument("--csv", help="also save the table to results/<csv>")
+    run.set_defaults(func=_cmd_run)
+
+    check = sub.add_parser("quickcheck", help="fast correctness sweep")
+    check.add_argument("--trials", type=int, default=20)
+    check.add_argument("--seed", type=int, default=0)
+    check.set_defaults(func=_cmd_quickcheck)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,38 @@
+"""Shared constants for the BatchHL reproduction.
+
+Distances are non-negative integers internally; ``INF`` is the sentinel for
+"unreachable".  It is chosen so that ``INF + INF`` still fits comfortably in
+an int64 and a handful of ``+ 1`` increments can never wrap around.
+"""
+
+from __future__ import annotations
+
+#: Internal integer sentinel for an infinite (unreachable) distance.
+INF: int = 2**40
+
+#: Sentinel stored in the label matrix for "no entry for this landmark".
+NO_LABEL: int = -1
+
+#: Default number of landmarks used by the paper (Section 7.1).
+DEFAULT_NUM_LANDMARKS: int = 20
+
+
+def is_inf(distance: int) -> bool:
+    """Return True if ``distance`` represents "unreachable".
+
+    Any value at or above ``INF`` counts: bounded searches may form sums such
+    as ``INF + 3`` while relaxing, and those must still be recognised.
+    """
+    return distance >= INF
+
+
+def externalise(distance: int) -> float:
+    """Convert an internal distance to the public API value.
+
+    Finite distances are returned as ``int``; unreachable becomes
+    ``float('inf')`` which is the natural Python spelling of the paper's
+    :math:`d_G(s, t) = \\infty`.
+    """
+    if is_inf(distance):
+        return float("inf")
+    return distance

@@ -1,0 +1,19 @@
+"""BatchHL core: highway cover labelling, batch search/repair, queries."""
+
+from repro.core.batchhl import Variant
+from repro.core.directed import DirectedHighwayCoverIndex
+from repro.core.index import HighwayCoverIndex
+from repro.core.labelling import HighwayCoverLabelling
+from repro.core.landmarks import select_landmarks
+from repro.core.stats import UpdateStats
+from repro.core.weighted import WeightedHighwayCoverIndex
+
+__all__ = [
+    "Variant",
+    "HighwayCoverIndex",
+    "DirectedHighwayCoverIndex",
+    "WeightedHighwayCoverIndex",
+    "HighwayCoverLabelling",
+    "select_landmarks",
+    "UpdateStats",
+]

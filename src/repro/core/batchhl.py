@@ -1,0 +1,232 @@
+"""BatchHL orchestration — Algorithm 1 and its variants.
+
+``run_batch_update`` normalises a batch against the current graph, applies
+it, and then — per landmark — runs batch search (Algorithm 2 or 3) followed
+by batch repair (Algorithm 4) against a fresh copy of the labelling.  The
+copy is essential: every landmark's search reads *old* distances decoded
+from Γ, so repairs for earlier landmarks must not leak into later searches
+(this is also what makes landmark-level parallelism safe: labels for
+different landmarks are disjoint columns, Section 6).
+
+Variants (Section 7.1):
+
+* ``BHL``    — Algorithm 2 search, whole batch at once;
+* ``BHL+``   — Algorithm 3 search, whole batch at once;
+* ``BHL-s``  — split into an insertion sub-batch then a deletion sub-batch,
+  each processed by BHL (the paper's ablation showing why unification wins);
+* ``UHL``  / ``UHL+`` — unit-update setting: each update processed as its
+  own batch (the single-update baseline the paper compares against).
+
+Parallelism: ``parallel="threads"`` runs landmarks on a thread pool (safe —
+disjoint writes — but GIL-bound in CPython); ``parallel="simulate"`` runs
+sequentially, times each landmark, and reports the makespan
+``max_r t(r)`` that the paper's 20-thread BHLp would pay.
+"""
+
+from __future__ import annotations
+
+import enum
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.core.batch_repair import batch_repair
+from repro.core.batch_search import (
+    batch_search_basic,
+    batch_search_improved,
+    orient_updates,
+)
+from repro.core.labelling import HighwayCoverLabelling
+from repro.core.stats import UpdateStats
+from repro.errors import BatchError
+from repro.graph.batch import Batch, apply_batch, normalize_batch
+
+
+class Variant(enum.Enum):
+    """Update-processing strategies evaluated in the paper."""
+
+    BHL = "bhl"
+    BHL_PLUS = "bhl+"
+    BHL_SPLIT = "bhl-s"
+    UHL = "uhl"
+    UHL_PLUS = "uhl+"
+
+    @property
+    def improved(self) -> bool:
+        """Does this variant use Algorithm 3 (improved search)?"""
+        return self in (Variant.BHL_PLUS, Variant.UHL_PLUS)
+
+    @property
+    def unit(self) -> bool:
+        """Does this variant process updates one at a time?"""
+        return self in (Variant.UHL, Variant.UHL_PLUS)
+
+
+def resolve_variant(variant: "Variant | str") -> Variant:
+    if isinstance(variant, Variant):
+        return variant
+    try:
+        return Variant(variant)
+    except ValueError as exc:
+        valid = ", ".join(v.value for v in Variant)
+        raise BatchError(
+            f"unknown variant {variant!r}; expected one of {valid}"
+        ) from exc
+
+
+def variant_plan(batch: Batch, variant: Variant) -> list[tuple[Batch, bool]]:
+    """Decompose a normalised batch into (sub-batch, improved?) steps.
+
+    The sub-batches are applied strictly in order, each against the graph
+    state left by the previous one — exactly how the paper describes BHLs
+    and the unit-update baselines.
+    """
+    if variant.unit:
+        return [(Batch([update]), variant.improved) for update in batch]
+    if variant is Variant.BHL_SPLIT:
+        return [
+            (sub, False)
+            for sub in (batch.insertions, batch.deletions)
+            if len(sub)
+        ]
+    return [(batch, variant.improved)] if len(batch) else []
+
+
+def run_batch_update(
+    graph,
+    labelling: HighwayCoverLabelling,
+    updates,
+    variant: "Variant | str" = Variant.BHL_PLUS,
+    parallel: str | None = None,
+    num_threads: int | None = None,
+) -> tuple[HighwayCoverLabelling, UpdateStats]:
+    """Normalise, apply, and reflect ``updates`` into a new labelling.
+
+    Mutates ``graph`` (it ends as G'); returns the repaired labelling and
+    the update statistics.  ``labelling`` itself is not modified.
+    """
+    variant = resolve_variant(variant)
+    if parallel not in (None, "threads", "simulate"):
+        raise BatchError(
+            f"parallel must be None, 'threads' or 'simulate', got {parallel!r}"
+        )
+    updates = list(updates)
+    stats = UpdateStats(variant=variant.value, n_requested=len(updates))
+    stats.affected_per_landmark = [0] * labelling.num_landmarks
+    batch = normalize_batch(updates, graph)
+    started = time.perf_counter()
+
+    current = labelling
+    for sub_batch, improved in variant_plan(batch, variant):
+        current, sub_stats = _apply_one_batch(
+            graph, current, sub_batch, improved, parallel, num_threads
+        )
+        stats.merge(sub_stats)
+
+    stats.n_requested = len(updates)
+    stats.total_seconds = time.perf_counter() - started
+    stats.variant = variant.value
+    return current, stats
+
+
+def _apply_one_batch(
+    graph,
+    labelling: HighwayCoverLabelling,
+    batch: Batch,
+    improved: bool,
+    parallel: str | None,
+    num_threads: int | None,
+) -> tuple[HighwayCoverLabelling, UpdateStats]:
+    """Apply one normalised (sub-)batch: grow, mutate graph, search+repair."""
+    stats = UpdateStats(variant="", n_applied=len(batch))
+    stats.n_insertions = len(batch.insertions)
+    stats.n_deletions = len(batch.deletions)
+    stats.affected_per_landmark = [0] * labelling.num_landmarks
+    if not len(batch):
+        return labelling, stats
+
+    highest = max(max(u.u, u.v) for u in batch)
+    if highest >= graph.num_vertices:
+        graph.ensure_vertex(highest)
+    labelling.grow(graph.num_vertices)
+    apply_batch(graph, batch)  # graph is now G'
+
+    oriented = orient_updates(batch, directed=False)
+    labelling_new = labelling.copy()
+    outcomes, makespan = process_landmarks(
+        graph,
+        labelling,
+        labelling_new,
+        oriented,
+        improved,
+        symmetric_highway=True,
+        parallel=parallel,
+        num_threads=num_threads,
+    )
+    for i, (n_affected, search_s, repair_s, changed) in enumerate(outcomes):
+        stats.affected_per_landmark[i] += n_affected
+        stats.search_seconds += search_s
+        stats.repair_seconds += repair_s
+        stats.labels_changed += changed
+    if parallel == "simulate":
+        stats.makespan_seconds = makespan
+    return labelling_new, stats
+
+
+def process_landmarks(
+    view,
+    labelling_old: HighwayCoverLabelling,
+    labelling_new: HighwayCoverLabelling,
+    oriented,
+    improved: bool,
+    symmetric_highway: bool,
+    parallel: str | None,
+    num_threads: int | None,
+    pred_view=None,
+) -> tuple[list[tuple[int, float, float, int]], float]:
+    """Run search + repair for every landmark over an updated graph view.
+
+    Shared by the undirected and directed indexes.  ``pred_view`` provides
+    predecessor neighbourhoods for repair's boundary bounds (in-neighbours
+    on directed graphs; None means same as ``view``).  Returns per-landmark
+    ``(affected, search_seconds, repair_seconds, cells_changed)`` plus the
+    makespan (max per-landmark wall time).
+    """
+    is_landmark = labelling_old.is_landmark.tolist()
+
+    def process(i: int) -> tuple[int, float, float, int, float]:
+        t0 = time.perf_counter()
+        dist_arr, flag_arr = labelling_old.distances_from(i)
+        old_dist = dist_arr.tolist()
+        old_flag = flag_arr.tolist()
+        if improved:
+            affected = batch_search_improved(
+                view, oriented, old_dist, old_flag, is_landmark
+            )
+        else:
+            affected = batch_search_basic(view, oriented, old_dist)
+        t1 = time.perf_counter()
+        changed = batch_repair(
+            view,
+            affected,
+            i,
+            labelling_new,
+            old_dist,
+            old_flag,
+            is_landmark,
+            symmetric_highway=symmetric_highway,
+            pred_view=pred_view,
+        )
+        t2 = time.perf_counter()
+        return len(affected), t1 - t0, t2 - t1, changed, t2 - t0
+
+    indices = range(labelling_old.num_landmarks)
+    if parallel == "threads":
+        workers = num_threads or min(20, labelling_old.num_landmarks)
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            raw = list(pool.map(process, indices))
+    else:
+        raw = [process(i) for i in indices]
+
+    outcomes = [(n, s, r, c) for (n, s, r, c, _) in raw]
+    makespan = max((t for (_, _, _, _, t) in raw), default=0.0)
+    return outcomes, makespan

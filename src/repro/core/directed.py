@@ -1,0 +1,263 @@
+"""Directed-graph extension (Section 6 of the paper).
+
+Two one-sided labellings are maintained over the same landmark set:
+
+* the **forward** labelling is built over out-neighbours; its labels store
+  :math:`d(r \\to v)` and its highway :math:`H_f[i, j] = d(r_i \\to r_j)`;
+* the **backward** labelling is built over in-neighbours (i.e., over the
+  reversed graph); its labels store :math:`d(v \\to r)` and its highway
+  :math:`H_b[i, j] = d(r_j \\to r_i)` (note: ``H_b == H_f.T`` always — the
+  test suite asserts this invariant).
+
+Every batch update runs the search/repair machinery twice, once per
+direction, with the updates oriented accordingly: a directed edge
+``a -> b`` can only anchor at ``b`` in the forward pass and at ``a`` in the
+backward pass.  Queries combine ``d(s -> r_j)`` (backward labelling, exact)
+with ``d(r_j -> t)`` (forward labels) for the bound, then run a bounded
+bidirectional BFS that expands forward from ``s`` and backward from ``t``
+over the landmark-sparsified digraph.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.constants import INF, externalise
+from repro.core.batchhl import (
+    Variant,
+    process_landmarks,
+    resolve_variant,
+    variant_plan,
+)
+from repro.core.construction import build_labelling
+from repro.core.labelling import HighwayCoverLabelling
+from repro.core.landmarks import select_landmarks
+from repro.core.stats import UpdateStats
+from repro.errors import BatchError, IndexStateError
+from repro.graph.batch import Batch, apply_batch, normalize_batch
+from repro.graph.digraph import DynamicDiGraph
+from repro.graph.traversal import bidirectional_bfs
+
+
+class DirectedHighwayCoverIndex:
+    """Exact distance queries on a batch-dynamic directed graph."""
+
+    def __init__(
+        self,
+        graph: DynamicDiGraph,
+        num_landmarks: int = 20,
+        landmarks: tuple[int, ...] | None = None,
+        selection: str = "degree",
+        seed: int = 0,
+    ):
+        if graph.num_vertices == 0:
+            raise IndexStateError("cannot index an empty graph")
+        self._graph = graph
+        if landmarks is None:
+            landmarks = select_landmarks(
+                graph, min(num_landmarks, graph.num_vertices), selection, seed
+            )
+        landmarks = tuple(landmarks)
+        self._forward = build_labelling(graph.out_view(), landmarks)
+        self._backward = build_labelling(graph.in_view(), landmarks)
+        self._landmark_set = frozenset(landmarks)
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def graph(self) -> DynamicDiGraph:
+        return self._graph
+
+    @property
+    def forward(self) -> HighwayCoverLabelling:
+        return self._forward
+
+    @property
+    def backward(self) -> HighwayCoverLabelling:
+        return self._backward
+
+    @property
+    def landmarks(self) -> tuple[int, ...]:
+        return self._forward.landmarks
+
+    def label_size(self) -> int:
+        """Total entries across the forward and backward labellings."""
+        return self._forward.size() + self._backward.size()
+
+    def size_bytes(self) -> int:
+        return self._forward.size_bytes() + self._backward.size_bytes()
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+
+    def distance(self, s: int, t: int) -> float:
+        """Exact directed distance ``s -> t``; inf if unreachable."""
+        n = self._graph.num_vertices
+        if not (0 <= s < n and 0 <= t < n):
+            raise IndexStateError(
+                f"query ({s}, {t}) outside vertex range 0..{n - 1}"
+            )
+        if s == t:
+            return 0
+        s_idx = self._forward.landmark_index.get(s)
+        t_idx = self._forward.landmark_index.get(t)
+        if s_idx is not None and t_idx is not None:
+            return externalise(int(self._forward.highway[s_idx, t_idx]))
+        if s_idx is not None:
+            # d(r_s -> t), exact via the forward labelling.
+            return externalise(
+                int(self._forward.decoded_landmark_distances(t)[s_idx])
+            )
+        if t_idx is not None:
+            # d(s -> r_t), exact via the backward labelling.
+            return externalise(
+                int(self._backward.decoded_landmark_distances(s)[t_idx])
+            )
+        bound = self.upper_bound_internal(s, t)
+        if bound <= 1:
+            return externalise(bound)
+        best = bidirectional_bfs(
+            self._graph.out_view(),
+            s,
+            t,
+            excluded=self._landmark_set,
+            bound=bound,
+            backward_graph=self._graph.in_view(),
+        )
+        return externalise(min(best, INF))
+
+    def query(self, s: int, t: int) -> float:
+        return self.distance(s, t)
+
+    def upper_bound_internal(self, s: int, t: int) -> int:
+        """min_j d(s -> r_j) + d(r_j -> t), the directed Eq. 3 bound."""
+        to_landmarks = self._backward.decoded_landmark_distances(s)
+        from_landmarks = self._forward.label_vector(t)
+        bound = int(np.minimum(to_landmarks + from_landmarks, INF).min())
+        return bound
+
+    # ------------------------------------------------------------------
+    # updates
+    # ------------------------------------------------------------------
+
+    def batch_update(
+        self,
+        updates,
+        variant: Variant | str = Variant.BHL_PLUS,
+        parallel: str | None = None,
+        num_threads: int | None = None,
+    ) -> UpdateStats:
+        """Apply directed edge updates to the graph and both labellings."""
+        variant = resolve_variant(variant)
+        if parallel not in (None, "threads", "simulate"):
+            raise BatchError(
+                f"parallel must be None, 'threads' or 'simulate', got {parallel!r}"
+            )
+        updates = list(updates)
+        stats = UpdateStats(variant=variant.value, n_requested=len(updates))
+        stats.affected_per_landmark = [0] * self._forward.num_landmarks
+        batch = normalize_batch(updates, self._graph, directed=True)
+        started = time.perf_counter()
+        for sub_batch, improved in variant_plan(batch, variant):
+            sub_stats = self._apply_one_batch(
+                sub_batch, improved, parallel, num_threads
+            )
+            stats.merge(sub_stats)
+        stats.n_requested = len(updates)
+        stats.total_seconds = time.perf_counter() - started
+        return stats
+
+    def _apply_one_batch(
+        self,
+        batch: Batch,
+        improved: bool,
+        parallel: str | None,
+        num_threads: int | None,
+    ) -> UpdateStats:
+        stats = UpdateStats(variant="", n_applied=len(batch))
+        stats.n_insertions = len(batch.insertions)
+        stats.n_deletions = len(batch.deletions)
+        stats.affected_per_landmark = [0] * self._forward.num_landmarks
+        if not len(batch):
+            return stats
+
+        graph = self._graph
+        highest = max(max(u.u, u.v) for u in batch)
+        if highest >= graph.num_vertices:
+            graph.ensure_vertex(highest)
+        self._forward.grow(graph.num_vertices)
+        self._backward.grow(graph.num_vertices)
+        apply_batch(graph, batch)
+
+        makespan_total = 0.0
+        for labelling, view, pred_view, reverse in (
+            (self._forward, graph.out_view(), graph.in_view(), False),
+            (self._backward, graph.in_view(), graph.out_view(), True),
+        ):
+            oriented = [
+                ((u.v, u.u, u.is_delete) if reverse else (u.u, u.v, u.is_delete))
+                for u in batch
+            ]
+            labelling_new = labelling.copy()
+            outcomes, makespan = process_landmarks(
+                view,
+                labelling,
+                labelling_new,
+                oriented,
+                improved,
+                symmetric_highway=False,
+                parallel=parallel,
+                num_threads=num_threads,
+                pred_view=pred_view,
+            )
+            for i, (n_affected, search_s, repair_s, changed) in enumerate(outcomes):
+                stats.affected_per_landmark[i] += n_affected
+                stats.search_seconds += search_s
+                stats.repair_seconds += repair_s
+                stats.labels_changed += changed
+            makespan_total += makespan
+            if reverse:
+                self._backward = labelling_new
+            else:
+                self._forward = labelling_new
+        if parallel == "simulate":
+            stats.makespan_seconds = makespan_total
+        return stats
+
+    # ------------------------------------------------------------------
+    # maintenance / verification
+    # ------------------------------------------------------------------
+
+    def rebuild(self) -> None:
+        landmarks = self._forward.landmarks
+        self._forward = build_labelling(self._graph.out_view(), landmarks)
+        self._backward = build_labelling(self._graph.in_view(), landmarks)
+
+    def check_minimality(self) -> list[str]:
+        """Compare both labellings against from-scratch builds."""
+        landmarks = self._forward.landmarks
+        problems = [
+            f"forward: {p}"
+            for p in self._forward.diff(
+                build_labelling(self._graph.out_view(), landmarks)
+            )
+        ]
+        problems += [
+            f"backward: {p}"
+            for p in self._backward.diff(
+                build_labelling(self._graph.in_view(), landmarks)
+            )
+        ]
+        return problems
+
+    def __repr__(self) -> str:
+        return (
+            f"DirectedHighwayCoverIndex(|V|={self._graph.num_vertices},"
+            f" |E|={self._graph.num_edges}, |R|={len(self.landmarks)},"
+            f" entries={self.label_size()})"
+        )

@@ -1,0 +1,227 @@
+"""Public facade: :class:`HighwayCoverIndex`.
+
+This is the object a downstream user works with.  It owns a dynamic graph
+and a minimal highway cover labelling over it, answers exact distance
+queries, and reflects batch updates via the BatchHL machinery::
+
+    from repro import DynamicGraph, HighwayCoverIndex
+    from repro.graph.batch import EdgeUpdate
+
+    graph = DynamicGraph.from_edges([(0, 1), (1, 2), (2, 3)])
+    index = HighwayCoverIndex(graph, num_landmarks=2)
+    index.distance(0, 3)                      # -> 3
+    index.batch_update([EdgeUpdate.insert(0, 3)])
+    index.distance(0, 3)                      # -> 1
+
+The graph passed in is *owned*: ``batch_update`` mutates it together with
+the labelling so the two always describe the same topology.
+"""
+
+from __future__ import annotations
+
+from repro.constants import externalise
+from repro.core.batchhl import Variant, run_batch_update
+from repro.core.construction import build_labelling
+from repro.core.labelling import HighwayCoverLabelling
+from repro.core.landmarks import select_landmarks
+from repro.core.queries import query_distance
+from repro.core.stats import UpdateStats
+from repro.errors import IndexStateError
+from repro.graph.batch import EdgeUpdate
+from repro.graph.dynamic_graph import DynamicGraph
+
+
+class HighwayCoverIndex:
+    """Exact distance queries on a batch-dynamic undirected graph."""
+
+    def __init__(
+        self,
+        graph: DynamicGraph,
+        num_landmarks: int = 20,
+        landmarks: tuple[int, ...] | None = None,
+        selection: str = "degree",
+        seed: int = 0,
+    ):
+        if graph.num_vertices == 0:
+            raise IndexStateError("cannot index an empty graph")
+        self._graph = graph
+        if landmarks is None:
+            landmarks = select_landmarks(
+                graph, min(num_landmarks, graph.num_vertices), selection, seed
+            )
+        self._labelling = build_labelling(graph, tuple(landmarks))
+        self._landmark_set = frozenset(self._labelling.landmarks)
+
+    @classmethod
+    def from_parts(
+        cls, graph: DynamicGraph, labelling: HighwayCoverLabelling
+    ) -> "HighwayCoverIndex":
+        """Wrap an existing (graph, labelling) pair without rebuilding.
+
+        The labelling must describe exactly this graph — used by the bench
+        harness, which manages labellings at the functional layer.
+        """
+        index = cls.__new__(cls)
+        index._graph = graph
+        index._labelling = labelling
+        index._landmark_set = frozenset(labelling.landmarks)
+        return index
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def graph(self) -> DynamicGraph:
+        return self._graph
+
+    @property
+    def labelling(self) -> HighwayCoverLabelling:
+        return self._labelling
+
+    @property
+    def landmarks(self) -> tuple[int, ...]:
+        return self._labelling.landmarks
+
+    def label_size(self) -> int:
+        """Number of label entries (the paper's labelling-size metric)."""
+        return self._labelling.size()
+
+    def size_bytes(self) -> int:
+        return self._labelling.size_bytes()
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+
+    def distance(self, s: int, t: int) -> float:
+        """Exact shortest-path distance; ``float('inf')`` if disconnected."""
+        n = self._graph.num_vertices
+        if not (0 <= s < n and 0 <= t < n):
+            raise IndexStateError(f"query ({s}, {t}) outside vertex range 0..{n - 1}")
+        return externalise(
+            query_distance(self._graph, self._labelling, s, t, self._landmark_set)
+        )
+
+    def query(self, s: int, t: int) -> float:
+        """Alias of :meth:`distance`."""
+        return self.distance(s, t)
+
+    def upper_bound(self, s: int, t: int) -> float:
+        """The labelling-only bound :math:`d^\\top_{st}` (Eq. 3)."""
+        return externalise(self._labelling.upper_bound(s, t))
+
+    def distances(self, pairs) -> list[float]:
+        """Batched queries: one distance per (s, t) pair, in order."""
+        return [self.distance(s, t) for s, t in pairs]
+
+    def shortest_path(self, s: int, t: int) -> list[int] | None:
+        """An actual shortest s-t path (list of vertices), or None.
+
+        Peels the path greedily using the index as a distance oracle —
+        O(d · avg_degree) queries, no graph-wide search.
+        """
+        from repro.core.paths import extract_shortest_path
+
+        def internal(a: int, b: int) -> int:
+            return query_distance(
+                self._graph, self._labelling, a, b, self._landmark_set
+            )
+
+        return extract_shortest_path(self._graph, s, t, internal)
+
+    # ------------------------------------------------------------------
+    # updates
+    # ------------------------------------------------------------------
+
+    def batch_update(
+        self,
+        updates,
+        variant: Variant | str = Variant.BHL_PLUS,
+        parallel: str | None = None,
+        num_threads: int | None = None,
+    ) -> UpdateStats:
+        """Apply a batch of :class:`EdgeUpdate` to graph + labelling."""
+        new_labelling, stats = run_batch_update(
+            self._graph,
+            self._labelling,
+            updates,
+            variant=variant,
+            parallel=parallel,
+            num_threads=num_threads,
+        )
+        self._labelling = new_labelling
+        return stats
+
+    def insert_edge(
+        self, u: int, v: int, variant: Variant | str = Variant.BHL_PLUS
+    ) -> UpdateStats:
+        """Convenience wrapper: single edge insertion."""
+        return self.batch_update([EdgeUpdate.insert(u, v)], variant=variant)
+
+    def delete_edge(
+        self, u: int, v: int, variant: Variant | str = Variant.BHL_PLUS
+    ) -> UpdateStats:
+        """Convenience wrapper: single edge deletion."""
+        return self.batch_update([EdgeUpdate.delete(u, v)], variant=variant)
+
+    def attach_vertex(self, neighbors) -> tuple[int, UpdateStats]:
+        """Node insertion (§3): a new vertex plus its edges, as one batch."""
+        vertex = self._graph.num_vertices
+        stats = self.batch_update(
+            [EdgeUpdate.insert(vertex, w) for w in neighbors]
+        )
+        # The batch may have been empty (no neighbours): grow explicitly so
+        # the new vertex exists either way.
+        self._graph.ensure_vertex(vertex)
+        self._labelling.grow(self._graph.num_vertices)
+        return vertex, stats
+
+    def detach_vertex(self, vertex: int) -> UpdateStats:
+        """Node deletion (§3): drop every incident edge as one batch.
+
+        The vertex id remains valid (and isolated), matching the paper's
+        model where node removal is a pure edge batch.
+        """
+        updates = [
+            EdgeUpdate.delete(vertex, w)
+            for w in list(self._graph.neighbors(vertex))
+        ]
+        return self.batch_update(updates)
+
+    # ------------------------------------------------------------------
+    # maintenance / verification
+    # ------------------------------------------------------------------
+
+    def save(self, path) -> None:
+        """Persist graph + labelling to an ``.npz`` archive."""
+        from repro.core.serialize import save_index
+
+        save_index(self, path)
+
+    @classmethod
+    def load(cls, path) -> "HighwayCoverIndex":
+        """Restore an index saved with :meth:`save` (no rebuild)."""
+        from repro.core.serialize import load_index
+
+        return load_index(path)
+
+    def rebuild(self) -> None:
+        """Recompute the labelling from scratch (keeps the landmark set)."""
+        self._labelling = build_labelling(self._graph, self._labelling.landmarks)
+
+    def check_minimality(self) -> list[str]:
+        """Compare against a from-scratch build; [] iff identical.
+
+        This is Theorem 5.21 as an executable check — used by the test
+        suite and available to users as a debugging aid.
+        """
+        fresh = build_labelling(self._graph, self._labelling.landmarks)
+        return self._labelling.diff(fresh)
+
+    def __repr__(self) -> str:
+        return (
+            f"HighwayCoverIndex(|V|={self._graph.num_vertices},"
+            f" |E|={self._graph.num_edges}, |R|={len(self.landmarks)},"
+            f" entries={self.label_size()})"
+        )

@@ -1,0 +1,116 @@
+"""Landmark lengths (Definitions 5.13 and 5.16 of the paper).
+
+A *landmark length* is a pair ``(d, l)`` where ``d`` is a path length and
+``l`` flags whether the path passes through a landmark other than the root.
+An *extended landmark length* adds a deletion flag ``e``.  Both are compared
+lexicographically with the unusual convention **True < False**: at equal
+distance, a path through a landmark (resp. through a deleted edge) is
+considered *smaller*, so the minimum over all shortest paths carries the flag
+iff *any* shortest path has it.
+
+Internally the algorithms encode flags as integers (``TRUE_KEY = 0 <
+FALSE_KEY = 1``) so plain tuple comparison implements the paper's order;
+:class:`LandmarkLength` is the readable wrapper used at API boundaries and in
+tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.constants import INF
+
+#: Flag encodings: the paper orders True < False, so True must get the
+#: smaller integer for native tuple comparison to match.
+TRUE_KEY: int = 0
+FALSE_KEY: int = 1
+
+
+def flag_key(flag: bool) -> int:
+    """Encode a boolean flag under the paper's True < False ordering."""
+    return TRUE_KEY if flag else FALSE_KEY
+
+
+def key_flag(key: int) -> bool:
+    """Decode an encoded flag."""
+    return key == TRUE_KEY
+
+
+@dataclass(frozen=True, order=False)
+class LandmarkLength:
+    """The pair (distance, through-landmark flag) with the paper's ordering."""
+
+    distance: int
+    through_landmark: bool
+
+    @property
+    def key(self) -> tuple[int, int]:
+        return (self.distance, flag_key(self.through_landmark))
+
+    def __lt__(self, other: "LandmarkLength") -> bool:
+        return self.key < other.key
+
+    def __le__(self, other: "LandmarkLength") -> bool:
+        return self.key <= other.key
+
+    def extend(self, to_landmark: bool, weight: int = 1) -> "LandmarkLength":
+        """The paper's ``(d, l) ⊕ w`` operator.
+
+        Appends one hop (of ``weight``) ending at a vertex; if that vertex is
+        a landmark the flag becomes True, otherwise it is inherited.
+        """
+        return LandmarkLength(
+            self.distance + weight,
+            True if to_landmark else self.through_landmark,
+        )
+
+    @property
+    def is_infinite(self) -> bool:
+        return self.distance >= INF
+
+    @staticmethod
+    def infinite() -> "LandmarkLength":
+        """The landmark distance of an unreachable vertex: (INF, False)."""
+        return LandmarkLength(INF, False)
+
+
+@dataclass(frozen=True, order=False)
+class ExtendedLandmarkLength:
+    """(distance, landmark flag, deletion flag) — Definition 5.16."""
+
+    distance: int
+    through_landmark: bool
+    through_deleted: bool
+
+    @property
+    def key(self) -> tuple[int, int, int]:
+        return (
+            self.distance,
+            flag_key(self.through_landmark),
+            flag_key(self.through_deleted),
+        )
+
+    def __lt__(self, other: "ExtendedLandmarkLength") -> bool:
+        return self.key < other.key
+
+    def __le__(self, other: "ExtendedLandmarkLength") -> bool:
+        return self.key <= other.key
+
+    def extend(
+        self, to_landmark: bool, weight: int = 1
+    ) -> "ExtendedLandmarkLength":
+        return ExtendedLandmarkLength(
+            self.distance + weight,
+            True if to_landmark else self.through_landmark,
+            self.through_deleted,
+        )
+
+
+def beta_key(distance: int, flag_k: int) -> tuple[int, int, int]:
+    """Encoded ``β(r, v) = (d^L_G(r, v), True)`` threshold (Lemma 5.17).
+
+    An extended landmark length passes the improved pruning check iff its
+    encoded key is <= this: strictly smaller landmark length always passes,
+    while a tie requires the deletion flag (True sorts first).
+    """
+    return (distance, flag_k, TRUE_KEY)

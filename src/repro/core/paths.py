@@ -1,0 +1,48 @@
+"""Shortest-path *extraction* on top of the distance index.
+
+The labelling answers distances; applications (routing, recommendations)
+often need an actual path.  Because the index gives exact distances in
+near-constant time, a path can be peeled greedily: from ``s``, some
+neighbour ``w`` with ``d(w, t) = d(s, t) - 1`` must lie on a shortest path,
+so following such neighbours reaches ``t`` in exactly ``d(s, t)`` hops.
+Cost: O(d · avg_degree) distance queries — no BFS over the whole graph.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.constants import INF
+
+
+def extract_shortest_path(
+    graph,
+    s: int,
+    t: int,
+    distance_fn: Callable[[int, int], int],
+) -> list[int] | None:
+    """A concrete shortest s-t path, or None if t is unreachable.
+
+    ``distance_fn`` must return exact internal distances (INF sentinel).
+    Works on any graph object whose ``neighbors`` follow the traversal
+    direction of ``distance_fn``'s first argument.
+    """
+    total = distance_fn(s, t)
+    if total >= INF:
+        return None
+    path = [s]
+    current = s
+    remaining = total
+    while current != t:
+        for w in graph.neighbors(current):
+            if distance_fn(w, t) == remaining - 1:
+                path.append(w)
+                current = w
+                remaining -= 1
+                break
+        else:  # no neighbour decreased the distance: index inconsistent
+            raise RuntimeError(
+                f"no descent from {current} towards {t}; the index does not"
+                " match the graph"
+            )
+    return path

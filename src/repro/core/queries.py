@@ -1,0 +1,45 @@
+"""Query processing (Section 4).
+
+A distance query combines two ingredients:
+
+1. the labelling upper bound :math:`d^\\top_{st}` (Eq. 3) — the best s-t
+   path through the highway, exact whenever some shortest path passes
+   through a landmark;
+2. a distance-bounded bidirectional BFS over the *sparsified* graph
+   ``G[V \\ R]`` — landmarks removed — which can only find paths avoiding
+   every landmark, and never needs to look at lengths >= the bound.
+
+Queries touching a landmark are answered from the labelling alone: the
+highway cover property (Eq. 2) makes landmark-to-anything distances exact.
+"""
+
+from __future__ import annotations
+
+from repro.constants import INF
+from repro.core.labelling import HighwayCoverLabelling
+from repro.graph.traversal import bidirectional_bfs
+
+
+def query_distance(
+    graph,
+    labelling: HighwayCoverLabelling,
+    s: int,
+    t: int,
+    landmark_set: frozenset[int],
+) -> int:
+    """Exact s-t distance (internal INF sentinel for unreachable)."""
+    if s == t:
+        return 0
+    s_idx = labelling.landmark_index.get(s)
+    t_idx = labelling.landmark_index.get(t)
+    if s_idx is not None and t_idx is not None:
+        return int(labelling.highway[s_idx, t_idx])
+    if s_idx is not None:
+        return int(labelling.decoded_landmark_distances(t)[s_idx])
+    if t_idx is not None:
+        return int(labelling.decoded_landmark_distances(s)[t_idx])
+    bound = labelling.upper_bound(s, t)
+    if bound <= 1:
+        return bound  # an adjacent pair cannot improve below 1
+    best = bidirectional_bfs(graph, s, t, excluded=landmark_set, bound=bound)
+    return min(best, INF)

@@ -1,0 +1,59 @@
+"""Persistence for highway cover indexes.
+
+An index is the pair (graph, labelling); both serialise into one ``.npz``
+archive: the edge list as an (E, 2) array, labels and highway as their
+native matrices, landmarks as a vector.  Loading restores an index without
+rebuilding — the labelling is trusted as-is, so `check_minimality` remains
+available as an integrity check after load.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.labelling import HighwayCoverLabelling
+from repro.errors import IndexStateError
+from repro.graph.dynamic_graph import DynamicGraph
+
+FORMAT_VERSION = 1
+
+
+def save_index(index, path: str | Path) -> None:
+    """Serialise a :class:`HighwayCoverIndex` to ``path`` (.npz)."""
+    graph = index.graph
+    edges = np.array(list(graph.edges()), dtype=np.int64).reshape(-1, 2)
+    np.savez_compressed(
+        path,
+        format_version=np.int64(FORMAT_VERSION),
+        num_vertices=np.int64(graph.num_vertices),
+        edges=edges,
+        labels=index.labelling.labels,
+        highway=index.labelling.highway,
+        landmarks=np.array(index.labelling.landmarks, dtype=np.int64),
+    )
+
+
+def load_index(path: str | Path):
+    """Restore a :class:`HighwayCoverIndex` saved by :func:`save_index`."""
+    from repro.core.index import HighwayCoverIndex
+
+    with np.load(path) as archive:
+        version = int(archive["format_version"])
+        if version != FORMAT_VERSION:
+            raise IndexStateError(
+                f"unsupported index format version {version}"
+            )
+        num_vertices = int(archive["num_vertices"])
+        graph = DynamicGraph(num_vertices)
+        for a, b in archive["edges"]:
+            graph.add_edge(int(a), int(b))
+        labelling = HighwayCoverLabelling(
+            archive["labels"].copy(),
+            archive["highway"].copy(),
+            tuple(int(r) for r in archive["landmarks"]),
+        )
+    if labelling.num_vertices != num_vertices:
+        raise IndexStateError("label matrix does not match the vertex count")
+    return HighwayCoverIndex.from_parts(graph, labelling)

@@ -1,0 +1,55 @@
+"""Instrumentation records emitted by index updates.
+
+These are what the paper's evaluation measures: per-phase times (batch
+search vs batch repair), the number of affected vertices per landmark
+(Figure 2, Table 5), and the simulated parallel makespan for BHLp.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class UpdateStats:
+    """Outcome of one ``batch_update`` call on an index."""
+
+    variant: str
+    n_requested: int = 0
+    n_applied: int = 0
+    n_insertions: int = 0
+    n_deletions: int = 0
+    #: |V_aff(r)| per landmark, accumulated across sub-batches/unit updates.
+    affected_per_landmark: list[int] = field(default_factory=list)
+    search_seconds: float = 0.0
+    repair_seconds: float = 0.0
+    total_seconds: float = 0.0
+    #: max over landmarks of per-landmark wall time — what an |R|-core
+    #: machine would pay per sub-batch; None unless parallel="simulate".
+    makespan_seconds: float | None = None
+    #: number of label/highway cells actually rewritten by repair.
+    labels_changed: int = 0
+
+    @property
+    def total_affected(self) -> int:
+        """Sum over landmarks of affected-set sizes (the paper's metric)."""
+        return sum(self.affected_per_landmark)
+
+    def merge(self, other: "UpdateStats") -> None:
+        """Accumulate a sub-batch/unit-update result into this record."""
+        self.n_requested += other.n_requested
+        self.n_applied += other.n_applied
+        self.n_insertions += other.n_insertions
+        self.n_deletions += other.n_deletions
+        if not self.affected_per_landmark:
+            self.affected_per_landmark = [0] * len(other.affected_per_landmark)
+        for i, count in enumerate(other.affected_per_landmark):
+            self.affected_per_landmark[i] += count
+        self.search_seconds += other.search_seconds
+        self.repair_seconds += other.repair_seconds
+        self.total_seconds += other.total_seconds
+        self.labels_changed += other.labels_changed
+        if other.makespan_seconds is not None:
+            self.makespan_seconds = (
+                self.makespan_seconds or 0.0
+            ) + other.makespan_seconds

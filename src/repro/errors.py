@@ -1,0 +1,27 @@
+"""Exception hierarchy for the BatchHL reproduction library."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all library-specific errors."""
+
+
+class GraphError(ReproError):
+    """Raised for structurally invalid graph operations.
+
+    Examples: adding a self-loop, querying a vertex that does not exist,
+    negative edge weights on a weighted graph.
+    """
+
+
+class BatchError(ReproError):
+    """Raised when a batch update cannot be normalised or applied."""
+
+
+class IndexStateError(ReproError):
+    """Raised when an index is used before construction or after corruption."""
+
+
+class WorkloadError(ReproError):
+    """Raised for invalid workload or dataset specifications."""

@@ -1,0 +1,17 @@
+"""Dynamic graph substrate: containers, batches, traversals, generators, IO."""
+
+from repro.graph.batch import Batch, EdgeUpdate, UpdateKind, normalize_batch
+from repro.graph.digraph import DynamicDiGraph
+from repro.graph.dynamic_graph import DynamicGraph
+from repro.graph.weighted_graph import WeightedDynamicGraph, WeightUpdate
+
+__all__ = [
+    "Batch",
+    "EdgeUpdate",
+    "UpdateKind",
+    "normalize_batch",
+    "DynamicGraph",
+    "DynamicDiGraph",
+    "WeightedDynamicGraph",
+    "WeightUpdate",
+]

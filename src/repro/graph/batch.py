@@ -1,0 +1,167 @@
+"""Batch updates and the paper's Section 3 normalisation rules.
+
+A *batch update* is a sequence of edge insertions and deletions.  Before an
+index processes a batch it must be normalised against the current graph:
+
+* self-loops are dropped;
+* undirected edges are canonicalised to ``(min, max)``;
+* duplicate updates collapse to one;
+* if the same edge is both inserted and deleted within the batch, **both**
+  updates are eliminated (the paper's rule — the net effect is nil);
+* invalid updates are ignored: inserting an edge that already exists, or
+  deleting one that does not.
+
+Node insertion/deletion is modelled, as in the paper, as a batch containing
+only edge insertions (attaching the new vertex) or only deletions (detaching
+it).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable, Iterator, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.graph.digraph import DynamicDiGraph
+    from repro.graph.dynamic_graph import DynamicGraph
+
+
+class UpdateKind(enum.Enum):
+    """The two fundamental update types on unweighted graphs."""
+
+    INSERT = "insert"
+    DELETE = "delete"
+
+
+@dataclass(frozen=True)
+class EdgeUpdate:
+    """One edge insertion or deletion."""
+
+    kind: UpdateKind
+    u: int
+    v: int
+
+    @staticmethod
+    def insert(u: int, v: int) -> "EdgeUpdate":
+        return EdgeUpdate(UpdateKind.INSERT, u, v)
+
+    @staticmethod
+    def delete(u: int, v: int) -> "EdgeUpdate":
+        return EdgeUpdate(UpdateKind.DELETE, u, v)
+
+    @property
+    def is_insert(self) -> bool:
+        return self.kind is UpdateKind.INSERT
+
+    @property
+    def is_delete(self) -> bool:
+        return self.kind is UpdateKind.DELETE
+
+    def endpoints(self) -> tuple[int, int]:
+        return (self.u, self.v)
+
+    def canonical(self) -> "EdgeUpdate":
+        """Order endpoints as ``(min, max)`` — for undirected graphs only."""
+        if self.u <= self.v:
+            return self
+        return EdgeUpdate(self.kind, self.v, self.u)
+
+
+class Batch(Sequence[EdgeUpdate]):
+    """An immutable, normalised sequence of edge updates."""
+
+    __slots__ = ("_updates",)
+
+    def __init__(self, updates: Iterable[EdgeUpdate]):
+        self._updates: tuple[EdgeUpdate, ...] = tuple(updates)
+
+    def __len__(self) -> int:
+        return len(self._updates)
+
+    def __iter__(self) -> Iterator[EdgeUpdate]:
+        return iter(self._updates)
+
+    def __getitem__(self, index):
+        return self._updates[index]
+
+    @property
+    def insertions(self) -> "Batch":
+        return Batch(u for u in self._updates if u.is_insert)
+
+    @property
+    def deletions(self) -> "Batch":
+        return Batch(u for u in self._updates if u.is_delete)
+
+    def __repr__(self) -> str:
+        n_ins = sum(1 for u in self._updates if u.is_insert)
+        return f"Batch(+{n_ins}, -{len(self._updates) - n_ins})"
+
+
+def normalize_batch(
+    updates: Iterable[EdgeUpdate],
+    graph: "DynamicGraph | DynamicDiGraph",
+    directed: bool = False,
+) -> Batch:
+    """Apply the paper's batch-cleanup rules against the *current* graph.
+
+    The result contains only *valid* updates: each insertion's edge is absent
+    from ``graph`` and each deletion's edge is present, every edge appears at
+    most once, and updates whose insert/delete pair cancels are removed.
+    """
+    inserts: dict[tuple[int, int], EdgeUpdate] = {}
+    deletes: dict[tuple[int, int], EdgeUpdate] = {}
+    order: list[tuple[UpdateKind, tuple[int, int]]] = []
+
+    for update in updates:
+        if update.u == update.v:
+            continue  # self-loops never change any distance
+        canon = update if directed else update.canonical()
+        key = canon.endpoints()
+        bucket = inserts if canon.is_insert else deletes
+        if key not in bucket:
+            bucket[key] = canon
+            order.append((canon.kind, key))
+
+    # Insert+delete of the same edge within one batch cancels out.
+    cancelled = set(inserts) & set(deletes)
+
+    result: list[EdgeUpdate] = []
+    for kind, key in order:
+        if key in cancelled:
+            continue
+        update = inserts[key] if kind is UpdateKind.INSERT else deletes[key]
+        a, b = key
+        if max(a, b) >= graph.num_vertices:
+            exists = False  # edges to brand-new vertices cannot exist yet
+        else:
+            exists = graph.has_edge(a, b)
+        if update.is_insert and exists:
+            continue  # invalid: already present
+        if update.is_delete and not exists:
+            continue  # invalid: nothing to delete
+        result.append(update)
+    return Batch(result)
+
+
+def apply_batch(
+    graph: "DynamicGraph | DynamicDiGraph", batch: Batch
+) -> None:
+    """Apply a *normalised* batch to ``graph`` (grows the vertex set)."""
+    for update in batch:
+        graph.ensure_vertex(max(update.u, update.v))
+        if update.is_insert:
+            graph.add_edge(update.u, update.v)
+        else:
+            graph.remove_edge(update.u, update.v)
+
+
+def revert_batch(
+    graph: "DynamicGraph | DynamicDiGraph", batch: Batch
+) -> None:
+    """Undo a previously applied normalised batch (vertices are kept)."""
+    for update in batch:
+        if update.is_insert:
+            graph.remove_edge(update.u, update.v)
+        else:
+            graph.add_edge(update.u, update.v)

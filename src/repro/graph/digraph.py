@@ -1,0 +1,158 @@
+"""Directed, unweighted dynamic graph (Section 6 of the paper).
+
+The directed index runs the same search/repair machinery twice, once over
+out-neighbours and once over in-neighbours.  To avoid duplicating algorithms,
+:meth:`DynamicDiGraph.out_view` / :meth:`in_view` expose lightweight adapters
+with the same ``num_vertices`` / ``neighbors`` interface as
+:class:`~repro.graph.dynamic_graph.DynamicGraph`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.errors import GraphError
+
+
+class _DirectionView:
+    """Read-only adapter presenting one direction of a digraph as a graph."""
+
+    __slots__ = ("_graph", "_adj")
+
+    def __init__(self, graph: "DynamicDiGraph", adj: list[set[int]]):
+        self._graph = graph
+        self._adj = adj
+
+    @property
+    def num_vertices(self) -> int:
+        return len(self._adj)
+
+    def neighbors(self, vertex: int) -> set[int]:
+        return self._adj[vertex]
+
+    def degree(self, vertex: int) -> int:
+        return len(self._adj[vertex])
+
+    def vertices(self) -> range:
+        return range(len(self._adj))
+
+
+class DynamicDiGraph:
+    """A mutable directed graph storing both out- and in-adjacency."""
+
+    __slots__ = ("_out", "_in", "_num_edges")
+
+    def __init__(self, num_vertices: int = 0):
+        if num_vertices < 0:
+            raise GraphError("num_vertices must be non-negative")
+        self._out: list[set[int]] = [set() for _ in range(num_vertices)]
+        self._in: list[set[int]] = [set() for _ in range(num_vertices)]
+        self._num_edges = 0
+
+    @classmethod
+    def from_edges(
+        cls, edges: Iterable[tuple[int, int]], num_vertices: int = 0
+    ) -> "DynamicDiGraph":
+        graph = cls(num_vertices)
+        for a, b in edges:
+            graph.ensure_vertex(max(a, b))
+            graph.add_edge(a, b)
+        return graph
+
+    def copy(self) -> "DynamicDiGraph":
+        clone = DynamicDiGraph(0)
+        clone._out = [set(s) for s in self._out]
+        clone._in = [set(s) for s in self._in]
+        clone._num_edges = self._num_edges
+        return clone
+
+    @property
+    def num_vertices(self) -> int:
+        return len(self._out)
+
+    @property
+    def num_edges(self) -> int:
+        return self._num_edges
+
+    def _check_vertex(self, vertex: int) -> None:
+        if not 0 <= vertex < len(self._out):
+            raise GraphError(f"vertex {vertex} is not in the graph")
+
+    def add_vertex(self) -> int:
+        self._out.append(set())
+        self._in.append(set())
+        return len(self._out) - 1
+
+    def ensure_vertex(self, vertex: int) -> None:
+        if vertex < 0:
+            raise GraphError(f"vertex {vertex} is negative")
+        while vertex >= len(self._out):
+            self._out.append(set())
+            self._in.append(set())
+
+    def has_edge(self, a: int, b: int) -> bool:
+        self._check_vertex(a)
+        self._check_vertex(b)
+        return b in self._out[a]
+
+    def add_edge(self, a: int, b: int) -> bool:
+        """Insert directed edge ``a -> b``; False if already present."""
+        if a == b:
+            raise GraphError(f"self-loop ({a}, {b}) is not allowed")
+        self._check_vertex(a)
+        self._check_vertex(b)
+        if b in self._out[a]:
+            return False
+        self._out[a].add(b)
+        self._in[b].add(a)
+        self._num_edges += 1
+        return True
+
+    def remove_edge(self, a: int, b: int) -> bool:
+        self._check_vertex(a)
+        self._check_vertex(b)
+        if b not in self._out[a]:
+            return False
+        self._out[a].discard(b)
+        self._in[b].discard(a)
+        self._num_edges -= 1
+        return True
+
+    def out_neighbors(self, vertex: int) -> set[int]:
+        self._check_vertex(vertex)
+        return self._out[vertex]
+
+    def in_neighbors(self, vertex: int) -> set[int]:
+        self._check_vertex(vertex)
+        return self._in[vertex]
+
+    def out_degree(self, vertex: int) -> int:
+        return len(self.out_neighbors(vertex))
+
+    def in_degree(self, vertex: int) -> int:
+        return len(self.in_neighbors(vertex))
+
+    def degree(self, vertex: int) -> int:
+        """Total degree (out + in); used for landmark selection."""
+        return self.out_degree(vertex) + self.in_degree(vertex)
+
+    def edges(self) -> Iterator[tuple[int, int]]:
+        for a, targets in enumerate(self._out):
+            for b in targets:
+                yield (a, b)
+
+    def vertices(self) -> range:
+        return range(len(self._out))
+
+    def out_view(self) -> _DirectionView:
+        """Forward traversal view (follows edges in their direction)."""
+        return _DirectionView(self, self._out)
+
+    def in_view(self) -> _DirectionView:
+        """Backward traversal view (follows edges against their direction)."""
+        return _DirectionView(self, self._in)
+
+    def __repr__(self) -> str:
+        return (
+            f"DynamicDiGraph(|V|={self.num_vertices}, |E|={self.num_edges})"
+        )

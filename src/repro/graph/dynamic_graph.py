@@ -1,0 +1,160 @@
+"""Undirected, unweighted dynamic graph.
+
+This is the substrate every index in the library operates on.  Vertices are
+dense integers ``0..n-1``; adjacency is a list of sets so that edge existence
+checks, insertions and deletions are all O(1) while neighbourhood iteration
+stays cheap.  The container itself is deliberately dumb: batch *semantics*
+(deduplication, validity, insert/delete cancellation) live in
+:mod:`repro.graph.batch` so that every index shares one implementation of the
+paper's Section 3 rules.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.errors import GraphError
+
+
+class DynamicGraph:
+    """A mutable, undirected, unweighted graph with O(1) edge updates."""
+
+    __slots__ = ("_adj", "_num_edges")
+
+    def __init__(self, num_vertices: int = 0):
+        if num_vertices < 0:
+            raise GraphError("num_vertices must be non-negative")
+        self._adj: list[set[int]] = [set() for _ in range(num_vertices)]
+        self._num_edges = 0
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_edges(
+        cls, edges: Iterable[tuple[int, int]], num_vertices: int = 0
+    ) -> "DynamicGraph":
+        """Build a graph from an edge iterable, growing vertices as needed."""
+        graph = cls(num_vertices)
+        for a, b in edges:
+            graph.ensure_vertex(max(a, b))
+            graph.add_edge(a, b)
+        return graph
+
+    def copy(self) -> "DynamicGraph":
+        """Deep copy (adjacency sets are duplicated)."""
+        clone = DynamicGraph(0)
+        clone._adj = [set(neighbours) for neighbours in self._adj]
+        clone._num_edges = self._num_edges
+        return clone
+
+    # ------------------------------------------------------------------
+    # size / membership
+    # ------------------------------------------------------------------
+
+    @property
+    def num_vertices(self) -> int:
+        return len(self._adj)
+
+    @property
+    def num_edges(self) -> int:
+        return self._num_edges
+
+    def __contains__(self, vertex: int) -> bool:
+        return 0 <= vertex < len(self._adj)
+
+    def _check_vertex(self, vertex: int) -> None:
+        if not 0 <= vertex < len(self._adj):
+            raise GraphError(f"vertex {vertex} is not in the graph")
+
+    def add_vertex(self) -> int:
+        """Append a fresh isolated vertex and return its id."""
+        self._adj.append(set())
+        return len(self._adj) - 1
+
+    def ensure_vertex(self, vertex: int) -> None:
+        """Grow the vertex set so that ``vertex`` exists (no-op if it does)."""
+        if vertex < 0:
+            raise GraphError(f"vertex {vertex} is negative")
+        while vertex >= len(self._adj):
+            self._adj.append(set())
+
+    # ------------------------------------------------------------------
+    # edges
+    # ------------------------------------------------------------------
+
+    def has_edge(self, a: int, b: int) -> bool:
+        self._check_vertex(a)
+        self._check_vertex(b)
+        return b in self._adj[a]
+
+    def add_edge(self, a: int, b: int) -> bool:
+        """Insert edge ``(a, b)``; returns False if it already existed.
+
+        Self-loops are rejected: they can never lie on a shortest path and
+        the paper's model excludes them.
+        """
+        if a == b:
+            raise GraphError(f"self-loop ({a}, {b}) is not allowed")
+        self._check_vertex(a)
+        self._check_vertex(b)
+        if b in self._adj[a]:
+            return False
+        self._adj[a].add(b)
+        self._adj[b].add(a)
+        self._num_edges += 1
+        return True
+
+    def remove_edge(self, a: int, b: int) -> bool:
+        """Delete edge ``(a, b)``; returns False if it was absent."""
+        self._check_vertex(a)
+        self._check_vertex(b)
+        if b not in self._adj[a]:
+            return False
+        self._adj[a].discard(b)
+        self._adj[b].discard(a)
+        self._num_edges -= 1
+        return True
+
+    def neighbors(self, vertex: int) -> set[int]:
+        """The neighbour set of ``vertex``.
+
+        Returns the internal set for speed; callers must treat it as
+        read-only.
+        """
+        self._check_vertex(vertex)
+        return self._adj[vertex]
+
+    def degree(self, vertex: int) -> int:
+        self._check_vertex(vertex)
+        return len(self._adj[vertex])
+
+    def edges(self) -> Iterator[tuple[int, int]]:
+        """Iterate edges once, as ``(a, b)`` with ``a < b``."""
+        for a, neighbours in enumerate(self._adj):
+            for b in neighbours:
+                if a < b:
+                    yield (a, b)
+
+    def vertices(self) -> range:
+        return range(len(self._adj))
+
+    # ------------------------------------------------------------------
+    # misc
+    # ------------------------------------------------------------------
+
+    def average_degree(self) -> float:
+        if not self._adj:
+            return 0.0
+        return 2.0 * self._num_edges / len(self._adj)
+
+    def max_degree(self) -> int:
+        if not self._adj:
+            return 0
+        return max(len(neighbours) for neighbours in self._adj)
+
+    def __repr__(self) -> str:
+        return (
+            f"DynamicGraph(|V|={self.num_vertices}, |E|={self.num_edges})"
+        )

@@ -1,0 +1,92 @@
+"""Edge-list readers and writers (SNAP / KONECT / LAW style).
+
+The paper's datasets ship as whitespace-separated edge lists with ``#`` or
+``%`` comment headers.  These helpers read such files into the dynamic graph
+containers, compacting arbitrary vertex ids to the dense ``0..n-1`` range the
+indexes require, and write graphs back out for external tooling.
+"""
+
+from __future__ import annotations
+
+import gzip
+import io
+from pathlib import Path
+from typing import IO, Iterator
+
+from repro.errors import GraphError
+from repro.graph.digraph import DynamicDiGraph
+from repro.graph.dynamic_graph import DynamicGraph
+
+_COMMENT_PREFIXES = ("#", "%", "//")
+
+
+def _open_text(path: str | Path, mode: str) -> IO[str]:
+    path = Path(path)
+    if path.suffix == ".gz":
+        return io.TextIOWrapper(gzip.open(path, mode + "b"))  # type: ignore[arg-type]
+    return open(path, mode)
+
+
+def iter_edge_list(path: str | Path) -> Iterator[tuple[int, int]]:
+    """Yield raw ``(u, v)`` pairs, skipping comments and blank lines."""
+    with _open_text(path, "r") as handle:
+        for line_no, line in enumerate(handle, start=1):
+            stripped = line.strip()
+            if not stripped or stripped.startswith(_COMMENT_PREFIXES):
+                continue
+            parts = stripped.split()
+            if len(parts) < 2:
+                raise GraphError(
+                    f"{path}:{line_no}: expected at least two columns, got"
+                    f" {stripped!r}"
+                )
+            try:
+                yield int(parts[0]), int(parts[1])
+            except ValueError as exc:
+                raise GraphError(
+                    f"{path}:{line_no}: non-integer vertex id in {stripped!r}"
+                ) from exc
+
+
+def read_edge_list(
+    path: str | Path, directed: bool = False
+) -> DynamicGraph | DynamicDiGraph:
+    """Load an edge-list file, remapping vertex ids to ``0..n-1``.
+
+    Self-loops and duplicate edges in the file are ignored, matching how the
+    paper treats its datasets as simple undirected graphs.
+    """
+    remap: dict[int, int] = {}
+
+    def compact(raw: int) -> int:
+        mapped = remap.get(raw)
+        if mapped is None:
+            mapped = len(remap)
+            remap[raw] = mapped
+        return mapped
+
+    graph: DynamicGraph | DynamicDiGraph = (
+        DynamicDiGraph() if directed else DynamicGraph()
+    )
+    for raw_u, raw_v in iter_edge_list(path):
+        if raw_u == raw_v:
+            continue
+        u, v = compact(raw_u), compact(raw_v)
+        graph.ensure_vertex(max(u, v))
+        graph.add_edge(u, v)
+    return graph
+
+
+def write_edge_list(
+    graph: DynamicGraph | DynamicDiGraph,
+    path: str | Path,
+    header: str | None = None,
+) -> None:
+    """Write a graph as a whitespace edge list (gzip if path ends in .gz)."""
+    with _open_text(path, "w") as handle:
+        if header:
+            for line in header.splitlines():
+                handle.write(f"# {line}\n")
+        handle.write(f"# vertices={graph.num_vertices} edges={graph.num_edges}\n")
+        for a, b in graph.edges():
+            handle.write(f"{a} {b}\n")

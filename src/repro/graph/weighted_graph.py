@@ -1,0 +1,145 @@
+"""Non-negatively weighted dynamic graph (Section 6 of the paper).
+
+Updates on weighted graphs are *weight changes* rather than pure edge
+insertions/deletions: the paper handles a weight increase like a deletion and
+a decrease like an insertion.  Setting a weight to ``None`` removes the edge;
+setting a weight on a missing edge creates it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from repro.errors import GraphError
+
+
+@dataclass(frozen=True)
+class WeightUpdate:
+    """A single weighted update: set edge ``(u, v)`` to ``weight``.
+
+    ``weight=None`` deletes the edge.  The previous weight is captured during
+    application so indexes can classify the update as increase/decrease.
+    """
+
+    u: int
+    v: int
+    weight: int | None
+
+    def canonical(self) -> "WeightUpdate":
+        if self.u <= self.v:
+            return self
+        return WeightUpdate(self.v, self.u, self.weight)
+
+
+class WeightedDynamicGraph:
+    """Undirected graph with positive integer edge weights."""
+
+    __slots__ = ("_adj", "_num_edges")
+
+    def __init__(self, num_vertices: int = 0):
+        if num_vertices < 0:
+            raise GraphError("num_vertices must be non-negative")
+        self._adj: list[dict[int, int]] = [{} for _ in range(num_vertices)]
+        self._num_edges = 0
+
+    @classmethod
+    def from_edges(
+        cls, edges: Iterable[tuple[int, int, int]], num_vertices: int = 0
+    ) -> "WeightedDynamicGraph":
+        graph = cls(num_vertices)
+        for a, b, w in edges:
+            graph.ensure_vertex(max(a, b))
+            graph.set_weight(a, b, w)
+        return graph
+
+    def copy(self) -> "WeightedDynamicGraph":
+        clone = WeightedDynamicGraph(0)
+        clone._adj = [dict(d) for d in self._adj]
+        clone._num_edges = self._num_edges
+        return clone
+
+    @property
+    def num_vertices(self) -> int:
+        return len(self._adj)
+
+    @property
+    def num_edges(self) -> int:
+        return self._num_edges
+
+    def _check_vertex(self, vertex: int) -> None:
+        if not 0 <= vertex < len(self._adj):
+            raise GraphError(f"vertex {vertex} is not in the graph")
+
+    def ensure_vertex(self, vertex: int) -> None:
+        if vertex < 0:
+            raise GraphError(f"vertex {vertex} is negative")
+        while vertex >= len(self._adj):
+            self._adj.append({})
+
+    def add_vertex(self) -> int:
+        self._adj.append({})
+        return len(self._adj) - 1
+
+    def has_edge(self, a: int, b: int) -> bool:
+        self._check_vertex(a)
+        self._check_vertex(b)
+        return b in self._adj[a]
+
+    def weight(self, a: int, b: int) -> int | None:
+        """Weight of edge ``(a, b)``, or None if absent."""
+        self._check_vertex(a)
+        self._check_vertex(b)
+        return self._adj[a].get(b)
+
+    def set_weight(self, a: int, b: int, weight: int | None) -> int | None:
+        """Set/insert/delete an edge; returns the previous weight (or None).
+
+        Weights must be positive integers — zero-weight edges would merge
+        vertices and negative weights break Dijkstra's invariants.
+        """
+        if a == b:
+            raise GraphError(f"self-loop ({a}, {b}) is not allowed")
+        self._check_vertex(a)
+        self._check_vertex(b)
+        previous = self._adj[a].get(b)
+        if weight is None:
+            if previous is not None:
+                del self._adj[a][b]
+                del self._adj[b][a]
+                self._num_edges -= 1
+            return previous
+        if not isinstance(weight, int) or weight <= 0:
+            raise GraphError(f"edge weight must be a positive int, got {weight!r}")
+        if previous is None:
+            self._num_edges += 1
+        self._adj[a][b] = weight
+        self._adj[b][a] = weight
+        return previous
+
+    def remove_edge(self, a: int, b: int) -> int | None:
+        return self.set_weight(a, b, None)
+
+    def neighbors(self, vertex: int) -> dict[int, int]:
+        """Mapping neighbour -> weight (internal dict; treat as read-only)."""
+        self._check_vertex(vertex)
+        return self._adj[vertex]
+
+    def degree(self, vertex: int) -> int:
+        self._check_vertex(vertex)
+        return len(self._adj[vertex])
+
+    def edges(self) -> Iterator[tuple[int, int, int]]:
+        for a, neighbours in enumerate(self._adj):
+            for b, w in neighbours.items():
+                if a < b:
+                    yield (a, b, w)
+
+    def vertices(self) -> range:
+        return range(len(self._adj))
+
+    def __repr__(self) -> str:
+        return (
+            "WeightedDynamicGraph("
+            f"|V|={self.num_vertices}, |E|={self.num_edges})"
+        )

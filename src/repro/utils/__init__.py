@@ -1,0 +1,7 @@
+"""Small shared utilities: stamped arrays, timers, deterministic RNG."""
+
+from repro.utils.arrays import StampedDistances, grow_int_array
+from repro.utils.rng import make_rng
+from repro.utils.timer import Timer
+
+__all__ = ["StampedDistances", "grow_int_array", "make_rng", "Timer"]

@@ -1,0 +1,80 @@
+"""Array helpers used by the traversal and labelling code.
+
+The hot loops in this library repeatedly run BFS over the same graph.
+Allocating and clearing an O(V) distance array per search dominates the cost
+for small searches, so :class:`StampedDistances` implements the classic
+"timestamped array" trick: clearing is a counter increment, and a slot is
+valid only if its stamp matches the current epoch.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.constants import INF
+
+
+class StampedDistances:
+    """An O(1)-resettable distance map over vertices ``0..n-1``.
+
+    Usage::
+
+        dist = StampedDistances(n)
+        dist.reset()
+        dist[source] = 0
+        ...
+        d = dist[v]            # INF when unset this epoch
+
+    ``reset`` is an epoch bump; the backing arrays are only rewritten when the
+    epoch counter would overflow (practically never for int64).
+    """
+
+    __slots__ = ("_values", "_stamps", "_epoch")
+
+    def __init__(self, size: int):
+        self._values = np.full(size, INF, dtype=np.int64)
+        self._stamps = np.zeros(size, dtype=np.int64)
+        self._epoch = 1
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def reset(self) -> None:
+        """Invalidate all entries in O(1)."""
+        self._epoch += 1
+
+    def resize(self, size: int) -> None:
+        """Grow the map to cover ``size`` vertices (no-op if already large)."""
+        if size <= len(self._values):
+            return
+        self._values = grow_int_array(self._values, size, fill=INF)
+        self._stamps = grow_int_array(self._stamps, size, fill=0)
+
+    def __getitem__(self, vertex: int) -> int:
+        if self._stamps[vertex] == self._epoch:
+            return int(self._values[vertex])
+        return INF
+
+    def __setitem__(self, vertex: int, value: int) -> None:
+        self._stamps[vertex] = self._epoch
+        self._values[vertex] = value
+
+    def __contains__(self, vertex: int) -> bool:
+        return bool(self._stamps[vertex] == self._epoch) and self._values[
+            vertex
+        ] < INF
+
+    def items(self):
+        """Yield ``(vertex, distance)`` pairs set in the current epoch."""
+        (set_idx,) = np.nonzero(self._stamps == self._epoch)
+        for vertex in set_idx:
+            yield int(vertex), int(self._values[vertex])
+
+
+def grow_int_array(array: np.ndarray, size: int, fill: int) -> np.ndarray:
+    """Return ``array`` grown to length ``size``, new slots set to ``fill``."""
+    if size <= len(array):
+        return array
+    grown = np.full(size, fill, dtype=array.dtype)
+    grown[: len(array)] = array
+    return grown

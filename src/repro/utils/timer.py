@@ -1,0 +1,38 @@
+"""Wall-clock timing helper used by the benchmark harness."""
+
+from __future__ import annotations
+
+import time
+
+
+class Timer:
+    """Context-manager stopwatch accumulating elapsed seconds.
+
+    A single instance can be entered repeatedly; ``elapsed`` accumulates
+    across uses, which is convenient when timing a phase spread over a loop::
+
+        search_timer = Timer()
+        for landmark in landmarks:
+            with search_timer:
+                run_search(landmark)
+        print(search_timer.elapsed)
+    """
+
+    __slots__ = ("elapsed", "_started_at")
+
+    def __init__(self):
+        self.elapsed: float = 0.0
+        self._started_at: float | None = None
+
+    def __enter__(self) -> "Timer":
+        self._started_at = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        assert self._started_at is not None
+        self.elapsed += time.perf_counter() - self._started_at
+        self._started_at = None
+
+    def restart(self) -> None:
+        """Zero the accumulated time."""
+        self.elapsed = 0.0

@@ -1,0 +1,29 @@
+"""Workloads: dataset replicas, update batches, query samples, streams."""
+
+from repro.workloads.datasets import (
+    DATASET_NAMES,
+    PAPER_DATASETS,
+    DatasetSpec,
+    load_dataset,
+)
+from repro.workloads.queries import sample_query_pairs
+from repro.workloads.temporal import temporal_stream
+from repro.workloads.updates import (
+    UpdateWorkload,
+    decremental_workload,
+    fully_dynamic_workload,
+    incremental_workload,
+)
+
+__all__ = [
+    "DATASET_NAMES",
+    "PAPER_DATASETS",
+    "DatasetSpec",
+    "load_dataset",
+    "sample_query_pairs",
+    "temporal_stream",
+    "UpdateWorkload",
+    "decremental_workload",
+    "fully_dynamic_workload",
+    "incremental_workload",
+]

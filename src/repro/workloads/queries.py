@@ -1,0 +1,34 @@
+"""Query workload sampling.
+
+The paper samples 100,000 random vertex pairs per dataset and reports the
+average query time after the fully-dynamic batches have been applied.  The
+replica harness does the same with a scaled-down sample.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.errors import WorkloadError
+from repro.utils.rng import make_rng
+
+
+def sample_query_pairs(
+    graph,
+    count: int,
+    seed: int | random.Random = 0,
+    distinct_endpoints: bool = True,
+) -> list[tuple[int, int]]:
+    """Uniformly random vertex pairs (s, t); s != t if requested."""
+    n = graph.num_vertices
+    if n < 2:
+        raise WorkloadError("need at least two vertices to sample queries")
+    rng = make_rng(seed)
+    pairs: list[tuple[int, int]] = []
+    while len(pairs) < count:
+        s = rng.randrange(n)
+        t = rng.randrange(n)
+        if distinct_endpoints and s == t:
+            continue
+        pairs.append((s, t))
+    return pairs

@@ -1,0 +1,141 @@
+"""Batch-update workload generation (Section 7.1, "Test data generation").
+
+The paper's protocol, reproduced faithfully at replica scale:
+
+* **decremental** — batches of existing edges, deleted;
+* **incremental** — the same edges are first removed during preparation and
+  each batch re-inserts them (so every insertion is a realistic edge, which
+  is also how the paper measures insertion time after its decremental
+  pass);
+* **fully dynamic** — each batch mixes 50% deletions of live edges with
+  50% insertions of prepared (pre-removed) edges.
+
+Every workload owns a *prepared* copy of the input graph: applying the
+batches in order against that copy is exactly the experiment the paper
+runs, and never mutates the caller's graph.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.errors import WorkloadError
+from repro.graph.batch import EdgeUpdate
+from repro.graph.dynamic_graph import DynamicGraph
+from repro.utils.rng import make_rng
+
+
+@dataclass
+class UpdateWorkload:
+    """A prepared graph plus the batch sequence to apply to it."""
+
+    setting: str
+    graph: DynamicGraph
+    batches: list[list[EdgeUpdate]] = field(default_factory=list)
+
+    @property
+    def num_updates(self) -> int:
+        return sum(len(batch) for batch in self.batches)
+
+    def flattened(self) -> list[EdgeUpdate]:
+        """All updates as one stream (for unit-update baselines)."""
+        return [update for batch in self.batches for update in batch]
+
+
+def _sample_distinct_edges(
+    graph: DynamicGraph, count: int, rng: random.Random
+) -> list[tuple[int, int]]:
+    edges = list(graph.edges())
+    if count > len(edges):
+        raise WorkloadError(
+            f"cannot sample {count} edges from a graph with {len(edges)}"
+        )
+    return rng.sample(edges, count)
+
+
+def decremental_workload(
+    graph: DynamicGraph,
+    num_batches: int = 10,
+    batch_size: int = 100,
+    seed: int = 0,
+) -> UpdateWorkload:
+    """Batches of edge deletions over distinct existing edges."""
+    rng = make_rng(seed)
+    prepared = graph.copy()
+    chosen = _sample_distinct_edges(prepared, num_batches * batch_size, rng)
+    batches = [
+        [
+            EdgeUpdate.delete(a, b)
+            for a, b in chosen[i * batch_size : (i + 1) * batch_size]
+        ]
+        for i in range(num_batches)
+    ]
+    return UpdateWorkload("decremental", prepared, batches)
+
+
+def incremental_workload(
+    graph: DynamicGraph,
+    num_batches: int = 10,
+    batch_size: int = 100,
+    seed: int = 0,
+) -> UpdateWorkload:
+    """Batches of insertions of realistic (pre-removed) edges."""
+    rng = make_rng(seed)
+    prepared = graph.copy()
+    chosen = _sample_distinct_edges(prepared, num_batches * batch_size, rng)
+    for a, b in chosen:
+        prepared.remove_edge(a, b)
+    batches = [
+        [
+            EdgeUpdate.insert(a, b)
+            for a, b in chosen[i * batch_size : (i + 1) * batch_size]
+        ]
+        for i in range(num_batches)
+    ]
+    return UpdateWorkload("incremental", prepared, batches)
+
+
+def fully_dynamic_workload(
+    graph: DynamicGraph,
+    num_batches: int = 10,
+    batch_size: int = 100,
+    seed: int = 0,
+) -> UpdateWorkload:
+    """50% deletions of live edges + 50% insertions of prepared edges."""
+    rng = make_rng(seed)
+    prepared = graph.copy()
+    half = batch_size // 2
+    chosen = _sample_distinct_edges(prepared, num_batches * batch_size, rng)
+    batches: list[list[EdgeUpdate]] = []
+    for i in range(num_batches):
+        block = chosen[i * batch_size : (i + 1) * batch_size]
+        to_insert = block[:half]
+        to_delete = block[half:]
+        # The insertion half is removed up front so that, when the batch is
+        # applied, these edges are genuinely absent.
+        for a, b in to_insert:
+            prepared.remove_edge(a, b)
+        batch = [EdgeUpdate.insert(a, b) for a, b in to_insert]
+        batch += [EdgeUpdate.delete(a, b) for a, b in to_delete]
+        rng.shuffle(batch)
+        batches.append(batch)
+    return UpdateWorkload("fully-dynamic", prepared, batches)
+
+
+def make_workload(
+    setting: str,
+    graph: DynamicGraph,
+    num_batches: int = 10,
+    batch_size: int = 100,
+    seed: int = 0,
+) -> UpdateWorkload:
+    """Dispatch by setting name: decremental | incremental | fully-dynamic."""
+    factory = {
+        "decremental": decremental_workload,
+        "incremental": incremental_workload,
+        "fully-dynamic": fully_dynamic_workload,
+    }.get(setting)
+    if factory is None:
+        raise WorkloadError(f"unknown update setting {setting!r}")
+    return factory(graph, num_batches, batch_size, seed)

@@ -1,0 +1,51 @@
+"""Shared test helpers: oracles and random-instance builders."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.constants import INF
+from repro.graph import generators
+from repro.graph.batch import EdgeUpdate
+from repro.graph.traversal import bfs_distance_pair
+
+
+def externalise(distance: int) -> float:
+    return float("inf") if distance >= INF else distance
+
+
+def bfs_oracle(graph, s: int, t: int) -> float:
+    """Ground-truth distance via plain BFS (externalised)."""
+    return externalise(bfs_distance_pair(graph, s, t))
+
+
+def random_graph(n: int, p: float, seed: int = 0):
+    return generators.erdos_renyi(n, p, seed=seed)
+
+
+def random_mixed_updates(
+    graph, rng: random.Random, n_deletions: int, n_insertions: int
+) -> list[EdgeUpdate]:
+    """Valid deletions of live edges plus insertions of random non-edges."""
+    updates: list[EdgeUpdate] = []
+    edges = list(graph.edges())
+    rng.shuffle(edges)
+    updates += [EdgeUpdate.delete(a, b) for a, b in edges[:n_deletions]]
+    n = graph.num_vertices
+    attempts = 0
+    added = 0
+    while added < n_insertions and attempts < 50 * n_insertions:
+        attempts += 1
+        a, b = rng.randrange(n), rng.randrange(n)
+        if a != b and not graph.has_edge(a, b):
+            updates.append(EdgeUpdate.insert(a, b))
+            added += 1
+    rng.shuffle(updates)
+    return updates
+
+
+@pytest.fixture
+def rng():
+    return random.Random(0xC0FFEE)

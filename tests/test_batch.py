@@ -1,0 +1,105 @@
+"""Tests for batch normalisation — the paper's Section 3 rules."""
+
+from repro.graph.batch import (
+    Batch,
+    EdgeUpdate,
+    UpdateKind,
+    apply_batch,
+    normalize_batch,
+    revert_batch,
+)
+from repro.graph.dynamic_graph import DynamicGraph
+
+
+def make_graph():
+    return DynamicGraph.from_edges([(0, 1), (1, 2), (2, 3)])
+
+
+def test_insert_delete_same_edge_cancels():
+    graph = make_graph()
+    batch = normalize_batch(
+        [EdgeUpdate.insert(4, 5), EdgeUpdate.delete(4, 5)], graph
+    )
+    assert len(batch) == 0
+
+
+def test_cancel_applies_across_orientations():
+    graph = make_graph()
+    batch = normalize_batch(
+        [EdgeUpdate.insert(0, 3), EdgeUpdate.delete(3, 0)], graph
+    )
+    assert len(batch) == 0
+
+
+def test_invalid_updates_dropped():
+    graph = make_graph()
+    batch = normalize_batch(
+        [
+            EdgeUpdate.insert(0, 1),  # already present
+            EdgeUpdate.delete(0, 3),  # absent
+            EdgeUpdate.insert(0, 2),  # valid
+            EdgeUpdate.delete(1, 2),  # valid
+        ],
+        graph,
+    )
+    assert [(u.kind, u.u, u.v) for u in batch] == [
+        (UpdateKind.INSERT, 0, 2),
+        (UpdateKind.DELETE, 1, 2),
+    ]
+
+
+def test_duplicates_collapse():
+    graph = make_graph()
+    batch = normalize_batch(
+        [EdgeUpdate.insert(0, 2), EdgeUpdate.insert(2, 0), EdgeUpdate.insert(0, 2)],
+        graph,
+    )
+    assert len(batch) == 1
+
+
+def test_self_loops_dropped():
+    graph = make_graph()
+    batch = normalize_batch([EdgeUpdate.insert(1, 1)], graph)
+    assert len(batch) == 0
+
+
+def test_new_vertex_insertions_are_valid():
+    graph = make_graph()
+    batch = normalize_batch([EdgeUpdate.insert(2, 9)], graph)
+    assert len(batch) == 1
+    apply_batch(graph, batch)
+    assert graph.num_vertices == 10
+    assert graph.has_edge(2, 9)
+
+
+def test_apply_then_revert_roundtrip():
+    graph = make_graph()
+    before = sorted(graph.edges())
+    batch = normalize_batch(
+        [EdgeUpdate.delete(0, 1), EdgeUpdate.insert(0, 3)], graph
+    )
+    apply_batch(graph, batch)
+    assert sorted(graph.edges()) != before
+    revert_batch(graph, batch)
+    assert sorted(graph.edges()) == before
+
+
+def test_batch_views():
+    batch = Batch(
+        [EdgeUpdate.insert(0, 1), EdgeUpdate.delete(1, 2), EdgeUpdate.insert(2, 3)]
+    )
+    assert len(batch.insertions) == 2
+    assert len(batch.deletions) == 1
+    assert batch[0].is_insert
+    assert "Batch" in repr(batch)
+
+
+def test_directed_normalisation_keeps_orientation():
+    from repro.graph.digraph import DynamicDiGraph
+
+    graph = DynamicDiGraph.from_edges([(0, 1)])
+    batch = normalize_batch(
+        [EdgeUpdate.insert(1, 0), EdgeUpdate.delete(0, 1)], graph, directed=True
+    )
+    # (1, 0) and (0, 1) are different directed edges: no cancellation.
+    assert len(batch) == 2

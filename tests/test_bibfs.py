@@ -1,0 +1,37 @@
+"""BiBFS baseline: exact queries, zero index state."""
+
+import random
+
+from repro.baselines.bibfs import BiBFSIndex
+from repro.graph import generators
+from repro.graph.batch import EdgeUpdate
+from tests.conftest import bfs_oracle, random_mixed_updates
+
+
+def test_queries_match_oracle():
+    rng = random.Random(1)
+    graph = generators.erdos_renyi(50, 0.08, seed=1)
+    index = BiBFSIndex(graph)
+    for _ in range(100):
+        s, t = rng.randrange(50), rng.randrange(50)
+        assert index.distance(s, t) == bfs_oracle(graph, s, t)
+
+
+def test_updates_are_graph_only():
+    rng = random.Random(2)
+    graph = generators.erdos_renyi(40, 0.1, seed=2)
+    index = BiBFSIndex(graph)
+    stats = index.batch_update(random_mixed_updates(graph, rng, 3, 3))
+    assert stats.n_applied == 6
+    assert index.label_size() == 0
+    for _ in range(60):
+        s, t = rng.randrange(40), rng.randrange(40)
+        assert index.distance(s, t) == bfs_oracle(graph, s, t)
+
+
+def test_vertex_growth():
+    graph = generators.path(3)
+    index = BiBFSIndex(graph)
+    index.batch_update([EdgeUpdate.insert(2, 6)])
+    assert index.distance(0, 6) == 3
+    assert index.distance(0, 4) == float("inf")

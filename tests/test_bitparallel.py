@@ -1,0 +1,70 @@
+"""Bit-parallel BFS: masks against per-source BFS oracles."""
+
+import pytest
+
+from repro.baselines.bitparallel import bit_parallel_bfs, refined_upper_bound
+from repro.constants import INF
+from repro.graph import generators
+from repro.graph.traversal import bfs_distance_pair, bfs_distances
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_masks_match_oracle(seed):
+    graph = generators.erdos_renyi(35, 0.12, seed=seed)
+    root = max(range(35), key=graph.degree)
+    selected = sorted(graph.neighbors(root))[:10]
+    dist, sm1, sz = bit_parallel_bfs(graph, root, selected)
+    root_dist = bfs_distances(graph, root)
+    assert list(dist) == list(root_dist)
+    for i, s in enumerate(selected):
+        s_dist = bfs_distances(graph, s)
+        for v in range(35):
+            if root_dist[v] >= INF:
+                continue
+            assert bool(sm1[v] >> i & 1) == (s_dist[v] == root_dist[v] - 1), (
+                s, v,
+            )
+            assert bool(sz[v] >> i & 1) == (s_dist[v] == root_dist[v]), (s, v)
+
+
+def test_selected_must_be_neighbours():
+    graph = generators.path(5)
+    with pytest.raises(ValueError):
+        bit_parallel_bfs(graph, 0, [3])
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_refined_bound_is_valid_and_tighter(seed):
+    import random
+
+    rng = random.Random(seed)
+    graph = generators.erdos_renyi(40, 0.12, seed=50 + seed)
+    root = max(range(40), key=graph.degree)
+    selected = sorted(graph.neighbors(root))[:12]
+    dist, sm1, sz = bit_parallel_bfs(graph, root, selected)
+    for _ in range(80):
+        s, t = rng.randrange(40), rng.randrange(40)
+        bound = refined_upper_bound(dist, sm1, sz, s, t)
+        true = bfs_distance_pair(graph, s, t)
+        assert bound >= true, (s, t)
+        if dist[s] < INF and dist[t] < INF:
+            assert bound <= dist[s] + dist[t]
+
+
+def test_refinement_actually_fires():
+    """A shared neighbour strictly below the root bound must be detected."""
+    # root 0 with neighbours 1, 2; 1 also adjacent to 3 and 4.
+    from repro.graph.dynamic_graph import DynamicGraph
+
+    graph = DynamicGraph.from_edges([(0, 1), (0, 2), (1, 3), (1, 4)])
+    dist, sm1, sz = bit_parallel_bfs(graph, 0, [1, 2])
+    # d(3, 4) = 2 via vertex 1; the root bound is d(0,3)+d(0,4) = 4.
+    assert refined_upper_bound(dist, sm1, sz, 3, 4) == 2
+
+
+def test_more_than_64_selected_neighbours_supported():
+    graph = generators.star(100)
+    selected = list(range(1, 81))  # 80 neighbours: masks exceed 64 bits
+    dist, sm1, sz = bit_parallel_bfs(graph, 0, selected)
+    assert refined_upper_bound(dist, sm1, sz, 1, 2) == 2
+    assert dist[50] == 1

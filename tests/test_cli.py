@@ -1,0 +1,35 @@
+"""CLI entry points."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_list_command(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "youtube" in out and "uk" in out and "temporal" in out
+
+
+def test_run_unknown_experiment(capsys):
+    assert main(["run", "table99"]) == 2
+    assert "unknown experiment" in capsys.readouterr().err
+
+
+def test_run_experiment_with_subset(capsys, monkeypatch, tmp_path):
+    monkeypatch.setenv("REPRO_BENCH_SCALE", "0.12")
+    monkeypatch.setenv("REPRO_RESULTS", str(tmp_path))
+    assert main(["run", "fig5", "--datasets", "youtube", "--csv", "f.csv"]) == 0
+    out = capsys.readouterr().out
+    assert "Figure 5" in out
+    assert (tmp_path / "f.csv").exists()
+
+
+def test_quickcheck_passes(capsys):
+    assert main(["quickcheck", "--trials", "4"]) == 0
+    assert "4/4 trials clean" in capsys.readouterr().out
+
+
+def test_requires_subcommand():
+    with pytest.raises(SystemExit):
+        main([])

@@ -1,0 +1,121 @@
+"""Static construction vs the brute-force landmark-length oracle.
+
+Lemma 5.14 characterises the minimal labelling exactly: vertex v holds an
+r-label iff it is reachable, not a landmark, and *no* shortest r-v path
+passes through another landmark.  The construction must reproduce this for
+every vertex/landmark pair.
+"""
+
+import pytest
+
+from repro.constants import INF, NO_LABEL
+from repro.core.construction import bfs_landmark_lengths, build_labelling
+from repro.graph import generators
+
+
+def brute_force_landmark_length(graph, root, landmarks, vertex):
+    """Enumerate shortest paths via DFS on the BFS DAG (tiny graphs only)."""
+    from repro.graph.traversal import bfs_distances
+
+    dist = bfs_distances(graph, root)
+    if dist[vertex] >= INF:
+        return INF, False
+    other = set(landmarks) - {root}
+
+    def through_landmark(v):
+        # Does some shortest root-v path contain a landmark other than root?
+        if v in other:
+            return True
+        if v == root:
+            return False
+        return any(
+            dist[u] == dist[v] - 1 and through_landmark(u)
+            for u in graph.neighbors(v)
+        )
+
+    return int(dist[vertex]), through_landmark(vertex)
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_bfs_landmark_lengths_match_brute_force(seed):
+    graph = generators.erdos_renyi(18, 0.2, seed=seed)
+    landmarks = (0, 1, 2)
+    lab = build_labelling(graph, landmarks)
+    dist, flag = bfs_landmark_lengths(graph, 0, lab.is_landmark)
+    for v in range(graph.num_vertices):
+        expected_d, expected_f = brute_force_landmark_length(
+            graph, 0, landmarks, v
+        )
+        assert dist[v] == expected_d
+        if expected_d < INF:
+            assert bool(flag[v]) == expected_f, f"vertex {v}"
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_labels_match_lemma_5_14(seed):
+    graph = generators.erdos_renyi(18, 0.15, seed=100 + seed)
+    landmarks = (3, 7)
+    lab = build_labelling(graph, landmarks)
+    for i, root in enumerate(landmarks):
+        for v in range(graph.num_vertices):
+            d, through = brute_force_landmark_length(graph, root, landmarks, v)
+            entry = lab.labels[v, i]
+            if v in landmarks:
+                assert entry == NO_LABEL
+            elif d >= INF or through:
+                assert entry == NO_LABEL, f"vertex {v} should have no label"
+            else:
+                assert entry == d, f"vertex {v} label wrong"
+
+
+def test_highway_distances_exact():
+    from repro.graph.traversal import bfs_distances
+
+    graph = generators.erdos_renyi(40, 0.08, seed=5)
+    landmarks = (0, 1, 2, 3)
+    lab = build_labelling(graph, landmarks)
+    for i, r in enumerate(landmarks):
+        dist = bfs_distances(graph, r)
+        for j, q in enumerate(landmarks):
+            assert lab.highway[i, j] == dist[q]
+
+
+def test_star_labelling_is_tiny():
+    """All shortest paths go through the hub: labels shrink to nothing."""
+    graph = generators.star(50)
+    lab = build_labelling(graph, (0, 1))
+    # Every leaf's path to landmark 1 passes through landmark 0, so only
+    # the 0-labels survive.
+    assert lab.size() == 48  # 49 leaves minus landmark 1 itself
+    dist, _ = lab.distances_from(1)
+    assert dist[17] == 2
+
+
+def test_disconnected_graph():
+    graph = generators.path(3)
+    graph.ensure_vertex(5)
+    graph.add_edge(4, 5)
+    lab = build_labelling(graph, (0,))
+    assert lab.r_label(4, 0) is None
+    dist, _ = lab.distances_from(0)
+    assert dist[4] >= INF
+
+
+def test_minimality_against_all_covers():
+    """No entry can be dropped: removing any breaks the cover property."""
+    graph = generators.erdos_renyi(15, 0.25, seed=9)
+    landmarks = (0, 1)
+    lab = build_labelling(graph, landmarks)
+    from repro.graph.traversal import bfs_distances
+
+    for i, r in enumerate(landmarks):
+        truth = bfs_distances(graph, r)
+        for v in range(graph.num_vertices):
+            if lab.labels[v, i] == NO_LABEL:
+                continue
+            removed = lab.copy()
+            removed.remove_r_label(v, i)
+            decoded, _ = removed.distances_from(i)
+            assert decoded[v] > truth[v], (
+                f"entry ({r}, {v}) is redundant — labelling not minimal"
+            )

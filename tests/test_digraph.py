@@ -1,0 +1,65 @@
+"""Unit tests for the directed dynamic graph and its direction views."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.digraph import DynamicDiGraph
+
+
+def test_directed_edges_are_one_way():
+    graph = DynamicDiGraph(3)
+    assert graph.add_edge(0, 1)
+    assert graph.has_edge(0, 1)
+    assert not graph.has_edge(1, 0)
+    assert graph.num_edges == 1
+    assert graph.add_edge(1, 0)
+    assert graph.num_edges == 2
+
+
+def test_in_out_neighbors():
+    graph = DynamicDiGraph.from_edges([(0, 1), (2, 1), (1, 3)])
+    assert graph.out_neighbors(1) == {3}
+    assert graph.in_neighbors(1) == {0, 2}
+    assert graph.out_degree(1) == 1
+    assert graph.in_degree(1) == 2
+    assert graph.degree(1) == 3
+
+
+def test_views_expose_graph_protocol():
+    graph = DynamicDiGraph.from_edges([(0, 1), (1, 2)])
+    out = graph.out_view()
+    inn = graph.in_view()
+    assert out.num_vertices == inn.num_vertices == 3
+    assert out.neighbors(0) == {1}
+    assert inn.neighbors(0) == set()
+    assert inn.neighbors(2) == {1}
+    # Views are live: they reflect later mutations.
+    graph.add_edge(2, 0)
+    assert inn.neighbors(0) == {2}
+
+
+def test_remove_edge_directed():
+    graph = DynamicDiGraph.from_edges([(0, 1), (1, 0)])
+    assert graph.remove_edge(0, 1)
+    assert not graph.has_edge(0, 1)
+    assert graph.has_edge(1, 0)
+    assert not graph.remove_edge(0, 1)
+
+
+def test_self_loop_rejected_directed():
+    graph = DynamicDiGraph(2)
+    with pytest.raises(GraphError):
+        graph.add_edge(0, 0)
+
+
+def test_copy_independent_directed():
+    graph = DynamicDiGraph.from_edges([(0, 1)])
+    clone = graph.copy()
+    clone.add_edge(1, 0)
+    assert not graph.has_edge(1, 0)
+
+
+def test_edges_iteration_directed():
+    pairs = [(0, 1), (1, 0), (1, 2)]
+    graph = DynamicDiGraph.from_edges(pairs)
+    assert sorted(graph.edges()) == sorted(pairs)

@@ -1,0 +1,88 @@
+"""Unit tests for the undirected dynamic graph container."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.dynamic_graph import DynamicGraph
+
+
+def test_empty_graph():
+    graph = DynamicGraph()
+    assert graph.num_vertices == 0
+    assert graph.num_edges == 0
+    assert list(graph.edges()) == []
+
+
+def test_add_and_remove_edges():
+    graph = DynamicGraph(4)
+    assert graph.add_edge(0, 1)
+    assert graph.add_edge(1, 2)
+    assert not graph.add_edge(0, 1), "duplicate insertion must report False"
+    assert not graph.add_edge(1, 0), "symmetric duplicate must report False"
+    assert graph.num_edges == 2
+    assert graph.has_edge(1, 0)
+    assert graph.remove_edge(0, 1)
+    assert not graph.remove_edge(0, 1), "double deletion must report False"
+    assert graph.num_edges == 1
+    assert not graph.has_edge(0, 1)
+
+
+def test_self_loop_rejected():
+    graph = DynamicGraph(2)
+    with pytest.raises(GraphError):
+        graph.add_edge(1, 1)
+
+
+def test_vertex_bounds_checked():
+    graph = DynamicGraph(2)
+    with pytest.raises(GraphError):
+        graph.add_edge(0, 5)
+    with pytest.raises(GraphError):
+        graph.neighbors(-1)
+
+
+def test_ensure_vertex_grows():
+    graph = DynamicGraph(1)
+    graph.ensure_vertex(4)
+    assert graph.num_vertices == 5
+    graph.ensure_vertex(2)  # no shrink
+    assert graph.num_vertices == 5
+    with pytest.raises(GraphError):
+        graph.ensure_vertex(-1)
+
+
+def test_add_vertex_returns_new_id():
+    graph = DynamicGraph(3)
+    assert graph.add_vertex() == 3
+    assert graph.add_vertex() == 4
+
+
+def test_from_edges_and_copy_independent():
+    graph = DynamicGraph.from_edges([(0, 1), (1, 2), (5, 6)])
+    assert graph.num_vertices == 7
+    assert graph.num_edges == 3
+    clone = graph.copy()
+    clone.remove_edge(0, 1)
+    assert graph.has_edge(0, 1)
+    assert not clone.has_edge(0, 1)
+
+
+def test_edges_iterates_each_once():
+    graph = DynamicGraph.from_edges([(0, 1), (1, 2), (0, 2)])
+    edges = sorted(graph.edges())
+    assert edges == [(0, 1), (0, 2), (1, 2)]
+
+
+def test_degree_statistics():
+    graph = DynamicGraph.from_edges([(0, 1), (0, 2), (0, 3)])
+    assert graph.degree(0) == 3
+    assert graph.degree(1) == 1
+    assert graph.max_degree() == 3
+    assert graph.average_degree() == pytest.approx(6 / 4)
+
+
+def test_contains_and_repr():
+    graph = DynamicGraph(3)
+    assert 2 in graph
+    assert 3 not in graph
+    assert "DynamicGraph" in repr(graph)

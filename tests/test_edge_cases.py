@@ -1,0 +1,118 @@
+"""Cross-cutting edge cases: tiny graphs, heavy churn, error surfaces."""
+
+import pytest
+
+from repro import (
+    BatchError,
+    DirectedHighwayCoverIndex,
+    DynamicDiGraph,
+    DynamicGraph,
+    EdgeUpdate,
+    GraphError,
+    HighwayCoverIndex,
+    ReproError,
+)
+from repro.graph import generators
+
+
+def test_exception_hierarchy():
+    assert issubclass(GraphError, ReproError)
+    assert issubclass(BatchError, ReproError)
+    with pytest.raises(ReproError):
+        DynamicGraph(-1)
+
+
+def test_single_vertex_graph():
+    graph = DynamicGraph(1)
+    index = HighwayCoverIndex(graph, num_landmarks=1)
+    assert index.distance(0, 0) == 0
+    assert index.label_size() == 0
+
+
+def test_two_vertices_connect_disconnect():
+    graph = DynamicGraph(2)
+    index = HighwayCoverIndex(graph, num_landmarks=1)
+    assert index.distance(0, 1) == float("inf")
+    index.insert_edge(0, 1)
+    assert index.distance(0, 1) == 1
+    index.delete_edge(0, 1)
+    assert index.distance(0, 1) == float("inf")
+    assert index.check_minimality() == []
+
+
+def test_every_vertex_a_landmark():
+    graph = generators.cycle(6)
+    index = HighwayCoverIndex(graph, num_landmarks=6)
+    assert index.label_size() == 0  # all pairs covered by the highway
+    for s in range(6):
+        for t in range(6):
+            assert index.distance(s, t) == min((t - s) % 6, (s - t) % 6)
+    index.batch_update([EdgeUpdate.delete(0, 1)])
+    assert index.distance(0, 1) == 5
+    assert index.check_minimality() == []
+
+
+def test_delete_every_edge():
+    graph = generators.complete(5)
+    index = HighwayCoverIndex(graph, num_landmarks=2)
+    index.batch_update(
+        [EdgeUpdate.delete(a, b) for a, b in list(graph.edges())]
+    )
+    assert index.graph.num_edges == 0
+    for s in range(5):
+        for t in range(5):
+            expected = 0 if s == t else float("inf")
+            assert index.distance(s, t) == expected
+    assert index.check_minimality() == []
+
+
+def test_rebuild_graph_from_nothing():
+    graph = DynamicGraph(6)
+    index = HighwayCoverIndex(graph, num_landmarks=2)
+    index.batch_update(
+        [EdgeUpdate.insert(i, i + 1) for i in range(5)]
+    )
+    assert index.distance(0, 5) == 5
+    assert index.check_minimality() == []
+
+
+def test_batch_larger_than_graph():
+    """A batch touching every vertex at once stays correct."""
+    graph = generators.path(30)
+    index = HighwayCoverIndex(graph, num_landmarks=3)
+    updates = [EdgeUpdate.delete(i, i + 1) for i in range(0, 29, 2)]
+    updates += [EdgeUpdate.insert(0, i) for i in range(2, 30, 3)]
+    index.batch_update(updates)
+    assert index.check_minimality() == []
+
+
+def test_directed_star_asymmetry():
+    digraph = DynamicDiGraph.from_edges([(0, i) for i in range(1, 6)])
+    index = DirectedHighwayCoverIndex(digraph, num_landmarks=2)
+    assert index.distance(0, 3) == 1
+    assert index.distance(3, 0) == float("inf")
+    assert index.distance(1, 2) == float("inf")
+    index.batch_update([EdgeUpdate.insert(3, 0)])
+    assert index.distance(3, 2) == 2
+    assert index.check_minimality() == []
+
+
+def test_update_stats_for_cancelled_batch_has_zero_affected():
+    graph = generators.cycle(5)
+    index = HighwayCoverIndex(graph, num_landmarks=1)
+    stats = index.batch_update(
+        [EdgeUpdate.insert(0, 2), EdgeUpdate.delete(2, 0)]
+    )
+    assert stats.total_affected == 0
+    assert stats.total_seconds >= 0
+
+
+def test_repeated_identical_batches_idempotent_state():
+    graph = generators.barabasi_albert(40, 2, seed=1)
+    index = HighwayCoverIndex(graph, num_landmarks=3)
+    edges = list(graph.edges())[:3]
+    for _ in range(3):
+        index.batch_update([EdgeUpdate.delete(a, b) for a, b in edges])
+        index.batch_update([EdgeUpdate.insert(a, b) for a, b in edges])
+    fresh = HighwayCoverIndex(graph.copy(), landmarks=index.landmarks)
+    assert index.labelling.equals(fresh.labelling)

@@ -1,0 +1,105 @@
+"""FulFD: root SPT maintenance, bit-parallel bounds, unit-update loop."""
+
+import random
+
+import pytest
+
+from repro.baselines.fulfd import FulFDIndex
+from repro.errors import BatchError, IndexStateError
+from repro.graph import generators
+from repro.graph.batch import EdgeUpdate
+from repro.graph.traversal import bfs_distances
+from tests.conftest import bfs_oracle, random_mixed_updates
+
+
+def spt_rows_exact(index):
+    for i, root in enumerate(index.roots):
+        truth = bfs_distances(index.graph, root)
+        assert list(index._dist[i]) == list(truth), f"root {root} SPT stale"
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_static_queries(seed):
+    graph = generators.erdos_renyi(30, 0.12, seed=seed)
+    index = FulFDIndex(graph, num_roots=4, num_bp_neighbors=8)
+    for s in range(30):
+        for t in range(30):
+            assert index.distance(s, t) == bfs_oracle(graph, s, t), (s, t)
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_spts_exact_after_updates(seed):
+    rng = random.Random(seed)
+    graph = generators.erdos_renyi(35, 0.1, seed=seed)
+    index = FulFDIndex(graph, num_roots=4, num_bp_neighbors=4)
+    for _ in range(3):
+        index.batch_update(random_mixed_updates(graph, rng, 3, 3))
+        spt_rows_exact(index)
+        for _ in range(30):
+            s, t = rng.randrange(35), rng.randrange(35)
+            assert index.distance(s, t) == bfs_oracle(graph, s, t)
+
+
+def test_disconnection_updates_spt():
+    graph = generators.path(6)
+    index = FulFDIndex(graph, num_roots=2)
+    index.delete_edge(2, 3)
+    spt_rows_exact(index)
+    assert index.distance(0, 5) == float("inf")
+    index.insert_edge(2, 3)
+    spt_rows_exact(index)
+    assert index.distance(0, 5) == 5
+
+
+def test_bp_masks_invalidate_on_update():
+    graph = generators.erdos_renyi(30, 0.15, seed=2)
+    index = FulFDIndex(graph, num_roots=3, num_bp_neighbors=8, bp_mode="static")
+    assert index._bp_valid
+    edges = list(graph.edges())
+    index.delete_edge(*edges[0])
+    assert not index._bp_valid
+    # Queries stay exact on the plain bound.
+    for s, t in [(0, 5), (3, 20), (7, 29)]:
+        assert index.distance(s, t) == bfs_oracle(graph, s, t)
+    index.rebuild_masks()
+    assert index._bp_valid
+    for s, t in [(0, 5), (3, 20), (7, 29)]:
+        assert index.distance(s, t) == bfs_oracle(graph, s, t)
+
+
+def test_bp_rebuild_mode():
+    rng = random.Random(4)
+    graph = generators.erdos_renyi(25, 0.15, seed=3)
+    index = FulFDIndex(graph, num_roots=3, num_bp_neighbors=8, bp_mode="rebuild")
+    index.batch_update(random_mixed_updates(graph, rng, 2, 2))
+    assert index._bp_valid, "rebuild mode must refresh masks after the batch"
+    for s in range(25):
+        for t in range(s + 1, 25):
+            assert index.distance(s, t) == bfs_oracle(graph, s, t)
+
+
+def test_root_endpoint_queries_are_direct():
+    graph = generators.barabasi_albert(50, 3, seed=5)
+    index = FulFDIndex(graph, num_roots=3)
+    root = index.roots[0]
+    for t in range(0, 50, 7):
+        assert index.distance(root, t) == bfs_oracle(graph, root, t)
+        assert index.distance(t, root) == bfs_oracle(graph, t, root)
+
+
+def test_label_size_is_full_spts():
+    graph = generators.erdos_renyi(40, 0.1, seed=6)
+    index = FulFDIndex(graph, num_roots=5)
+    assert index.label_size() == 5 * 40
+    assert index.size_bytes() > 0
+
+
+def test_invalid_inputs():
+    graph = generators.path(4)
+    with pytest.raises(IndexStateError):
+        FulFDIndex(graph, bp_mode="sometimes")
+    index = FulFDIndex(graph, num_roots=2, bp_mode="off")
+    with pytest.raises(BatchError):
+        index.batch_update([EdgeUpdate.insert(0, 9)])
+    with pytest.raises(IndexStateError):
+        index.distance(0, 11)

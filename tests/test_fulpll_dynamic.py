@@ -1,0 +1,104 @@
+"""FulPLL (IncPLL + DecPLL) under single and batched updates."""
+
+import random
+
+import pytest
+
+from repro.baselines.fulpll import FullPLLIndex
+from repro.errors import BatchError
+from repro.graph import generators
+from repro.graph.batch import EdgeUpdate
+from repro.graph.dynamic_graph import DynamicGraph
+from tests.conftest import bfs_oracle, random_mixed_updates
+
+
+def all_pairs_exact(index, graph):
+    n = graph.num_vertices
+    for s in range(n):
+        for t in range(s + 1, n):
+            assert index.distance(s, t) == bfs_oracle(graph, s, t), (s, t)
+
+
+@pytest.mark.parametrize("seed", range(5))
+def test_insertions_only(seed):
+    rng = random.Random(seed)
+    graph = generators.erdos_renyi(25, 0.1, seed=seed)
+    index = FullPLLIndex(graph)
+    for update in random_mixed_updates(graph, rng, 0, 6):
+        index.insert_edge(update.u, update.v)
+    all_pairs_exact(index, graph)
+
+
+@pytest.mark.parametrize("seed", range(5))
+def test_deletions_only(seed):
+    rng = random.Random(100 + seed)
+    graph = generators.erdos_renyi(25, 0.15, seed=seed)
+    index = FullPLLIndex(graph)
+    edges = list(graph.edges())
+    rng.shuffle(edges)
+    for a, b in edges[:6]:
+        index.delete_edge(a, b)
+    all_pairs_exact(index, graph)
+
+
+@pytest.mark.parametrize("seed", range(5))
+def test_mixed_batches(seed):
+    rng = random.Random(200 + seed)
+    graph = generators.erdos_renyi(22, 0.15, seed=seed)
+    index = FullPLLIndex(graph)
+    for _ in range(3):
+        index.batch_update(random_mixed_updates(graph, rng, 3, 3))
+        all_pairs_exact(index, graph)
+
+
+def test_triangle_deletion_regression():
+    """The minimal case that broke the first DecPLL restore attempt."""
+    graph = DynamicGraph.from_edges([(1, 2), (1, 3), (2, 3)], num_vertices=4)
+    index = FullPLLIndex(graph)
+    index.delete_edge(1, 3)
+    assert index.distance(1, 3) == 2
+
+
+def test_cover_hub_handover_regression():
+    """4-cycle: deleting (0,2) must hand pair (1,2) to unaffected hub 1."""
+    graph = DynamicGraph.from_edges([(0, 1), (0, 2), (1, 3), (2, 3)])
+    index = FullPLLIndex(graph)
+    index.delete_edge(0, 2)
+    assert index.distance(1, 2) == 2
+    assert index.distance(0, 2) == 3
+
+
+def test_disconnection_and_reconnect():
+    graph = generators.path(6)
+    index = FullPLLIndex(graph)
+    index.delete_edge(2, 3)
+    assert index.distance(0, 5) == float("inf")
+    index.insert_edge(2, 3)
+    assert index.distance(0, 5) == 5
+
+
+def test_invalid_updates_ignored():
+    graph = generators.path(4)
+    index = FullPLLIndex(graph)
+    index.insert_edge(0, 1)  # already present
+    index.delete_edge(0, 3)  # absent
+    assert graph.num_edges == 3
+    all_pairs_exact(index, graph)
+
+
+def test_label_growth_under_insertions():
+    """IncPLL keeps outdated entries: size must not shrink."""
+    rng = random.Random(5)
+    graph = generators.erdos_renyi(40, 0.08, seed=3)
+    index = FullPLLIndex(graph)
+    before = index.label_size()
+    for update in random_mixed_updates(graph, rng, 0, 8):
+        index.insert_edge(update.u, update.v)
+    assert index.label_size() >= before
+
+
+def test_vertex_growth_unsupported():
+    graph = generators.path(4)
+    index = FullPLLIndex(graph)
+    with pytest.raises(BatchError):
+        index.batch_update([EdgeUpdate.insert(0, 9)])

@@ -1,0 +1,91 @@
+"""Synthetic graph generators: structure, determinism, validity."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph import generators
+
+
+def test_erdos_renyi_edge_count_reasonable():
+    graph = generators.erdos_renyi(200, 0.05, seed=1)
+    expected = 0.05 * 200 * 199 / 2
+    assert 0.6 * expected < graph.num_edges < 1.4 * expected
+
+
+def test_erdos_renyi_extremes():
+    assert generators.erdos_renyi(50, 0.0, seed=0).num_edges == 0
+    full = generators.erdos_renyi(10, 1.0, seed=0)
+    assert full.num_edges == 45
+
+
+def test_barabasi_albert_edge_count_and_hubs():
+    n, m = 300, 4
+    graph = generators.barabasi_albert(n, m, seed=7)
+    seed_edges = (m + 1) * m // 2
+    assert graph.num_edges == seed_edges + (n - m - 1) * m
+    # Preferential attachment must produce hubs well above the average.
+    assert graph.max_degree() > 4 * graph.average_degree()
+
+
+def test_barabasi_albert_invalid_params():
+    with pytest.raises(GraphError):
+        generators.barabasi_albert(5, 5)
+    with pytest.raises(GraphError):
+        generators.barabasi_albert(10, 0)
+
+
+def test_powerlaw_cluster_triangles():
+    import networkx as nx
+
+    graph = generators.powerlaw_cluster(300, 4, 0.8, seed=3)
+    plain = generators.barabasi_albert(300, 4, seed=3)
+
+    def clustering(g):
+        nxg = nx.Graph()
+        nxg.add_nodes_from(range(g.num_vertices))
+        nxg.add_edges_from(g.edges())
+        return nx.average_clustering(nxg)
+
+    assert clustering(graph) > clustering(plain)
+
+
+def test_watts_strogatz_degree_preserved_roughly():
+    graph = generators.watts_strogatz(100, 4, 0.1, seed=0)
+    assert graph.num_edges == 200
+
+
+def test_generators_deterministic():
+    a = generators.barabasi_albert(100, 3, seed=42)
+    b = generators.barabasi_albert(100, 3, seed=42)
+    assert sorted(a.edges()) == sorted(b.edges())
+    c = generators.barabasi_albert(100, 3, seed=43)
+    assert sorted(a.edges()) != sorted(c.edges())
+
+
+def test_to_directed_reciprocity():
+    base = generators.erdos_renyi(100, 0.05, seed=1)
+    all_recip = generators.to_directed(base, reciprocal_p=1.0, seed=1)
+    none_recip = generators.to_directed(base, reciprocal_p=0.0, seed=1)
+    assert all_recip.num_edges == 2 * base.num_edges
+    assert none_recip.num_edges == base.num_edges
+
+
+def test_with_random_weights_bounds():
+    base = generators.erdos_renyi(50, 0.1, seed=5)
+    wgraph = generators.with_random_weights(base, 2, 6, seed=5)
+    assert wgraph.num_edges == base.num_edges
+    assert all(2 <= w <= 6 for _, _, w in wgraph.edges())
+    with pytest.raises(GraphError):
+        generators.with_random_weights(base, 0, 5)
+
+
+def test_fixture_graphs():
+    assert generators.path(5).num_edges == 4
+    assert generators.cycle(5).num_edges == 5
+    assert generators.star(5).degree(0) == 4
+    assert generators.complete(5).num_edges == 10
+    grid = generators.grid(3, 4)
+    assert grid.num_vertices == 12
+    assert grid.num_edges == 3 * 3 + 2 * 4
+    with pytest.raises(GraphError):
+        generators.cycle(2)

@@ -1,0 +1,74 @@
+"""End-to-end integration: all indexes against each other on one scenario.
+
+Builds every method over the same replica, applies the same batch stream,
+and cross-checks query answers — the strongest agreement test in the suite
+(any single method disagreeing with BFS or with its peers fails it).
+"""
+
+import random
+
+from repro.baselines.bibfs import BiBFSIndex
+from repro.baselines.fulfd import FulFDIndex
+from repro.baselines.fulpll import FullPLLIndex
+from repro.core.index import HighwayCoverIndex
+from repro.workloads.datasets import load_dataset
+from repro.workloads.queries import sample_query_pairs
+from repro.workloads.updates import fully_dynamic_workload
+from tests.conftest import bfs_oracle
+
+
+def test_all_methods_agree_on_dynamic_scenario():
+    base = load_dataset("youtube", scale=0.15)  # 330 vertices
+    workload = fully_dynamic_workload(base, num_batches=3, batch_size=12, seed=1)
+
+    hcl = HighwayCoverIndex(workload.graph.copy(), num_landmarks=8)
+    fulfd = FulFDIndex(workload.graph.copy(), num_roots=8, num_bp_neighbors=8)
+    fulpll = FullPLLIndex(workload.graph.copy())
+    bibfs = BiBFSIndex(workload.graph.copy())
+    oracle_graph = workload.graph.copy()
+
+    rng = random.Random(2)
+    for batch in workload.batches:
+        for index in (hcl, fulfd, fulpll, bibfs):
+            index.batch_update(list(batch))
+        from repro.graph.batch import apply_batch, normalize_batch
+
+        apply_batch(oracle_graph, normalize_batch(batch, oracle_graph))
+
+        pairs = sample_query_pairs(oracle_graph, 40, seed=rng.randrange(1 << 20))
+        for s, t in pairs:
+            expected = bfs_oracle(oracle_graph, s, t)
+            assert hcl.distance(s, t) == expected, ("hcl", s, t)
+            assert fulfd.distance(s, t) == expected, ("fulfd", s, t)
+            assert fulpll.distance(s, t) == expected, ("fulpll", s, t)
+            assert bibfs.distance(s, t) == expected, ("bibfs", s, t)
+
+    assert hcl.check_minimality() == []
+    # The highway labelling stays an order of magnitude leaner than the
+    # alternatives even while answering the same queries (Table 4's shape).
+    assert hcl.label_size() < fulfd.label_size()
+    assert hcl.label_size() < fulpll.label_size()
+
+
+def test_temporal_stream_end_to_end():
+    from repro.workloads.temporal import stream_batches, temporal_stream
+
+    base = load_dataset("italianwiki", scale=0.3)
+    events = temporal_stream(base, 60, churn=0.4, seed=3)
+    index = HighwayCoverIndex(base, num_landmarks=6)
+    for batch in stream_batches(events, 20):
+        stats = index.batch_update(batch)
+        assert stats.n_applied == len(batch)
+    assert index.check_minimality() == []
+
+
+def test_rebuild_equals_incremental_maintenance():
+    base = load_dataset("wikitalk", scale=0.2)
+    workload = fully_dynamic_workload(base, num_batches=2, batch_size=15, seed=4)
+    maintained = HighwayCoverIndex(workload.graph.copy(), num_landmarks=6)
+    for batch in workload.batches:
+        maintained.batch_update(batch)
+    rebuilt = HighwayCoverIndex(
+        maintained.graph, landmarks=maintained.landmarks
+    )
+    assert maintained.labelling.equals(rebuilt.labelling)

@@ -1,0 +1,62 @@
+"""Edge-list IO: parsing, remapping, round-trips, error handling."""
+
+import gzip
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph import generators
+from repro.graph.io import read_edge_list, write_edge_list
+
+
+def test_read_edge_list_with_comments_and_remap(tmp_path):
+    path = tmp_path / "graph.txt"
+    path.write_text(
+        "# SNAP-style comment\n"
+        "% KONECT-style comment\n"
+        "\n"
+        "100 200\n"
+        "200 300\n"
+        "100 100\n"  # self-loop: ignored
+        "200 100\n"  # duplicate (reversed): ignored
+    )
+    graph = read_edge_list(path)
+    assert graph.num_vertices == 3
+    assert graph.num_edges == 2
+
+
+def test_read_directed(tmp_path):
+    path = tmp_path / "graph.txt"
+    path.write_text("1 2\n2 1\n2 3\n")
+    graph = read_edge_list(path, directed=True)
+    assert graph.num_edges == 3
+    assert graph.has_edge(0, 1) and graph.has_edge(1, 0)
+
+
+def test_malformed_lines_raise(tmp_path):
+    path = tmp_path / "bad.txt"
+    path.write_text("1\n")
+    with pytest.raises(GraphError):
+        read_edge_list(path)
+    path.write_text("a b\n")
+    with pytest.raises(GraphError):
+        read_edge_list(path)
+
+
+def test_roundtrip(tmp_path):
+    graph = generators.barabasi_albert(60, 3, seed=9)
+    path = tmp_path / "out.txt"
+    write_edge_list(graph, path, header="test graph")
+    loaded = read_edge_list(path)
+    assert loaded.num_vertices == graph.num_vertices
+    assert loaded.num_edges == graph.num_edges
+
+
+def test_gzip_roundtrip(tmp_path):
+    graph = generators.erdos_renyi(40, 0.1, seed=2)
+    path = tmp_path / "out.txt.gz"
+    write_edge_list(graph, path)
+    with gzip.open(path, "rt") as handle:
+        assert handle.readline().startswith("#")
+    loaded = read_edge_list(path)
+    assert loaded.num_edges == graph.num_edges

@@ -1,0 +1,119 @@
+"""Storage-level tests for HighwayCoverLabelling."""
+
+import numpy as np
+import pytest
+
+from repro.constants import INF, NO_LABEL
+from repro.core.construction import build_labelling
+from repro.core.labelling import HighwayCoverLabelling
+from repro.core.lengths import FALSE_KEY, TRUE_KEY
+from repro.errors import IndexStateError
+from repro.graph import generators
+
+
+def small_labelling():
+    # Path 0-1-2-3-4 with landmarks {0, 4}.
+    graph = generators.path(5)
+    return graph, build_labelling(graph, (0, 4))
+
+
+def test_entry_access_roundtrip():
+    _, lab = small_labelling()
+    assert lab.r_label(2, 0) == 2
+    lab.set_r_label(2, 0, 7)
+    assert lab.r_label(2, 0) == 7
+    lab.remove_r_label(2, 0)
+    assert lab.r_label(2, 0) is None
+
+
+def test_label_entries_iteration():
+    _, lab = small_labelling()
+    entries = dict(lab.label_entries(2))
+    assert entries == {0: 2, 4: 2}
+
+
+def test_size_counts_entries():
+    _, lab = small_labelling()
+    # Vertices 1,2,3 each have labels to both landmarks; landmarks have none.
+    assert lab.size() == 6
+    assert lab.size_bytes() > 0
+
+
+def test_distances_from_decodes_landmarks_and_flags():
+    _, lab = small_labelling()
+    dist, flag = lab.distances_from(0)
+    assert list(dist) == [0, 1, 2, 3, 4]
+    assert flag[0] == FALSE_KEY  # the root itself
+    assert flag[4] == TRUE_KEY  # another landmark: flag always True
+    assert flag[2] == FALSE_KEY  # has direct r-label
+
+
+def test_distances_from_uses_highway_detour():
+    # Star with centre 0; landmarks 0 and 1.  Vertex 2's label omits
+    # landmark 1 iff covered; decode must go through the highway.
+    graph = generators.star(4)
+    lab = build_labelling(graph, (0, 1))
+    dist, flag = lab.distances_from(1)
+    assert dist[2] == 2  # 1 -> 0 -> 2 via highway
+    assert flag[2] == TRUE_KEY  # covered through landmark 0
+
+
+def test_landmark_distance_scalar_matches_vector():
+    graph = generators.erdos_renyi(40, 0.1, seed=1)
+    lab = build_labelling(graph, (0, 1, 2))
+    for i in range(3):
+        dist, flag = lab.distances_from(i)
+        for v in range(graph.num_vertices):
+            d, f = lab.landmark_distance(i, v)
+            assert d == dist[v]
+            if d < INF:
+                assert f == flag[v]
+
+
+def test_upper_bound_is_valid_bound():
+    from repro.graph.traversal import bfs_distance_pair
+
+    graph = generators.erdos_renyi(50, 0.08, seed=2)
+    lab = build_labelling(graph, (0, 1, 2, 3))
+    for s, t in [(5, 9), (10, 30), (4, 44)]:
+        bound = lab.upper_bound(s, t)
+        true = bfs_distance_pair(graph, s, t)
+        assert bound >= true
+
+
+def test_grow_adds_empty_rows():
+    _, lab = small_labelling()
+    lab.grow(8)
+    assert lab.num_vertices == 8
+    assert lab.r_label(7, 0) is None
+    dist, flag = lab.distances_from(0)
+    assert dist[7] >= INF
+    # Growing smaller is a no-op.
+    lab.grow(3)
+    assert lab.num_vertices == 8
+
+
+def test_copy_independent():
+    _, lab = small_labelling()
+    clone = lab.copy()
+    clone.set_r_label(2, 0, 9)
+    assert lab.r_label(2, 0) == 2
+    assert not lab.equals(clone)
+    assert lab.equals(lab.copy())
+
+
+def test_diff_reports_mismatches():
+    _, lab = small_labelling()
+    clone = lab.copy()
+    clone.set_r_label(1, 0, 5)
+    clone.set_highway_symmetric(0, 1, 9)
+    problems = clone.diff(lab)
+    assert any("label(1" in p for p in problems)
+    assert any("highway" in p for p in problems)
+
+
+def test_shape_validation():
+    labels = np.full((4, 2), NO_LABEL, dtype=np.int64)
+    highway = np.zeros((3, 3), dtype=np.int64)
+    with pytest.raises(IndexStateError):
+        HighwayCoverLabelling(labels, highway, (0, 1))

@@ -1,0 +1,39 @@
+"""Landmark selection strategies."""
+
+import pytest
+
+from repro.core.landmarks import select_landmarks
+from repro.errors import IndexStateError
+from repro.graph import generators
+
+
+def test_degree_selection_picks_hubs():
+    graph = generators.star(20)
+    assert select_landmarks(graph, 1)[0] == 0
+    graph = generators.barabasi_albert(200, 3, seed=1)
+    chosen = select_landmarks(graph, 5)
+    degrees = sorted((graph.degree(v) for v in range(200)), reverse=True)
+    assert sorted((graph.degree(v) for v in chosen), reverse=True) == degrees[:5]
+
+
+def test_degree_selection_deterministic_ties():
+    graph = generators.cycle(10)  # all degrees equal
+    assert select_landmarks(graph, 3) == (0, 1, 2)
+
+
+def test_random_selection_seeded():
+    graph = generators.erdos_renyi(50, 0.1, seed=0)
+    a = select_landmarks(graph, 5, strategy="random", seed=7)
+    b = select_landmarks(graph, 5, strategy="random", seed=7)
+    assert a == b
+    assert len(set(a)) == 5
+
+
+def test_invalid_requests():
+    graph = generators.path(4)
+    with pytest.raises(IndexStateError):
+        select_landmarks(graph, 0)
+    with pytest.raises(IndexStateError):
+        select_landmarks(graph, 9)
+    with pytest.raises(IndexStateError):
+        select_landmarks(graph, 2, strategy="pagerank")

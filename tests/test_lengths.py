@@ -1,0 +1,75 @@
+"""Landmark-length ordering semantics (Definitions 5.13 / 5.16).
+
+The paper's unusual True < False ordering is load-bearing: getting it
+backwards silently breaks both the improved search and the repair.
+"""
+
+from repro.constants import INF
+from repro.core.lengths import (
+    FALSE_KEY,
+    TRUE_KEY,
+    ExtendedLandmarkLength,
+    LandmarkLength,
+    beta_key,
+    flag_key,
+    key_flag,
+)
+
+
+def test_flag_encoding_orders_true_first():
+    assert TRUE_KEY < FALSE_KEY
+    assert flag_key(True) == TRUE_KEY
+    assert flag_key(False) == FALSE_KEY
+    assert key_flag(TRUE_KEY) is True
+    assert key_flag(FALSE_KEY) is False
+
+
+def test_landmark_length_ordering():
+    # Distance dominates...
+    assert LandmarkLength(2, False) < LandmarkLength(3, True)
+    # ...then True < False at equal distance.
+    assert LandmarkLength(3, True) < LandmarkLength(3, False)
+    assert LandmarkLength(3, True) <= LandmarkLength(3, True)
+    assert not LandmarkLength(3, False) < LandmarkLength(3, True)
+
+
+def test_landmark_length_min_picks_through_landmark():
+    """min over equal-length paths must carry the landmark flag (Def 5.13)."""
+    paths = [LandmarkLength(4, False), LandmarkLength(4, True)]
+    assert min(paths, key=lambda p: p.key) == LandmarkLength(4, True)
+
+
+def test_extend_operator():
+    length = LandmarkLength(2, False)
+    assert length.extend(to_landmark=False) == LandmarkLength(3, False)
+    assert length.extend(to_landmark=True) == LandmarkLength(3, True)
+    # Once True, the flag sticks.
+    assert LandmarkLength(2, True).extend(False) == LandmarkLength(3, True)
+    # Weighted extension.
+    assert length.extend(False, weight=5) == LandmarkLength(7, False)
+
+
+def test_extended_landmark_length_ordering():
+    a = ExtendedLandmarkLength(3, True, False)
+    b = ExtendedLandmarkLength(3, False, True)
+    assert a < b  # landmark flag compared before deletion flag
+    c = ExtendedLandmarkLength(3, True, True)
+    assert c < a  # deletion True sorts first at equal (d, l)
+
+
+def test_beta_key_semantics():
+    """β = (d^L, True): ties pass only with the deletion flag (Lemma 5.17)."""
+    beta = beta_key(5, flag_key(False))
+    deleted_tie = (5, flag_key(False), flag_key(True))
+    inserted_tie = (5, flag_key(False), flag_key(False))
+    strictly_smaller = (5, flag_key(True), flag_key(False))
+    assert deleted_tie <= beta
+    assert not inserted_tie <= beta
+    assert strictly_smaller <= beta
+
+
+def test_infinite_landmark_length():
+    inf = LandmarkLength.infinite()
+    assert inf.is_infinite
+    assert inf.distance == INF
+    assert not LandmarkLength(3, True).is_infinite

@@ -1,0 +1,58 @@
+"""Landmark-level parallelism: threads and simulated makespan."""
+
+import random
+
+from repro.core.index import HighwayCoverIndex
+from repro.graph import generators
+from tests.conftest import random_mixed_updates
+
+
+def build_pair(seed):
+    graph = generators.barabasi_albert(120, 3, seed=seed)
+    return graph
+
+
+def test_threaded_update_matches_sequential():
+    rng = random.Random(5)
+    graph = build_pair(1)
+    sequential = HighwayCoverIndex(graph.copy(), num_landmarks=6)
+    threaded = HighwayCoverIndex(graph.copy(), num_landmarks=6)
+    for _ in range(3):
+        updates = random_mixed_updates(sequential.graph, rng, 4, 4)
+        sequential.batch_update(updates, parallel=None)
+        threaded.batch_update(updates, parallel="threads")
+        assert sequential.labelling.equals(threaded.labelling)
+    assert threaded.check_minimality() == []
+
+
+def test_threaded_update_all_variants():
+    rng = random.Random(6)
+    for variant in ("bhl", "bhl+", "bhl-s"):
+        graph = build_pair(2)
+        index = HighwayCoverIndex(graph, num_landmarks=5)
+        updates = random_mixed_updates(graph, rng, 4, 4)
+        index.batch_update(updates, variant=variant, parallel="threads")
+        assert index.check_minimality() == [], variant
+
+
+def test_simulated_parallel_reports_makespan():
+    rng = random.Random(7)
+    graph = build_pair(3)
+    index = HighwayCoverIndex(graph, num_landmarks=6)
+    updates = random_mixed_updates(graph, rng, 5, 5)
+    stats = index.batch_update(updates, parallel="simulate")
+    assert stats.makespan_seconds is not None
+    assert 0 < stats.makespan_seconds <= stats.total_seconds
+    # Makespan is at least the largest per-landmark share: with 6
+    # landmarks it cannot be below total/6 minus scheduling noise.
+    assert stats.makespan_seconds >= (stats.search_seconds + stats.repair_seconds) / 6
+    assert index.check_minimality() == []
+
+
+def test_num_threads_parameter():
+    rng = random.Random(8)
+    graph = build_pair(4)
+    index = HighwayCoverIndex(graph, num_landmarks=4)
+    updates = random_mixed_updates(graph, rng, 3, 3)
+    index.batch_update(updates, parallel="threads", num_threads=2)
+    assert index.check_minimality() == []

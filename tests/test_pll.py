@@ -1,0 +1,82 @@
+"""Static PLL and PSL: query exactness and 2-hop cover structure."""
+
+import pytest
+
+from repro.baselines.pll import PrunedLandmarkLabelling
+from repro.baselines.psl import PSLIndex
+from repro.errors import IndexStateError
+from repro.graph import generators
+from tests.conftest import bfs_oracle
+
+
+@pytest.mark.parametrize("seed", range(5))
+def test_pll_all_pairs_exact(seed):
+    graph = generators.erdos_renyi(30, 0.12, seed=seed)
+    pll = PrunedLandmarkLabelling(graph)
+    for s in range(30):
+        for t in range(30):
+            assert pll.distance(s, t) == bfs_oracle(graph, s, t), (s, t)
+
+
+def test_pll_labels_respect_rank():
+    graph = generators.barabasi_albert(60, 3, seed=1)
+    pll = PrunedLandmarkLabelling(graph)
+    for v in range(60):
+        for hub in pll.labels[v]:
+            assert pll.rank[hub] <= pll.rank[v], (hub, v)
+
+
+def test_pll_custom_order():
+    graph = generators.cycle(8)
+    pll = PrunedLandmarkLabelling(graph, order=list(range(8)))
+    assert pll.order == list(range(8))
+    for s in range(8):
+        for t in range(8):
+            assert pll.distance(s, t) == bfs_oracle(graph, s, t)
+    with pytest.raises(IndexStateError):
+        PrunedLandmarkLabelling(graph, order=[0, 1])
+
+
+def test_pll_label_size_well_below_quadratic():
+    graph = generators.barabasi_albert(150, 3, seed=4)
+    pll = PrunedLandmarkLabelling(graph)
+    assert 0 < pll.label_size() < 150 * 149 / 4
+    assert pll.size_bytes() == pll.label_size() * 5
+
+
+@pytest.mark.parametrize("seed", range(5))
+def test_psl_all_pairs_exact(seed):
+    graph = generators.erdos_renyi(30, 0.12, seed=100 + seed)
+    psl = PSLIndex(graph)
+    for s in range(30):
+        for t in range(30):
+            assert psl.distance(s, t) == bfs_oracle(graph, s, t), (s, t)
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_psl_matches_pll_label_size(seed):
+    """PSL's rounds rebuild the same canonical 2-hop cover as PLL."""
+    graph = generators.erdos_renyi(40, 0.1, seed=seed)
+    pll = PrunedLandmarkLabelling(graph)
+    psl = PSLIndex(graph)
+    assert psl.label_size() == pll.label_size()
+
+
+def test_psl_round_accounting():
+    graph = generators.path(9)
+    psl = PSLIndex(graph)
+    # The parallel depth is bounded by the graph diameter + 1.
+    assert 1 <= psl.parallel_depth <= 9
+    assert len(psl.rounds_work) == psl.parallel_depth
+    assert sum(psl.rounds_work) > 0
+
+
+def test_disconnected_pll_and_psl():
+    graph = generators.path(3)
+    graph.ensure_vertex(5)
+    graph.add_edge(4, 5)
+    pll = PrunedLandmarkLabelling(graph)
+    psl = PSLIndex(graph)
+    assert pll.distance(0, 5) == float("inf")
+    assert psl.distance(0, 5) == float("inf")
+    assert pll.distance(4, 5) == 1

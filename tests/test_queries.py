@@ -1,0 +1,83 @@
+"""Query engine: exactness against BFS oracles in every endpoint regime."""
+
+import random
+
+import pytest
+
+from repro.core.index import HighwayCoverIndex
+from repro.errors import IndexStateError
+from repro.graph import generators
+from tests.conftest import bfs_oracle
+
+
+@pytest.mark.parametrize("seed", range(5))
+def test_all_pairs_exact_small(seed):
+    graph = generators.erdos_renyi(25, 0.15, seed=seed)
+    index = HighwayCoverIndex(graph, num_landmarks=3)
+    for s in range(25):
+        for t in range(25):
+            assert index.distance(s, t) == bfs_oracle(graph, s, t), (s, t)
+
+
+def test_landmark_endpoint_queries():
+    graph = generators.barabasi_albert(100, 3, seed=1)
+    index = HighwayCoverIndex(graph, num_landmarks=5)
+    rng = random.Random(2)
+    for r in index.landmarks:
+        for _ in range(10):
+            t = rng.randrange(100)
+            assert index.distance(r, t) == bfs_oracle(graph, r, t)
+            assert index.distance(t, r) == bfs_oracle(graph, t, r)
+    # landmark-landmark
+    r1, r2 = index.landmarks[0], index.landmarks[1]
+    assert index.distance(r1, r2) == bfs_oracle(graph, r1, r2)
+
+
+def test_same_vertex_query():
+    graph = generators.path(5)
+    index = HighwayCoverIndex(graph, num_landmarks=2)
+    assert index.distance(3, 3) == 0
+
+
+def test_disconnected_query_is_inf():
+    graph = generators.path(3)
+    graph.ensure_vertex(5)
+    graph.add_edge(4, 5)
+    index = HighwayCoverIndex(graph, num_landmarks=2)
+    assert index.distance(0, 5) == float("inf")
+    assert index.distance(4, 5) == 1
+
+
+def test_adjacent_pair_shortcut():
+    graph = generators.complete(6)
+    index = HighwayCoverIndex(graph, num_landmarks=2)
+    assert index.distance(3, 4) == 1
+
+
+def test_query_out_of_range_raises():
+    graph = generators.path(4)
+    index = HighwayCoverIndex(graph, num_landmarks=2)
+    with pytest.raises(IndexStateError):
+        index.distance(0, 9)
+    with pytest.raises(IndexStateError):
+        index.distance(-1, 2)
+
+
+def test_upper_bound_dominates_distance():
+    graph = generators.erdos_renyi(60, 0.07, seed=3)
+    index = HighwayCoverIndex(graph, num_landmarks=4)
+    rng = random.Random(4)
+    for _ in range(100):
+        s, t = rng.randrange(60), rng.randrange(60)
+        assert index.upper_bound(s, t) >= index.distance(s, t)
+
+
+def test_path_beyond_landmarks_needs_search():
+    """Query pairs whose shortest path avoids every landmark entirely."""
+    # Ring of 10; landmarks opposite each other; query neighbours far
+    # from both landmarks.
+    graph = generators.cycle(10)
+    index = HighwayCoverIndex(graph, landmarks=(0, 5))
+    assert index.distance(2, 3) == 1
+    assert index.distance(7, 9) == 2
+    assert index.distance(6, 9) == 3

@@ -1,0 +1,50 @@
+"""UpdateStats accumulation semantics (used by every bench metric)."""
+
+from repro.core.stats import UpdateStats
+
+
+def make(affected, search=0.1, repair=0.2, makespan=None):
+    stats = UpdateStats(variant="x")
+    stats.n_requested = 5
+    stats.n_applied = 4
+    stats.n_insertions = 3
+    stats.n_deletions = 1
+    stats.affected_per_landmark = affected
+    stats.search_seconds = search
+    stats.repair_seconds = repair
+    stats.total_seconds = search + repair
+    stats.makespan_seconds = makespan
+    stats.labels_changed = 7
+    return stats
+
+
+def test_total_affected_sums_landmarks():
+    assert make([3, 4, 5]).total_affected == 12
+    assert UpdateStats(variant="x").total_affected == 0
+
+
+def test_merge_accumulates_everything():
+    a = make([1, 2, 3])
+    b = make([10, 20, 30], search=0.5, repair=0.25, makespan=0.4)
+    a.merge(b)
+    assert a.affected_per_landmark == [11, 22, 33]
+    assert a.n_requested == 10
+    assert a.n_applied == 8
+    assert a.n_insertions == 6
+    assert a.n_deletions == 2
+    assert a.search_seconds == 0.6
+    assert a.repair_seconds == 0.45
+    assert a.labels_changed == 14
+    assert a.makespan_seconds == 0.4  # None + value = value
+
+
+def test_merge_into_empty_adopts_landmark_count():
+    empty = UpdateStats(variant="x")
+    empty.merge(make([5, 6]))
+    assert empty.affected_per_landmark == [5, 6]
+
+
+def test_makespans_add_across_subbatches():
+    a = make([1], makespan=0.3)
+    a.merge(make([2], makespan=0.2))
+    assert abs(a.makespan_seconds - 0.5) < 1e-12

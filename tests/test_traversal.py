@@ -1,0 +1,99 @@
+"""Traversal primitives against networkx oracles."""
+
+import networkx as nx
+import pytest
+
+from repro.constants import INF
+from repro.graph import generators
+from repro.graph.traversal import (
+    bfs_distance_pair,
+    bfs_distances,
+    bfs_distances_multi,
+    bidirectional_bfs,
+    connected_components,
+    dijkstra_distance_pair,
+    dijkstra_distances,
+)
+
+
+def to_nx(graph):
+    g = nx.Graph()
+    g.add_nodes_from(range(graph.num_vertices))
+    g.add_edges_from(graph.edges())
+    return g
+
+
+@pytest.mark.parametrize("seed", range(5))
+def test_bfs_distances_match_networkx(seed):
+    graph = generators.erdos_renyi(60, 0.06, seed=seed)
+    oracle = nx.single_source_shortest_path_length(to_nx(graph), 0)
+    dist = bfs_distances(graph, 0)
+    for v in range(graph.num_vertices):
+        expected = oracle.get(v, INF)
+        assert dist[v] == expected
+
+
+def test_bfs_pair_early_exit_matches_full():
+    graph = generators.erdos_renyi(80, 0.05, seed=3)
+    dist = bfs_distances(graph, 7)
+    for t in (0, 13, 42, 79):
+        assert bfs_distance_pair(graph, 7, t) == dist[t]
+
+
+def test_multi_source_bfs():
+    graph = generators.path(10)
+    dist = bfs_distances_multi(graph, [0, 9])
+    assert dist[0] == 0 and dist[9] == 0
+    assert dist[4] == 4 and dist[5] == 4
+
+
+@pytest.mark.parametrize("seed", range(5))
+def test_bidirectional_bfs_unbounded_matches_bfs(seed):
+    graph = generators.erdos_renyi(70, 0.05, seed=seed)
+    for s, t in [(0, 1), (3, 50), (10, 69), (5, 5)]:
+        expected = bfs_distance_pair(graph, s, t)
+        got = bidirectional_bfs(graph, s, t, excluded=(), bound=INF)
+        assert got == min(expected, INF)
+
+
+def test_bidirectional_bfs_respects_bound():
+    graph = generators.path(12)
+    # true distance 11 > bound 5: must return the bound itself
+    assert bidirectional_bfs(graph, 0, 11, excluded=(), bound=5) == 5
+    # bound above true distance: exact
+    assert bidirectional_bfs(graph, 0, 11, excluded=(), bound=50) == 11
+    # bound exactly the true distance cannot be improved
+    assert bidirectional_bfs(graph, 0, 11, excluded=(), bound=11) == 11
+
+
+def test_bidirectional_bfs_excluded_vertices():
+    # 0-1-2 and 0-3-4-2: excluding 1 forces the longer route.
+    graph = generators.cycle(5)  # 0-1-2-3-4-0
+    assert bidirectional_bfs(graph, 0, 2, excluded=(), bound=INF) == 2
+    assert bidirectional_bfs(graph, 0, 2, excluded={1}, bound=INF) == 3
+    # Excluded endpoint: no path may be reported.
+    assert bidirectional_bfs(graph, 1, 3, excluded={1}, bound=INF) == INF
+
+
+def test_dijkstra_matches_networkx():
+    und = generators.erdos_renyi(50, 0.08, seed=2)
+    wgraph = generators.with_random_weights(und, 1, 9, seed=2)
+    g = nx.Graph()
+    g.add_nodes_from(range(wgraph.num_vertices))
+    for a, b, w in wgraph.edges():
+        g.add_edge(a, b, weight=w)
+    oracle = nx.single_source_dijkstra_path_length(g, 0)
+    dist = dijkstra_distances(wgraph, 0)
+    for v in range(wgraph.num_vertices):
+        assert dist[v] == oracle.get(v, INF)
+    for t in (1, 10, 49):
+        assert dijkstra_distance_pair(wgraph, 0, t) == dist[t]
+
+
+def test_connected_components():
+    graph = generators.path(4)
+    graph.ensure_vertex(6)
+    graph.add_edge(5, 6)
+    components = connected_components(graph)
+    assert sorted(map(len, components)) == [1, 2, 4]
+    assert len(components[0]) == 4  # largest first

@@ -1,0 +1,44 @@
+"""Unit tests for the weighted dynamic graph."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.weighted_graph import WeightedDynamicGraph, WeightUpdate
+
+
+def test_set_weight_insert_update_delete():
+    graph = WeightedDynamicGraph(3)
+    assert graph.set_weight(0, 1, 4) is None  # insert
+    assert graph.weight(0, 1) == 4
+    assert graph.weight(1, 0) == 4
+    assert graph.num_edges == 1
+    assert graph.set_weight(0, 1, 7) == 4  # update returns previous
+    assert graph.set_weight(0, 1, None) == 7  # delete
+    assert graph.weight(0, 1) is None
+    assert graph.num_edges == 0
+    assert graph.set_weight(0, 1, None) is None  # deleting absent is a no-op
+
+
+def test_invalid_weights_rejected():
+    graph = WeightedDynamicGraph(2)
+    with pytest.raises(GraphError):
+        graph.set_weight(0, 1, 0)
+    with pytest.raises(GraphError):
+        graph.set_weight(0, 1, -3)
+    with pytest.raises(GraphError):
+        graph.set_weight(0, 0, 1)
+
+
+def test_edges_and_copy():
+    graph = WeightedDynamicGraph.from_edges([(0, 1, 2), (1, 2, 5)])
+    assert sorted(graph.edges()) == [(0, 1, 2), (1, 2, 5)]
+    clone = graph.copy()
+    clone.set_weight(0, 1, 9)
+    assert graph.weight(0, 1) == 2
+
+
+def test_weight_update_canonicalisation():
+    update = WeightUpdate(5, 2, 3)
+    canon = update.canonical()
+    assert (canon.u, canon.v, canon.weight) == (2, 5, 3)
+    assert WeightUpdate(1, 2, 3).canonical() == WeightUpdate(1, 2, 3)

@@ -1,0 +1,118 @@
+"""Dataset replicas, update workloads, query samples, temporal streams."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.graph.batch import normalize_batch, apply_batch
+from repro.workloads.datasets import (
+    DATASET_NAMES,
+    PAPER_DATASETS,
+    load_dataset,
+)
+from repro.workloads.queries import sample_query_pairs
+from repro.workloads.temporal import stream_batches, temporal_stream
+from repro.workloads.updates import (
+    decremental_workload,
+    fully_dynamic_workload,
+    incremental_workload,
+    make_workload,
+)
+
+
+def test_all_fourteen_datasets_registered():
+    assert len(DATASET_NAMES) == 14
+    assert DATASET_NAMES[0] == "youtube"
+    assert PAPER_DATASETS["italianwiki"].temporal
+    assert not PAPER_DATASETS["twitter"].temporal
+
+
+def test_dataset_relative_ordering_preserved():
+    sizes = {name: PAPER_DATASETS[name].num_vertices for name in DATASET_NAMES}
+    assert sizes["uk"] > sizes["twitter"] > sizes["youtube"]
+    # Dense replicas stay dense: Hollywood's attach beats Wikitalk's.
+    assert PAPER_DATASETS["hollywood"].attach > PAPER_DATASETS["wikitalk"].attach
+
+
+def test_load_dataset_scales_and_is_deterministic():
+    small = load_dataset("youtube", scale=0.25)
+    full = load_dataset("youtube")
+    assert small.num_vertices == 550
+    assert full.num_vertices == 2200
+    again = load_dataset("youtube")
+    assert sorted(full.edges()) == sorted(again.edges())
+    with pytest.raises(WorkloadError):
+        load_dataset("facebook")
+
+
+@pytest.mark.parametrize("setting", ["decremental", "incremental", "fully-dynamic"])
+def test_workload_batches_are_valid_in_sequence(setting):
+    graph = load_dataset("youtube", scale=0.5)
+    workload = make_workload(setting, graph, num_batches=3, batch_size=20, seed=1)
+    assert workload.num_updates == 60
+    g = workload.graph
+    for batch in workload.batches:
+        normalised = normalize_batch(batch, g)
+        assert len(normalised) == len(batch), "every update must be valid"
+        apply_batch(g, normalised)
+
+
+def test_decremental_only_deletes_incremental_only_inserts():
+    graph = load_dataset("wikitalk", scale=0.5)
+    dec = decremental_workload(graph, 2, 10, seed=2)
+    assert all(u.is_delete for b in dec.batches for u in b)
+    inc = incremental_workload(graph, 2, 10, seed=2)
+    assert all(u.is_insert for b in inc.batches for u in b)
+
+
+def test_fully_dynamic_is_half_and_half():
+    graph = load_dataset("flickr", scale=0.5)
+    workload = fully_dynamic_workload(graph, 2, 20, seed=3)
+    for batch in workload.batches:
+        assert sum(1 for u in batch if u.is_insert) == 10
+        assert sum(1 for u in batch if u.is_delete) == 10
+
+
+def test_workload_does_not_mutate_input():
+    graph = load_dataset("youtube", scale=0.25)
+    edges_before = graph.num_edges
+    incremental_workload(graph, 2, 10, seed=4)
+    assert graph.num_edges == edges_before
+
+
+def test_workload_oversampling_rejected():
+    graph = load_dataset("youtube", scale=0.1)
+    with pytest.raises(WorkloadError):
+        decremental_workload(graph, 100, 1000, seed=0)
+    with pytest.raises(WorkloadError):
+        make_workload("sideways", graph)
+
+
+def test_query_pair_sampling():
+    graph = load_dataset("youtube", scale=0.25)
+    pairs = sample_query_pairs(graph, 50, seed=1)
+    assert len(pairs) == 50
+    assert all(s != t for s, t in pairs)
+    assert pairs == sample_query_pairs(graph, 50, seed=1)
+
+
+def test_temporal_stream_valid_replay():
+    graph = load_dataset("italianwiki", scale=0.5)
+    events = temporal_stream(graph, 60, churn=0.4, seed=5)
+    assert len(events) == 60
+    timestamps = [e.timestamp for e in events]
+    assert timestamps == sorted(timestamps)
+    # Replaying against the original graph must always be valid.
+    g = graph.copy()
+    for batch in stream_batches(events, 15):
+        normalised = normalize_batch(batch, g)
+        assert len(normalised) == len(batch)
+        apply_batch(g, normalised)
+    with pytest.raises(WorkloadError):
+        temporal_stream(graph, 5, churn=1.5, seed=0)
+
+
+def test_stream_has_both_kinds():
+    graph = load_dataset("frenchwiki", scale=0.3)
+    events = temporal_stream(graph, 80, churn=0.4, seed=6)
+    kinds = {e.update.kind for e in events}
+    assert len(kinds) == 2
