@@ -1,0 +1,92 @@
+"""Serving-layer benchmark: batch coalescing amortises repair cost online.
+
+This is the paper's central claim restated as a serving experiment: the
+same mixed query/update stream is replayed through the online
+:class:`~repro.service.engine.DistanceService` under different flush
+policies.  ``flush_batch=1`` is the unit-update serving regime (every
+update pays a full search+repair pass, like UHL); larger flush batches
+coalesce updates into fewer epochs, so total repair time drops while
+query latency stays flat — queries always run against an immutable epoch
+snapshot and never block on repairs.
+"""
+
+from repro.bench.reporting import ResultTable
+from repro.graph import generators
+from repro.service import DistanceService, FlushPolicy, mixed_scenario, replay
+
+
+def experiment_service_throughput(
+    num_vertices: int = 600,
+    edge_p: float = 0.015,
+    num_queries: int = 3000,
+    num_batches: int = 4,
+    batch_size: int = 60,
+    num_landmarks: int = 16,
+    flush_batches: tuple[int, ...] = (1, 16, 120),
+    seed: int = 0,
+) -> ResultTable:
+    """One row per flush policy over an identical op stream."""
+    table = ResultTable(
+        "Service throughput: flush batch size vs repair amortisation",
+        [
+            "flush_batch",
+            "qps",
+            "query_p50_us",
+            "query_p99_us",
+            "epochs",
+            "total_repair_s",
+            "flush_p99_ms",
+            "stale_queries",
+        ],
+    )
+    base = generators.erdos_renyi(num_vertices, edge_p, seed=seed)
+    for flush_batch in flush_batches:
+        scenario = mixed_scenario(
+            base,
+            num_queries=num_queries,
+            num_batches=num_batches,
+            batch_size=batch_size,
+            seed=seed,
+        )
+        service = DistanceService(
+            scenario.graph,
+            num_landmarks=num_landmarks,
+            policy=FlushPolicy(max_batch=flush_batch, max_delay=None),
+        )
+        with service:
+            replay(service, scenario.ops)
+        summary = service.metrics.summary()
+        table.add_row(
+            flush_batch=flush_batch,
+            qps=summary["query_throughput_qps"],
+            query_p50_us=summary["query_p50"] * 1e6,
+            query_p99_us=summary["query_p99"] * 1e6,
+            epochs=summary["epochs_published"],
+            total_repair_s=summary["flush_mean_s"] * summary["batches_flushed"],
+            flush_p99_ms=summary["flush_p99"] * 1e3,
+            stale_queries=summary["stale_queries"],
+        )
+    table.add_note(
+        "flush_batch=1 is unit-update serving (UHL regime); larger batches"
+        " coalesce repairs into fewer epochs at equal exactness"
+    )
+    return table
+
+
+def test_service_throughput(run_table):
+    table = run_table(
+        experiment_service_throughput, "service_throughput.csv"
+    )
+    rows = {r["flush_batch"]: r for r in table.rows}
+    assert set(rows) == {1, 16, 120}
+
+    # Batching strictly reduces the number of published epochs...
+    assert rows[1]["epochs"] > rows[16]["epochs"] > rows[120]["epochs"]
+
+    # ...and amortises total repair time: one repair per update is the
+    # regime the paper's batch algorithms exist to beat.
+    assert rows[120]["total_repair_s"] < rows[1]["total_repair_s"]
+
+    # The read path is snapshot-isolated, so batching policy must not
+    # degrade tail query latency by more than noise (10x guard band).
+    assert rows[120]["query_p99_us"] < rows[1]["query_p99_us"] * 10

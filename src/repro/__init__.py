@@ -35,6 +35,8 @@ from repro.graph.batch import Batch, EdgeUpdate, UpdateKind
 from repro.graph.digraph import DynamicDiGraph
 from repro.graph.dynamic_graph import DynamicGraph
 from repro.graph.weighted_graph import WeightedDynamicGraph, WeightUpdate
+from repro.service.engine import DistanceService
+from repro.service.scheduler import FlushPolicy, FlushTrigger
 
 __version__ = "1.0.0"
 
@@ -53,6 +55,9 @@ __all__ = [
     "DynamicDiGraph",
     "WeightedDynamicGraph",
     "WeightUpdate",
+    "DistanceService",
+    "FlushPolicy",
+    "FlushTrigger",
     "ReproError",
     "GraphError",
     "BatchError",

@@ -8,7 +8,12 @@ Subcommands:
                     table5, table6, ablation);
 * ``quickcheck``  — fast end-to-end correctness sweep (minimality +
                     query oracle) on random graphs; exits non-zero on any
-                    violation.
+                    violation;
+* ``serve``       — interactive online service: distance queries and edge
+                    updates over stdin, batch-coalesced epochs underneath;
+* ``loadtest``    — drive a mixed query/update scenario through the
+                    service and report throughput, latency percentiles
+                    and epoch staleness (optionally oracle-validated).
 """
 
 from __future__ import annotations
@@ -108,6 +113,175 @@ def _cmd_quickcheck(args) -> int:
     return 1 if failures else 0
 
 
+def _service_graph(args):
+    """Build the graph a service command operates on."""
+    if args.dataset:
+        from repro.workloads.datasets import load_dataset
+
+        return load_dataset(args.dataset, scale=args.scale)
+    from repro.graph import generators
+
+    n, p = args.random
+    return generators.erdos_renyi(int(n), float(p), seed=args.seed)
+
+
+def _make_service(args, graph, background: bool):
+    from repro.service import DistanceService, FlushPolicy
+
+    policy = FlushPolicy(
+        max_batch=args.flush_batch,
+        max_delay=args.flush_delay if args.flush_delay > 0 else None,
+    )
+    return DistanceService(
+        graph,
+        num_landmarks=args.landmarks,
+        variant=args.variant,
+        policy=policy,
+        cache_capacity=args.cache,
+        cache_mode=args.cache_mode,
+        background=background,
+    )
+
+
+def _cmd_serve(args) -> int:
+    from repro.errors import ReproError
+
+    try:
+        service = _make_service(args, _service_graph(args), background=True)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(f"# serving {service!r}; 'help' lists commands", flush=True)
+    stream = sys.stdin
+    with service:
+        for line in stream:
+            words = line.split()
+            if not words or words[0].startswith("#"):
+                continue
+            command, rest = words[0].lower(), words[1:]
+            try:
+                if command in ("q", "query") and len(rest) == 2:
+                    s, t = int(rest[0]), int(rest[1])
+                    print(f"d({s}, {t}) = {service.distance(s, t)}")
+                elif command in ("+", "insert") and len(rest) == 2:
+                    service.insert_edge(int(rest[0]), int(rest[1]))
+                    print(f"ok +({rest[0]}, {rest[1]})")
+                elif command in ("-", "delete") and len(rest) == 2:
+                    service.delete_edge(int(rest[0]), int(rest[1]))
+                    print(f"ok -({rest[0]}, {rest[1]})")
+                elif command == "flush":
+                    stats = service.flush()
+                    applied = stats.n_applied if stats else 0
+                    print(f"flushed {applied} updates; epoch {service.epoch}")
+                elif command == "epoch":
+                    print(f"epoch {service.epoch}")
+                elif command == "stats":
+                    print(service.metrics.format_report())
+                elif command == "help":
+                    print(
+                        "commands: q S T | + U V | - U V | flush | epoch"
+                        " | stats | quit"
+                    )
+                elif command in ("quit", "exit"):
+                    break
+                else:
+                    print(f"error: unrecognised command {line.strip()!r}")
+            except Exception as exc:  # keep serving after a bad request
+                print(f"error: {exc}")
+            sys.stdout.flush()
+    return 0
+
+
+def _cmd_loadtest(args) -> int:
+    from repro.errors import ReproError
+    from repro.service import ClosedLoopGenerator, mixed_scenario, replay
+
+    if args.validate and args.background:
+        # The oracle check is only exact for a single-threaded foreground
+        # service (the snapshot must not flip between answer and check).
+        print(
+            "error: --validate requires foreground flushing;"
+            " drop --background",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        graph = _service_graph(args)
+        scenario = mixed_scenario(
+            graph,
+            num_queries=args.queries,
+            num_batches=args.batches,
+            batch_size=args.batch_size,
+            setting=args.setting,
+            seed=args.seed,
+            query_skew=args.skew,
+        )
+        service = _make_service(args, scenario.graph, background=args.background)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(
+        f"loadtest: |V|={scenario.graph.num_vertices}"
+        f" |E|={scenario.graph.num_edges}"
+        f" queries={scenario.num_queries} updates={scenario.num_updates}"
+        f" setting={scenario.setting}"
+        f" mode={'validated replay' if args.validate else 'closed-loop'}"
+    )
+    mismatches = 0
+    with service:
+        if args.validate:
+            outcome = replay(service, scenario.ops, validate=True)
+            mismatches = outcome["mismatches"]
+        else:
+            outcome = ClosedLoopGenerator(args.clients).run(
+                service, scenario.ops
+            )
+        service.flush()
+        print(service.metrics.format_report())
+        print(f"final epoch        {service.epoch}")
+    if args.validate:
+        verdict = "all exact" if not mismatches else "MISMATCHES"
+        print(
+            f"oracle validation  {outcome['queries'] - mismatches}/"
+            f"{outcome['queries']} answers exact ({verdict})"
+        )
+        for failure in outcome["failures"]:
+            print(f"  {failure}", file=sys.stderr)
+    else:
+        print(
+            f"closed loop        {outcome['clients']} clients,"
+            f" {outcome['throughput_ops']:.0f} ops/s overall"
+        )
+    return 1 if mismatches else 0
+
+
+def _add_service_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--dataset", help="serve a dataset replica by name")
+    parser.add_argument(
+        "--random",
+        nargs=2,
+        metavar=("N", "P"),
+        default=(500, 0.02),
+        help="serve an Erdos-Renyi G(N, P) graph (default: 500 0.02)",
+    )
+    parser.add_argument("--scale", type=float, default=1.0)
+    parser.add_argument("--landmarks", type=int, default=20)
+    parser.add_argument("--variant", default="bhl+")
+    parser.add_argument(
+        "--flush-batch", type=int, default=512,
+        help="flush when this many updates are buffered",
+    )
+    parser.add_argument(
+        "--flush-delay", type=float, default=0.05,
+        help="flush when the oldest update waited this long (s); 0 disables",
+    )
+    parser.add_argument("--cache", type=int, default=4096)
+    parser.add_argument(
+        "--cache-mode", choices=("epoch", "affected"), default="epoch"
+    )
+    parser.add_argument("--seed", type=int, default=0)
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-bench",
@@ -129,6 +303,40 @@ def main(argv: list[str] | None = None) -> int:
     check.add_argument("--trials", type=int, default=20)
     check.add_argument("--seed", type=int, default=0)
     check.set_defaults(func=_cmd_quickcheck)
+
+    serve = sub.add_parser(
+        "serve", help="online query/update service over stdin"
+    )
+    _add_service_options(serve)
+    serve.set_defaults(func=_cmd_serve)
+
+    loadtest = sub.add_parser(
+        "loadtest", help="mixed query/update load test with a latency report"
+    )
+    _add_service_options(loadtest)
+    loadtest.add_argument("--queries", type=int, default=2000)
+    loadtest.add_argument("--batches", type=int, default=4)
+    loadtest.add_argument("--batch-size", type=int, default=50)
+    loadtest.add_argument(
+        "--setting",
+        choices=("decremental", "incremental", "fully-dynamic"),
+        default="fully-dynamic",
+    )
+    loadtest.add_argument("--clients", type=int, default=4)
+    loadtest.add_argument(
+        "--skew", type=float, default=0.0,
+        help="query popularity skew (0 = uniform; try 3 for cacheable"
+        " hot-tier traffic)",
+    )
+    loadtest.add_argument(
+        "--background", action="store_true",
+        help="flush on a background writer thread instead of inline",
+    )
+    loadtest.add_argument(
+        "--validate", action="store_true",
+        help="single-threaded replay; BFS-check every served answer",
+    )
+    loadtest.set_defaults(func=_cmd_loadtest)
 
     args = parser.parse_args(argv)
     return args.func(args)

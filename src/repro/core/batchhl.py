@@ -162,8 +162,14 @@ def _apply_one_batch(
         parallel=parallel,
         num_threads=num_threads,
     )
-    for i, (n_affected, search_s, repair_s, changed) in enumerate(outcomes):
+    for update in batch:
+        stats.affected_vertices.add(update.u)
+        stats.affected_vertices.add(update.v)
+    for i, (n_affected, search_s, repair_s, changed, touched) in enumerate(
+        outcomes
+    ):
         stats.affected_per_landmark[i] += n_affected
+        stats.affected_vertices.update(touched)
         stats.search_seconds += search_s
         stats.repair_seconds += repair_s
         stats.labels_changed += changed
@@ -182,18 +188,18 @@ def process_landmarks(
     parallel: str | None,
     num_threads: int | None,
     pred_view=None,
-) -> tuple[list[tuple[int, float, float, int]], float]:
+) -> tuple[list[tuple[int, float, float, int, list[int]]], float]:
     """Run search + repair for every landmark over an updated graph view.
 
     Shared by the undirected and directed indexes.  ``pred_view`` provides
     predecessor neighbourhoods for repair's boundary bounds (in-neighbours
     on directed graphs; None means same as ``view``).  Returns per-landmark
-    ``(affected, search_seconds, repair_seconds, cells_changed)`` plus the
-    makespan (max per-landmark wall time).
+    ``(n_affected, search_seconds, repair_seconds, cells_changed,
+    affected_vertices)`` plus the makespan (max per-landmark wall time).
     """
     is_landmark = labelling_old.is_landmark.tolist()
 
-    def process(i: int) -> tuple[int, float, float, int, float]:
+    def process(i: int) -> tuple[int, float, float, int, list[int], float]:
         t0 = time.perf_counter()
         dist_arr, flag_arr = labelling_old.distances_from(i)
         old_dist = dist_arr.tolist()
@@ -217,7 +223,7 @@ def process_landmarks(
             pred_view=pred_view,
         )
         t2 = time.perf_counter()
-        return len(affected), t1 - t0, t2 - t1, changed, t2 - t0
+        return len(affected), t1 - t0, t2 - t1, changed, affected, t2 - t0
 
     indices = range(labelling_old.num_landmarks)
     if parallel == "threads":
@@ -227,6 +233,6 @@ def process_landmarks(
     else:
         raw = [process(i) for i in indices]
 
-    outcomes = [(n, s, r, c) for (n, s, r, c, _) in raw]
-    makespan = max((t for (_, _, _, _, t) in raw), default=0.0)
+    outcomes = [(n, s, r, c, a) for (n, s, r, c, a, _) in raw]
+    makespan = max((t for (*_, t) in raw), default=0.0)
     return outcomes, makespan

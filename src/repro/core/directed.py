@@ -193,6 +193,9 @@ class DirectedHighwayCoverIndex:
         self._forward.grow(graph.num_vertices)
         self._backward.grow(graph.num_vertices)
         apply_batch(graph, batch)
+        for update in batch:
+            stats.affected_vertices.add(update.u)
+            stats.affected_vertices.add(update.v)
 
         makespan_total = 0.0
         for labelling, view, pred_view, reverse in (
@@ -215,8 +218,15 @@ class DirectedHighwayCoverIndex:
                 num_threads=num_threads,
                 pred_view=pred_view,
             )
-            for i, (n_affected, search_s, repair_s, changed) in enumerate(outcomes):
+            for i, (
+                n_affected,
+                search_s,
+                repair_s,
+                changed,
+                touched,
+            ) in enumerate(outcomes):
                 stats.affected_per_landmark[i] += n_affected
+                stats.affected_vertices.update(touched)
                 stats.search_seconds += search_s
                 stats.repair_seconds += repair_s
                 stats.labels_changed += changed

@@ -130,6 +130,20 @@ class HighwayCoverIndex:
 
         return extract_shortest_path(self._graph, s, t, internal)
 
+    def snapshot(self) -> "HighwayCoverIndex":
+        """A frozen copy of this index for lock-free concurrent reads.
+
+        Returns a new :class:`HighwayCoverIndex` over copies of the graph
+        and labelling.  The copy shares nothing mutable with this index, so
+        readers may keep querying it while ``batch_update`` repairs the
+        original — this is the epoch-publication hook the online serving
+        layer (:mod:`repro.service`) builds on.  Cost is O(V·R + V + E)
+        per call; queries against the snapshot never block on writers.
+        """
+        return HighwayCoverIndex.from_parts(
+            self._graph.copy(), self._labelling.copy()
+        )
+
     # ------------------------------------------------------------------
     # updates
     # ------------------------------------------------------------------

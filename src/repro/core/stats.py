@@ -21,6 +21,11 @@ class UpdateStats:
     n_deletions: int = 0
     #: |V_aff(r)| per landmark, accumulated across sub-batches/unit updates.
     affected_per_landmark: list[int] = field(default_factory=list)
+    #: Union over landmarks of the affected vertex sets, plus the endpoints
+    #: of every applied update — the vertices whose labels (or incident
+    #: edges) this batch may have touched.  Consumers such as the serving
+    #: layer's query cache use it for targeted invalidation.
+    affected_vertices: set[int] = field(default_factory=set)
     search_seconds: float = 0.0
     repair_seconds: float = 0.0
     total_seconds: float = 0.0
@@ -45,6 +50,7 @@ class UpdateStats:
             self.affected_per_landmark = [0] * len(other.affected_per_landmark)
         for i, count in enumerate(other.affected_per_landmark):
             self.affected_per_landmark[i] += count
+        self.affected_vertices |= other.affected_vertices
         self.search_seconds += other.search_seconds
         self.repair_seconds += other.repair_seconds
         self.total_seconds += other.total_seconds

@@ -336,6 +336,9 @@ class WeightedHighwayCoverIndex:
             else:
                 stats.n_insertions += 1  # decrease ~ insertion
         stats.n_applied = len(changes)
+        for u, v, _, _ in changes:
+            stats.affected_vertices.add(u)
+            stats.affected_vertices.add(v)
 
         labelling_old = self._labelling
         labelling_new = labelling_old.copy()
@@ -352,6 +355,7 @@ class WeightedHighwayCoverIndex:
             )
             t2 = time.perf_counter()
             stats.affected_per_landmark[i] += len(affected)
+            stats.affected_vertices.update(affected)
             stats.search_seconds += t1 - t0
             stats.repair_seconds += t2 - t1
         self._labelling = labelling_new

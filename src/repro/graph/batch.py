@@ -98,6 +98,34 @@ class Batch(Sequence[EdgeUpdate]):
         return f"Batch(+{n_ins}, -{len(self._updates) - n_ins})"
 
 
+def fold_update(
+    pending: "dict[tuple[int, int], EdgeUpdate]",
+    update: EdgeUpdate,
+    directed: bool = False,
+) -> EdgeUpdate | None:
+    """Fold one update into a pending-by-edge buffer (last write wins).
+
+    Used by components that buffer updates over time (the serving
+    scheduler): at most one update is retained per canonical edge, and a
+    later update for the same edge replaces the earlier one — the edge is
+    re-appended so the dict keeps arrival order of *surviving* intents.
+    Self-loops are dropped (returning the update itself as "displaced").
+    Returns the update that was displaced, or None if the buffer grew.
+
+    This is intentionally NOT :func:`normalize_batch`'s insert+delete
+    pair-cancellation: over a buffer the latest request wins, so
+    insert(e) then delete(e) folds to delete(e) rather than eliminating
+    both.  Validity against the live graph (insert-of-present /
+    delete-of-absent) is still normalize_batch's job at flush time.
+    """
+    if update.u == update.v:
+        return update
+    canon = update if directed else update.canonical()
+    displaced = pending.pop(canon.endpoints(), None)
+    pending[canon.endpoints()] = canon
+    return displaced
+
+
 def normalize_batch(
     updates: Iterable[EdgeUpdate],
     graph: "DynamicGraph | DynamicDiGraph",

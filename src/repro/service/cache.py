@@ -1,0 +1,172 @@
+"""Query-result LRU cache with per-epoch invalidation.
+
+Distance queries on social-network-shaped graphs are heavily skewed, so a
+small LRU in front of the labelling absorbs a large fraction of traffic.
+The interesting part is invalidation when an epoch flips.  Two modes:
+
+* ``"epoch"`` (default, **exact**) — any epoch that applied at least one
+  update clears the cache.  Cheap, and every hit is provably an answer the
+  current snapshot would give.
+
+* ``"affected"`` (**approximate**, opt-in) — only entries whose endpoint
+  lies in ``UpdateStats.affected_vertices`` (the union of the paper's
+  per-landmark affected sets plus the batch's edge endpoints) are evicted.
+  This retains far more of the cache under localised batches, but it is a
+  heuristic, not a guarantee: a batch can change ``d(s, t)`` without
+  touching ``s`` or ``t``.  Concretely, insert edge ``(u, v)`` into the
+  path ``s–u–w–v–t`` with a landmark adjacent to ``u``, ``v`` and ``w``:
+  no landmark distance changes (``affected_vertices = {u, v}``) yet
+  ``d(s, t)`` drops from 4 to 3.  Use it only where bounded staleness is
+  acceptable — the load generators report how many stale answers slipped
+  through when validation is on.
+
+Keys are canonicalised ``(min(s,t), max(s,t))`` pairs — the serving layer
+fronts the undirected index, whose distances are symmetric.
+
+Writes are *epoch-tagged* to close a writer/reader race: a reader that
+computed its answer against epoch N might otherwise install it just after
+the writer published epoch N+1 and invalidated, resurrecting a stale
+value.  ``put`` therefore carries the epoch the answer was computed under
+and is dropped (under the cache lock, where it serialises with
+``on_epoch``) unless that epoch is still current.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Iterable
+
+from repro.errors import WorkloadError
+
+CACHE_MODES = ("epoch", "affected")
+
+#: When an affected set covers more than this fraction of cached entries'
+#: endpoints we give up on selective eviction and clear — scanning the
+#: whole cache to keep a sliver of it is slower than refilling.
+_CLEAR_RATIO = 0.5
+
+
+class QueryCache:
+    """Thread-safe LRU of (s, t) -> distance with epoch invalidation."""
+
+    def __init__(self, capacity: int = 4096, mode: str = "epoch"):
+        if capacity < 0:
+            raise WorkloadError("cache capacity must be >= 0")
+        if mode not in CACHE_MODES:
+            raise WorkloadError(
+                f"unknown cache mode {mode!r}; expected one of {CACHE_MODES}"
+            )
+        self.capacity = capacity
+        self.mode = mode
+        self._entries: OrderedDict[tuple[int, int], float] = OrderedDict()
+        self._lock = threading.Lock()
+        self._epoch = 0
+        self.hits = 0
+        self.misses = 0
+        self.invalidated = 0
+        self.clears = 0
+        self.stale_puts_dropped = 0
+
+    @staticmethod
+    def _key(s: int, t: int) -> tuple[int, int]:
+        return (s, t) if s <= t else (t, s)
+
+    # -- read/write -----------------------------------------------------
+
+    def get(self, s: int, t: int) -> float | None:
+        if self.capacity == 0:
+            self.misses += 1
+            return None
+        key = self._key(s, t)
+        with self._lock:
+            value = self._entries.get(key)
+            if value is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return value
+
+    def put(self, s: int, t: int, distance: float, epoch: int = 0) -> None:
+        """Install an answer computed under ``epoch`` (dropped if stale)."""
+        if self.capacity == 0:
+            return
+        key = self._key(s, t)
+        with self._lock:
+            if epoch != self._epoch:
+                self.stale_puts_dropped += 1
+                return
+            self._entries[key] = distance
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+
+    # -- invalidation ---------------------------------------------------
+
+    def on_epoch(
+        self, affected_vertices: Iterable[int] | None, epoch: int
+    ) -> int:
+        """Invalidate after publishing ``epoch``; returns entries dropped.
+
+        ``affected_vertices`` is ``UpdateStats.affected_vertices`` of the
+        flushed batch (None forces a full clear regardless of mode; an
+        empty set means the epoch changed nothing, so entries survive but
+        in-flight puts from older epochs are still fenced off).
+        """
+        with self._lock:
+            self._epoch = epoch
+            if not self._entries:
+                return 0
+            if affected_vertices is None:
+                return self._clear_locked()
+            if self.mode == "epoch":
+                if not affected_vertices:
+                    return 0
+                return self._clear_locked()
+            affected = (
+                affected_vertices
+                if isinstance(affected_vertices, (set, frozenset))
+                else set(affected_vertices)
+            )
+            if not affected:
+                return 0
+            if len(affected) >= _CLEAR_RATIO * len(self._entries):
+                return self._clear_locked()
+            doomed = [
+                key
+                for key in self._entries
+                if key[0] in affected or key[1] in affected
+            ]
+            for key in doomed:
+                del self._entries[key]
+            self.invalidated += len(doomed)
+            return len(doomed)
+
+    def _clear_locked(self) -> int:
+        dropped = len(self._entries)
+        self._entries.clear()
+        self.invalidated += dropped
+        self.clears += 1
+        return dropped
+
+    def clear(self) -> int:
+        with self._lock:
+            return self._clear_locked()
+
+    # -- introspection --------------------------------------------------
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def __repr__(self) -> str:
+        return (
+            f"QueryCache(mode={self.mode!r}, size={len(self)}/"
+            f"{self.capacity}, hits={self.hits}, misses={self.misses})"
+        )

@@ -1,0 +1,353 @@
+"""Online serving engine: epoch snapshots + single-writer batch updates.
+
+The paper shows that coalescing updates into batches amortises labelling
+maintenance; this module turns that offline result into a serving
+discipline.  One **writer** owns the live :class:`HighwayCoverIndex` and
+applies each flushed batch through ``batch_update`` (the full
+search+repair pipeline).  **Readers** never touch the writer's state: they
+answer against the most recently *published* :class:`EpochSnapshot`, an
+immutable (graph, labelling) copy.  Publishing a snapshot is a single
+reference assignment — atomic under the GIL — so queries proceed lock-free
+and never block on an in-flight repair.  The price is bounded staleness:
+between a batch's flush start and its publish, readers see epoch N while
+N+1 is being built; :class:`~repro.service.metrics.ServiceMetrics` counts
+those answers (best-effort within one instruction of the flip — the
+counter is observability, not part of the consistency contract).
+
+Consistency contract:
+
+* every answer is the *exact* distance in some published epoch's graph —
+  there are no torn reads mixing pre- and post-batch state;
+* an update is visible to all queries that start after its flush's
+  publish; with a background writer no accepted update waits longer than
+  the flush policy's time budget plus one repair (in foreground mode
+  triggers are only evaluated at ``submit``/``flush`` calls — the read
+  path never flushes, so a quiet service can hold a partial batch until
+  the next write arrives);
+* updates are serialised through the writer lock — concurrent ``submit``
+  callers coalesce into the same scheduler buffer.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+
+from repro.core.batchhl import Variant, resolve_variant
+from repro.core.index import HighwayCoverIndex
+from repro.core.stats import UpdateStats
+from repro.errors import BatchError, IndexStateError
+from repro.graph.batch import EdgeUpdate
+from repro.graph.dynamic_graph import DynamicGraph
+from repro.service.cache import QueryCache
+from repro.service.metrics import ServiceMetrics
+from repro.service.scheduler import (
+    CoalescingScheduler,
+    FlushPolicy,
+    FlushTrigger,
+)
+
+
+@dataclass(frozen=True)
+class EpochSnapshot:
+    """One immutable published version of the index."""
+
+    epoch: int
+    index: HighwayCoverIndex
+    published_at: float
+
+    def distance(self, s: int, t: int) -> float:
+        return self.index.distance(s, t)
+
+
+class EpochStore:
+    """Holds the current snapshot; swap is a pointer flip.
+
+    ``current()`` is a bare attribute read (atomic in CPython), so readers
+    pay no synchronisation.  ``publish`` is writer-side only.
+    """
+
+    def __init__(self, index: HighwayCoverIndex):
+        self._lock = threading.Lock()
+        self._current = EpochSnapshot(0, index, time.monotonic())
+
+    def current(self) -> EpochSnapshot:
+        return self._current
+
+    @property
+    def epoch(self) -> int:
+        return self._current.epoch
+
+    def publish(self, index: HighwayCoverIndex) -> EpochSnapshot:
+        with self._lock:
+            snapshot = EpochSnapshot(
+                self._current.epoch + 1, index, time.monotonic()
+            )
+            self._current = snapshot  # the pointer flip readers see
+            return snapshot
+
+
+class DistanceService:
+    """Thread-safe online distance-query service over a dynamic graph.
+
+    ``source`` may be a :class:`DynamicGraph` (an index is built over it)
+    or a prebuilt :class:`HighwayCoverIndex` (taken over as the writer's
+    live index — do not mutate it externally afterwards).
+
+    With ``background=True`` a daemon writer thread flushes whenever the
+    policy's size or age trigger fires; otherwise flushes run inline on
+    the submitting thread once a trigger is due (callers occasionally pay
+    a repair — the amortisation the paper measures).  Either way, use the
+    service as a context manager or call :meth:`close` to drain the last
+    partial batch.
+    """
+
+    def __init__(
+        self,
+        source: "DynamicGraph | HighwayCoverIndex",
+        *,
+        num_landmarks: int = 20,
+        landmarks: tuple[int, ...] | None = None,
+        variant: Variant | str = Variant.BHL_PLUS,
+        policy: FlushPolicy | None = None,
+        cache_capacity: int = 4096,
+        cache_mode: str = "epoch",
+        parallel: str | None = None,
+        num_threads: int | None = None,
+        background: bool = False,
+    ):
+        if isinstance(source, HighwayCoverIndex):
+            writer = source
+        elif isinstance(source, DynamicGraph):
+            writer = HighwayCoverIndex(
+                source, num_landmarks=num_landmarks, landmarks=landmarks
+            )
+        else:
+            raise IndexStateError(
+                "DistanceService needs a DynamicGraph or HighwayCoverIndex,"
+                f" got {type(source).__name__}"
+            )
+        self._writer = writer
+        # Resolve eagerly: a typo'd variant must fail at construction, not
+        # poison the first flush.
+        self._variant = resolve_variant(variant)
+        self._parallel = parallel
+        self._num_threads = num_threads
+        self._epochs = EpochStore(writer.snapshot())
+        self.scheduler = CoalescingScheduler(policy)
+        self.cache = QueryCache(cache_capacity, cache_mode)
+        self.metrics = ServiceMetrics()
+        self._writer_lock = threading.Lock()
+        self._building = threading.Event()
+        self._closed = False
+        self._writer_error: BaseException | None = None
+        self._wakeup = threading.Condition()
+        self._thread: threading.Thread | None = None
+        if background:
+            self._thread = threading.Thread(
+                target=self._writer_loop, name="distance-service-writer",
+                daemon=True,
+            )
+            self._thread.start()
+
+    # ------------------------------------------------------------------
+    # read path (lock-free against the writer)
+    # ------------------------------------------------------------------
+
+    def distance(self, s: int, t: int) -> float:
+        """Exact distance in the current epoch's graph."""
+        started = time.perf_counter()
+        snapshot = self._epochs.current()
+        # Sampled right after the snapshot grab: if the writer is mid-
+        # flush now, this answer comes from the epoch being superseded.
+        # The flag is racy by one instruction at the flip, so the stale
+        # counter is best-effort at epoch boundaries.
+        stale = self._building.is_set()
+        cached = self.cache.get(s, t)
+        if cached is not None:
+            value = cached
+        else:
+            value = snapshot.index.distance(s, t)
+            self.cache.put(s, t, value, snapshot.epoch)
+        self.metrics.record_query(
+            time.perf_counter() - started, cached is not None, stale
+        )
+        return value
+
+    def query(self, s: int, t: int) -> float:
+        """Alias of :meth:`distance`."""
+        return self.distance(s, t)
+
+    def current_snapshot(self) -> EpochSnapshot:
+        return self._epochs.current()
+
+    @property
+    def epoch(self) -> int:
+        return self._epochs.epoch
+
+    @property
+    def pending_updates(self) -> int:
+        return len(self.scheduler)
+
+    # ------------------------------------------------------------------
+    # write path (single logical writer)
+    # ------------------------------------------------------------------
+
+    def submit(self, update: EdgeUpdate) -> None:
+        """Buffer one edge update; it becomes visible after the next flush.
+
+        Malformed updates are rejected here, at the accept boundary — one
+        bad update must not poison a whole flushed batch later.  The
+        closed-check and the buffer insert happen under one lock, so an
+        accepted update is always either flushed by a trigger or drained
+        by ``close()``; it cannot slip into a buffer nothing will drain.
+        """
+        n = self._writer.graph.num_vertices
+        if not (0 <= update.u < n and 0 <= update.v < n):
+            # Same boundary the read path enforces.  Growing the vertex
+            # set is an index-level operation (attach_vertex), not
+            # something a stray client id should trigger: an oversized id
+            # here would make the flush allocate a labelling for that
+            # many vertices.
+            raise BatchError(
+                f"invalid update ({update.u}, {update.v}):"
+                f" vertex ids must be in 0..{n - 1}"
+            )
+        with self._wakeup:
+            if self._closed:
+                raise IndexStateError("service is closed")
+            if self._writer_error is not None:
+                raise IndexStateError(
+                    "service writer failed; no further updates are accepted"
+                ) from self._writer_error
+            coalesced = self.scheduler.offer(update)
+            if self._thread is not None:
+                self._wakeup.notify()
+        self.metrics.record_submit(coalesced)
+        if self._thread is None:
+            trigger = self.scheduler.due()
+            if trigger is not None:
+                self.flush(trigger)
+
+    def submit_many(self, updates) -> None:
+        for update in updates:
+            self.submit(update)
+
+    def insert_edge(self, u: int, v: int) -> None:
+        self.submit(EdgeUpdate.insert(u, v))
+
+    def delete_edge(self, u: int, v: int) -> None:
+        self.submit(EdgeUpdate.delete(u, v))
+
+    def flush(
+        self, trigger: FlushTrigger = FlushTrigger.MANUAL
+    ) -> UpdateStats | None:
+        """Drain the buffer, repair the labelling, publish a new epoch.
+
+        Returns the batch's :class:`UpdateStats`, or None if the buffer
+        was empty.  Concurrent callers serialise on the writer lock; the
+        loser finds an empty buffer and returns immediately.
+        """
+        with self._writer_lock:
+            batch = self.scheduler.drain()
+            if not batch:
+                return None
+            started = time.perf_counter()
+            self._building.set()
+            try:
+                stats = self._writer.batch_update(
+                    batch,
+                    variant=self._variant,
+                    parallel=self._parallel,
+                    num_threads=self._num_threads,
+                )
+                if stats.n_applied:
+                    # Invalidate BEFORE the pointer flip: a reader that
+                    # already holds the new snapshot must never get a hit
+                    # cached under the old epoch.  Readers still on the
+                    # old snapshot have their puts fenced off by the
+                    # epoch tag — conservative, never stale.
+                    next_epoch = self._epochs.epoch + 1
+                    self.cache.on_epoch(stats.affected_vertices, next_epoch)
+                    self._epochs.publish(self._writer.snapshot())
+                    self.metrics.record_publish()
+            except BaseException as exc:
+                # Anywhere this fails — mid-repair (graph mutated before
+                # the labelling is repaired), snapshotting, publishing —
+                # the writer state is suspect.  Poison the service so
+                # nothing ever publishes from it (readers keep the last
+                # good epoch, writes start raising), then let the caller
+                # see the failure.
+                with self._wakeup:
+                    self._writer_error = exc
+                raise
+            finally:
+                self._building.clear()
+            self.metrics.record_flush(
+                time.perf_counter() - started,
+                len(batch),
+                stats.n_applied,
+                trigger.value,
+            )
+            return stats
+
+    # ------------------------------------------------------------------
+    # background writer
+    # ------------------------------------------------------------------
+
+    def _writer_loop(self) -> None:
+        while True:
+            with self._wakeup:
+                if self._closed:
+                    return
+                trigger = self.scheduler.due()
+                if trigger is None:
+                    # Sleep until a submit notifies us or the age budget
+                    # of the oldest buffered update runs out.
+                    self._wakeup.wait(self.scheduler.time_until_due())
+                    continue
+            try:
+                self.flush(trigger)
+            except BaseException:
+                # flush() already parked the error for submit()/close()
+                # to raise; the writer thread just stops.
+                return
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    def close(self, flush_pending: bool = True) -> None:
+        """Stop the writer thread and (by default) drain the last batch.
+
+        Raises the parked writer error, if any — a background flush
+        failure must surface somewhere."""
+        with self._wakeup:
+            if self._closed:
+                return
+            self._closed = True
+            self._wakeup.notify_all()
+        if self._thread is not None:
+            self._thread.join()
+        if self._writer_error is not None:
+            raise IndexStateError(
+                "service writer failed"
+            ) from self._writer_error
+        if flush_pending:
+            self.flush(FlushTrigger.CLOSE)
+
+    def __enter__(self) -> "DistanceService":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        snapshot = self._epochs.current()
+        return (
+            f"DistanceService(epoch={snapshot.epoch},"
+            f" |V|={snapshot.index.graph.num_vertices},"
+            f" pending={self.pending_updates},"
+            f" closed={self._closed})"
+        )

@@ -1,0 +1,241 @@
+"""Serving-side instrumentation: throughput, latency percentiles, staleness.
+
+The offline bench layer times whole experiments; the serving layer needs
+per-operation observability instead.  :class:`LatencyRecorder` keeps a
+bounded reservoir of latency samples (algorithm R, deterministic seed) so
+percentile reports stay O(1) in memory no matter how long a service runs,
+and :class:`ServiceMetrics` aggregates the counters every component of
+:mod:`repro.service` emits:
+
+* query/update throughput over the metrics window;
+* query latency p50/p90/p99 (cache hits and misses both count — that is
+  what a client observes);
+* flush latency and batch-size distribution per trigger;
+* **staleness** — the number of queries answered against epoch N while the
+  writer was already building epoch N+1, i.e. answers that were exact for
+  the previous published topology but not for the in-flight one.
+
+All methods are thread-safe; recording is a few dict/list operations under
+a lock, cheap relative to a distance query.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+import threading
+import time
+from typing import Sequence
+
+
+def percentile(samples: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile (q in [0, 100]); 0.0 on empty input.
+
+    Uses the ceil-based nearest-rank definition (rank ⌈q/100·n⌉), not
+    round(): banker's rounding would bias half-rank percentiles — e.g.
+    the median of five samples — one rank low.
+    """
+    if not samples:
+        return 0.0
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile q must be in [0, 100], got {q}")
+    ordered = sorted(samples)
+    rank = math.ceil(q / 100.0 * len(ordered)) - 1
+    return ordered[max(0, min(len(ordered) - 1, rank))]
+
+
+class LatencyRecorder:
+    """Bounded reservoir of latency samples with percentile reads."""
+
+    def __init__(self, max_samples: int = 8192, seed: int = 0):
+        if max_samples < 1:
+            raise ValueError("max_samples must be >= 1")
+        self._max = max_samples
+        self._rng = random.Random(seed)
+        self._samples: list[float] = []
+        self._count = 0
+        self._total = 0.0
+        self._max_seen = 0.0
+        self._lock = threading.Lock()
+
+    def record(self, seconds: float) -> None:
+        with self._lock:
+            self._count += 1
+            self._total += seconds
+            if seconds > self._max_seen:
+                self._max_seen = seconds
+            if len(self._samples) < self._max:
+                self._samples.append(seconds)
+            else:
+                # Reservoir sampling keeps the kept set uniform over all
+                # recorded samples, so percentiles stay unbiased.
+                slot = self._rng.randrange(self._count)
+                if slot < self._max:
+                    self._samples[slot] = seconds
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    def mean(self) -> float:
+        with self._lock:
+            return self._total / self._count if self._count else 0.0
+
+    def max(self) -> float:
+        return self._max_seen
+
+    def quantiles(self, qs: Sequence[float] = (50.0, 90.0, 99.0)) -> dict:
+        with self._lock:
+            frozen = list(self._samples)
+        return {f"p{q:g}": percentile(frozen, q) for q in qs}
+
+    def summary(self) -> dict:
+        out = {
+            "count": self._count,
+            "mean_s": self.mean(),
+            "max_s": self._max_seen,
+        }
+        out.update(self.quantiles())
+        return out
+
+
+class ServiceMetrics:
+    """Aggregated counters + latency recorders for one DistanceService."""
+
+    def __init__(self, max_samples: int = 8192):
+        self._lock = threading.Lock()
+        self.query_latency = LatencyRecorder(max_samples, seed=1)
+        self.flush_latency = LatencyRecorder(max_samples, seed=2)
+        self.queries_served = 0
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.stale_queries = 0
+        self.updates_submitted = 0
+        self.updates_coalesced = 0
+        self.updates_applied = 0
+        self.batches_flushed = 0
+        self.epochs_published = 0
+        self.flush_triggers: dict[str, int] = {}
+        self.largest_batch = 0
+        self._started_at = time.perf_counter()
+
+    # -- recording hooks ------------------------------------------------
+
+    def record_query(
+        self, seconds: float, cache_hit: bool, stale: bool
+    ) -> None:
+        self.query_latency.record(seconds)
+        with self._lock:
+            self.queries_served += 1
+            if cache_hit:
+                self.cache_hits += 1
+            else:
+                self.cache_misses += 1
+            if stale:
+                self.stale_queries += 1
+
+    def record_submit(self, coalesced: bool) -> None:
+        with self._lock:
+            self.updates_submitted += 1
+            if coalesced:
+                self.updates_coalesced += 1
+
+    def record_flush(
+        self, seconds: float, batch_size: int, applied: int, trigger: str
+    ) -> None:
+        self.flush_latency.record(seconds)
+        with self._lock:
+            self.batches_flushed += 1
+            self.updates_applied += applied
+            self.largest_batch = max(self.largest_batch, batch_size)
+            self.flush_triggers[trigger] = (
+                self.flush_triggers.get(trigger, 0) + 1
+            )
+
+    def record_publish(self) -> None:
+        """A new epoch snapshot became visible to readers (a flush whose
+        batch was fully invalid publishes nothing)."""
+        with self._lock:
+            self.epochs_published += 1
+
+    # -- reads ----------------------------------------------------------
+
+    def elapsed(self) -> float:
+        return time.perf_counter() - self._started_at
+
+    def summary(self) -> dict:
+        """One flat dict with everything a load-test report needs."""
+        elapsed = max(self.elapsed(), 1e-9)
+        with self._lock:
+            queries = self.queries_served
+            hits = self.cache_hits
+            stale = self.stale_queries
+            submitted = self.updates_submitted
+            out = {
+                "elapsed_s": elapsed,
+                "queries_served": queries,
+                "query_throughput_qps": queries / elapsed,
+                "cache_hits": hits,
+                "cache_misses": self.cache_misses,
+                "cache_hit_rate": hits / queries if queries else 0.0,
+                "stale_queries": stale,
+                "stale_fraction": stale / queries if queries else 0.0,
+                "updates_submitted": submitted,
+                "updates_coalesced": self.updates_coalesced,
+                "updates_applied": self.updates_applied,
+                "update_throughput_ups": submitted / elapsed,
+                "batches_flushed": self.batches_flushed,
+                "epochs_published": self.epochs_published,
+                "largest_batch": self.largest_batch,
+                "flush_triggers": dict(self.flush_triggers),
+            }
+        for key, value in self.query_latency.summary().items():
+            out[f"query_{key}"] = value
+        for key, value in self.flush_latency.summary().items():
+            out[f"flush_{key}"] = value
+        return out
+
+    def format_report(self) -> str:
+        """Human-readable multi-line report (CLI ``loadtest`` output)."""
+        s = self.summary()
+        us = 1e6
+        lines = [
+            f"elapsed            {s['elapsed_s']:.3f} s",
+            (
+                f"queries            {s['queries_served']}"
+                f"  ({s['query_throughput_qps']:.0f} q/s)"
+            ),
+            (
+                f"query latency      p50 {s['query_p50'] * us:.1f} us"
+                f"   p90 {s['query_p90'] * us:.1f} us"
+                f"   p99 {s['query_p99'] * us:.1f} us"
+                f"   max {s['query_max_s'] * us:.1f} us"
+            ),
+            (
+                f"cache              {s['cache_hits']} hits /"
+                f" {s['cache_misses']} misses"
+                f"  (hit rate {s['cache_hit_rate']:.1%})"
+            ),
+            (
+                f"staleness          {s['stale_queries']} queries answered"
+                f" against a stale epoch ({s['stale_fraction']:.1%})"
+            ),
+            (
+                f"updates            {s['updates_submitted']} submitted,"
+                f" {s['updates_coalesced']} coalesced,"
+                f" {s['updates_applied']} applied"
+                f"  ({s['update_throughput_ups']:.0f} u/s)"
+            ),
+            (
+                f"flushes            {s['batches_flushed']}"
+                f" (largest batch {s['largest_batch']},"
+                f" triggers {s['flush_triggers'] or '{}'})"
+            ),
+            (
+                f"flush latency      p50 {s['flush_p50'] * 1e3:.2f} ms"
+                f"   p99 {s['flush_p99'] * 1e3:.2f} ms"
+                f"   max {s['flush_max_s'] * 1e3:.2f} ms"
+            ),
+            f"epochs published   {s['epochs_published']}",
+        ]
+        return "\n".join(lines)

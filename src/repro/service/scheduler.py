@@ -1,0 +1,165 @@
+"""Update buffering: coalescing scheduler + flush policies.
+
+This is the serving-side embodiment of the paper's core claim — batching
+amortises labelling maintenance.  Instead of paying one search+repair pass
+per arriving update (the UHL baseline the paper beats), the scheduler
+buffers updates and hands the writer one batch when a *flush trigger*
+fires:
+
+* **SIZE**  — the buffer reached ``FlushPolicy.max_batch`` updates;
+* **AGE**   — the oldest buffered update has waited ``max_delay`` seconds
+  (bounds staleness: no accepted update stays invisible longer than the
+  time budget plus one repair);
+* **MANUAL** / **CLOSE** — an explicit ``flush()`` call or service
+  shutdown.
+
+While buffering, updates are *coalesced* per canonical edge with
+last-write-wins semantics: a second insert (or delete) of the same edge is
+dropped, and an insert followed by a delete (or vice versa) keeps only the
+latest intent.  :func:`repro.graph.batch.normalize_batch` then discards
+whatever is invalid against the live graph at flush time, so a hot edge
+flapping a thousand times between flushes costs the writer at most one
+update.  Note this deliberately *replaces* the paper's Section 3
+pair-cancellation rule (insert+delete of the same edge in one batch
+eliminates both): for a buffer accumulating client intent over time, the
+latest request is the truth — submitting insert(e) then delete(e) against
+a live edge e deletes it here, whereas the same pair handed directly to
+``batch_update`` as one batch would cancel out and keep it.
+
+The scheduler is thread-safe and clock-injectable (tests pass a fake
+clock to exercise AGE triggers deterministically).
+"""
+
+from __future__ import annotations
+
+import enum
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.errors import WorkloadError
+from repro.graph.batch import EdgeUpdate, fold_update
+
+
+class FlushTrigger(enum.Enum):
+    """Why a buffered batch was handed to the writer."""
+
+    SIZE = "size"
+    AGE = "age"
+    MANUAL = "manual"
+    CLOSE = "close"
+
+
+@dataclass(frozen=True)
+class FlushPolicy:
+    """When the scheduler considers the buffered batch due.
+
+    ``max_batch`` triggers on buffer size; ``max_delay`` (seconds) bounds
+    how long the oldest buffered update may wait.  Either may be None to
+    disable that trigger, but not both — the buffer must be drainable.
+    """
+
+    max_batch: int | None = 512
+    max_delay: float | None = 0.05
+
+    def __post_init__(self):
+        if self.max_batch is None and self.max_delay is None:
+            raise WorkloadError(
+                "FlushPolicy needs at least one of max_batch/max_delay"
+            )
+        if self.max_batch is not None and self.max_batch < 1:
+            raise WorkloadError("max_batch must be >= 1")
+        if self.max_delay is not None and self.max_delay <= 0:
+            raise WorkloadError("max_delay must be positive")
+
+
+class CoalescingScheduler:
+    """Thread-safe coalescing buffer of :class:`EdgeUpdate`."""
+
+    def __init__(
+        self,
+        policy: FlushPolicy | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self.policy = policy or FlushPolicy()
+        self._clock = clock
+        self._pending: dict[tuple[int, int], EdgeUpdate] = {}
+        self._oldest_at: float | None = None
+        self._lock = threading.Lock()
+        self.offered = 0
+        self.coalesced = 0
+        self.drained = 0
+
+    # -- buffering ------------------------------------------------------
+
+    def offer(self, update: EdgeUpdate) -> bool:
+        """Buffer one update; returns True iff it coalesced away (the
+        buffer did not grow: a pending update for the same edge was
+        displaced, or the update was a dropped self-loop)."""
+        with self._lock:
+            self.offered += 1
+            was_empty = not self._pending
+            displaced = fold_update(self._pending, update)
+            if was_empty and self._pending:
+                self._oldest_at = self._clock()
+            if displaced is not None:
+                self.coalesced += 1
+                return True
+            return False
+
+    def due(self) -> FlushTrigger | None:
+        """The trigger that currently makes the buffer due, if any."""
+        with self._lock:
+            return self._due_locked()
+
+    def _due_locked(self) -> FlushTrigger | None:
+        if not self._pending:
+            return None
+        policy = self.policy
+        if policy.max_batch is not None and len(self._pending) >= policy.max_batch:
+            return FlushTrigger.SIZE
+        if policy.max_delay is not None and self._oldest_at is not None:
+            if self._clock() - self._oldest_at >= policy.max_delay:
+                return FlushTrigger.AGE
+        return None
+
+    def time_until_due(self) -> float | None:
+        """Seconds until the AGE trigger fires; None when nothing pends or
+        the policy has no time budget (writer threads use this as their
+        wait timeout)."""
+        with self._lock:
+            if not self._pending or self.policy.max_delay is None:
+                return None
+            assert self._oldest_at is not None
+            remaining = self.policy.max_delay - (self._clock() - self._oldest_at)
+            return max(0.0, remaining)
+
+    def drain(self) -> list[EdgeUpdate]:
+        """Take the whole buffer (coalesced, arrival order) and reset."""
+        with self._lock:
+            batch = list(self._pending.values())
+            self._pending.clear()
+            self._oldest_at = None
+            self.drained += len(batch)
+            return batch
+
+    # -- introspection --------------------------------------------------
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._pending)
+
+    @property
+    def oldest_age(self) -> float:
+        """Seconds the oldest buffered update has waited (0.0 if empty)."""
+        with self._lock:
+            if self._oldest_at is None:
+                return 0.0
+            return self._clock() - self._oldest_at
+
+    def __repr__(self) -> str:
+        return (
+            f"CoalescingScheduler(pending={len(self)},"
+            f" offered={self.offered}, coalesced={self.coalesced})"
+        )

@@ -32,3 +32,45 @@ def sample_query_pairs(
             continue
         pairs.append((s, t))
     return pairs
+
+
+def sample_skewed_query_pairs(
+    graph,
+    count: int,
+    seed: int | random.Random = 0,
+    skew: float = 1.0,
+    hot_fraction: float = 0.1,
+) -> list[tuple[int, int]]:
+    """Vertex pairs with production-shaped popularity skew.
+
+    Real query traffic concentrates on a small set of hot vertices
+    (celebrities, hub pages), which is what makes serving-side result
+    caches effective; uniform sampling — the paper's offline protocol —
+    almost never repeats a pair.  Endpoints are drawn from a two-tier
+    mixture: with probability ``skew/(1+skew)`` a vertex comes from the
+    hot tier (the top ``hot_fraction`` of a random permutation), else
+    from the whole vertex set.  ``skew=0`` degrades to uniform sampling.
+    """
+    n = graph.num_vertices
+    if n < 2:
+        raise WorkloadError("need at least two vertices to sample queries")
+    if skew < 0:
+        raise WorkloadError("skew must be non-negative")
+    if not 0 < hot_fraction <= 1:
+        raise WorkloadError("hot_fraction must be in (0, 1]")
+    rng = make_rng(seed)
+    hot = rng.sample(range(n), max(1, int(n * hot_fraction)))
+    hot_p = skew / (1.0 + skew)
+
+    def pick() -> int:
+        if rng.random() < hot_p:
+            return hot[rng.randrange(len(hot))]
+        return rng.randrange(n)
+
+    pairs: list[tuple[int, int]] = []
+    while len(pairs) < count:
+        s, t = pick(), pick()
+        if s == t:
+            continue
+        pairs.append((s, t))
+    return pairs

@@ -103,3 +103,43 @@ def test_directed_normalisation_keeps_orientation():
     )
     # (1, 0) and (0, 1) are different directed edges: no cancellation.
     assert len(batch) == 2
+
+
+def test_fold_update_last_write_wins():
+    from repro.graph.batch import fold_update
+
+    pending = {}
+    assert fold_update(pending, EdgeUpdate.insert(2, 1)) is None
+    assert list(pending) == [(1, 2)]  # canonicalised
+    displaced = fold_update(pending, EdgeUpdate.delete(1, 2))
+    assert displaced is not None and displaced.is_insert
+    assert len(pending) == 1
+    assert pending[(1, 2)].is_delete
+
+
+def test_fold_update_reappends_for_arrival_order():
+    from repro.graph.batch import fold_update
+
+    pending = {}
+    fold_update(pending, EdgeUpdate.insert(0, 1))
+    fold_update(pending, EdgeUpdate.insert(2, 3))
+    fold_update(pending, EdgeUpdate.delete(0, 1))
+    assert list(pending) == [(2, 3), (0, 1)]
+
+
+def test_fold_update_drops_self_loops():
+    from repro.graph.batch import fold_update
+
+    pending = {}
+    loop = EdgeUpdate.insert(4, 4)
+    assert fold_update(pending, loop) is loop
+    assert pending == {}
+
+
+def test_fold_update_directed_keeps_orientation():
+    from repro.graph.batch import fold_update
+
+    pending = {}
+    fold_update(pending, EdgeUpdate.insert(1, 0), directed=True)
+    fold_update(pending, EdgeUpdate.insert(0, 1), directed=True)
+    assert set(pending) == {(1, 0), (0, 1)}  # distinct directed edges

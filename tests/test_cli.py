@@ -33,3 +33,77 @@ def test_quickcheck_passes(capsys):
 def test_requires_subcommand():
     with pytest.raises(SystemExit):
         main([])
+
+
+LOADTEST_ARGS = [
+    "loadtest",
+    "--random", "120", "0.05",
+    "--landmarks", "5",
+    "--queries", "150",
+    "--batches", "2",
+    "--batch-size", "10",
+    "--flush-batch", "8",
+    "--flush-delay", "0",
+]
+
+
+def test_loadtest_validated_replay(capsys):
+    assert main(LOADTEST_ARGS + ["--validate"]) == 0
+    out = capsys.readouterr().out
+    assert "150/150 answers exact" in out
+    assert "query latency" in out
+    assert "staleness" in out
+    assert "epochs published" in out
+
+
+def test_loadtest_closed_loop(capsys):
+    assert main(LOADTEST_ARGS + ["--clients", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "closed loop" in out
+    assert "3 clients" in out
+    assert "queries            150" in out
+
+
+def test_serve_session(capsys, monkeypatch):
+    import io
+
+    script = "\n".join(
+        [
+            "help",
+            "q 0 1",
+            "+ 0 1",   # likely a no-op insert; exercises coalescing anyway
+            "flush",
+            "epoch",
+            "stats",
+            "bogus command",
+            "q 0",     # malformed -> error line, service keeps running
+            "quit",
+        ]
+    )
+    monkeypatch.setattr("sys.stdin", io.StringIO(script))
+    assert (
+        main(
+            [
+                "serve",
+                "--random", "30", "0.2",
+                "--landmarks", "3",
+                "--flush-delay", "0",
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "commands:" in out
+    assert "d(0, 1) =" in out
+    assert "epoch" in out
+    assert "error: unrecognised command" in out
+
+
+def test_loadtest_rejects_validate_with_background(capsys):
+    assert main(LOADTEST_ARGS + ["--validate", "--background"]) == 2
+    assert "foreground" in capsys.readouterr().err
+
+
+def test_loadtest_clean_error_on_unknown_dataset(capsys):
+    assert main(["loadtest", "--dataset", "nosuch", "--queries", "5"]) == 2
+    assert "unknown dataset" in capsys.readouterr().err

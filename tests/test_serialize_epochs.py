@@ -1,0 +1,86 @@
+"""Epoch persistence: save -> batch -> save, both snapshots stay exact.
+
+The serving layer publishes an epoch per flushed batch; persisting an
+epoch and restoring it later must reproduce the same answers.  This
+round-trip guards that path: an index is saved, mutated by a batch, and
+saved again — both archives must load into indexes that answer every
+sampled query identically to the in-memory index they were written from
+(and exactly, per the BFS oracle on their own graphs).
+"""
+
+import random
+
+from repro import HighwayCoverIndex
+from repro.graph import generators
+
+from tests.conftest import bfs_oracle, random_mixed_updates
+
+
+def sample_pairs(n: int, rng: random.Random, count: int = 60):
+    return [(rng.randrange(n), rng.randrange(n)) for _ in range(count)]
+
+
+def test_save_batch_save_roundtrip(tmp_path):
+    rng = random.Random(42)
+    graph = generators.erdos_renyi(90, 0.06, seed=42)
+    index = HighwayCoverIndex(graph, num_landmarks=6)
+    pairs = sample_pairs(graph.num_vertices, rng)
+
+    path_before = tmp_path / "epoch0.npz"
+    index.save(path_before)
+    answers_before = index.distances(pairs)
+
+    # Asymmetric counts so the edge total provably changes across epochs.
+    stats = index.batch_update(
+        random_mixed_updates(graph.copy(), rng, 8, 4)
+    )
+    assert stats.n_applied > 0
+    path_after = tmp_path / "epoch1.npz"
+    index.save(path_after)
+    answers_after = index.distances(pairs)
+
+    # Both epochs restore independently and answer exactly what the live
+    # index answered at their save points.
+    restored_before = HighwayCoverIndex.load(path_before)
+    restored_after = HighwayCoverIndex.load(path_after)
+    assert restored_before.distances(pairs) == answers_before
+    assert restored_after.distances(pairs) == answers_after
+
+    # Each restored snapshot is exact against its own graph's BFS oracle.
+    for restored in (restored_before, restored_after):
+        for s, t in pairs[:20]:
+            assert restored.distance(s, t) == bfs_oracle(restored.graph, s, t)
+
+    # The post-batch restore carries the repaired (still minimal)
+    # labelling, not a stale one.
+    assert restored_after.check_minimality() == []
+    assert restored_before.graph.num_edges != restored_after.graph.num_edges
+
+    # A restored epoch keeps serving even as the live index moves on.
+    index.batch_update(random_mixed_updates(graph.copy(), rng, 4, 4))
+    assert restored_after.distances(pairs) == answers_after
+
+
+def test_roundtrip_through_service_snapshots(tmp_path):
+    """The serving path: persist the published snapshot, not the writer."""
+    from repro import DistanceService, FlushPolicy
+
+    rng = random.Random(9)
+    graph = generators.erdos_renyi(60, 0.08, seed=9)
+    service = DistanceService(
+        graph,
+        num_landmarks=4,
+        policy=FlushPolicy(max_batch=1000, max_delay=None),
+    )
+    service.submit_many(random_mixed_updates(graph.copy(), rng, 5, 5))
+    service.flush()
+
+    snapshot = service.current_snapshot()
+    path = tmp_path / f"epoch{snapshot.epoch}.npz"
+    snapshot.index.save(path)
+    restored = HighwayCoverIndex.load(path)
+
+    pairs = sample_pairs(snapshot.index.graph.num_vertices, rng, 40)
+    for s, t in pairs:
+        assert restored.distance(s, t) == service.distance(s, t)
+    service.close()

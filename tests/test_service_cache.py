@@ -1,0 +1,103 @@
+"""Query cache: LRU behaviour, epoch fencing, both invalidation modes."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.service.cache import QueryCache
+
+
+def test_construction_validation():
+    with pytest.raises(WorkloadError):
+        QueryCache(capacity=-1)
+    with pytest.raises(WorkloadError):
+        QueryCache(mode="magic")
+
+
+def test_basic_hit_miss_and_symmetry():
+    cache = QueryCache(capacity=8)
+    assert cache.get(1, 2) is None
+    cache.put(1, 2, 3.0)
+    assert cache.get(1, 2) == 3.0
+    assert cache.get(2, 1) == 3.0  # undirected: canonical key
+    assert cache.hits == 2
+    assert cache.misses == 1
+    assert cache.hit_rate == pytest.approx(2 / 3)
+
+
+def test_lru_eviction_order():
+    cache = QueryCache(capacity=2)
+    cache.put(0, 1, 1.0)
+    cache.put(0, 2, 2.0)
+    assert cache.get(0, 1) == 1.0  # touch (0,1): (0,2) becomes LRU
+    cache.put(0, 3, 3.0)
+    assert cache.get(0, 2) is None
+    assert cache.get(0, 1) == 1.0
+    assert cache.get(0, 3) == 3.0
+
+
+def test_zero_capacity_disables_caching():
+    cache = QueryCache(capacity=0)
+    cache.put(1, 2, 3.0)
+    assert cache.get(1, 2) is None
+    assert len(cache) == 0
+
+
+def test_epoch_mode_clears_on_any_change():
+    cache = QueryCache(capacity=8, mode="epoch")
+    cache.put(1, 2, 3.0)
+    cache.put(3, 4, 1.0)
+    dropped = cache.on_epoch({9}, epoch=1)
+    assert dropped == 2
+    assert len(cache) == 0
+    assert cache.clears == 1
+
+
+def test_epoch_mode_keeps_entries_when_nothing_changed():
+    cache = QueryCache(capacity=8, mode="epoch")
+    cache.put(1, 2, 3.0)
+    assert cache.on_epoch(set(), epoch=1) == 0
+    # Entries survive, but the epoch still advanced: stale in-flight puts
+    # computed under epoch 0 are fenced off.
+    assert cache.get(1, 2) == 3.0
+    cache.put(5, 6, 2.0, epoch=0)
+    assert cache.get(5, 6) is None
+    assert cache.stale_puts_dropped == 1
+
+
+def test_affected_mode_evicts_only_touching_entries():
+    cache = QueryCache(capacity=100, mode="affected")
+    cache.put(1, 2, 3.0)
+    cache.put(3, 4, 1.0)
+    cache.put(5, 6, 2.0)
+    dropped = cache.on_epoch({2}, epoch=1)
+    assert dropped == 1
+    assert cache.get(1, 2) is None  # touched vertex 2
+    assert cache.get(3, 4) == 1.0
+    assert cache.get(5, 6) == 2.0
+    assert cache.invalidated == 1
+
+
+def test_affected_mode_clears_when_affected_set_is_large():
+    cache = QueryCache(capacity=100, mode="affected")
+    cache.put(1, 2, 3.0)
+    cache.put(3, 4, 1.0)
+    dropped = cache.on_epoch(set(range(50)), epoch=1)
+    assert dropped == 2
+    assert cache.clears == 1
+
+
+def test_none_affected_forces_clear_in_any_mode():
+    for mode in ("epoch", "affected"):
+        cache = QueryCache(capacity=8, mode=mode)
+        cache.put(1, 2, 3.0)
+        assert cache.on_epoch(None, epoch=1) == 1
+        assert len(cache) == 0
+
+
+def test_stale_put_is_dropped_after_epoch_bump():
+    cache = QueryCache(capacity=8, mode="epoch")
+    cache.on_epoch({1}, epoch=3)
+    cache.put(1, 2, 3.0, epoch=2)  # computed under an older snapshot
+    assert cache.get(1, 2) is None
+    cache.put(1, 2, 4.0, epoch=3)
+    assert cache.get(1, 2) == 4.0

@@ -1,0 +1,330 @@
+"""DistanceService + EpochStore: visibility, epochs, flush semantics."""
+
+import time
+
+import pytest
+
+from repro import (
+    DistanceService,
+    DynamicGraph,
+    EdgeUpdate,
+    FlushPolicy,
+    HighwayCoverIndex,
+    IndexStateError,
+)
+from repro.service.engine import EpochStore
+
+
+def path_graph(n: int) -> DynamicGraph:
+    return DynamicGraph.from_edges([(i, i + 1) for i in range(n - 1)])
+
+
+def make_service(graph=None, **kwargs) -> DistanceService:
+    kwargs.setdefault("num_landmarks", 2)
+    kwargs.setdefault("policy", FlushPolicy(max_batch=100, max_delay=None))
+    return DistanceService(graph or path_graph(6), **kwargs)
+
+
+def test_answers_match_index_before_any_update():
+    service = make_service()
+    assert service.distance(0, 5) == 5
+    assert service.query(2, 4) == 2
+    assert service.epoch == 0
+
+
+def test_update_invisible_until_flush_then_visible():
+    service = make_service()
+    service.insert_edge(0, 5)
+    assert service.pending_updates == 1
+    assert service.distance(0, 5) == 5  # epoch 0 still serving
+    stats = service.flush()
+    assert stats.n_applied == 1
+    assert service.epoch == 1
+    assert service.distance(0, 5) == 1
+    assert service.pending_updates == 0
+
+
+def test_snapshot_is_immune_to_later_flushes():
+    service = make_service()
+    old = service.current_snapshot()
+    service.insert_edge(0, 5)
+    service.flush()
+    assert service.distance(0, 5) == 1
+    assert old.distance(0, 5) == 5  # the old epoch's answer, forever
+    assert old.epoch == 0
+
+
+def test_foreground_size_trigger_autoflushes():
+    service = make_service(policy=FlushPolicy(max_batch=2, max_delay=None))
+    service.insert_edge(0, 2)
+    assert service.epoch == 0
+    service.insert_edge(0, 4)
+    assert service.epoch == 1  # second submit tripped the SIZE trigger
+    assert service.distance(0, 4) == 1
+
+
+def test_flush_on_empty_buffer_returns_none():
+    service = make_service()
+    assert service.flush() is None
+    assert service.epoch == 0
+
+
+def test_fully_invalid_batch_publishes_no_epoch():
+    service = make_service()
+    service.submit(EdgeUpdate.insert(0, 1))  # edge already exists
+    stats = service.flush()
+    assert stats.n_applied == 0
+    assert service.epoch == 0
+    assert service.metrics.batches_flushed == 1
+    assert service.metrics.epochs_published == 0
+
+
+def test_flush_stats_expose_affected_vertices():
+    service = make_service()
+    service.insert_edge(0, 5)
+    stats = service.flush()
+    assert {0, 5} <= stats.affected_vertices
+
+
+def test_cache_hits_and_epoch_invalidation():
+    service = make_service(cache_capacity=16)
+    assert service.distance(1, 4) == 3
+    assert service.distance(1, 4) == 3
+    assert service.metrics.cache_hits == 1
+    service.insert_edge(1, 4)
+    service.flush()
+    assert service.distance(1, 4) == 1  # a stale hit would return 3
+    assert service.metrics.cache_misses >= 2
+
+
+def test_close_drains_pending_updates():
+    service = make_service()
+    service.insert_edge(0, 5)
+    service.close()
+    assert service.epoch == 1
+    assert service.distance(0, 5) == 1
+    assert service.metrics.flush_triggers.get("close") == 1
+
+
+def test_submit_after_close_raises():
+    service = make_service()
+    service.close()
+    with pytest.raises(IndexStateError):
+        service.insert_edge(0, 3)
+
+
+def test_close_is_idempotent_and_context_manager_closes():
+    with make_service() as service:
+        service.insert_edge(0, 5)
+    assert service.epoch == 1
+    service.close()  # second close is a no-op
+
+
+def test_service_over_prebuilt_index():
+    graph = path_graph(5)
+    index = HighwayCoverIndex(graph, num_landmarks=2)
+    service = make_service(index)
+    assert service.distance(0, 4) == 4
+
+
+def test_service_rejects_other_sources():
+    with pytest.raises(IndexStateError):
+        DistanceService([(0, 1)])
+
+
+def test_background_writer_flushes_on_age_trigger():
+    service = make_service(
+        policy=FlushPolicy(max_batch=1000, max_delay=0.02),
+        background=True,
+    )
+    try:
+        service.insert_edge(0, 5)
+        deadline = time.monotonic() + 5.0
+        while service.epoch == 0 and time.monotonic() < deadline:
+            time.sleep(0.005)
+        assert service.epoch == 1
+        assert service.distance(0, 5) == 1
+        assert service.metrics.flush_triggers.get("age") == 1
+    finally:
+        service.close()
+
+
+def test_background_writer_flushes_on_size_trigger():
+    service = make_service(
+        policy=FlushPolicy(max_batch=2, max_delay=None),
+        background=True,
+    )
+    try:
+        service.insert_edge(0, 3)
+        service.insert_edge(2, 5)
+        deadline = time.monotonic() + 5.0
+        while service.epoch == 0 and time.monotonic() < deadline:
+            time.sleep(0.005)
+        assert service.epoch == 1
+        assert service.distance(0, 3) == 1
+    finally:
+        service.close()
+
+
+def test_coalesced_flap_applies_nothing():
+    service = make_service()
+    service.insert_edge(0, 5)
+    service.delete_edge(0, 5)  # coalesces to a delete of an absent edge
+    stats = service.flush()
+    assert stats is not None
+    assert stats.n_applied == 0
+    assert service.distance(0, 5) == 5
+    assert service.metrics.updates_coalesced == 1
+
+
+def test_epoch_store_publish_is_monotonic():
+    index = HighwayCoverIndex(path_graph(4), num_landmarks=1)
+    store = EpochStore(index.snapshot())
+    assert store.epoch == 0
+    first = store.publish(index.snapshot())
+    second = store.publish(index.snapshot())
+    assert (first.epoch, second.epoch) == (1, 2)
+    assert store.current() is second
+    assert second.published_at >= first.published_at
+
+
+def test_index_snapshot_shares_no_mutable_state():
+    graph = path_graph(5)
+    index = HighwayCoverIndex(graph, num_landmarks=2)
+    frozen = index.snapshot()
+    index.batch_update([EdgeUpdate.insert(0, 4)])
+    assert index.distance(0, 4) == 1
+    assert frozen.distance(0, 4) == 4
+    assert frozen.graph.num_edges == 4
+    assert frozen.check_minimality() == []
+
+
+def test_cache_invalidates_before_epoch_publish(monkeypatch):
+    """A reader holding the freshly published snapshot must never get a
+    hit cached under the previous epoch: invalidation happens before the
+    pointer flip, and old-epoch puts are fenced by the epoch tag."""
+    service = make_service(cache_capacity=16)
+    service.distance(1, 4)  # cached under epoch 0
+
+    observed = []
+    original_publish = service._epochs.publish
+
+    def spying_publish(index):
+        # At the moment of the flip the cache must already be empty.
+        observed.append(len(service.cache))
+        return original_publish(index)
+
+    monkeypatch.setattr(service._epochs, "publish", spying_publish)
+    service.insert_edge(1, 4)
+    service.flush()
+    assert observed == [0]
+    assert service.distance(1, 4) == 1
+
+
+def test_submit_rejects_negative_endpoints_at_the_boundary():
+    from repro import BatchError
+
+    service = make_service()
+    with pytest.raises(BatchError):
+        service.insert_edge(-1, 3)
+    # The rejection protects the batch: later valid traffic still works.
+    service.insert_edge(0, 5)
+    service.flush()
+    assert service.distance(0, 5) == 1
+
+
+def test_typoed_variant_fails_at_construction():
+    from repro import BatchError
+
+    with pytest.raises(BatchError):
+        make_service(variant="bhl-typo")
+
+
+def test_background_flush_failure_surfaces_on_submit_and_close():
+    """If a background flush ever fails, the service must turn loud:
+    later submits and close() raise instead of buffering forever."""
+    service = make_service(
+        policy=FlushPolicy(max_batch=1, max_delay=None), background=True
+    )
+    boom = RuntimeError("forced repair failure")
+
+    def failing_update(*args, **kwargs):
+        raise boom
+
+    service._writer.batch_update = failing_update
+    service.submit(EdgeUpdate.insert(0, 5))
+    deadline = time.monotonic() + 5.0
+    while service._writer_error is None and time.monotonic() < deadline:
+        time.sleep(0.005)
+    assert service._writer_error is boom
+    with pytest.raises(IndexStateError):
+        service.submit(EdgeUpdate.insert(0, 4))
+    with pytest.raises(IndexStateError):
+        service.close()
+    # Reads keep serving the last published epoch.
+    assert service.distance(0, 5) == 5
+
+
+def test_serve_session_survives_malformed_update(capsys, monkeypatch):
+    """Through the CLI: a negative endpoint is refused per-command and the
+    session (including the shutdown flush) stays healthy."""
+    import io
+
+    from repro.cli import main
+
+    script = "+ -1 5\nq 0 1\nquit\n"
+    monkeypatch.setattr("sys.stdin", io.StringIO(script))
+    assert main(["serve", "--random", "20", "0.2", "--landmarks", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "error: invalid update (-1, 5)" in out
+    assert "d(0, 1) =" in out
+
+
+def test_submit_rejects_out_of_range_vertex_ids():
+    from repro import BatchError
+
+    service = make_service()  # 6 vertices
+    with pytest.raises(BatchError):
+        service.insert_edge(0, 6)
+    with pytest.raises(BatchError):
+        service.insert_edge(0, 200_000)
+    assert service.pending_updates == 0
+    assert service.current_snapshot().index.graph.num_vertices == 6
+
+
+def test_foreground_flush_failure_poisons_the_service():
+    service = make_service()
+    boom = RuntimeError("forced repair failure")
+
+    def failing_update(*args, **kwargs):
+        raise boom
+
+    service._writer.batch_update = failing_update
+    service.insert_edge(0, 5)
+    with pytest.raises(RuntimeError):
+        service.flush()
+    # Nothing was published from the inconsistent writer state...
+    assert service.epoch == 0
+    assert service.distance(0, 5) == 5
+    # ...and the service refuses further writes instead of going wrong.
+    with pytest.raises(IndexStateError):
+        service.insert_edge(0, 4)
+
+
+def test_publish_stage_failure_also_poisons_the_service():
+    """Poisoning must cover the whole flush body, not just batch_update:
+    a failure while snapshotting/publishing parks the error too."""
+    service = make_service()
+    boom = RuntimeError("forced snapshot failure")
+
+    def failing_snapshot(*args, **kwargs):
+        raise boom
+
+    service._writer.snapshot = failing_snapshot
+    service.insert_edge(0, 5)
+    with pytest.raises(RuntimeError):
+        service.flush()
+    assert service._writer_error is boom
+    with pytest.raises(IndexStateError):
+        service.insert_edge(0, 4)
+    assert service.epoch == 0  # readers keep the last good epoch

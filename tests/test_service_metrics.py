@@ -1,0 +1,111 @@
+"""Percentiles, the latency reservoir, and the aggregated service report."""
+
+import pytest
+
+from repro.service.metrics import (
+    LatencyRecorder,
+    ServiceMetrics,
+    percentile,
+)
+
+
+def test_percentile_edge_cases():
+    assert percentile([], 50) == 0.0
+    assert percentile([5.0], 0) == 5.0
+    assert percentile([5.0], 100) == 5.0
+    samples = [float(i) for i in range(1, 101)]
+    assert percentile(samples, 50) == 50.0
+    assert percentile(samples, 99) == 99.0
+    assert percentile(samples, 100) == 100.0
+    with pytest.raises(ValueError):
+        percentile(samples, 101)
+
+
+def test_latency_recorder_basic_stats():
+    recorder = LatencyRecorder()
+    for value in (0.1, 0.2, 0.3, 0.4):
+        recorder.record(value)
+    assert recorder.count == 4
+    assert recorder.mean() == pytest.approx(0.25)
+    assert recorder.max() == 0.4
+    summary = recorder.summary()
+    assert summary["count"] == 4
+    assert summary["p50"] == 0.2
+    assert summary["p99"] == 0.4
+
+
+def test_latency_recorder_reservoir_is_bounded():
+    recorder = LatencyRecorder(max_samples=64)
+    for i in range(10_000):
+        recorder.record(i / 10_000)
+    assert recorder.count == 10_000
+    assert len(recorder._samples) == 64
+    assert recorder.max() == pytest.approx(0.9999)
+    # The reservoir stays representative: the median of a uniform ramp
+    # should land near the middle.
+    assert 0.2 < recorder.quantiles([50.0])["p50"] < 0.8
+
+
+def test_latency_recorder_validates_capacity():
+    with pytest.raises(ValueError):
+        LatencyRecorder(max_samples=0)
+
+
+def test_service_metrics_counters_and_summary():
+    metrics = ServiceMetrics()
+    metrics.record_query(0.001, cache_hit=False, stale=False)
+    metrics.record_query(0.002, cache_hit=True, stale=True)
+    metrics.record_submit(coalesced=False)
+    metrics.record_submit(coalesced=True)
+    metrics.record_flush(0.05, batch_size=2, applied=2, trigger="size")
+    metrics.record_publish()
+
+    summary = metrics.summary()
+    assert summary["queries_served"] == 2
+    assert summary["cache_hits"] == 1
+    assert summary["cache_hit_rate"] == 0.5
+    assert summary["stale_queries"] == 1
+    assert summary["stale_fraction"] == 0.5
+    assert summary["updates_submitted"] == 2
+    assert summary["updates_coalesced"] == 1
+    assert summary["updates_applied"] == 2
+    assert summary["batches_flushed"] == 1
+    assert summary["epochs_published"] == 1
+    assert summary["largest_batch"] == 2
+    assert summary["flush_triggers"] == {"size": 1}
+    assert summary["query_count"] == 2
+    assert summary["flush_count"] == 1
+    assert summary["query_throughput_qps"] > 0
+
+
+def test_format_report_mentions_every_section():
+    metrics = ServiceMetrics()
+    metrics.record_query(0.001, cache_hit=False, stale=False)
+    metrics.record_flush(0.01, batch_size=1, applied=1, trigger="manual")
+    metrics.record_publish()
+    report = metrics.format_report()
+    for needle in (
+        "queries",
+        "query latency",
+        "cache",
+        "staleness",
+        "updates",
+        "flushes",
+        "flush latency",
+        "epochs published",
+    ):
+        assert needle in report, f"report missing {needle!r}:\n{report}"
+
+
+def test_empty_metrics_report_does_not_divide_by_zero():
+    metrics = ServiceMetrics()
+    summary = metrics.summary()
+    assert summary["cache_hit_rate"] == 0.0
+    assert summary["stale_fraction"] == 0.0
+    assert metrics.format_report()
+
+
+def test_percentile_uses_ceil_nearest_rank():
+    # round-half-even would give 2 here; nearest-rank demands 3.
+    assert percentile([1.0, 2.0, 3.0, 4.0, 5.0], 50) == 3.0
+    assert percentile([float(i) for i in range(1, 14)], 50) == 7.0

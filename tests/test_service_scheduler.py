@@ -1,0 +1,136 @@
+"""Coalescing scheduler: dedup semantics, flush triggers, clock handling."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.graph.batch import EdgeUpdate, UpdateKind
+from repro.service.scheduler import (
+    CoalescingScheduler,
+    FlushPolicy,
+    FlushTrigger,
+)
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+def test_policy_validation():
+    with pytest.raises(WorkloadError):
+        FlushPolicy(max_batch=None, max_delay=None)
+    with pytest.raises(WorkloadError):
+        FlushPolicy(max_batch=0)
+    with pytest.raises(WorkloadError):
+        FlushPolicy(max_delay=0.0)
+    FlushPolicy(max_batch=1, max_delay=None)  # size-only is fine
+    FlushPolicy(max_batch=None, max_delay=1.0)  # age-only is fine
+
+
+def test_duplicate_updates_coalesce():
+    sched = CoalescingScheduler(FlushPolicy(max_batch=100, max_delay=None))
+    assert sched.offer(EdgeUpdate.insert(1, 2)) is False
+    assert sched.offer(EdgeUpdate.insert(2, 1)) is True  # canonical dup
+    assert sched.offer(EdgeUpdate.insert(1, 2)) is True
+    assert len(sched) == 1
+    assert sched.offered == 3
+    assert sched.coalesced == 2
+
+
+def test_opposite_kinds_keep_latest_intent():
+    sched = CoalescingScheduler(FlushPolicy(max_batch=100, max_delay=None))
+    sched.offer(EdgeUpdate.insert(1, 2))
+    sched.offer(EdgeUpdate.delete(1, 2))
+    batch = sched.drain()
+    assert len(batch) == 1
+    assert batch[0].kind is UpdateKind.DELETE
+    assert batch[0].endpoints() == (1, 2)
+
+
+def test_flapping_edge_costs_one_buffered_update():
+    sched = CoalescingScheduler(FlushPolicy(max_batch=1000, max_delay=None))
+    for i in range(500):
+        kind = EdgeUpdate.insert if i % 2 else EdgeUpdate.delete
+        sched.offer(kind(3, 7))
+    assert len(sched) == 1
+    assert sched.coalesced == 499
+
+
+def test_size_trigger():
+    sched = CoalescingScheduler(FlushPolicy(max_batch=3, max_delay=None))
+    sched.offer(EdgeUpdate.insert(0, 1))
+    sched.offer(EdgeUpdate.insert(1, 2))
+    assert sched.due() is None
+    sched.offer(EdgeUpdate.insert(2, 3))
+    assert sched.due() is FlushTrigger.SIZE
+    sched.drain()
+    assert sched.due() is None
+
+
+def test_age_trigger_with_fake_clock():
+    clock = FakeClock()
+    sched = CoalescingScheduler(
+        FlushPolicy(max_batch=None, max_delay=5.0), clock=clock
+    )
+    assert sched.due() is None  # empty buffer never fires
+    sched.offer(EdgeUpdate.insert(0, 1))
+    clock.now = 4.9
+    assert sched.due() is None
+    assert sched.time_until_due() == pytest.approx(0.1)
+    clock.now = 5.0
+    assert sched.due() is FlushTrigger.AGE
+    assert sched.time_until_due() == 0.0
+
+
+def test_age_measured_from_oldest_pending_update():
+    clock = FakeClock()
+    sched = CoalescingScheduler(
+        FlushPolicy(max_batch=None, max_delay=2.0), clock=clock
+    )
+    sched.offer(EdgeUpdate.insert(0, 1))
+    clock.now = 1.5
+    sched.offer(EdgeUpdate.insert(2, 3))  # newer update does not reset age
+    clock.now = 2.0
+    assert sched.due() is FlushTrigger.AGE
+    assert sched.oldest_age == pytest.approx(2.0)
+
+
+def test_drain_preserves_arrival_order_and_resets():
+    sched = CoalescingScheduler(FlushPolicy(max_batch=100, max_delay=None))
+    sched.offer(EdgeUpdate.insert(0, 1))
+    sched.offer(EdgeUpdate.delete(5, 4))
+    sched.offer(EdgeUpdate.insert(2, 3))
+    batch = sched.drain()
+    assert [u.endpoints() for u in batch] == [(0, 1), (4, 5), (2, 3)]
+    assert len(sched) == 0
+    assert sched.drain() == []
+    assert sched.drained == 3
+    assert sched.oldest_age == 0.0
+
+
+def test_recoalesced_edge_moves_to_latest_position():
+    sched = CoalescingScheduler(FlushPolicy(max_batch=100, max_delay=None))
+    sched.offer(EdgeUpdate.insert(0, 1))
+    sched.offer(EdgeUpdate.insert(2, 3))
+    sched.offer(EdgeUpdate.delete(0, 1))  # re-coalesce: latest intent last
+    batch = sched.drain()
+    assert [u.endpoints() for u in batch] == [(2, 3), (0, 1)]
+    assert batch[1].is_delete
+
+
+def test_time_until_due_none_without_time_budget():
+    sched = CoalescingScheduler(FlushPolicy(max_batch=5, max_delay=None))
+    assert sched.time_until_due() is None
+    sched.offer(EdgeUpdate.insert(0, 1))
+    assert sched.time_until_due() is None
+
+
+def test_self_loops_never_reach_the_buffer():
+    sched = CoalescingScheduler(FlushPolicy(max_batch=10, max_delay=None))
+    assert sched.offer(EdgeUpdate.insert(3, 3)) is True  # dropped = coalesced
+    assert len(sched) == 0
+    assert sched.due() is None
+    assert sched.coalesced == 1

@@ -48,3 +48,41 @@ def test_makespans_add_across_subbatches():
     a = make([1], makespan=0.3)
     a.merge(make([2], makespan=0.2))
     assert abs(a.makespan_seconds - 0.5) < 1e-12
+
+
+def test_merge_unions_affected_vertices():
+    a = make([1])
+    a.affected_vertices = {1, 2}
+    b = make([2])
+    b.affected_vertices = {2, 9}
+    a.merge(b)
+    assert a.affected_vertices == {1, 2, 9}
+
+
+def test_batch_update_reports_affected_vertices():
+    """The index-level stats expose which vertices a batch touched:
+    at least the update endpoints, plus every search-affected vertex."""
+    from repro import DynamicGraph, EdgeUpdate, HighwayCoverIndex
+    from repro.core.batch_search import affected_by_definition
+
+    graph = DynamicGraph.from_edges(
+        [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6)]
+    )
+    index = HighwayCoverIndex(graph, landmarks=(0,))
+    before = graph.copy()
+    stats = index.batch_update([EdgeUpdate.insert(0, 6)])
+    assert {0, 6} <= stats.affected_vertices
+    truly = affected_by_definition(
+        before, graph, 0, index.labelling.is_landmark.tolist()
+    )
+    assert truly <= stats.affected_vertices
+
+
+def test_no_op_batch_has_empty_affected_vertices():
+    from repro import DynamicGraph, EdgeUpdate, HighwayCoverIndex
+
+    graph = DynamicGraph.from_edges([(0, 1), (1, 2)])
+    index = HighwayCoverIndex(graph, landmarks=(0,))
+    stats = index.batch_update([EdgeUpdate.insert(0, 1)])  # already present
+    assert stats.n_applied == 0
+    assert stats.affected_vertices == set()

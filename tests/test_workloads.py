@@ -116,3 +116,38 @@ def test_stream_has_both_kinds():
     events = temporal_stream(graph, 80, churn=0.4, seed=6)
     kinds = {e.update.kind for e in events}
     assert len(kinds) == 2
+
+
+def test_skewed_query_pairs_concentrate_on_hot_tier():
+    from collections import Counter
+
+    from repro.workloads.queries import sample_skewed_query_pairs
+
+    graph = load_dataset("frenchwiki", scale=0.5)
+    skewed = sample_skewed_query_pairs(graph, 2000, seed=1, skew=4.0)
+    uniform = sample_query_pairs(graph, 2000, seed=1)
+    assert all(s != t for s, t in skewed)
+    assert all(0 <= v < graph.num_vertices for pair in skewed for v in pair)
+
+    def top_share(pairs):
+        counts = Counter(v for pair in pairs for v in pair)
+        top = sorted(counts.values(), reverse=True)
+        k = max(1, graph.num_vertices // 10)
+        return sum(top[:k]) / sum(counts.values())
+
+    # The hot tier absorbs far more endpoint mass than under uniform.
+    assert top_share(skewed) > 1.5 * top_share(uniform)
+
+    # skew=0 degrades to a uniform-shaped draw; determinism per seed.
+    again = sample_skewed_query_pairs(graph, 2000, seed=1, skew=4.0)
+    assert again == skewed
+
+
+def test_skewed_query_pairs_validation():
+    from repro.workloads.queries import sample_skewed_query_pairs
+
+    graph = load_dataset("frenchwiki", scale=0.5)
+    with pytest.raises(WorkloadError):
+        sample_skewed_query_pairs(graph, 5, skew=-1.0)
+    with pytest.raises(WorkloadError):
+        sample_skewed_query_pairs(graph, 5, hot_fraction=0.0)
