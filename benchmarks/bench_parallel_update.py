@@ -1,0 +1,162 @@
+"""Parallel-backend benchmark: sequential vs threads vs processes vs simulate.
+
+The paper's Section 6 claim is that landmark-level parallelism divides
+batch maintenance across cores.  This benchmark applies the *same*
+fully-dynamic batch sequence to the same index under every execution
+backend and reports per-batch wall time, the search/repair/merge split,
+and the makespan the cost models predict:
+
+* ``sequential`` — the single-core baseline;
+* ``threads``    — GIL-bound thread pool (the honest CPython ceiling);
+* ``processes``  — landmark shards on the persistent worker-process pool;
+* ``simulate``   — the paper's idealised one-core-per-landmark makespan.
+
+The default instance is a ≥50k-edge Barabási–Albert graph; the CSV lands
+in ``results/parallel_update.csv`` (CI uploads it as an artifact).  All
+backends are additionally checked to produce bit-identical labellings.
+
+Run standalone:  PYTHONPATH=src python benchmarks/bench_parallel_update.py
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.bench.reporting import ResultTable
+from repro.core.construction import build_labelling
+from repro.core.index import HighwayCoverIndex
+from repro.core.landmarks import select_landmarks
+from repro.graph import generators
+from repro.parallel import LandmarkShardPool, default_num_shards
+from repro.workloads.updates import fully_dynamic_workload
+
+MODES = ("sequential", "threads", "processes", "simulate")
+
+
+def experiment_parallel_update(
+    num_vertices: int = 10400,
+    attach: int = 5,
+    num_landmarks: int = 10,
+    num_shards: int | None = 4,
+    num_batches: int = 3,
+    batch_size: int = 200,
+    seed: int = 0,
+) -> ResultTable:
+    """One row per backend over an identical batch sequence.
+
+    The defaults build a ~50k-edge graph (attach * (num_vertices - attach)
+    edges); shrink ``num_vertices`` for a quick smoke run.
+    """
+    graph = generators.barabasi_albert(num_vertices, attach, seed=seed)
+    workload = fully_dynamic_workload(
+        graph, num_batches=num_batches, batch_size=batch_size, seed=seed
+    )
+    landmarks = select_landmarks(workload.graph, num_landmarks, "degree", seed)
+    base = build_labelling(workload.graph, landmarks)
+
+    table = ResultTable(
+        f"Parallel backends: |V|={workload.graph.num_vertices},"
+        f" |E|={workload.graph.num_edges}, |R|={num_landmarks},"
+        f" {num_batches}x{batch_size} fully-dynamic batches",
+        [
+            "mode",
+            "shards",
+            "mean_batch_s",
+            "search_s",
+            "repair_s",
+            "merge_s",
+            "makespan_s",
+            "speedup",
+        ],
+    )
+    shards = num_shards or default_num_shards(num_landmarks)
+    final_labellings = {}
+    sequential_mean = None
+    with LandmarkShardPool(num_shards=shards) as pool:
+        for mode in MODES:
+            index = HighwayCoverIndex.from_parts(
+                workload.graph.copy(), base.copy()
+            )
+            parallel = None if mode == "sequential" else mode
+            walls, makespans = [], []
+            search = repair = merge = 0.0
+            for batch in workload.batches:
+                started = time.perf_counter()
+                stats = index.batch_update(
+                    batch,
+                    parallel=parallel,
+                    pool=pool if mode == "processes" else None,
+                )
+                walls.append(time.perf_counter() - started)
+                search += stats.search_seconds
+                repair += stats.repair_seconds
+                merge += stats.merge_seconds
+                if stats.makespan_seconds is not None:
+                    makespans.append(stats.makespan_seconds)
+            mean_wall = sum(walls) / len(walls)
+            if mode == "sequential":
+                sequential_mean = mean_wall
+            table.add_row(
+                mode=mode,
+                shards=shards if mode == "processes" else "-",
+                mean_batch_s=mean_wall,
+                search_s=search,
+                repair_s=repair,
+                merge_s=merge,
+                makespan_s=(
+                    sum(makespans) / len(makespans) if makespans else None
+                ),
+                speedup=(
+                    sequential_mean / mean_wall if sequential_mean else None
+                ),
+            )
+            final_labellings[mode] = index.labelling
+
+    reference = final_labellings["sequential"]
+    diverged = [
+        mode
+        for mode in MODES[1:]
+        if not reference.equals(final_labellings[mode])
+    ]
+    if diverged:
+        raise AssertionError(f"backends diverged from sequential: {diverged}")
+    table.add_note(
+        "all backends produced bit-identical labellings; speedup is"
+        " sequential mean_batch_s / mode mean_batch_s"
+    )
+    table.add_note(
+        "simulate's makespan_s is the idealised one-core-per-landmark"
+        " model; processes' is the max real shard wall (incl. snapshot"
+        " decode)"
+    )
+    return table
+
+
+def test_parallel_update(run_table):
+    run_table(experiment_parallel_update, "parallel_update.csv")
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry for CI artifacts
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--vertices", type=int, default=10400)
+    parser.add_argument("--attach", type=int, default=5)
+    parser.add_argument("--landmarks", type=int, default=10)
+    parser.add_argument("--shards", type=int, default=4)
+    parser.add_argument("--batches", type=int, default=3)
+    parser.add_argument("--batch-size", type=int, default=200)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--csv", default="parallel_update.csv")
+    args = parser.parse_args()
+    result = experiment_parallel_update(
+        num_vertices=args.vertices,
+        attach=args.attach,
+        num_landmarks=args.landmarks,
+        num_shards=args.shards,
+        num_batches=args.batches,
+        batch_size=args.batch_size,
+        seed=args.seed,
+    )
+    print(result.to_text())
+    print(f"saved {result.save_csv(args.csv)}")

@@ -35,6 +35,8 @@ from repro.graph.batch import Batch, EdgeUpdate, UpdateKind
 from repro.graph.digraph import DynamicDiGraph
 from repro.graph.dynamic_graph import DynamicGraph
 from repro.graph.weighted_graph import WeightedDynamicGraph, WeightUpdate
+from repro.parallel.pool import LandmarkShardPool
+from repro.parallel.sharded import ShardedHighwayCoverIndex
 from repro.service.engine import DistanceService
 from repro.service.scheduler import FlushPolicy, FlushTrigger
 
@@ -44,6 +46,8 @@ __all__ = [
     "INF",
     "Variant",
     "HighwayCoverIndex",
+    "ShardedHighwayCoverIndex",
+    "LandmarkShardPool",
     "DirectedHighwayCoverIndex",
     "WeightedHighwayCoverIndex",
     "HighwayCoverLabelling",

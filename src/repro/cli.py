@@ -139,6 +139,8 @@ def _make_service(args, graph, background: bool):
         policy=policy,
         cache_capacity=args.cache,
         cache_mode=args.cache_mode,
+        parallel=None if args.parallel == "none" else args.parallel,
+        num_shards=args.shards,
         background=background,
     )
 
@@ -278,6 +280,18 @@ def _add_service_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--cache", type=int, default=4096)
     parser.add_argument(
         "--cache-mode", choices=("epoch", "affected"), default="epoch"
+    )
+    parser.add_argument(
+        "--parallel",
+        choices=("none", "threads", "processes", "simulate"),
+        default="none",
+        help="execution backend for flushes; 'processes' runs landmark"
+        " shards on a persistent worker-process pool",
+    )
+    parser.add_argument(
+        "--shards", type=int, default=None, metavar="N",
+        help="landmark shard count for --parallel processes"
+        " (default: one per core)",
     )
     parser.add_argument("--seed", type=int, default=0)
 

@@ -18,9 +18,11 @@ Variants (Section 7.1):
   own batch (the single-update baseline the paper compares against).
 
 Parallelism: ``parallel="threads"`` runs landmarks on a thread pool (safe —
-disjoint writes — but GIL-bound in CPython); ``parallel="simulate"`` runs
-sequentially, times each landmark, and reports the makespan
-``max_r t(r)`` that the paper's 20-thread BHLp would pay.
+disjoint writes — but GIL-bound in CPython); ``parallel="processes"`` ships
+landmark shards to a persistent worker-process pool
+(:mod:`repro.parallel`), the first backend that actually escapes the GIL;
+``parallel="simulate"`` runs sequentially, times each landmark, and reports
+the makespan ``max_r t(r)`` that the paper's 20-thread BHLp would pay.
 """
 
 from __future__ import annotations
@@ -36,9 +38,11 @@ from repro.core.batch_search import (
     orient_updates,
 )
 from repro.core.labelling import HighwayCoverLabelling
-from repro.core.stats import UpdateStats
+from repro.core.stats import ShardTiming, UpdateStats
 from repro.errors import BatchError
-from repro.graph.batch import Batch, apply_batch, normalize_batch
+from repro.graph.batch import Batch, apply_batch, normalize_batch, revert_batch
+
+PARALLEL_MODES = (None, "threads", "processes", "simulate")
 
 
 class Variant(enum.Enum):
@@ -98,17 +102,28 @@ def run_batch_update(
     variant: "Variant | str" = Variant.BHL_PLUS,
     parallel: str | None = None,
     num_threads: int | None = None,
+    num_shards: int | None = None,
+    pool=None,
 ) -> tuple[HighwayCoverLabelling, UpdateStats]:
     """Normalise, apply, and reflect ``updates`` into a new labelling.
 
     Mutates ``graph`` (it ends as G'); returns the repaired labelling and
     the update statistics.  ``labelling`` itself is not modified.
+
+    ``num_shards`` and ``pool`` only apply to ``parallel="processes"``:
+    ``pool`` is a :class:`~repro.parallel.pool.LandmarkShardPool` to reuse
+    (its workers persist across batches); with ``pool=None`` the module's
+    shared default pool is used, sharded ``num_shards`` ways.
     """
     variant = resolve_variant(variant)
-    if parallel not in (None, "threads", "simulate"):
+    if parallel not in PARALLEL_MODES:
         raise BatchError(
-            f"parallel must be None, 'threads' or 'simulate', got {parallel!r}"
+            f"parallel must be one of {PARALLEL_MODES}, got {parallel!r}"
         )
+    if parallel == "processes" and pool is None:
+        from repro.parallel.pool import get_default_pool
+
+        pool = get_default_pool(num_shards)
     updates = list(updates)
     stats = UpdateStats(variant=variant.value, n_requested=len(updates))
     stats.affected_per_landmark = [0] * labelling.num_landmarks
@@ -116,11 +131,27 @@ def run_batch_update(
     started = time.perf_counter()
 
     current = labelling
-    for sub_batch, improved in variant_plan(batch, variant):
-        current, sub_stats = _apply_one_batch(
-            graph, current, sub_batch, improved, parallel, num_threads
-        )
-        stats.merge(sub_stats)
+    applied: list[Batch] = []
+    try:
+        for sub_batch, improved in variant_plan(batch, variant):
+            current, sub_stats = _apply_one_batch(
+                graph, current, sub_batch, improved, parallel, num_threads, pool
+            )
+            applied.append(sub_batch)
+            stats.merge(sub_stats)
+    except BaseException:
+        # _apply_one_batch reverts its own failing sub-batch; earlier
+        # sub-batches (unit updates, the BHL-s insert half) were applied
+        # to the graph but their repaired labelling never reaches the
+        # caller, so undo them too — in reverse — to leave (graph,
+        # labelling) describing the same topology as before the call.
+        for done in reversed(applied):
+            revert_batch(graph, done)
+        # Vertices grown by any sub-batch are kept (isolated); a later
+        # sub-batch's growth hit only an intermediate labelling copy, so
+        # grow the caller's labelling to match the surviving vertex set.
+        labelling.grow(graph.num_vertices)
+        raise
 
     stats.n_requested = len(updates)
     stats.total_seconds = time.perf_counter() - started
@@ -135,6 +166,7 @@ def _apply_one_batch(
     improved: bool,
     parallel: str | None,
     num_threads: int | None,
+    pool=None,
 ) -> tuple[HighwayCoverLabelling, UpdateStats]:
     """Apply one normalised (sub-)batch: grow, mutate graph, search+repair."""
     stats = UpdateStats(variant="", n_applied=len(batch))
@@ -150,18 +182,32 @@ def _apply_one_batch(
     labelling.grow(graph.num_vertices)
     apply_batch(graph, batch)  # graph is now G'
 
-    oriented = orient_updates(batch, directed=False)
-    labelling_new = labelling.copy()
-    outcomes, makespan = process_landmarks(
-        graph,
-        labelling,
-        labelling_new,
-        oriented,
-        improved,
-        symmetric_highway=True,
-        parallel=parallel,
-        num_threads=num_threads,
-    )
+    try:
+        # Everything after apply_batch sits inside the try: a failure in
+        # the copy (MemoryError on a large labelling) must revert the
+        # edge mutations just like a worker-pool failure mid-repair.
+        oriented = orient_updates(batch, directed=False)
+        labelling_new = labelling.copy()
+        outcomes, makespan, shard_timings, merge_seconds = process_landmarks(
+            graph,
+            labelling,
+            labelling_new,
+            oriented,
+            improved,
+            symmetric_highway=True,
+            parallel=parallel,
+            num_threads=num_threads,
+            pool=pool,
+        )
+    except BaseException:
+        # The graph is already G' but the labelling was never repaired —
+        # realistic with worker processes (a killed worker raises
+        # BrokenProcessPool).  Undo the edge mutations so the caller's
+        # (graph, labelling) pair stays consistent; vertices grown above
+        # remain as isolated vertices, which the grown labelling already
+        # describes correctly.
+        revert_batch(graph, batch)
+        raise
     for update in batch:
         stats.affected_vertices.add(update.u)
         stats.affected_vertices.add(update.v)
@@ -173,9 +219,55 @@ def _apply_one_batch(
         stats.search_seconds += search_s
         stats.repair_seconds += repair_s
         stats.labels_changed += changed
-    if parallel == "simulate":
+    stats.shard_timings = shard_timings
+    stats.merge_seconds = merge_seconds
+    if parallel in ("simulate", "processes"):
         stats.makespan_seconds = makespan
     return labelling_new, stats
+
+
+def process_one_landmark(
+    view,
+    labelling_old: HighwayCoverLabelling,
+    labelling_new: HighwayCoverLabelling,
+    oriented,
+    improved: bool,
+    is_landmark,
+    i: int,
+    symmetric_highway: bool = True,
+    pred_view=None,
+) -> tuple[int, float, float, int, list[int], float]:
+    """Search + repair for one landmark — the unit of landmark parallelism.
+
+    Shared by the in-process backends below and the worker-process shard
+    tasks (:mod:`repro.parallel.worker`), so the kernel call contract
+    lives in exactly one place.  Returns ``(n_affected, search_seconds,
+    repair_seconds, cells_changed, affected_vertices, wall_seconds)``.
+    """
+    t0 = time.perf_counter()
+    dist_arr, flag_arr = labelling_old.distances_from(i)
+    old_dist = dist_arr.tolist()
+    old_flag = flag_arr.tolist()
+    if improved:
+        affected = batch_search_improved(
+            view, oriented, old_dist, old_flag, is_landmark
+        )
+    else:
+        affected = batch_search_basic(view, oriented, old_dist)
+    t1 = time.perf_counter()
+    changed = batch_repair(
+        view,
+        affected,
+        i,
+        labelling_new,
+        old_dist,
+        old_flag,
+        is_landmark,
+        symmetric_highway=symmetric_highway,
+        pred_view=pred_view,
+    )
+    t2 = time.perf_counter()
+    return len(affected), t1 - t0, t2 - t1, changed, affected, t2 - t0
 
 
 def process_landmarks(
@@ -188,42 +280,53 @@ def process_landmarks(
     parallel: str | None,
     num_threads: int | None,
     pred_view=None,
-) -> tuple[list[tuple[int, float, float, int, list[int]]], float]:
+    pool=None,
+) -> tuple[
+    list[tuple[int, float, float, int, list[int]]],
+    float,
+    list[ShardTiming],
+    float,
+]:
     """Run search + repair for every landmark over an updated graph view.
 
     Shared by the undirected and directed indexes.  ``pred_view`` provides
     predecessor neighbourhoods for repair's boundary bounds (in-neighbours
     on directed graphs; None means same as ``view``).  Returns per-landmark
     ``(n_affected, search_seconds, repair_seconds, cells_changed,
-    affected_vertices)`` plus the makespan (max per-landmark wall time).
+    affected_vertices)``, the makespan (max per-shard wall time), the
+    per-shard timing breakdown, and the writer-side merge time (non-zero
+    only for the processes backend, which scatters worker results back).
     """
+    if parallel == "processes":
+        if pred_view is not None:
+            raise BatchError(
+                "parallel='processes' is not supported on directed indexes"
+            )
+        if pool is None:
+            # run_batch_update resolves the default pool (with its shard
+            # count) before getting here; direct callers must do the same.
+            raise BatchError(
+                "parallel='processes' needs a LandmarkShardPool; pass"
+                " pool=... or go through run_batch_update"
+            )
+        return pool.run_update(
+            view, labelling_old, labelling_new, oriented, improved
+        )
+
     is_landmark = labelling_old.is_landmark.tolist()
 
     def process(i: int) -> tuple[int, float, float, int, list[int], float]:
-        t0 = time.perf_counter()
-        dist_arr, flag_arr = labelling_old.distances_from(i)
-        old_dist = dist_arr.tolist()
-        old_flag = flag_arr.tolist()
-        if improved:
-            affected = batch_search_improved(
-                view, oriented, old_dist, old_flag, is_landmark
-            )
-        else:
-            affected = batch_search_basic(view, oriented, old_dist)
-        t1 = time.perf_counter()
-        changed = batch_repair(
+        return process_one_landmark(
             view,
-            affected,
-            i,
+            labelling_old,
             labelling_new,
-            old_dist,
-            old_flag,
+            oriented,
+            improved,
             is_landmark,
+            i,
             symmetric_highway=symmetric_highway,
             pred_view=pred_view,
         )
-        t2 = time.perf_counter()
-        return len(affected), t1 - t0, t2 - t1, changed, affected, t2 - t0
 
     indices = range(labelling_old.num_landmarks)
     if parallel == "threads":
@@ -235,4 +338,21 @@ def process_landmarks(
 
     outcomes = [(n, s, r, c, a) for (n, s, r, c, a, _) in raw]
     makespan = max((t for (*_, t) in raw), default=0.0)
-    return outcomes, makespan
+    # One timing entry per landmark: under "simulate" this is the paper's
+    # one-core-per-landmark cost model; under "threads" the walls overlap.
+    # Plain sequential runs skip the breakdown.
+    shard_timings = (
+        [
+            ShardTiming(
+                shard=i,
+                num_landmarks=1,
+                search_seconds=s,
+                repair_seconds=r,
+                wall_seconds=t,
+            )
+            for i, (_, s, r, _, _, t) in enumerate(raw)
+        ]
+        if parallel is not None
+        else []
+    )
+    return outcomes, makespan, shard_timings, 0.0

@@ -14,6 +14,7 @@ import numpy as np
 
 from repro.constants import INF, NO_LABEL
 from repro.core.labelling import HighwayCoverLabelling
+from repro.errors import ReproError
 
 
 def bfs_landmark_lengths(
@@ -51,16 +52,55 @@ def bfs_landmark_lengths(
     return dist, flag
 
 
-def build_labelling(graph, landmarks: tuple[int, ...]) -> HighwayCoverLabelling:
-    """Build the minimal highway cover labelling of ``graph`` over ``landmarks``."""
+def landmark_column(
+    graph, root: int, is_landmark: np.ndarray, landmark_list: list[int]
+) -> tuple[np.ndarray, np.ndarray]:
+    """One landmark's minimal label column and highway row.
+
+    The Lemma 5.14 rule in one place (shared by the sequential build and
+    the worker-process build shards): a vertex gets an ``r``-label iff it
+    is reachable, not a landmark, and flag-False; the highway row is the
+    root's distance to every landmark.
+    """
+    dist, flag = bfs_landmark_lengths(graph, root, is_landmark)
+    eligible = (~is_landmark) & (dist < INF) & (~flag)
+    return np.where(eligible, dist, NO_LABEL), dist[landmark_list]
+
+
+def build_labelling(
+    graph,
+    landmarks: tuple[int, ...],
+    parallel: str | None = None,
+    num_shards: int | None = None,
+    pool=None,
+) -> HighwayCoverLabelling:
+    """Build the minimal highway cover labelling of ``graph`` over ``landmarks``.
+
+    ``parallel="processes"`` distributes the per-landmark BFS trees over a
+    :class:`~repro.parallel.pool.LandmarkShardPool` (``pool`` to reuse a
+    persistent one, else the shared default pool sharded ``num_shards``
+    ways).  Construction is embarrassingly parallel: each landmark's
+    column and highway row depend only on the graph and the landmark set.
+    """
+    if parallel == "processes":
+        if pool is None:
+            from repro.parallel.pool import get_default_pool
+
+            pool = get_default_pool(num_shards)
+        return pool.build(graph, tuple(landmarks))
+    if parallel is not None:
+        raise ReproError(
+            f"build_labelling supports parallel=None or 'processes',"
+            f" got {parallel!r}"
+        )
     n = graph.num_vertices
     labelling = HighwayCoverLabelling.empty(n, landmarks)
     is_landmark = labelling.is_landmark
+    landmark_list = list(landmarks)
     for i, root in enumerate(landmarks):
-        dist, flag = bfs_landmark_lengths(graph, root, is_landmark)
-        eligible = (~is_landmark) & (dist < INF) & (~flag)
-        column = np.where(eligible, dist, NO_LABEL)
+        column, highway_row = landmark_column(
+            graph, root, is_landmark, landmark_list
+        )
         labelling.labels[:, i] = column
-        for j, other in enumerate(landmarks):
-            labelling.highway[i, j] = dist[other]
+        labelling.highway[i, :] = highway_row
     return labelling

@@ -156,7 +156,9 @@ class DirectedHighwayCoverIndex:
         variant = resolve_variant(variant)
         if parallel not in (None, "threads", "simulate"):
             raise BatchError(
-                f"parallel must be None, 'threads' or 'simulate', got {parallel!r}"
+                "parallel must be None, 'threads' or 'simulate' on directed"
+                f" indexes (the processes backend is undirected-only),"
+                f" got {parallel!r}"
             )
         updates = list(updates)
         stats = UpdateStats(variant=variant.value, n_requested=len(updates))
@@ -207,7 +209,7 @@ class DirectedHighwayCoverIndex:
                 for u in batch
             ]
             labelling_new = labelling.copy()
-            outcomes, makespan = process_landmarks(
+            outcomes, makespan, shard_timings, merge_seconds = process_landmarks(
                 view,
                 labelling,
                 labelling_new,
@@ -231,6 +233,8 @@ class DirectedHighwayCoverIndex:
                 stats.repair_seconds += repair_s
                 stats.labels_changed += changed
             makespan_total += makespan
+            stats.shard_timings.extend(shard_timings)
+            stats.merge_seconds += merge_seconds
             if reverse:
                 self._backward = labelling_new
             else:

@@ -49,8 +49,14 @@ class HighwayCoverIndex:
             landmarks = select_landmarks(
                 graph, min(num_landmarks, graph.num_vertices), selection, seed
             )
-        self._labelling = build_labelling(graph, tuple(landmarks))
+        self._labelling = self._build_labelling(graph, tuple(landmarks))
         self._landmark_set = frozenset(self._labelling.landmarks)
+
+    def _build_labelling(
+        self, graph: DynamicGraph, landmarks: tuple[int, ...]
+    ) -> HighwayCoverLabelling:
+        """Construction hook — subclasses may build on a different backend."""
+        return build_labelling(graph, landmarks)
 
     @classmethod
     def from_parts(
@@ -154,8 +160,16 @@ class HighwayCoverIndex:
         variant: Variant | str = Variant.BHL_PLUS,
         parallel: str | None = None,
         num_threads: int | None = None,
+        num_shards: int | None = None,
+        pool=None,
     ) -> UpdateStats:
-        """Apply a batch of :class:`EdgeUpdate` to graph + labelling."""
+        """Apply a batch of :class:`EdgeUpdate` to graph + labelling.
+
+        ``parallel`` selects the execution backend: None (sequential),
+        ``"threads"``, ``"processes"`` (landmark shards on a worker-process
+        pool — see :mod:`repro.parallel`), or ``"simulate"``.
+        ``num_shards``/``pool`` configure the processes backend only.
+        """
         new_labelling, stats = run_batch_update(
             self._graph,
             self._labelling,
@@ -163,6 +177,8 @@ class HighwayCoverIndex:
             variant=variant,
             parallel=parallel,
             num_threads=num_threads,
+            num_shards=num_shards,
+            pool=pool,
         )
         self._labelling = new_labelling
         return stats

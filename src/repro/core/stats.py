@@ -10,6 +10,28 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 
+@dataclass(frozen=True)
+class ShardTiming:
+    """Wall-clock breakdown of one execution shard of a (sub-)batch.
+
+    Populated by every parallel backend so their cost models line up:
+    ``parallel="simulate"`` emits one timing per landmark (the paper's
+    idealised one-core-per-landmark machine), ``parallel="threads"`` one
+    per landmark as actually interleaved by the thread pool, and
+    ``parallel="processes"`` one per worker shard.  ``wall_seconds`` is
+    the shard's elapsed time and may exceed ``search + repair`` (decode
+    and serialisation overhead live there); the batch makespan is the max
+    of the shard walls.
+    """
+
+    shard: int
+    #: number of landmarks this shard processed.
+    num_landmarks: int
+    search_seconds: float
+    repair_seconds: float
+    wall_seconds: float
+
+
 @dataclass
 class UpdateStats:
     """Outcome of one ``batch_update`` call on an index."""
@@ -28,9 +50,18 @@ class UpdateStats:
     affected_vertices: set[int] = field(default_factory=set)
     search_seconds: float = 0.0
     repair_seconds: float = 0.0
+    #: writer-side time spent scattering shard results back into the
+    #: labelling (processes backend only; 0 for in-process backends where
+    #: repairs write the shared matrix directly).
+    merge_seconds: float = 0.0
     total_seconds: float = 0.0
-    #: max over landmarks of per-landmark wall time — what an |R|-core
-    #: machine would pay per sub-batch; None unless parallel="simulate".
+    #: per-shard timing breakdown; empty when the batch ran sequentially
+    #: with no parallel backend selected.
+    shard_timings: list[ShardTiming] = field(default_factory=list)
+    #: max over shards of per-shard wall time — what a machine with one
+    #: core per shard would pay per sub-batch.  Set by
+    #: parallel="simulate" (shard == landmark, the paper's BHLp model)
+    #: and parallel="processes" (real worker wall times); None otherwise.
     makespan_seconds: float | None = None
     #: number of label/highway cells actually rewritten by repair.
     labels_changed: int = 0
@@ -53,7 +84,9 @@ class UpdateStats:
         self.affected_vertices |= other.affected_vertices
         self.search_seconds += other.search_seconds
         self.repair_seconds += other.repair_seconds
+        self.merge_seconds += other.merge_seconds
         self.total_seconds += other.total_seconds
+        self.shard_timings.extend(other.shard_timings)
         self.labels_changed += other.labels_changed
         if other.makespan_seconds is not None:
             self.makespan_seconds = (

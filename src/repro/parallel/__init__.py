@@ -1,0 +1,40 @@
+"""Sharded landmark-parallel execution backend.
+
+The paper's Section 6 observation — per-landmark searches and repairs
+write disjoint label columns — makes batch maintenance embarrassingly
+parallel across landmarks.  This package turns that into a real
+multiprocess backend for CPython, where threads cannot help (the search
+and repair kernels are pure Python and GIL-bound):
+
+* :mod:`~repro.parallel.snapshot` — compact array-encoded (graph,
+  labelling) snapshots that pickle cheaply to worker processes;
+* :mod:`~repro.parallel.worker` — the picklable shard task bodies
+  (batch search + repair, and BFS construction, per landmark shard);
+* :mod:`~repro.parallel.pool` — :class:`LandmarkShardPool`, a persistent
+  worker-process pool reused across batches, plus the process-wide
+  default pool behind ``parallel="processes"``;
+* :mod:`~repro.parallel.sharded` — :class:`ShardedHighwayCoverIndex`,
+  a drop-in :class:`~repro.core.index.HighwayCoverIndex` whose
+  construction and updates run on the pool.
+"""
+
+from repro.parallel.pool import (
+    LandmarkShardPool,
+    close_default_pool,
+    default_num_shards,
+    get_default_pool,
+    partition_landmarks,
+)
+from repro.parallel.sharded import ShardedHighwayCoverIndex
+from repro.parallel.snapshot import StateSnapshot, encode_state
+
+__all__ = [
+    "LandmarkShardPool",
+    "ShardedHighwayCoverIndex",
+    "StateSnapshot",
+    "close_default_pool",
+    "default_num_shards",
+    "encode_state",
+    "get_default_pool",
+    "partition_landmarks",
+]

@@ -1,0 +1,277 @@
+"""Persistent landmark-sharded process pool.
+
+:class:`LandmarkShardPool` is the writer-side driver of the ``processes``
+backend: it partitions the landmark set into shards, ships one picklable
+task per shard to a pool of worker processes, and scatters the returned
+label columns / highway rows back into the target labelling.  The
+underlying :class:`~concurrent.futures.ProcessPoolExecutor` is created
+lazily on first use and **reused across batches** — worker startup (and,
+under spawn, interpreter + import cost) is paid once per pool, not once
+per batch, which is what makes the backend viable for the serving layer's
+steady stream of small flushes.
+
+Shard-count guidance: one shard per physical core, capped by the landmark
+count.  More shards than cores only adds snapshot pickling; fewer leaves
+cores idle.  With the paper's default of 20 landmarks, 4–20 shards cover
+every sensible machine.
+
+Module-level :func:`get_default_pool` keeps one process pool per Python
+process for callers that use the functional API
+(``run_batch_update(parallel="processes")``) without managing a pool
+object themselves; it is closed automatically at interpreter exit.
+"""
+
+from __future__ import annotations
+
+import atexit
+import multiprocessing
+import os
+import threading
+import time
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+
+from repro.core.labelling import HighwayCoverLabelling
+from repro.core.stats import ShardTiming
+from repro.errors import BatchError
+from repro.parallel.snapshot import encode_graph, encode_state
+from repro.parallel.worker import (
+    LandmarkOutcome,
+    run_build_shard,
+    run_update_shard,
+)
+
+
+def partition_landmarks(num_landmarks: int, num_shards: int) -> list[list[int]]:
+    """Split landmark indices into at most ``num_shards`` balanced shards.
+
+    Contiguous slices whose sizes differ by at most one; empty shards are
+    never produced (fewer landmarks than shards yields fewer shards).
+    """
+    if num_landmarks <= 0:
+        return []
+    if num_shards <= 0:
+        raise BatchError(f"num_shards must be positive, got {num_shards}")
+    num_shards = min(num_shards, num_landmarks)
+    base, extra = divmod(num_landmarks, num_shards)
+    shards: list[list[int]] = []
+    start = 0
+    for s in range(num_shards):
+        size = base + (1 if s < extra else 0)
+        shards.append(list(range(start, start + size)))
+        start += size
+    return shards
+
+
+def default_num_shards(num_landmarks: int) -> int:
+    """One shard per core, capped by the landmark count."""
+    return max(1, min(os.cpu_count() or 1, num_landmarks))
+
+
+def _default_mp_context():
+    """A fork-safe start method: forkserver where available, else spawn.
+
+    The pool is routinely started lazily from a multithreaded writer (the
+    serving layer flushes while reader threads run); plain ``fork`` from a
+    threaded process can inherit locks held mid-acquisition and deadlock
+    the child.  ``forkserver`` forks from a clean single-threaded server
+    process — fork-fast after the first task, without fork's hazard.
+    """
+    try:
+        return multiprocessing.get_context("forkserver")
+    except ValueError:  # platform without forkserver (e.g. Windows)
+        return multiprocessing.get_context("spawn")
+
+
+class LandmarkShardPool:
+    """Reusable process pool executing landmark shards of batch updates.
+
+    ``num_shards=None`` resolves per call to :func:`default_num_shards`.
+    The executor is lazy: constructing a pool is free, the worker
+    processes appear on the first :meth:`run_update`/:meth:`build` and
+    stay alive until :meth:`close` (the pool is also a context manager).
+    """
+
+    def __init__(
+        self,
+        num_shards: int | None = None,
+        max_workers: int | None = None,
+        mp_context=None,
+    ):
+        if num_shards is not None and num_shards <= 0:
+            raise BatchError(f"num_shards must be positive, got {num_shards}")
+        self.num_shards = num_shards
+        self._max_workers = max_workers
+        self._mp_context = mp_context
+        self._executor: ProcessPoolExecutor | None = None
+        self._lock = threading.Lock()
+        self.batches_run = 0
+
+    # ------------------------------------------------------------------
+    # executor lifecycle
+    # ------------------------------------------------------------------
+
+    def _ensure_executor(self) -> ProcessPoolExecutor:
+        with self._lock:
+            if self._executor is None:
+                # Size to the pool's fixed shard count, or to the machine
+                # when sharding is auto — never to the first call's shard
+                # count, which may be small and would cap every later run.
+                workers = (
+                    self._max_workers
+                    or self.num_shards
+                    or (os.cpu_count() or 1)
+                )
+                self._executor = ProcessPoolExecutor(
+                    max_workers=max(1, workers),
+                    mp_context=self._mp_context or _default_mp_context(),
+                )
+            return self._executor
+
+    def _discard_broken(self) -> None:
+        """Drop a broken executor so the next call starts a fresh one."""
+        with self._lock:
+            if self._executor is not None:
+                self._executor.shutdown(wait=False, cancel_futures=True)
+                self._executor = None
+
+    def close(self) -> None:
+        with self._lock:
+            if self._executor is not None:
+                self._executor.shutdown(wait=True)
+                self._executor = None
+
+    def __enter__(self) -> "LandmarkShardPool":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # work
+    # ------------------------------------------------------------------
+
+    def _run_sharded(self, task, shards: list[list[int]], *args) -> list:
+        executor = self._ensure_executor()
+        try:
+            futures = [
+                executor.submit(task, *args, shard) for shard in shards
+            ]
+            return [future.result() for future in futures]
+        except BrokenProcessPool:
+            self._discard_broken()
+            raise
+
+    def run_update(
+        self,
+        graph,
+        labelling_old: HighwayCoverLabelling,
+        labelling_new: HighwayCoverLabelling,
+        oriented,
+        improved: bool,
+    ) -> tuple[list[LandmarkOutcome], float, list[ShardTiming], float]:
+        """Search + repair every landmark across the worker shards.
+
+        ``graph`` must already be G' and ``labelling_new`` a copy of
+        ``labelling_old`` (grown to G''s vertex count).  Returns the
+        per-landmark outcomes in landmark order, the makespan (max shard
+        wall), the per-shard timings, and the writer-side merge time.
+        """
+        num_landmarks = labelling_old.num_landmarks
+        shards = partition_landmarks(
+            num_landmarks, self.num_shards or default_num_shards(num_landmarks)
+        )
+        if not shards:
+            return [], 0.0, [], 0.0
+        snapshot = encode_state(graph, labelling_old)
+        oriented = list(oriented)
+        results = self._run_sharded(
+            _update_task, shards, snapshot, oriented, improved
+        )
+        merge_started = time.perf_counter()
+        outcomes: list[LandmarkOutcome | None] = [None] * num_landmarks
+        shard_timings: list[ShardTiming] = []
+        for s, result in enumerate(results):
+            labelling_new.labels[:, result.shard] = result.columns
+            labelling_new.highway[result.shard, :] = result.highway_rows
+            for i, outcome in zip(result.shard, result.outcomes):
+                outcomes[i] = outcome
+            shard_timings.append(
+                ShardTiming(
+                    shard=s,
+                    num_landmarks=len(result.shard),
+                    search_seconds=sum(o[1] for o in result.outcomes),
+                    repair_seconds=sum(o[2] for o in result.outcomes),
+                    wall_seconds=result.wall_seconds,
+                )
+            )
+        merge_seconds = time.perf_counter() - merge_started
+        makespan = max(t.wall_seconds for t in shard_timings)
+        self.batches_run += 1
+        return list(outcomes), makespan, shard_timings, merge_seconds
+
+    def build(self, graph, landmarks: tuple[int, ...]) -> HighwayCoverLabelling:
+        """Parallel static construction: one BFS tree per worker task."""
+        landmarks = tuple(landmarks)
+        shards = partition_landmarks(
+            len(landmarks), self.num_shards or default_num_shards(len(landmarks))
+        )
+        labelling = HighwayCoverLabelling.empty(graph.num_vertices, landmarks)
+        if not shards:
+            return labelling
+        indptr, indices = encode_graph(graph)
+        results = self._run_sharded(
+            _build_task, shards, indptr, indices, landmarks
+        )
+        for result in results:
+            labelling.labels[:, result.shard] = result.columns
+            labelling.highway[result.shard, :] = result.highway_rows
+        return labelling
+
+    def __repr__(self) -> str:
+        state = "live" if self._executor is not None else "idle"
+        return (
+            f"LandmarkShardPool(num_shards={self.num_shards},"
+            f" {state}, batches_run={self.batches_run})"
+        )
+
+
+def _update_task(snapshot, oriented, improved, shard):
+    """Positional adapter so the shard is the trailing argument."""
+    return run_update_shard(snapshot, shard, oriented, improved)
+
+
+def _build_task(indptr, indices, landmarks, shard):
+    return run_build_shard(indptr, indices, landmarks, shard)
+
+
+# ----------------------------------------------------------------------
+# default pool (functional API)
+# ----------------------------------------------------------------------
+
+_default_pools: dict[int | None, LandmarkShardPool] = {}
+_default_lock = threading.Lock()
+
+
+def get_default_pool(num_shards: int | None = None) -> LandmarkShardPool:
+    """The process-wide pool used when callers pass ``parallel="processes"``
+    without an explicit pool.  One pool is kept per requested shard count
+    (None = auto), so callers that disagree on ``num_shards`` each reuse
+    their own persistent workers instead of restarting a shared pool on
+    every batch."""
+    with _default_lock:
+        pool = _default_pools.get(num_shards)
+        if pool is None:
+            pool = LandmarkShardPool(num_shards)
+            _default_pools[num_shards] = pool
+        return pool
+
+
+def close_default_pool() -> None:
+    with _default_lock:
+        for pool in _default_pools.values():
+            pool.close()
+        _default_pools.clear()
+
+
+atexit.register(close_default_pool)

@@ -1,0 +1,153 @@
+"""Drop-in sharded index: :class:`ShardedHighwayCoverIndex`.
+
+Behaves exactly like :class:`~repro.core.index.HighwayCoverIndex` — same
+queries, same update semantics, bit-identical labelling — but executes
+construction and every batch update on a persistent
+:class:`~repro.parallel.pool.LandmarkShardPool` of worker processes.  Use
+it when update latency matters and the machine has cores to spare::
+
+    from repro import DynamicGraph
+    from repro.parallel import ShardedHighwayCoverIndex
+
+    with ShardedHighwayCoverIndex(graph, num_landmarks=20, num_shards=4) as index:
+        index.batch_update(updates)          # runs on the worker pool
+        index.distance(s, t)                 # reads stay in-process
+
+The pool is owned by the index unless one is injected; ``close()`` (or the
+context manager) shuts the workers down.  Queries never touch the pool —
+only ``batch_update`` and construction fan out.
+"""
+
+from __future__ import annotations
+
+from repro.core.batchhl import Variant
+from repro.core.construction import build_labelling
+from repro.core.index import HighwayCoverIndex
+from repro.core.labelling import HighwayCoverLabelling
+from repro.core.stats import UpdateStats
+from repro.errors import BatchError
+from repro.graph.dynamic_graph import DynamicGraph
+from repro.parallel.pool import LandmarkShardPool, default_num_shards
+
+
+class ShardedHighwayCoverIndex(HighwayCoverIndex):
+    """A :class:`HighwayCoverIndex` whose maintenance runs on worker processes."""
+
+    def __init__(
+        self,
+        graph: DynamicGraph,
+        num_landmarks: int = 20,
+        landmarks: tuple[int, ...] | None = None,
+        selection: str = "degree",
+        seed: int = 0,
+        num_shards: int | None = None,
+        pool: LandmarkShardPool | None = None,
+    ):
+        self._pool = pool if pool is not None else LandmarkShardPool(num_shards)
+        self._owns_pool = pool is None
+        super().__init__(
+            graph,
+            num_landmarks=num_landmarks,
+            landmarks=landmarks,
+            selection=selection,
+            seed=seed,
+        )
+
+    def _build_labelling(
+        self, graph: DynamicGraph, landmarks: tuple[int, ...]
+    ) -> HighwayCoverLabelling:
+        return build_labelling(
+            graph, landmarks, parallel="processes", pool=self._pool
+        )
+
+    @classmethod
+    def from_parts(
+        cls,
+        graph: DynamicGraph,
+        labelling: HighwayCoverLabelling,
+        num_shards: int | None = None,
+        pool: LandmarkShardPool | None = None,
+    ) -> "ShardedHighwayCoverIndex":
+        """Wrap an existing (graph, labelling) pair without rebuilding."""
+        index = super().from_parts(graph, labelling)
+        index._pool = pool if pool is not None else LandmarkShardPool(num_shards)
+        index._owns_pool = pool is None
+        return index
+
+    @property
+    def pool(self) -> LandmarkShardPool:
+        return self._pool
+
+    @property
+    def effective_num_shards(self) -> int:
+        """The shard count batches actually run with.
+
+        An auto-sharded pool (``num_shards=None``) resolves to one shard
+        per core, capped by the landmark count — the same resolution
+        :func:`~repro.parallel.pool.partition_landmarks` applies.
+        """
+        num_landmarks = self._labelling.num_landmarks
+        requested = self._pool.num_shards or default_num_shards(num_landmarks)
+        return max(1, min(requested, num_landmarks))
+
+    def batch_update(
+        self,
+        updates,
+        variant: Variant | str = Variant.BHL_PLUS,
+        parallel: str | None = "processes",
+        num_threads: int | None = None,
+        num_shards: int | None = None,
+        pool: LandmarkShardPool | None = None,
+    ) -> UpdateStats:
+        """Apply a batch on the shard pool (override ``parallel`` to opt out).
+
+        The shard count is fixed by the owned pool; a redundant matching
+        ``num_shards`` is accepted, but asking for a *different* one per
+        batch is an error rather than a silent no-op — pass an explicit
+        ``pool`` to run elsewhere.
+        """
+        if (
+            num_shards is not None
+            and pool is None
+            and num_shards != self.effective_num_shards
+        ):
+            raise BatchError(
+                "this index runs on its own pool"
+                f" (effective num_shards={self.effective_num_shards}),"
+                f" cannot honour num_shards={num_shards}; pass pool=... to"
+                " override, or set num_shards at construction"
+            )
+        return super().batch_update(
+            updates,
+            variant=variant,
+            parallel=parallel,
+            num_threads=num_threads,
+            pool=pool if pool is not None else self._pool,
+        )
+
+    def rebuild(self) -> None:
+        """Recompute the labelling from scratch on the pool."""
+        self._labelling = build_labelling(
+            self._graph,
+            self._labelling.landmarks,
+            parallel="processes",
+            pool=self._pool,
+        )
+
+    def close(self) -> None:
+        """Shut the worker processes down (if this index owns them)."""
+        if self._owns_pool:
+            self._pool.close()
+
+    def __enter__(self) -> "ShardedHighwayCoverIndex":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardedHighwayCoverIndex(|V|={self._graph.num_vertices},"
+            f" |E|={self._graph.num_edges}, |R|={len(self.landmarks)},"
+            f" entries={self.label_size()}, pool={self._pool!r})"
+        )

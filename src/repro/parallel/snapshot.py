@@ -1,0 +1,125 @@
+"""Compact array-encoded state snapshots for cross-process shipping.
+
+A worker process needs exactly two things to run batch search + repair for
+a set of landmarks: the *updated* graph G' and the *old* labelling Γ.  Both
+are encoded as a handful of dense numpy arrays — CSR adjacency for the
+graph, the native label/highway matrices for the labelling — so one shard
+task pickles in O(V + E + V·R) contiguous bytes instead of walking a
+million Python set objects.  Decoding on the worker side is a single
+``tolist()`` pass per array.
+
+The snapshot is immutable by convention: the writer builds it once per
+batch (after ``apply_batch``, so the adjacency already describes G') and
+every shard task receives the same object.  Workers copy what they mutate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.labelling import HighwayCoverLabelling
+
+
+class CSRGraphView:
+    """Read-only adjacency decoded from a CSR snapshot.
+
+    Quacks like :class:`~repro.graph.dynamic_graph.DynamicGraph` for the
+    two operations the search/repair kernels use: ``num_vertices`` and
+    ``neighbors``.  Neighbour lists hold plain Python ints so downstream
+    heap entries and affected sets stay lightweight.
+    """
+
+    __slots__ = ("_adj",)
+
+    def __init__(self, adjacency: list[list[int]]):
+        self._adj = adjacency
+
+    @property
+    def num_vertices(self) -> int:
+        return len(self._adj)
+
+    def neighbors(self, vertex: int) -> list[int]:
+        return self._adj[vertex]
+
+    def degree(self, vertex: int) -> int:
+        return len(self._adj[vertex])
+
+
+@dataclass(frozen=True)
+class StateSnapshot:
+    """Picklable (G', Γ) pair: CSR adjacency + label matrices.
+
+    ``indptr``/``indices`` follow the standard CSR convention: the
+    neighbours of vertex ``v`` are ``indices[indptr[v]:indptr[v + 1]]``.
+    ``labels``/``highway``/``landmarks`` mirror
+    :class:`~repro.core.labelling.HighwayCoverLabelling` storage exactly.
+    """
+
+    indptr: np.ndarray
+    indices: np.ndarray
+    labels: np.ndarray
+    highway: np.ndarray
+    landmarks: tuple[int, ...]
+
+    @property
+    def num_vertices(self) -> int:
+        return len(self.indptr) - 1
+
+    def decode_graph(self) -> CSRGraphView:
+        """Materialise the adjacency as Python lists (worker side)."""
+        return CSRGraphView(decode_adjacency(self.indptr, self.indices))
+
+    def decode_labelling(self) -> HighwayCoverLabelling:
+        """Wrap the label matrices without copying (worker side).
+
+        The arrays arrive via pickle so the worker already owns them;
+        mutating callers must ``copy()`` the result first, exactly as the
+        sequential pipeline copies before repair.
+        """
+        return HighwayCoverLabelling(self.labels, self.highway, self.landmarks)
+
+
+def encode_graph(graph) -> tuple[np.ndarray, np.ndarray]:
+    """CSR-encode a :class:`DynamicGraph` (or any ``neighbors`` provider)."""
+    n = graph.num_vertices
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    chunks: list[list[int]] = []
+    total = 0
+    for v in range(n):
+        neighbours = sorted(graph.neighbors(v))
+        total += len(neighbours)
+        indptr[v + 1] = total
+        chunks.append(neighbours)
+    indices = np.empty(total, dtype=np.int64)
+    position = 0
+    for neighbours in chunks:
+        indices[position : position + len(neighbours)] = neighbours
+        position += len(neighbours)
+    return indptr, indices
+
+
+def decode_adjacency(indptr: np.ndarray, indices: np.ndarray) -> list[list[int]]:
+    """Expand CSR arrays back into a list-of-lists of Python ints."""
+    bounds = indptr.tolist()
+    flat = indices.tolist()
+    return [flat[bounds[v] : bounds[v + 1]] for v in range(len(bounds) - 1)]
+
+
+def encode_state(graph, labelling: HighwayCoverLabelling) -> StateSnapshot:
+    """Snapshot (G', Γ) for shard tasks.
+
+    Call *after* the batch has been applied to ``graph`` and the labelling
+    grown to the new vertex count — workers must see the updated topology
+    with the pre-update labels, the same view the sequential pipeline
+    hands to :func:`~repro.core.batchhl.process_landmarks`.
+    """
+    indptr, indices = encode_graph(graph)
+    return StateSnapshot(
+        indptr=indptr,
+        indices=indices,
+        labels=labelling.labels,
+        highway=labelling.highway,
+        landmarks=labelling.landmarks,
+    )

@@ -1,0 +1,144 @@
+"""Shard task bodies executed inside worker processes.
+
+Everything here is module-level and operates on picklable inputs only, so
+the tasks work under any multiprocessing start method (fork, spawn,
+forkserver).  A shard task owns a contiguous slice of the landmark set:
+labels for different landmarks are disjoint columns of the label matrix
+(Section 6 of the paper), so each worker repairs into a private copy of
+the labelling and ships back exactly the columns (and highway rows) its
+landmarks own.  The writer-side merge is a pure array scatter.
+
+Highway symmetry across shards: landmark ``i``'s repair writes ``H[i, j]``
+(and mirrors ``H[j, i]`` locally).  The mirror write is discarded when the
+shard only exports its own rows — safely, because a changed landmark-to-
+landmark distance makes *both* endpoints affected in each other's searches
+(distances are symmetric on undirected graphs), so row ``j`` receives the
+identical value from landmark ``j``'s own repair in whichever shard owns
+it.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.constants import INF
+from repro.core.batch_search import OrientedUpdate
+from repro.core.batchhl import process_one_landmark
+from repro.core.construction import landmark_column
+from repro.parallel.snapshot import CSRGraphView, StateSnapshot, decode_adjacency
+
+#: Per-landmark outcome, same shape process_landmarks reports:
+#: (n_affected, search_seconds, repair_seconds, cells_changed, affected).
+LandmarkOutcome = tuple[int, float, float, int, list[int]]
+
+
+@dataclass
+class ShardResult:
+    """What one update shard ships back to the writer."""
+
+    shard: list[int]
+    #: (V, len(shard)) — the repaired label columns, in ``shard`` order.
+    columns: np.ndarray
+    #: (len(shard), R) — the repaired highway rows, in ``shard`` order.
+    highway_rows: np.ndarray
+    outcomes: list[LandmarkOutcome]
+    #: total worker wall time for the shard (decode + search + repair).
+    wall_seconds: float
+
+
+def run_update_shard(
+    snapshot: StateSnapshot,
+    shard: list[int],
+    oriented: list[OrientedUpdate],
+    improved: bool,
+) -> ShardResult:
+    """Batch search + repair for every landmark in ``shard``.
+
+    Mirrors one iteration of the sequential per-landmark loop: old
+    distances are decoded from the snapshot labelling, the search runs over
+    the updated CSR graph, and repair writes into a worker-private copy of
+    the labelling.  Only this shard's columns/rows leave the process.
+    """
+    t0 = time.perf_counter()
+    graph = snapshot.decode_graph()
+    labelling_old = snapshot.decode_labelling()
+    # A full copy, not just this shard's columns: every landmark's
+    # distances_from() decode reads ALL label columns (Eq. 2 routes
+    # through other landmarks' entries), so repairs must never alias the
+    # matrix that later landmarks in this shard still read old values
+    # from.
+    labelling_new = labelling_old.copy()
+    is_landmark = labelling_old.is_landmark.tolist()
+
+    outcomes: list[LandmarkOutcome] = []
+    for i in shard:
+        n_affected, search_s, repair_s, changed, affected, _ = (
+            process_one_landmark(
+                graph,
+                labelling_old,
+                labelling_new,
+                oriented,
+                improved,
+                is_landmark,
+                i,
+                symmetric_highway=True,
+            )
+        )
+        outcomes.append((n_affected, search_s, repair_s, changed, affected))
+
+    return ShardResult(
+        shard=list(shard),
+        columns=labelling_new.labels[:, shard].copy(),
+        highway_rows=labelling_new.highway[shard, :].copy(),
+        outcomes=outcomes,
+        wall_seconds=time.perf_counter() - t0,
+    )
+
+
+@dataclass
+class BuildShardResult:
+    """What one construction shard ships back to the writer."""
+
+    shard: list[int]
+    #: (V, len(shard)) — minimal label columns, in ``shard`` order.
+    columns: np.ndarray
+    #: (len(shard), R) — highway rows ``H[i, j] = d(r_i, r_j)``.
+    highway_rows: np.ndarray
+    wall_seconds: float
+
+
+def run_build_shard(
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    landmarks: tuple[int, ...],
+    shard: list[int],
+) -> BuildShardResult:
+    """One landmark-flagged BFS tree per landmark in ``shard``.
+
+    The minimality rule is per landmark (Lemma 5.14: label a vertex iff
+    reachable, not a landmark, flag False), so construction shards are
+    fully independent given the graph and the landmark set.
+    """
+    t0 = time.perf_counter()
+    graph = CSRGraphView(decode_adjacency(indptr, indices))
+    n = graph.num_vertices
+    is_landmark = np.zeros(n, dtype=bool)
+    for r in landmarks:
+        is_landmark[r] = True
+    landmark_list = list(landmarks)
+
+    columns = np.empty((n, len(shard)), dtype=np.int64)
+    highway_rows = np.full((len(shard), len(landmarks)), INF, dtype=np.int64)
+    for position, i in enumerate(shard):
+        columns[:, position], highway_rows[position, :] = landmark_column(
+            graph, landmark_list[i], is_landmark, landmark_list
+        )
+    return BuildShardResult(
+        shard=list(shard),
+        columns=columns,
+        highway_rows=highway_rows,
+        wall_seconds=time.perf_counter() - t0,
+    )

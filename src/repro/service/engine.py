@@ -34,12 +34,13 @@ import threading
 import time
 from dataclasses import dataclass
 
-from repro.core.batchhl import Variant, resolve_variant
+from repro.core.batchhl import PARALLEL_MODES, Variant, resolve_variant
 from repro.core.index import HighwayCoverIndex
 from repro.core.stats import UpdateStats
 from repro.errors import BatchError, IndexStateError
 from repro.graph.batch import EdgeUpdate
 from repro.graph.dynamic_graph import DynamicGraph
+from repro.parallel.sharded import ShardedHighwayCoverIndex
 from repro.service.cache import QueryCache
 from repro.service.metrics import ServiceMetrics
 from repro.service.scheduler import (
@@ -101,6 +102,12 @@ class DistanceService:
     a repair — the amortisation the paper measures).  Either way, use the
     service as a context manager or call :meth:`close` to drain the last
     partial batch.
+
+    ``parallel``/``num_threads``/``num_shards`` select the execution
+    backend every flush uses (see :meth:`HighwayCoverIndex.batch_update`);
+    with ``parallel="processes"`` flushes fan landmark shards out to the
+    shared persistent worker pool (:mod:`repro.parallel`) while readers
+    keep answering in-process from the published epoch.
     """
 
     def __init__(
@@ -115,6 +122,7 @@ class DistanceService:
         cache_mode: str = "epoch",
         parallel: str | None = None,
         num_threads: int | None = None,
+        num_shards: int | None = None,
         background: bool = False,
     ):
         if isinstance(source, HighwayCoverIndex):
@@ -129,11 +137,34 @@ class DistanceService:
                 f" got {type(source).__name__}"
             )
         self._writer = writer
-        # Resolve eagerly: a typo'd variant must fail at construction, not
-        # poison the first flush.
+        # Resolve eagerly: a typo'd variant or backend must fail at
+        # construction, not poison the first flush.
         self._variant = resolve_variant(variant)
+        if parallel not in PARALLEL_MODES:
+            raise BatchError(
+                f"parallel must be one of {PARALLEL_MODES}, got {parallel!r}"
+            )
+        if isinstance(writer, ShardedHighwayCoverIndex):
+            # The writer owns its pool: a conflicting shard count must
+            # fail here, a matching/absent one defers to the pool, and an
+            # unspecified backend follows the writer onto its pool (a
+            # sharded writer that silently flushed sequentially would
+            # defeat the point of passing one in).
+            if (
+                num_shards is not None
+                and num_shards != writer.effective_num_shards
+            ):
+                raise BatchError(
+                    f"num_shards={num_shards} conflicts with the writer's"
+                    f" own pool (effective"
+                    f" num_shards={writer.effective_num_shards})"
+                )
+            num_shards = None
+            if parallel is None:
+                parallel = "processes"
         self._parallel = parallel
         self._num_threads = num_threads
+        self._num_shards = num_shards
         self._epochs = EpochStore(writer.snapshot())
         self.scheduler = CoalescingScheduler(policy)
         self.cache = QueryCache(cache_capacity, cache_mode)
@@ -261,6 +292,7 @@ class DistanceService:
                     variant=self._variant,
                     parallel=self._parallel,
                     num_threads=self._num_threads,
+                    num_shards=self._num_shards,
                 )
                 if stats.n_applied:
                     # Invalidate BEFORE the pointer flip: a reader that

@@ -49,3 +49,16 @@ def random_mixed_updates(
 @pytest.fixture
 def rng():
     return random.Random(0xC0FFEE)
+
+
+@pytest.fixture(scope="module")
+def shard_pool():
+    """One persistent 3-shard worker pool per test module.
+
+    Module-scoped so the (forkserver) worker startup is paid once per
+    module and the pool's cross-batch reuse is itself under test.
+    """
+    from repro.parallel import LandmarkShardPool
+
+    with LandmarkShardPool(num_shards=3) as pool:
+        yield pool

@@ -1,0 +1,192 @@
+"""Randomized equivalence fuzzing: every variant, every backend, one truth.
+
+Seeded fuzz over random graph families and mixed insert/delete batches,
+asserting the repo's strongest invariants:
+
+* maintained labelling == rebuild-from-scratch labelling (Theorem 5.21)
+  for every variant (BHL, BHL+, BHL-s, UHL, UHL+);
+* sequential == threads == processes, bit-for-bit on the label matrices;
+* served distances == BFS ground truth on sampled pairs.
+
+Every assertion message carries the failing seed; re-run a single seed
+with ``REPRO_FUZZ_SEEDS=<seed> pytest tests/test_equivalence_fuzz.py``
+(comma-separated values widen the matrix — CI runs one job per seed).
+"""
+
+from __future__ import annotations
+
+import os
+import random
+
+import pytest
+
+from repro import EdgeUpdate, HighwayCoverIndex
+from repro.graph import generators
+from repro.workloads.queries import sample_query_pairs
+from tests.conftest import bfs_oracle, random_mixed_updates
+
+DEFAULT_SEEDS = (3, 17, 88, 204, 977)
+VARIANTS = ("bhl", "bhl+", "bhl-s", "uhl", "uhl+")
+BACKENDS = (None, "threads", "processes")
+
+
+def fuzz_seeds() -> tuple[int, ...]:
+    raw = os.environ.get("REPRO_FUZZ_SEEDS", "").strip()
+    if raw:
+        return tuple(int(part) for part in raw.split(",") if part.strip())
+    return DEFAULT_SEEDS
+
+
+def random_instance(seed: int):
+    """A random graph drawn from one of three families, plus its rng."""
+    rng = random.Random(seed)
+    family = rng.choice(("erdos_renyi", "barabasi_albert", "watts_strogatz"))
+    n = rng.randint(40, 90)
+    if family == "erdos_renyi":
+        graph = generators.erdos_renyi(n, rng.uniform(0.04, 0.10), seed=seed)
+    elif family == "barabasi_albert":
+        graph = generators.barabasi_albert(n, rng.randint(2, 3), seed=seed)
+    else:
+        graph = generators.watts_strogatz(n, 4, 0.2, seed=seed)
+    return rng, graph
+
+
+def random_fuzz_batch(graph, rng: random.Random) -> list[EdgeUpdate]:
+    """A hostile mixed batch: valid updates plus the full zoo of junk.
+
+    Contains deletions of live edges, insertions of absent edges, and —
+    with the paper's normalisation rules in mind — duplicates, an
+    insert/delete pair of the same edge (must cancel), an insertion of an
+    existing edge and a deletion of a missing one (must be ignored), a
+    landmark-incident update, and occasionally an edge to a brand-new
+    vertex (batch-driven growth).
+    """
+    n = graph.num_vertices
+    updates: list[EdgeUpdate] = []
+    edges = list(graph.edges())
+    rng.shuffle(edges)
+    for a, b in edges[: rng.randint(2, 6)]:
+        updates.append(EdgeUpdate.delete(a, b))
+    inserted = 0
+    while inserted < rng.randint(2, 6):
+        a, b = rng.randrange(n), rng.randrange(n)
+        if a != b and not graph.has_edge(a, b):
+            updates.append(EdgeUpdate.insert(a, b))
+            inserted += 1
+    if updates and rng.random() < 0.7:
+        updates.append(updates[0])  # duplicate — must collapse
+    if edges and rng.random() < 0.7:
+        a, b = edges[-1]
+        # insert+delete of the same (live) edge: both must be eliminated.
+        updates.append(EdgeUpdate.insert(a, b))
+        updates.append(EdgeUpdate.delete(a, b))
+    if edges and rng.random() < 0.5:
+        updates.append(EdgeUpdate.insert(*edges[len(edges) // 2]))  # invalid
+    if rng.random() < 0.5:
+        a, b = rng.randrange(n), rng.randrange(n)
+        if a != b and not graph.has_edge(a, b):
+            updates.append(EdgeUpdate.delete(a, b))  # invalid
+    if rng.random() < 0.25:
+        updates.append(EdgeUpdate.insert(rng.randrange(n), n))  # new vertex
+    rng.shuffle(updates)
+    return updates
+
+
+def assert_queries_exact(index, rng: random.Random, context: str) -> None:
+    for s, t in sample_query_pairs(index.graph, 20, seed=rng.randrange(2**30)):
+        got, want = index.distance(s, t), bfs_oracle(index.graph, s, t)
+        assert got == want, f"{context}: d({s},{t}) = {got}, expected {want}"
+
+
+@pytest.mark.parametrize("seed", fuzz_seeds())
+def test_every_variant_matches_rebuild(seed):
+    """batch_update == rebuild-from-scratch for all five variants."""
+    for variant in VARIANTS:
+        rng, graph = random_instance(seed)
+        batch_rng = random.Random(f"{seed}:{variant}")
+        index = HighwayCoverIndex(graph, num_landmarks=rng.randint(3, 6))
+        for round_no in range(2):
+            updates = random_fuzz_batch(index.graph, batch_rng)
+            index.batch_update(updates, variant=variant)
+            context = (
+                f"seed={seed} variant={variant} round={round_no}"
+                f" (reproduce: REPRO_FUZZ_SEEDS={seed})"
+            )
+            problems = index.check_minimality()
+            assert problems == [], f"{context}: {problems[:5]}"
+            assert_queries_exact(index, batch_rng, context)
+
+
+@pytest.mark.parametrize("seed", fuzz_seeds())
+def test_backends_bitwise_equal(seed, shard_pool):
+    """sequential == threads == processes on identical update streams."""
+    rng, graph = random_instance(seed + 10_000)
+    num_landmarks = rng.randint(4, 7)
+    reference = HighwayCoverIndex(graph.copy(), num_landmarks=num_landmarks)
+    others = {
+        backend: HighwayCoverIndex.from_parts(
+            graph.copy(), reference.labelling.copy()
+        )
+        for backend in BACKENDS[1:]
+    }
+    batch_rng = random.Random(f"{seed}:backends")
+    for round_no in range(3):
+        updates = random_fuzz_batch(reference.graph, batch_rng)
+        reference.batch_update(updates, parallel=None)
+        for backend, index in others.items():
+            index.batch_update(
+                updates,
+                parallel=backend,
+                pool=shard_pool if backend == "processes" else None,
+            )
+            context = (
+                f"seed={seed} backend={backend} round={round_no}"
+                f" (reproduce: REPRO_FUZZ_SEEDS={seed})"
+            )
+            assert reference.labelling.equals(index.labelling), (
+                f"{context}: "
+                + "; ".join(reference.labelling.diff(index.labelling)[:5])
+            )
+    context = f"seed={seed} final (reproduce: REPRO_FUZZ_SEEDS={seed})"
+    problems = reference.check_minimality()
+    assert problems == [], f"{context}: {problems[:5]}"
+    assert_queries_exact(reference, batch_rng, context)
+
+
+@pytest.mark.parametrize("seed", fuzz_seeds())
+def test_unit_variants_agree_with_batch_on_processes(seed, shard_pool):
+    """UHL/UHL+ (unit updates) reach the same labelling as BHL+ batches,
+    sequentially and on the process pool — same final graph, same minimal
+    labelling (Theorem 5.21 makes the labelling graph-determined).
+
+    Uses *clean* batches (distinct valid updates only): an insert+delete
+    pair of one edge cancels under batch semantics but net-deletes under
+    unit processing, so hostile batches legitimately diverge.
+    """
+    rng, graph = random_instance(seed + 20_000)
+    num_landmarks = rng.randint(3, 5)
+    batch = random_mixed_updates(graph, random.Random(f"{seed}:unit"), 4, 4)
+    results = []
+    for variant, backend in (
+        ("bhl+", None),
+        ("uhl", None),
+        ("uhl+", "processes"),
+    ):
+        index = HighwayCoverIndex(graph.copy(), num_landmarks=num_landmarks)
+        index.batch_update(
+            batch,
+            variant=variant,
+            parallel=backend,
+            pool=shard_pool if backend == "processes" else None,
+        )
+        results.append((variant, backend, index))
+    _, _, reference = results[0]
+    for variant, backend, index in results[1:]:
+        context = (
+            f"seed={seed} variant={variant} backend={backend}"
+            f" (reproduce: REPRO_FUZZ_SEEDS={seed})"
+        )
+        assert reference.labelling.equals(index.labelling), (
+            f"{context}: "
+            + "; ".join(reference.labelling.diff(index.labelling)[:5])
+        )

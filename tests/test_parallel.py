@@ -1,9 +1,15 @@
-"""Landmark-level parallelism: threads and simulated makespan."""
+"""Landmark-level parallelism: threads, worker processes, simulated makespan."""
 
 import random
 
+import pytest
+
+from repro import EdgeUpdate
+from repro.core.construction import build_labelling
 from repro.core.index import HighwayCoverIndex
+from repro.errors import BatchError
 from repro.graph import generators
+from repro.parallel import ShardedHighwayCoverIndex, partition_landmarks
 from tests.conftest import random_mixed_updates
 
 
@@ -56,3 +62,248 @@ def test_num_threads_parameter():
     updates = random_mixed_updates(graph, rng, 3, 3)
     index.batch_update(updates, parallel="threads", num_threads=2)
     assert index.check_minimality() == []
+
+
+# ----------------------------------------------------------------------
+# processes backend
+# ----------------------------------------------------------------------
+
+
+def test_partition_landmarks_is_balanced_and_complete():
+    assert partition_landmarks(7, 3) == [[0, 1, 2], [3, 4], [5, 6]]
+    assert partition_landmarks(2, 5) == [[0], [1]]
+    assert partition_landmarks(0, 4) == []
+    with pytest.raises(BatchError):
+        partition_landmarks(5, 0)
+
+
+def test_process_update_matches_sequential(shard_pool):
+    rng = random.Random(9)
+    graph = build_pair(5)
+    sequential = HighwayCoverIndex(graph.copy(), num_landmarks=6)
+    sharded = HighwayCoverIndex(graph.copy(), num_landmarks=6)
+    for _ in range(3):
+        updates = random_mixed_updates(sequential.graph, rng, 4, 4)
+        sequential.batch_update(updates, parallel=None)
+        sharded.batch_update(updates, parallel="processes", pool=shard_pool)
+        assert sequential.labelling.equals(sharded.labelling)
+    assert sharded.check_minimality() == []
+    # The pool's workers were reused across all three batches.
+    assert shard_pool.batches_run >= 3
+
+
+def test_parallel_construction_matches_sequential(shard_pool):
+    graph = build_pair(6)
+    reference = build_labelling(graph, (0, 3, 7, 11))
+    parallel = build_labelling(
+        graph, (0, 3, 7, 11), parallel="processes", pool=shard_pool
+    )
+    assert reference.equals(parallel)
+
+
+def test_sharded_index_is_drop_in(shard_pool):
+    rng = random.Random(10)
+    graph = build_pair(7)
+    plain = HighwayCoverIndex(graph.copy(), num_landmarks=5)
+    sharded = ShardedHighwayCoverIndex(
+        graph.copy(), num_landmarks=5, pool=shard_pool
+    )
+    assert plain.labelling.equals(sharded.labelling)
+    updates = random_mixed_updates(graph, rng, 4, 4)
+    plain.batch_update(updates)
+    stats = sharded.batch_update(updates)
+    assert plain.labelling.equals(sharded.labelling)
+    assert plain.distance(0, 50) == sharded.distance(0, 50)
+    assert stats.makespan_seconds is not None
+    sharded.rebuild()
+    assert plain.labelling.equals(sharded.labelling)
+
+
+def test_sharded_index_owns_and_closes_its_pool():
+    graph = build_pair(8)
+    with ShardedHighwayCoverIndex(graph, num_landmarks=4, num_shards=2) as index:
+        index.batch_update([])
+        assert index.check_minimality() == []
+        pool = index.pool
+    assert pool._executor is None  # closed with the index
+
+
+def test_failed_process_update_rolls_back_the_graph():
+    """A worker-pool failure mid-batch must not leave graph=G' with an
+    unrepaired labelling — the edge mutations are reverted so the index
+    stays self-consistent (and still answers for the old graph)."""
+
+    class ExplodingPool:
+        num_shards = 2
+
+        def run_update(self, *args, **kwargs):
+            raise RuntimeError("worker died")
+
+    rng = random.Random(14)
+    graph = build_pair(13)
+    index = HighwayCoverIndex(graph, num_landmarks=4)
+    before_edges = set(index.graph.edges())
+    updates = random_mixed_updates(graph, rng, 3, 3)
+    with pytest.raises(RuntimeError):
+        index.batch_update(updates, parallel="processes", pool=ExplodingPool())
+    assert set(index.graph.edges()) == before_edges
+    assert index.check_minimality() == []
+
+
+def test_failed_unit_update_rolls_back_all_subbatches(shard_pool):
+    """UHL applies one sub-batch per update; a pool failure on a later
+    sub-batch must also revert the *earlier* sub-batches' edge mutations
+    (their repaired labellings never reach the caller)."""
+
+    class FlakyPool:
+        num_shards = shard_pool.num_shards
+
+        def __init__(self):
+            self.calls = 0
+
+        def run_update(self, *args, **kwargs):
+            self.calls += 1
+            if self.calls >= 3:
+                raise RuntimeError("worker died")
+            return shard_pool.run_update(*args, **kwargs)
+
+    graph = build_pair(15)
+    index = HighwayCoverIndex(graph, num_landmarks=4)
+    before_edges = set(index.graph.edges())
+    n = graph.num_vertices
+    edges = sorted(index.graph.edges())
+    # The third (failing) unit sub-batch grows the vertex set — its
+    # growth hits an intermediate labelling copy, so the rollback must
+    # re-grow the caller's labelling to cover the surviving vertex.
+    updates = [
+        EdgeUpdate.delete(*edges[0]),
+        EdgeUpdate.delete(*edges[1]),
+        EdgeUpdate.insert(0, n),
+    ]
+    flaky = FlakyPool()
+    with pytest.raises(RuntimeError):
+        index.batch_update(
+            updates, variant="uhl", parallel="processes", pool=flaky
+        )
+    assert flaky.calls == 3  # two sub-batches succeeded before the failure
+    assert set(index.graph.edges()) == before_edges
+    assert index.labelling.num_vertices == index.graph.num_vertices
+    assert index.check_minimality() == []
+    assert index.distance(n, 1) == float("inf")  # grown vertex, isolated
+
+
+def test_sharded_index_rejects_per_batch_shard_override(shard_pool):
+    graph = build_pair(14)
+    index = ShardedHighwayCoverIndex(graph, num_landmarks=3, pool=shard_pool)
+    with pytest.raises(BatchError):
+        index.batch_update([], num_shards=shard_pool.num_shards + 5)
+    # A redundant matching shard count is fine.
+    index.batch_update([], num_shards=shard_pool.num_shards)
+    # Auto-sharded pools compare against the *effective* count, not the
+    # literal None they were constructed with.
+    with ShardedHighwayCoverIndex(build_pair(14), num_landmarks=3) as auto:
+        auto.batch_update([], num_shards=auto.effective_num_shards)
+        with pytest.raises(BatchError):
+            auto.batch_update([], num_shards=auto.effective_num_shards + 1)
+
+
+def test_service_over_sharded_writer_flushes_on_its_pool(shard_pool):
+    from repro.service import DistanceService, FlushPolicy
+    from repro.errors import BatchError as ServiceBatchError
+
+    rng = random.Random(16)
+    graph = build_pair(16)
+    writer = ShardedHighwayCoverIndex(graph.copy(), num_landmarks=4, pool=shard_pool)
+    # No explicit parallel: the service must follow the sharded writer
+    # onto its own pool rather than silently flushing sequentially.
+    service = DistanceService(
+        writer,
+        policy=FlushPolicy(max_batch=10_000, max_delay=None),
+        num_shards=shard_pool.num_shards,  # matching count is accepted
+    )
+    batches_before = shard_pool.batches_run
+    with service:
+        service.submit_many(random_mixed_updates(graph, rng, 3, 3))
+        stats = service.flush()
+    assert stats is not None and stats.n_applied > 0
+    assert shard_pool.batches_run > batches_before
+    assert service.current_snapshot().index.check_minimality() == []
+    # A conflicting shard count fails at construction, not at flush time.
+    with pytest.raises(ServiceBatchError):
+        DistanceService(
+            ShardedHighwayCoverIndex(
+                build_pair(16), num_landmarks=4, pool=shard_pool
+            ),
+            parallel="processes",
+            num_shards=shard_pool.num_shards + 1,
+        )
+
+
+def test_invalid_parallel_mode_rejected():
+    graph = build_pair(9)
+    index = HighwayCoverIndex(graph, num_landmarks=3)
+    with pytest.raises(BatchError):
+        index.batch_update([], parallel="gpu")
+
+
+# ----------------------------------------------------------------------
+# shard timing comparability (simulate vs. real processes)
+# ----------------------------------------------------------------------
+
+
+def test_simulate_shard_timings_decompose_totals():
+    """parallel="simulate" must expose one timing per landmark whose
+    search/repair components sum to the batch totals and whose max wall
+    is the reported makespan — the contract that makes the simulated
+    cost model comparable with real process timings."""
+    rng = random.Random(11)
+    graph = build_pair(10)
+    index = HighwayCoverIndex(graph, num_landmarks=6)
+    updates = random_mixed_updates(graph, rng, 5, 5)
+    stats = index.batch_update(updates, parallel="simulate")
+    assert len(stats.shard_timings) == 6
+    assert all(t.num_landmarks == 1 for t in stats.shard_timings)
+    assert sum(t.search_seconds for t in stats.shard_timings) == pytest.approx(
+        stats.search_seconds
+    )
+    assert sum(t.repair_seconds for t in stats.shard_timings) == pytest.approx(
+        stats.repair_seconds
+    )
+    assert stats.makespan_seconds == pytest.approx(
+        max(t.wall_seconds for t in stats.shard_timings)
+    )
+    assert stats.merge_seconds == 0.0
+
+
+def test_process_shard_timings_decompose_totals(shard_pool):
+    rng = random.Random(12)
+    graph = build_pair(11)
+    index = HighwayCoverIndex(graph, num_landmarks=6)
+    updates = random_mixed_updates(graph, rng, 5, 5)
+    stats = index.batch_update(
+        updates, parallel="processes", pool=shard_pool
+    )
+    assert len(stats.shard_timings) == 3
+    assert sum(t.num_landmarks for t in stats.shard_timings) == 6
+    assert sum(t.search_seconds for t in stats.shard_timings) == pytest.approx(
+        stats.search_seconds
+    )
+    assert sum(t.repair_seconds for t in stats.shard_timings) == pytest.approx(
+        stats.repair_seconds
+    )
+    assert stats.makespan_seconds == pytest.approx(
+        max(t.wall_seconds for t in stats.shard_timings)
+    )
+    # Worker wall includes decode overhead on top of search + repair.
+    for t in stats.shard_timings:
+        assert t.wall_seconds >= t.search_seconds + t.repair_seconds
+    assert stats.merge_seconds >= 0.0
+
+
+def test_sequential_runs_report_no_shard_timings():
+    rng = random.Random(13)
+    graph = build_pair(12)
+    index = HighwayCoverIndex(graph, num_landmarks=4)
+    stats = index.batch_update(random_mixed_updates(graph, rng, 3, 3))
+    assert stats.shard_timings == []
+    assert stats.makespan_seconds is None

@@ -1,6 +1,6 @@
 """UpdateStats accumulation semantics (used by every bench metric)."""
 
-from repro.core.stats import UpdateStats
+from repro.core.stats import ShardTiming, UpdateStats
 
 
 def make(affected, search=0.1, repair=0.2, makespan=None):
@@ -57,6 +57,43 @@ def test_merge_unions_affected_vertices():
     b.affected_vertices = {2, 9}
     a.merge(b)
     assert a.affected_vertices == {1, 2, 9}
+
+
+def timing(shard, search=0.1, repair=0.2, wall=0.35, landmarks=2):
+    return ShardTiming(
+        shard=shard,
+        num_landmarks=landmarks,
+        search_seconds=search,
+        repair_seconds=repair,
+        wall_seconds=wall,
+    )
+
+
+def test_merge_concatenates_shard_timings_and_merge_time():
+    """Sub-batches keep their per-shard breakdown and sum merge overhead —
+    the regression guard for comparing simulate vs. real process runs."""
+    a = make([1])
+    a.shard_timings = [timing(0), timing(1)]
+    a.merge_seconds = 0.01
+    b = make([2])
+    b.shard_timings = [timing(0, search=0.4, wall=0.9)]
+    b.merge_seconds = 0.02
+    a.merge(b)
+    assert [t.shard for t in a.shard_timings] == [0, 1, 0]
+    assert a.shard_timings[2].search_seconds == 0.4
+    assert abs(a.merge_seconds - 0.03) < 1e-12
+    # The per-shard breakdown remains self-consistent after merging.
+    assert max(t.wall_seconds for t in a.shard_timings) == 0.9
+
+
+def test_shard_timing_is_immutable_record():
+    entry = timing(0)
+    try:
+        entry.search_seconds = 1.0
+    except AttributeError:
+        pass
+    else:  # pragma: no cover - regression trip-wire
+        raise AssertionError("ShardTiming must stay frozen")
 
 
 def test_batch_update_reports_affected_vertices():
