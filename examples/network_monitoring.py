@@ -11,7 +11,7 @@ Run:  python examples/network_monitoring.py
 
 import random
 
-from repro import EdgeUpdate, HighwayCoverIndex
+from repro import EdgeUpdate, open_oracle
 from repro.graph import generators
 
 
@@ -28,7 +28,7 @@ def main() -> None:
     rng = random.Random(3)
     # A small-world backbone: high clustering, short paths.
     graph = generators.powerlaw_cluster(600, 4, 0.5, seed=3)
-    index = HighwayCoverIndex(graph, num_landmarks=8)
+    index = open_oracle("hcl", graph, num_landmarks=8)
 
     # Service pairs whose latency (hop count) we monitor.
     monitored = [(5, 411), (17, 300), (222, 590), (48, 133)]

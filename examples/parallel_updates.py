@@ -12,9 +12,8 @@ Run:  PYTHONPATH=src python examples/parallel_updates.py
 
 import random
 
-from repro import DynamicGraph, EdgeUpdate, HighwayCoverIndex
+from repro import DynamicGraph, EdgeUpdate, open_oracle
 from repro.graph import generators
-from repro.parallel import ShardedHighwayCoverIndex
 
 
 def random_batch(graph, rng, size=30):
@@ -32,12 +31,12 @@ def main() -> None:
     rng = random.Random(42)
     graph = generators.barabasi_albert(2000, 4, seed=42)
 
-    sequential = HighwayCoverIndex(graph.copy(), num_landmarks=8)
+    sequential = open_oracle("hcl", graph.copy(), num_landmarks=8)
     # Drop-in replacement: same constructor shape, plus a shard count.
     # The worker pool persists across batches; close it (or use the
     # context manager) when done.
-    with ShardedHighwayCoverIndex(
-        graph.copy(), num_landmarks=8, num_shards=4
+    with open_oracle(
+        "hcl-sharded", graph.copy(), num_landmarks=8, num_shards=4
     ) as sharded:
         print(f"built {sharded}")
 

@@ -1,9 +1,13 @@
-"""Quickstart: build an index, query distances, apply a batch update.
+"""Quickstart: open an oracle, query distances, apply a batch update.
+
+Every index and baseline lives in one registry behind one API — pick a
+backend by name with ``repro.open_oracle`` (``python -m repro oracles``
+lists them all).
 
 Run:  python examples/quickstart.py
 """
 
-from repro import DynamicGraph, EdgeUpdate, HighwayCoverIndex
+from repro import DynamicGraph, EdgeUpdate, open_oracle
 
 
 def main() -> None:
@@ -15,7 +19,7 @@ def main() -> None:
             (5, 6), (6, 7), (5, 7),          # another cluster
         ]
     )
-    index = HighwayCoverIndex(graph, num_landmarks=2)
+    index = open_oracle("hcl", graph, num_landmarks=2)
     print(f"built {index}")
     print(f"landmarks: {index.landmarks}")
 
@@ -40,6 +44,13 @@ def main() -> None:
     # The maintained labelling is *minimal*: identical to a fresh build.
     assert index.check_minimality() == []
     print("labelling verified minimal after the update")
+
+    # The same workload runs on any registered backend — here the
+    # index-free BiBFS baseline answers identically (just slower):
+    baseline = open_oracle("bibfs", index.graph.copy())
+    pairs = [(0, 7), (1, 4), (2, 4)]
+    assert baseline.distances(pairs) == index.distances(pairs)
+    print(f"bibfs agrees on {len(pairs)} spot-check queries")
 
 
 if __name__ == "__main__":

@@ -12,11 +12,11 @@ Run:  python examples/social_recommendation.py
 
 import random
 
-from repro import EdgeUpdate, HighwayCoverIndex
+from repro import EdgeUpdate, open_oracle
 from repro.graph import generators
 
 
-def recommend(index: HighwayCoverIndex, user: int, k: int = 3) -> list[tuple[int, float]]:
+def recommend(index, user: int, k: int = 3) -> list[tuple[int, float]]:
     """The k closest users that are not yet neighbours of ``user``."""
     graph = index.graph
     neighbours = graph.neighbors(user)
@@ -50,7 +50,7 @@ def monthly_churn(graph, rng: random.Random, rate: float = 0.03) -> list[EdgeUpd
 def main() -> None:
     rng = random.Random(7)
     graph = generators.barabasi_albert(800, 3, seed=7)
-    index = HighwayCoverIndex(graph, num_landmarks=10)
+    index = open_oracle("hcl", graph, num_landmarks=10)
     user = 417
 
     print(f"network: {graph.num_vertices} users, {graph.num_edges} friendships")

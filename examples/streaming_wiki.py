@@ -10,7 +10,7 @@ back together as links churn.
 Run:  python examples/streaming_wiki.py
 """
 
-from repro import HighwayCoverIndex
+from repro import open_oracle
 from repro.workloads.datasets import load_dataset
 from repro.workloads.temporal import stream_batches, temporal_stream
 
@@ -27,7 +27,7 @@ def main() -> None:
         f" ({sum(e.update.is_delete for e in events)} deletions)"
     )
 
-    index = HighwayCoverIndex(graph, num_landmarks=10)
+    index = open_oracle("hcl", graph, num_landmarks=10)
     watched = (31, 577)
 
     for i, batch in enumerate(stream_batches(events, batch_size=80), start=1):

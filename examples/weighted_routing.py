@@ -9,7 +9,7 @@ Run:  python examples/weighted_routing.py
 
 import random
 
-from repro import WeightedHighwayCoverIndex, WeightUpdate
+from repro import WeightUpdate, open_oracle
 from repro.graph import generators
 
 
@@ -17,7 +17,7 @@ def main() -> None:
     rng = random.Random(5)
     base = generators.watts_strogatz(400, 6, 0.1, seed=5)
     network = generators.with_random_weights(base, low=1, high=10, seed=5)
-    index = WeightedHighwayCoverIndex(network, num_landmarks=8)
+    index = open_oracle("hcl-weighted", network, num_landmarks=8)
 
     routes = [(3, 200), (57, 388), (120, 301)]
     print("initial latencies:")

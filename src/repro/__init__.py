@@ -8,15 +8,28 @@ batch-dynamic search/repair algorithms and all evaluation baselines
 
 Quickstart::
 
-    from repro import DynamicGraph, HighwayCoverIndex, EdgeUpdate
+    from repro import DynamicGraph, EdgeUpdate, open_oracle
 
     graph = DynamicGraph.from_edges([(0, 1), (1, 2), (2, 3), (3, 4)])
-    index = HighwayCoverIndex(graph, num_landmarks=2)
+    index = open_oracle("hcl", graph, num_landmarks=2)
     assert index.distance(0, 4) == 4
     index.batch_update([EdgeUpdate.insert(0, 4), EdgeUpdate.delete(1, 2)])
     assert index.distance(0, 4) == 1
+
+Every index and baseline is registered in the oracle registry
+(:mod:`repro.api`); ``python -m repro oracles`` lists them with their
+declared capabilities.
 """
 
+from repro.api import (
+    Capabilities,
+    DistanceOracle,
+    available_oracles,
+    load_oracle,
+    open_oracle,
+    oracle_spec,
+    register_oracle,
+)
 from repro.constants import INF
 from repro.core.batchhl import Variant
 from repro.core.directed import DirectedHighwayCoverIndex
@@ -26,9 +39,13 @@ from repro.core.stats import UpdateStats
 from repro.core.weighted import WeightedHighwayCoverIndex
 from repro.errors import (
     BatchError,
+    CapabilityError,
     GraphError,
     IndexStateError,
+    OracleConfigError,
+    OracleError,
     ReproError,
+    UnknownOracleError,
     WorkloadError,
 )
 from repro.graph.batch import Batch, EdgeUpdate, UpdateKind
@@ -45,6 +62,13 @@ __version__ = "1.0.0"
 __all__ = [
     "INF",
     "Variant",
+    "Capabilities",
+    "DistanceOracle",
+    "available_oracles",
+    "load_oracle",
+    "open_oracle",
+    "oracle_spec",
+    "register_oracle",
     "HighwayCoverIndex",
     "ShardedHighwayCoverIndex",
     "LandmarkShardPool",
@@ -67,5 +91,9 @@ __all__ = [
     "BatchError",
     "IndexStateError",
     "WorkloadError",
+    "OracleError",
+    "UnknownOracleError",
+    "CapabilityError",
+    "OracleConfigError",
     "__version__",
 ]

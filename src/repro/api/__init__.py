@@ -1,0 +1,39 @@
+"""Unified oracle API: one protocol, a capability registry, one factory.
+
+    from repro import open_oracle
+
+    oracle = open_oracle("hcl", graph, num_landmarks=20)
+    oracle.distance(0, 7)
+    oracle.batch_update([EdgeUpdate.insert(0, 7)])
+
+    open_oracle("pll", graph, require=("dynamic",))   # CapabilityError
+
+See :mod:`repro.api.protocol` for the protocol and
+:mod:`repro.api.registry` for the registry/factory semantics.
+"""
+
+from repro.api.protocol import Capabilities, DistanceOracle, OracleBase
+from repro.api.registry import (
+    OracleSpec,
+    available_oracles,
+    capability_rows,
+    load_oracle,
+    open_oracle,
+    oracle_spec,
+    register_oracle,
+    unregister_oracle,
+)
+
+__all__ = [
+    "Capabilities",
+    "DistanceOracle",
+    "OracleBase",
+    "OracleSpec",
+    "available_oracles",
+    "capability_rows",
+    "load_oracle",
+    "open_oracle",
+    "oracle_spec",
+    "register_oracle",
+    "unregister_oracle",
+]

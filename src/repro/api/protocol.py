@@ -1,0 +1,236 @@
+"""The unified :class:`DistanceOracle` protocol and its shared base class.
+
+Every distance index in this reproduction — the highway cover family, the
+paper's baselines, the parallel sharding backend — speaks one API:
+
+* ``distance(s, t)`` — exact distance, ``float('inf')`` when disconnected;
+* ``distances(pairs)`` — batched queries, one value per pair, in order;
+* ``batch_update(updates) -> UpdateStats`` — apply a batch of updates
+  (static oracles rebuild from scratch and advertise ``dynamic=False``);
+* ``snapshot()`` — a frozen copy for lock-free concurrent reads;
+* ``serialize(path)`` — persistence, where ``serializable`` is advertised;
+* ``stats()`` — size/shape introspection;
+* ``close()`` / context manager — release maintenance resources.
+
+What an oracle can actually do is declared in a :class:`Capabilities`
+record; :func:`repro.api.registry.open_oracle` validates the requested
+workload against it so misuse fails with a typed error instead of an
+``AttributeError`` three layers down.
+
+``query(s, t)`` remains as a thin deprecated alias of ``distance`` — it
+emits :class:`DeprecationWarning` and will be removed.
+"""
+
+from __future__ import annotations
+
+import copy
+import warnings
+from dataclasses import dataclass, fields
+from typing import TYPE_CHECKING, ClassVar, Iterable, Protocol, runtime_checkable
+
+from repro.errors import CapabilityError, IndexStateError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.stats import UpdateStats
+
+
+@dataclass(frozen=True)
+class Capabilities:
+    """What a registered oracle supports, declared honestly.
+
+    * ``directed``     — indexes a :class:`~repro.graph.digraph.DynamicDiGraph`;
+    * ``weighted``     — indexes a :class:`~repro.graph.weighted_graph.WeightedDynamicGraph`;
+    * ``dynamic``      — ``batch_update`` maintains the index incrementally
+      (False means updates trigger a full rebuild);
+    * ``parallel``     — ``batch_update`` accepts the ``parallel=`` backend
+      options (threads / processes / simulate);
+    * ``serializable`` — ``serialize(path)`` round-trips through
+      :func:`repro.api.registry.load_oracle`.
+    """
+
+    directed: bool = False
+    weighted: bool = False
+    dynamic: bool = False
+    parallel: bool = False
+    serializable: bool = False
+
+    def missing(self, required: Iterable[str]) -> list[str]:
+        """The subset of ``required`` capability names this record lacks."""
+        known = {f.name for f in fields(self)}
+        absent = []
+        for name in required:
+            if name not in known:
+                raise CapabilityError(
+                    f"unknown capability {name!r};"
+                    f" expected one of {', '.join(sorted(known))}"
+                )
+            if not getattr(self, name):
+                absent.append(name)
+        return absent
+
+    def describe(self) -> str:
+        """Compact human-readable flag list, e.g. ``"dynamic,parallel"``."""
+        flags = [f.name for f in fields(self) if getattr(self, f.name)]
+        return ",".join(flags) if flags else "static"
+
+
+@runtime_checkable
+class DistanceOracle(Protocol):
+    """Structural type every registered oracle satisfies."""
+
+    capabilities: ClassVar[Capabilities]
+
+    def distance(self, s: int, t: int) -> float: ...
+
+    def distances(self, pairs) -> list[float]: ...
+
+    def batch_update(self, updates, **options) -> "UpdateStats": ...
+
+    def snapshot(self) -> "DistanceOracle": ...
+
+    def serialize(self, path) -> None: ...
+
+    def stats(self) -> dict: ...
+
+    def close(self) -> None: ...
+
+
+class OracleBase:
+    """Default behaviour shared by every oracle implementation.
+
+    Subclasses implement ``distance`` (calling :meth:`_check_pair` first so
+    misuse raises :class:`~repro.errors.IndexStateError` uniformly) and
+    ``batch_update``; everything else has a sensible default here.
+    """
+
+    #: Overridden per subclass; the registry re-exports it on the spec.
+    capabilities: ClassVar[Capabilities] = Capabilities()
+
+    _closed: bool = False
+
+    # -- uniform guards -------------------------------------------------
+
+    @staticmethod
+    def _check_buildable(graph) -> None:
+        """Every oracle refuses an empty graph the same way."""
+        if graph.num_vertices == 0:
+            raise IndexStateError("cannot index an empty graph")
+
+    def _ensure_open(self) -> None:
+        if self._closed:
+            raise IndexStateError(
+                f"{type(self).__name__} is closed; no further updates"
+            )
+
+    def _check_pair(self, s: int, t: int) -> None:
+        """Uniform vertex-range validation for the query path."""
+        n = self.graph.num_vertices
+        if not (0 <= s < n and 0 <= t < n):
+            raise IndexStateError(
+                f"query ({s}, {t}) outside vertex range 0..{n - 1}"
+            )
+
+    def _require_sequential(
+        self, parallel, num_threads, num_shards, pool
+    ) -> None:
+        """Reject parallel execution options on a sequential-only oracle."""
+        if (
+            parallel is not None
+            or num_threads is not None
+            or num_shards is not None
+            or pool is not None
+        ):
+            raise CapabilityError(
+                f"{type(self).__name__} does not support parallel execution"
+                " options (capabilities:"
+                f" {self.capabilities.describe()})"
+            )
+
+    @staticmethod
+    def _fill_batch_stats(stats: "UpdateStats", batch) -> None:
+        """Record a normalised batch's counts and endpoint-affected set.
+
+        ``affected_vertices`` gets at least the applied updates' endpoints
+        — the minimum the serving cache needs to invalidate correctly;
+        oracles tracking real affected sets add to it on top.
+        """
+        stats.n_applied = len(batch)
+        stats.n_insertions = len(batch.insertions)
+        stats.n_deletions = len(batch.deletions)
+        for update in batch:
+            stats.affected_vertices.add(update.u)
+            stats.affected_vertices.add(update.v)
+
+    # -- queries --------------------------------------------------------
+
+    def distances(self, pairs) -> list[float]:
+        """Batched queries: one distance per (s, t) pair, in order."""
+        return [self.distance(s, t) for s, t in pairs]
+
+    def query(self, s: int, t: int) -> float:
+        """Deprecated alias of :meth:`distance`."""
+        warnings.warn(
+            f"{type(self).__name__}.query() is deprecated;"
+            " use distance() instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.distance(s, t)
+
+    # -- snapshots / persistence ----------------------------------------
+
+    def snapshot(self):
+        """A frozen copy sharing no mutable state with this oracle.
+
+        The default deep-copies the whole oracle — always correct, not
+        always cheapest; labelling-based oracles override with targeted
+        copies.
+        """
+        clone = copy.deepcopy(self)
+        clone._closed = False
+        return clone
+
+    def serialize(self, path) -> None:
+        """Persist the oracle; only where ``serializable`` is advertised."""
+        raise CapabilityError(
+            f"{type(self).__name__} does not support serialization"
+            f" (capabilities: {self.capabilities.describe()})"
+        )
+
+    # -- introspection ---------------------------------------------------
+
+    def stats(self) -> dict:
+        """Size/shape introspection, uniform across oracles."""
+        graph = self.graph
+        info: dict = {
+            "oracle": type(self).__name__,
+            "num_vertices": graph.num_vertices,
+            "num_edges": graph.num_edges,
+            "capabilities": self.capabilities.describe(),
+        }
+        label_size = getattr(self, "label_size", None)
+        if callable(label_size):
+            info["label_entries"] = label_size()
+        size_bytes = getattr(self, "size_bytes", None)
+        if callable(size_bytes):
+            info["size_bytes"] = size_bytes()
+        return info
+
+    # -- lifecycle -------------------------------------------------------
+
+    def close(self) -> None:
+        """Release maintenance resources.
+
+        After ``close()`` further ``batch_update``/``serialize`` calls
+        raise :class:`~repro.errors.IndexStateError`; queries stay valid
+        (the epoch-snapshot serving pattern reads from frozen copies whose
+        maintenance half is gone).  Idempotent.
+        """
+        self._closed = True
+
+    def __enter__(self):
+        self._ensure_open()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

@@ -8,6 +8,8 @@ O(E) in the worst case, which is the trade-off Figure 6 explores.
 
 from __future__ import annotations
 
+from repro.api.protocol import Capabilities, OracleBase
+from repro.api.registry import register_oracle
 from repro.constants import INF, externalise
 from repro.core.stats import UpdateStats
 from repro.graph.batch import apply_batch, normalize_batch
@@ -15,10 +17,13 @@ from repro.graph.dynamic_graph import DynamicGraph
 from repro.graph.traversal import bidirectional_bfs
 
 
-class BiBFSIndex:
+class BiBFSIndex(OracleBase):
     """Query-by-search baseline over a dynamic graph."""
 
+    capabilities = Capabilities(dynamic=True)
+
     def __init__(self, graph: DynamicGraph):
+        self._check_buildable(graph)
         self._graph = graph
 
     @property
@@ -26,28 +31,55 @@ class BiBFSIndex:
         return self._graph
 
     def distance(self, s: int, t: int) -> float:
+        self._check_pair(s, t)
         best = bidirectional_bfs(self._graph, s, t, excluded=(), bound=INF)
         return externalise(min(best, INF))
 
-    def query(self, s: int, t: int) -> float:
-        return self.distance(s, t)
+    def snapshot(self) -> "BiBFSIndex":
+        """A frozen copy — the graph is the only state to freeze."""
+        return BiBFSIndex(self._graph.copy())
 
-    def batch_update(self, updates) -> UpdateStats:
-        """Apply updates to the graph; nothing else to maintain."""
+    def batch_update(
+        self,
+        updates,
+        variant=None,
+        parallel: str | None = None,
+        num_threads: int | None = None,
+        num_shards: int | None = None,
+        pool=None,
+    ) -> UpdateStats:
+        """Apply updates to the graph; nothing else to maintain.
+
+        ``variant`` is accepted for protocol compatibility and ignored;
+        parallel execution options are rejected (there is no maintenance
+        work to parallelise).
+        """
+        self._ensure_open()
+        self._require_sequential(parallel, num_threads, num_shards, pool)
         batch = normalize_batch(updates, self._graph)
         if len(batch):
             highest = max(max(u.u, u.v) for u in batch)
             self._graph.ensure_vertex(highest)
             apply_batch(self._graph, batch)
         stats = UpdateStats(variant="bibfs", n_requested=len(batch))
-        stats.n_applied = len(batch)
-        stats.n_insertions = len(batch.insertions)
-        stats.n_deletions = len(batch.deletions)
+        self._fill_batch_stats(stats, batch)
         return stats
 
     def label_size(self) -> int:
         """BiBFS keeps no labelling."""
         return 0
 
+    def size_bytes(self) -> int:
+        return 0
+
     def __repr__(self) -> str:
         return f"BiBFSIndex(|V|={self._graph.num_vertices}, |E|={self._graph.num_edges})"
+
+
+register_oracle(
+    "bibfs",
+    BiBFSIndex,
+    capabilities=BiBFSIndex.capabilities,
+    description="online bidirectional BFS: no index, free updates,"
+    " O(E) worst-case queries",
+)

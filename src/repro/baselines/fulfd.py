@@ -29,6 +29,8 @@ from heapq import heapify, heappop, heappush
 
 import numpy as np
 
+from repro.api.protocol import Capabilities, OracleBase
+from repro.api.registry import register_oracle
 from repro.baselines.bitparallel import bit_parallel_bfs, refined_upper_bound
 from repro.constants import INF, externalise
 from repro.core.stats import UpdateStats
@@ -38,8 +40,10 @@ from repro.graph.dynamic_graph import DynamicGraph
 from repro.graph.traversal import bfs_distances, bidirectional_bfs
 
 
-class FulFDIndex:
+class FulFDIndex(OracleBase):
     """Fully dynamic distance index with per-root shortest-path trees."""
+
+    capabilities = Capabilities(dynamic=True)
 
     def __init__(
         self,
@@ -48,8 +52,7 @@ class FulFDIndex:
         num_bp_neighbors: int = 64,
         bp_mode: str = "static",
     ):
-        if graph.num_vertices == 0:
-            raise IndexStateError("cannot index an empty graph")
+        self._check_buildable(graph)
         if bp_mode not in ("static", "rebuild", "off"):
             raise IndexStateError(
                 f"bp_mode must be 'static', 'rebuild' or 'off', got {bp_mode!r}"
@@ -106,9 +109,7 @@ class FulFDIndex:
         return int(np.minimum(self._dist[:, s] + self._dist[:, t], INF).min())
 
     def distance(self, s: int, t: int) -> float:
-        n = self._graph.num_vertices
-        if not (0 <= s < n and 0 <= t < n):
-            raise IndexStateError(f"query ({s}, {t}) outside vertex range 0..{n - 1}")
+        self._check_pair(s, t)
         if s == t:
             return 0
         for i, root in enumerate(self._roots):
@@ -123,9 +124,6 @@ class FulFDIndex:
             self._graph, s, t, excluded=self._root_set, bound=bound
         )
         return externalise(min(best, INF))
-
-    def query(self, s: int, t: int) -> float:
-        return self.distance(s, t)
 
     # ------------------------------------------------------------------
     # updates (IncFD / DecFD)
@@ -226,8 +224,22 @@ class FulFDIndex:
                     bounds[w] = d + 1
                     heappush(heap, (d + 1, w))
 
-    def batch_update(self, updates) -> UpdateStats:
-        """Unit-update loop: FulFD cannot exploit batches (by design)."""
+    def batch_update(
+        self,
+        updates,
+        variant=None,
+        parallel: str | None = None,
+        num_threads: int | None = None,
+        num_shards: int | None = None,
+        pool=None,
+    ) -> UpdateStats:
+        """Unit-update loop: FulFD cannot exploit batches (by design).
+
+        ``variant`` is accepted for protocol compatibility and ignored;
+        parallel execution options are rejected (sequential-only oracle).
+        """
+        self._ensure_open()
+        self._require_sequential(parallel, num_threads, num_shards, pool)
         batch = normalize_batch(updates, self._graph)
         if len(batch):
             highest = max(max(u.u, u.v) for u in batch)
@@ -240,11 +252,9 @@ class FulFDIndex:
         for update in batch:
             if update.is_insert:
                 self.insert_edge(update.u, update.v)
-                stats.n_insertions += 1
             else:
                 self.delete_edge(update.u, update.v)
-                stats.n_deletions += 1
-            stats.n_applied += 1
+        self._fill_batch_stats(stats, batch)
         if self._bp_mode == "rebuild" and len(batch):
             self.rebuild_masks()
         stats.total_seconds = time.perf_counter() - started
@@ -268,3 +278,13 @@ class FulFDIndex:
             f"FulFDIndex(|V|={self._graph.num_vertices},"
             f" |R|={len(self._roots)}, bp_valid={self._bp_valid})"
         )
+
+
+register_oracle(
+    "fulfd",
+    FulFDIndex,
+    capabilities=FulFDIndex.capabilities,
+    description="FulFD (Hayashi et al. 2016): dynamic root SPTs with"
+    " bit-parallel query bounds, strictly unit-update",
+    config_keys=("num_roots", "num_bp_neighbors", "bp_mode"),
+)

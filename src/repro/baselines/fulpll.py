@@ -11,6 +11,8 @@ from __future__ import annotations
 
 import time
 
+from repro.api.protocol import Capabilities, OracleBase
+from repro.api.registry import register_oracle
 from repro.baselines import decpll, incpll
 from repro.baselines.pll import PrunedLandmarkLabelling
 from repro.core.stats import UpdateStats
@@ -19,8 +21,10 @@ from repro.graph.batch import normalize_batch
 from repro.graph.dynamic_graph import DynamicGraph
 
 
-class FullPLLIndex:
+class FullPLLIndex(OracleBase):
     """Fully dynamic PLL: exact queries under edge insertions/deletions."""
+
+    capabilities = Capabilities(dynamic=True)
 
     def __init__(self, graph: DynamicGraph, order: list[int] | None = None):
         self._pll = PrunedLandmarkLabelling(graph, order)
@@ -34,10 +38,8 @@ class FullPLLIndex:
         return self._pll
 
     def distance(self, s: int, t: int) -> float:
+        self._check_pair(s, t)
         return self._pll.distance(s, t)
-
-    def query(self, s: int, t: int) -> float:
-        return self.distance(s, t)
 
     def insert_edge(self, a: int, b: int) -> None:
         if not self.graph.add_edge(a, b):
@@ -49,8 +51,22 @@ class FullPLLIndex:
             return  # invalid update: nothing to delete
         decpll.delete_edge(self._pll, a, b)
 
-    def batch_update(self, updates) -> UpdateStats:
-        """Unit-update loop: FulPLL cannot exploit batches (by design)."""
+    def batch_update(
+        self,
+        updates,
+        variant=None,
+        parallel: str | None = None,
+        num_threads: int | None = None,
+        num_shards: int | None = None,
+        pool=None,
+    ) -> UpdateStats:
+        """Unit-update loop: FulPLL cannot exploit batches (by design).
+
+        ``variant`` is accepted for protocol compatibility and ignored;
+        parallel execution options are rejected (sequential-only oracle).
+        """
+        self._ensure_open()
+        self._require_sequential(parallel, num_threads, num_shards, pool)
         graph = self.graph
         batch = normalize_batch(updates, graph)
         if len(batch):
@@ -64,11 +80,9 @@ class FullPLLIndex:
         for update in batch:
             if update.is_insert:
                 self.insert_edge(update.u, update.v)
-                stats.n_insertions += 1
             else:
                 self.delete_edge(update.u, update.v)
-                stats.n_deletions += 1
-            stats.n_applied += 1
+        self._fill_batch_stats(stats, batch)
         stats.total_seconds = time.perf_counter() - started
         return stats
 
@@ -83,3 +97,13 @@ class FullPLLIndex:
             f"FullPLLIndex(|V|={self.graph.num_vertices},"
             f" entries={self.label_size()})"
         )
+
+
+register_oracle(
+    "fulpll",
+    FullPLLIndex,
+    capabilities=FullPLLIndex.capabilities,
+    description="fully dynamic PLL: IncPLL insertions + DecPLL deletions,"
+    " strictly unit-update",
+    config_keys=("order",),
+)

@@ -13,19 +13,26 @@ scaling weakness Tables 3 and 4 of the paper exhibit.
 
 from __future__ import annotations
 
+import time
 from collections import deque
 
+from repro.api.protocol import Capabilities, OracleBase
+from repro.api.registry import register_oracle
 from repro.constants import INF, externalise
+from repro.core.stats import UpdateStats
 from repro.errors import IndexStateError
+from repro.graph.batch import apply_batch, normalize_batch
 from repro.graph.dynamic_graph import DynamicGraph
 
 
-class PrunedLandmarkLabelling:
+class PrunedLandmarkLabelling(OracleBase):
     """Static PLL index: build once, query in O(label size)."""
 
+    #: Honest declaration: updates are handled, but by full rebuild.
+    capabilities = Capabilities(dynamic=False)
+
     def __init__(self, graph: DynamicGraph, order: list[int] | None = None):
-        if graph.num_vertices == 0:
-            raise IndexStateError("cannot index an empty graph")
+        self._check_buildable(graph)
         self._graph = graph
         n = graph.num_vertices
         if order is None:
@@ -151,10 +158,55 @@ class PrunedLandmarkLabelling:
 
     def distance(self, s: int, t: int) -> float:
         """Exact distance via Eq. 1 (2-hop cover query)."""
+        self._check_pair(s, t)
         return externalise(self.internal_distance(s, t))
 
-    def query(self, s: int, t: int) -> float:
-        return self.distance(s, t)
+    # ------------------------------------------------------------------
+    # updates (full rebuild — PLL is a static index)
+    # ------------------------------------------------------------------
+
+    def batch_update(
+        self,
+        updates,
+        variant=None,
+        parallel: str | None = None,
+        num_threads: int | None = None,
+        num_shards: int | None = None,
+        pool=None,
+    ) -> UpdateStats:
+        """Apply the batch to the graph and rebuild the labels from scratch.
+
+        PLL has no incremental maintenance (``dynamic=False``): this exists
+        so the static baseline satisfies the oracle protocol, paying the
+        full construction cost per batch — exactly the behaviour the
+        paper's update-time comparison penalises.  ``variant`` is accepted
+        for protocol compatibility and ignored.
+        """
+        self._ensure_open()
+        self._require_sequential(parallel, num_threads, num_shards, pool)
+        batch = normalize_batch(updates, self._graph)
+        stats = UpdateStats(variant="pll-rebuild", n_requested=len(batch))
+        started = time.perf_counter()
+        if len(batch):
+            highest = max(max(u.u, u.v) for u in batch)
+            self._graph.ensure_vertex(highest)
+            apply_batch(self._graph, batch)
+            self._rebuild()
+            self._fill_batch_stats(stats, batch)
+        stats.total_seconds = time.perf_counter() - started
+        return stats
+
+    def _rebuild(self) -> None:
+        """Re-run construction on the current graph (degree order afresh)."""
+        n = self._graph.num_vertices
+        self.order = sorted(
+            range(n), key=lambda v: (-self._graph.degree(v), v)
+        )
+        self.rank = [0] * n
+        for position, v in enumerate(self.order):
+            self.rank[v] = position
+        self.labels = [{} for _ in range(n)]
+        self._build()
 
     # ------------------------------------------------------------------
     # metrics
@@ -178,3 +230,13 @@ class PrunedLandmarkLabelling:
             f"PrunedLandmarkLabelling(|V|={self._graph.num_vertices},"
             f" entries={self.label_size()})"
         )
+
+
+register_oracle(
+    "pll",
+    PrunedLandmarkLabelling,
+    capabilities=PrunedLandmarkLabelling.capabilities,
+    description="static pruned landmark labelling (Akiba et al. 2013);"
+    " batches trigger a full rebuild",
+    config_keys=("order",),
+)

@@ -19,17 +19,24 @@ either way.  PSL handles static graphs only — after any update the paper
 
 from __future__ import annotations
 
+import time
+
+from repro.api.protocol import Capabilities, OracleBase
+from repro.api.registry import register_oracle
 from repro.constants import INF, externalise
-from repro.errors import IndexStateError
+from repro.core.stats import UpdateStats
+from repro.graph.batch import apply_batch, normalize_batch
 from repro.graph.dynamic_graph import DynamicGraph
 
 
-class PSLIndex:
+class PSLIndex(OracleBase):
     """Static 2-hop cover built by synchronous label propagation."""
 
+    #: Honest declaration: updates are handled, but by full rebuild.
+    capabilities = Capabilities(dynamic=False)
+
     def __init__(self, graph: DynamicGraph, order: list[int] | None = None):
-        if graph.num_vertices == 0:
-            raise IndexStateError("cannot index an empty graph")
+        self._check_buildable(graph)
         self._graph = graph
         n = graph.num_vertices
         if order is None:
@@ -97,10 +104,55 @@ class PSLIndex:
         return self._query_with(self.labels[s], self.labels[t])
 
     def distance(self, s: int, t: int) -> float:
+        self._check_pair(s, t)
         return externalise(self.internal_distance(s, t))
 
-    def query(self, s: int, t: int) -> float:
-        return self.distance(s, t)
+    # ------------------------------------------------------------------
+    # updates (full rebuild — PSL is a static index)
+    # ------------------------------------------------------------------
+
+    def batch_update(
+        self,
+        updates,
+        variant=None,
+        parallel: str | None = None,
+        num_threads: int | None = None,
+        num_shards: int | None = None,
+        pool=None,
+    ) -> UpdateStats:
+        """Apply the batch to the graph and re-propagate from scratch.
+
+        PSL handles static graphs only (``dynamic=False``): the paper —
+        and this class — requires a full rebuild after any update, which
+        is what this protocol-conforming implementation does.  ``variant``
+        is accepted for protocol compatibility and ignored.
+        """
+        self._ensure_open()
+        self._require_sequential(parallel, num_threads, num_shards, pool)
+        batch = normalize_batch(updates, self._graph)
+        stats = UpdateStats(variant="psl-rebuild", n_requested=len(batch))
+        started = time.perf_counter()
+        if len(batch):
+            highest = max(max(u.u, u.v) for u in batch)
+            self._graph.ensure_vertex(highest)
+            apply_batch(self._graph, batch)
+            self._rebuild()
+            self._fill_batch_stats(stats, batch)
+        stats.total_seconds = time.perf_counter() - started
+        return stats
+
+    def _rebuild(self) -> None:
+        """Re-run propagation on the current graph (degree order afresh)."""
+        n = self._graph.num_vertices
+        self.order = sorted(
+            range(n), key=lambda v: (-self._graph.degree(v), v)
+        )
+        self.rank = [0] * n
+        for position, v in enumerate(self.order):
+            self.rank[v] = position
+        self.labels = [{v: 0} for v in range(n)]
+        self.rounds_work = []
+        self._build()
 
     def label_size(self) -> int:
         return sum(len(label) - 1 for label in self.labels)
@@ -122,3 +174,13 @@ class PSLIndex:
             f"PSLIndex(|V|={self._graph.num_vertices},"
             f" entries={self.label_size()}, rounds={self.parallel_depth})"
         )
+
+
+register_oracle(
+    "psl",
+    PSLIndex,
+    capabilities=PSLIndex.capabilities,
+    description="PSL* propagation-built 2-hop cover (Li et al. 2019);"
+    " batches trigger a full rebuild",
+    config_keys=("order",),
+)

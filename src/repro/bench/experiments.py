@@ -21,10 +21,7 @@ from __future__ import annotations
 
 import time
 
-from repro.baselines.bibfs import BiBFSIndex
-from repro.baselines.fulfd import FulFDIndex
-from repro.baselines.fulpll import FullPLLIndex
-from repro.baselines.psl import PSLIndex
+from repro.api import open_oracle
 from repro.bench.harness import (
     average_query_time,
     bench_scale,
@@ -36,7 +33,6 @@ from repro.bench.reporting import ResultTable
 from repro.constants import INF
 from repro.core.batchhl import Variant, run_batch_update
 from repro.core.construction import build_labelling
-from repro.core.directed import DirectedHighwayCoverIndex
 from repro.core.landmarks import select_landmarks
 from repro.graph.generators import barabasi_albert, to_directed
 from repro.graph.traversal import bfs_distance_pair
@@ -194,7 +190,9 @@ def experiment_table3(
                 _, stats = _apply_batches(g, base_labelling, batches, variant)
                 row[column] = sum(s.total_seconds for s in stats) / len(stats)
 
-            fulfd = FulFDIndex(graph.copy(), num_roots=num_landmarks, bp_mode="off")
+            fulfd = open_oracle(
+                "fulfd", graph.copy(), num_roots=num_landmarks, bp_mode="off"
+            )
             times = []
             for batch in batches:
                 _, elapsed = time_call(fulfd.batch_update, batch)
@@ -202,7 +200,7 @@ def experiment_table3(
             row["FulFD"] = sum(times) / len(times)
 
             if fulpll_allowed(name):
-                fulpll = FullPLLIndex(graph.copy())
+                fulpll = open_oracle("fulpll", graph.copy())
                 times = []
                 for batch in batches:
                     prefix = list(batch)[:FULPLL_UPDATE_CAP]
@@ -253,16 +251,16 @@ def experiment_table4(
         row: dict = {"dataset": name}
 
         labelling, ct = time_call(_build_hcl, graph, num_landmarks)
-        from repro.core.index import HighwayCoverIndex  # facade for queries
-
         hcl_graph = graph.copy()
         labelling, _ = _apply_batches(hcl_graph, labelling, batches, Variant.BHL_PLUS)
-        index = HighwayCoverIndex.from_parts(hcl_graph, labelling)
+        index = open_oracle("hcl", hcl_graph, labelling=labelling)
         row["CT_BHL+"] = ct
         row["QT_BHL+"] = 1000.0 * average_query_time(index, pairs)
         row["LS_BHL+"] = labelling.size()
 
-        fulfd, ct = time_call(FulFDIndex, graph.copy(), num_landmarks)
+        fulfd, ct = time_call(
+            open_oracle, "fulfd", graph.copy(), num_roots=num_landmarks
+        )
         for batch in batches:
             fulfd.batch_update(batch)
         row["CT_FulFD"] = ct
@@ -270,7 +268,7 @@ def experiment_table4(
         row["LS_FulFD"] = fulfd.label_size()
 
         if fulpll_allowed(name):
-            fulpll, ct = time_call(FullPLLIndex, graph.copy())
+            fulpll, ct = time_call(open_oracle, "fulpll", graph.copy())
             for batch in batches:
                 fulpll.batch_update(batch)
             row["CT_FulPLL"] = ct
@@ -278,7 +276,7 @@ def experiment_table4(
             row["LS_FulPLL"] = fulpll.label_size()
 
         if psl_allowed(name) and graph.num_vertices <= PSL_VERTEX_CAP:
-            psl, ct = time_call(PSLIndex, graph.copy())
+            psl, ct = time_call(open_oracle, "psl", graph.copy())
             row["CT_PSL"] = ct
             row["QT_PSL"] = 1000.0 * average_query_time(psl, pairs)
             row["LS_PSL"] = psl.label_size()
@@ -410,20 +408,19 @@ def experiment_fig6(
                     if parallel == "simulate"
                     else stats.total_seconds
                 )
-                from repro.core.index import HighwayCoverIndex
-
-                index = HighwayCoverIndex.from_parts(g, new_lab)
+                index = open_oracle("hcl", g, labelling=new_lab)
                 query_time = average_query_time(index, pairs) * len(pairs)
                 row[column] = (update_time + query_time) / len(pairs)
 
-            fulfd = FulFDIndex(
-                workload.graph.copy(), num_roots=num_landmarks, bp_mode="off"
+            fulfd = open_oracle(
+                "fulfd", workload.graph.copy(),
+                num_roots=num_landmarks, bp_mode="off",
             )
             _, update_time = time_call(fulfd.batch_update, batch)
             query_time = average_query_time(fulfd, pairs) * len(pairs)
             row["FulFD_QT"] = (update_time + query_time) / len(pairs)
 
-            bibfs = BiBFSIndex(workload.graph.copy())
+            bibfs = open_oracle("bibfs", workload.graph.copy())
             bibfs.batch_update(batch)
             row["BiBFS"] = average_query_time(bibfs, pairs)
             table.add_row(**row)
@@ -470,8 +467,6 @@ def experiment_fig8(
     seed: int = 0,
 ) -> ResultTable:
     """Query time (ms) of BHL+ under 10..50 landmarks."""
-    from repro.core.index import HighwayCoverIndex
-
     table = ResultTable(
         "Figure 8: query time vs number of landmarks (milliseconds)",
         ["dataset"] + [f"R={k}" for k in landmark_counts],
@@ -481,7 +476,7 @@ def experiment_fig8(
         pairs = sample_query_pairs(graph, num_queries, seed=seed + 3)
         row: dict = {"dataset": name}
         for k in landmark_counts:
-            index = HighwayCoverIndex(graph.copy(), num_landmarks=k)
+            index = open_oracle("hcl", graph.copy(), num_landmarks=k)
             row[f"R={k}"] = 1000.0 * average_query_time(index, pairs)
         table.add_row(**row)
     return table
@@ -517,7 +512,8 @@ def experiment_table6(
             )
 
         index, ct = time_call(
-            DirectedHighwayCoverIndex, digraph.copy(), num_landmarks
+            open_oracle, "hcl-directed", digraph.copy(),
+            num_landmarks=num_landmarks,
         )
         row: dict = {"dataset": name, "CT": ct}
         pairs = sample_query_pairs(digraph, num_queries, seed=seed + 4)
@@ -528,7 +524,9 @@ def experiment_table6(
             ("BHL+", Variant.BHL_PLUS, None),
             ("BHL", Variant.BHL, None),
         ):
-            idx = DirectedHighwayCoverIndex(digraph.copy(), num_landmarks)
+            idx = open_oracle(
+                "hcl-directed", digraph.copy(), num_landmarks=num_landmarks
+            )
             times = []
             for batch in directed_batches:
                 stats = idx.batch_update(batch, variant=variant, parallel=parallel)
@@ -607,8 +605,6 @@ def experiment_ablation_landmarks(
     seed: int = 0,
 ) -> ResultTable:
     """Degree vs random landmark selection: size, query and update cost."""
-    from repro.core.index import HighwayCoverIndex
-
     table = ResultTable(
         "Ablation: landmark selection policy",
         ["dataset", "strategy", "LS_entries", "QT_ms", "update_s", "affected"],
@@ -617,7 +613,8 @@ def experiment_ablation_landmarks(
         base = load_dataset(name, scale=bench_scale())
         for strategy in strategies:
             workload = fully_dynamic_workload(base, 1, batch_size, seed)
-            index = HighwayCoverIndex(
+            index = open_oracle(
+                "hcl",
                 workload.graph.copy(),
                 num_landmarks=num_landmarks,
                 selection=strategy,

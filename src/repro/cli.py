@@ -3,6 +3,8 @@
 Subcommands:
 
 * ``list``        — the 14 dataset replicas and their original statistics;
+* ``oracles``     — the oracle registry: every backend name with its
+                    declared capabilities;
 * ``run NAME``    — run one experiment driver and print its table
                     (fig2, fig5, fig6, fig7, fig8, table1, table3, table4,
                     table5, table6, ablation);
@@ -14,6 +16,10 @@ Subcommands:
 * ``loadtest``    — drive a mixed query/update scenario through the
                     service and report throughput, latency percentiles
                     and epoch staleness (optionally oracle-validated).
+
+``serve``/``loadtest`` take ``--oracle NAME`` to pick the serving backend
+from the registry; all index construction goes through
+:func:`repro.open_oracle`.
 """
 
 from __future__ import annotations
@@ -56,6 +62,27 @@ def _cmd_list(_args) -> int:
     return 0
 
 
+def _cmd_oracles(_args) -> int:
+    from repro.api import capability_rows
+
+    header = (
+        f"{'name':<14}{'directed':>9}{'weighted':>9}{'dynamic':>8}"
+        f"{'parallel':>9}{'serial':>7}  description"
+    )
+    print(header)
+    print("-" * len(header))
+    for spec in capability_rows():
+        caps = spec.capabilities
+        flags = [caps.directed, caps.weighted, caps.dynamic, caps.parallel]
+        cells = "".join(
+            f"{'yes' if flag else '-':>{width}}"
+            for flag, width in zip(flags, (9, 9, 8, 9))
+        )
+        serial = f"{'yes' if caps.serializable else '-':>7}"
+        print(f"{spec.name:<14}{cells}{serial}  {spec.description}")
+    return 0
+
+
 def _cmd_run(args) -> int:
     driver = EXPERIMENTS.get(args.experiment)
     if driver is None:
@@ -77,7 +104,7 @@ def _cmd_run(args) -> int:
 
 
 def _cmd_quickcheck(args) -> int:
-    from repro import EdgeUpdate, HighwayCoverIndex
+    from repro import EdgeUpdate, open_oracle
     from repro.constants import INF
     from repro.graph import generators
     from repro.graph.traversal import bfs_distance_pair
@@ -87,7 +114,7 @@ def _cmd_quickcheck(args) -> int:
     for trial in range(args.trials):
         n = rng.randint(20, 120)
         graph = generators.erdos_renyi(n, rng.uniform(0.03, 0.15), seed=trial)
-        index = HighwayCoverIndex(graph, num_landmarks=min(5, n))
+        index = open_oracle("hcl", graph, num_landmarks=min(5, n))
         edges = list(graph.edges())
         rng.shuffle(edges)
         updates = [EdgeUpdate.delete(a, b) for a, b in edges[:5]]
@@ -134,6 +161,7 @@ def _make_service(args, graph, background: bool):
     )
     return DistanceService(
         graph,
+        oracle=args.oracle,
         num_landmarks=args.landmarks,
         variant=args.variant,
         policy=policy,
@@ -258,6 +286,11 @@ def _cmd_loadtest(args) -> int:
 
 
 def _add_service_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--oracle", default="hcl",
+        help="serving backend from the oracle registry"
+        " (see 'repro oracles'; default: hcl)",
+    )
     parser.add_argument("--dataset", help="serve a dataset replica by name")
     parser.add_argument(
         "--random",
@@ -306,6 +339,10 @@ def main(argv: list[str] | None = None) -> int:
     sub.add_parser("list", help="list dataset replicas").set_defaults(
         func=_cmd_list
     )
+
+    sub.add_parser(
+        "oracles", help="list registered distance oracles and capabilities"
+    ).set_defaults(func=_cmd_oracles)
 
     run = sub.add_parser("run", help="run one experiment driver")
     run.add_argument("experiment", help=", ".join(sorted(EXPERIMENTS)))

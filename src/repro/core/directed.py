@@ -24,6 +24,8 @@ import time
 
 import numpy as np
 
+from repro.api.protocol import Capabilities, OracleBase
+from repro.api.registry import register_oracle
 from repro.constants import INF, externalise
 from repro.core.batchhl import (
     Variant,
@@ -35,14 +37,16 @@ from repro.core.construction import build_labelling
 from repro.core.labelling import HighwayCoverLabelling
 from repro.core.landmarks import select_landmarks
 from repro.core.stats import UpdateStats
-from repro.errors import BatchError, IndexStateError
+from repro.errors import BatchError
 from repro.graph.batch import Batch, apply_batch, normalize_batch
 from repro.graph.digraph import DynamicDiGraph
 from repro.graph.traversal import bidirectional_bfs
 
 
-class DirectedHighwayCoverIndex:
+class DirectedHighwayCoverIndex(OracleBase):
     """Exact distance queries on a batch-dynamic directed graph."""
+
+    capabilities = Capabilities(directed=True, dynamic=True, parallel=True)
 
     def __init__(
         self,
@@ -52,8 +56,7 @@ class DirectedHighwayCoverIndex:
         selection: str = "degree",
         seed: int = 0,
     ):
-        if graph.num_vertices == 0:
-            raise IndexStateError("cannot index an empty graph")
+        self._check_buildable(graph)
         self._graph = graph
         if landmarks is None:
             landmarks = select_landmarks(
@@ -97,11 +100,7 @@ class DirectedHighwayCoverIndex:
 
     def distance(self, s: int, t: int) -> float:
         """Exact directed distance ``s -> t``; inf if unreachable."""
-        n = self._graph.num_vertices
-        if not (0 <= s < n and 0 <= t < n):
-            raise IndexStateError(
-                f"query ({s}, {t}) outside vertex range 0..{n - 1}"
-            )
+        self._check_pair(s, t)
         if s == t:
             return 0
         s_idx = self._forward.landmark_index.get(s)
@@ -131,9 +130,6 @@ class DirectedHighwayCoverIndex:
         )
         return externalise(min(best, INF))
 
-    def query(self, s: int, t: int) -> float:
-        return self.distance(s, t)
-
     def upper_bound_internal(self, s: int, t: int) -> int:
         """min_j d(s -> r_j) + d(r_j -> t), the directed Eq. 3 bound."""
         to_landmarks = self._backward.decoded_landmark_distances(s)
@@ -151,14 +147,21 @@ class DirectedHighwayCoverIndex:
         variant: Variant | str = Variant.BHL_PLUS,
         parallel: str | None = None,
         num_threads: int | None = None,
+        num_shards: int | None = None,
+        pool=None,
     ) -> UpdateStats:
         """Apply directed edge updates to the graph and both labellings."""
+        self._ensure_open()
         variant = resolve_variant(variant)
-        if parallel not in (None, "threads", "simulate"):
+        if (
+            parallel not in (None, "threads", "simulate")
+            or num_shards is not None
+            or pool is not None
+        ):
             raise BatchError(
                 "parallel must be None, 'threads' or 'simulate' on directed"
-                f" indexes (the processes backend is undirected-only),"
-                f" got {parallel!r}"
+                " indexes (the processes backend and its num_shards/pool"
+                f" options are undirected-only), got {parallel!r}"
             )
         updates = list(updates)
         stats = UpdateStats(variant=variant.value, n_requested=len(updates))
@@ -243,6 +246,15 @@ class DirectedHighwayCoverIndex:
             stats.makespan_seconds = makespan_total
         return stats
 
+    def snapshot(self) -> "DirectedHighwayCoverIndex":
+        """A frozen copy (graph + both labellings) for concurrent reads."""
+        clone = DirectedHighwayCoverIndex.__new__(DirectedHighwayCoverIndex)
+        clone._graph = self._graph.copy()
+        clone._forward = self._forward.copy()
+        clone._backward = self._backward.copy()
+        clone._landmark_set = self._landmark_set
+        return clone
+
     # ------------------------------------------------------------------
     # maintenance / verification
     # ------------------------------------------------------------------
@@ -275,3 +287,13 @@ class DirectedHighwayCoverIndex:
             f" |E|={self._graph.num_edges}, |R|={len(self.landmarks)},"
             f" entries={self.label_size()})"
         )
+
+
+register_oracle(
+    "hcl-directed",
+    DirectedHighwayCoverIndex,
+    capabilities=DirectedHighwayCoverIndex.capabilities,
+    description="directed highway cover index: forward + backward"
+    " labellings over one landmark set (paper Section 6)",
+    config_keys=("num_landmarks", "landmarks", "selection", "seed"),
+)

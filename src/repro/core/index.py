@@ -19,6 +19,8 @@ the labelling so the two always describe the same topology.
 
 from __future__ import annotations
 
+from repro.api.protocol import Capabilities, OracleBase
+from repro.api.registry import register_oracle
 from repro.constants import externalise
 from repro.core.batchhl import Variant, run_batch_update
 from repro.core.construction import build_labelling
@@ -26,13 +28,16 @@ from repro.core.labelling import HighwayCoverLabelling
 from repro.core.landmarks import select_landmarks
 from repro.core.queries import query_distance
 from repro.core.stats import UpdateStats
-from repro.errors import IndexStateError
 from repro.graph.batch import EdgeUpdate
 from repro.graph.dynamic_graph import DynamicGraph
 
 
-class HighwayCoverIndex:
+class HighwayCoverIndex(OracleBase):
     """Exact distance queries on a batch-dynamic undirected graph."""
+
+    capabilities = Capabilities(
+        dynamic=True, parallel=True, serializable=True
+    )
 
     def __init__(
         self,
@@ -42,8 +47,7 @@ class HighwayCoverIndex:
         selection: str = "degree",
         seed: int = 0,
     ):
-        if graph.num_vertices == 0:
-            raise IndexStateError("cannot index an empty graph")
+        self._check_buildable(graph)
         self._graph = graph
         if landmarks is None:
             landmarks = select_landmarks(
@@ -102,24 +106,14 @@ class HighwayCoverIndex:
 
     def distance(self, s: int, t: int) -> float:
         """Exact shortest-path distance; ``float('inf')`` if disconnected."""
-        n = self._graph.num_vertices
-        if not (0 <= s < n and 0 <= t < n):
-            raise IndexStateError(f"query ({s}, {t}) outside vertex range 0..{n - 1}")
+        self._check_pair(s, t)
         return externalise(
             query_distance(self._graph, self._labelling, s, t, self._landmark_set)
         )
 
-    def query(self, s: int, t: int) -> float:
-        """Alias of :meth:`distance`."""
-        return self.distance(s, t)
-
     def upper_bound(self, s: int, t: int) -> float:
         """The labelling-only bound :math:`d^\\top_{st}` (Eq. 3)."""
         return externalise(self._labelling.upper_bound(s, t))
-
-    def distances(self, pairs) -> list[float]:
-        """Batched queries: one distance per (s, t) pair, in order."""
-        return [self.distance(s, t) for s, t in pairs]
 
     def shortest_path(self, s: int, t: int) -> list[int] | None:
         """An actual shortest s-t path (list of vertices), or None.
@@ -170,6 +164,7 @@ class HighwayCoverIndex:
         pool — see :mod:`repro.parallel`), or ``"simulate"``.
         ``num_shards``/``pool`` configure the processes backend only.
         """
+        self._ensure_open()
         new_labelling, stats = run_batch_update(
             self._graph,
             self._labelling,
@@ -229,6 +224,11 @@ class HighwayCoverIndex:
 
         save_index(self, path)
 
+    def serialize(self, path) -> None:
+        """Protocol spelling of :meth:`save`."""
+        self._ensure_open()
+        self.save(path)
+
     @classmethod
     def load(cls, path) -> "HighwayCoverIndex":
         """Restore an index saved with :meth:`save` (no rebuild)."""
@@ -255,3 +255,30 @@ class HighwayCoverIndex:
             f" |E|={self._graph.num_edges}, |R|={len(self.landmarks)},"
             f" entries={self.label_size()})"
         )
+
+
+def _open_highway_cover(graph, labelling=None, **config):
+    """Factory: build fresh, or wrap an existing labelling without rebuild."""
+    if labelling is not None:
+        if config:
+            from repro.errors import OracleConfigError
+
+            raise OracleConfigError(
+                "labelling= wraps an existing labelling; other construction"
+                f" options make no sense with it: {', '.join(sorted(config))}"
+            )
+        return HighwayCoverIndex.from_parts(graph, labelling)
+    return HighwayCoverIndex(graph, **config)
+
+
+register_oracle(
+    "hcl",
+    _open_highway_cover,
+    capabilities=HighwayCoverIndex.capabilities,
+    description="highway cover index, batch-dynamic (BHL/BHL+; the paper's"
+    " method)",
+    config_keys=(
+        "num_landmarks", "landmarks", "selection", "seed", "labelling",
+    ),
+    loader=HighwayCoverIndex.load,
+)

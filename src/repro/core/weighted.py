@@ -21,12 +21,14 @@ import time
 
 import numpy as np
 
+from repro.api.protocol import Capabilities, OracleBase
+from repro.api.registry import register_oracle
 from repro.constants import INF, externalise
 from repro.core.labelling import HighwayCoverLabelling
 from repro.core.landmarks import select_landmarks
 from repro.core.lengths import FALSE_KEY, TRUE_KEY
 from repro.core.stats import UpdateStats
-from repro.errors import BatchError, IndexStateError
+from repro.errors import BatchError
 from repro.graph.weighted_graph import WeightedDynamicGraph, WeightUpdate
 
 
@@ -215,8 +217,10 @@ def normalize_weight_updates(
 # ----------------------------------------------------------------------
 
 
-class WeightedHighwayCoverIndex:
+class WeightedHighwayCoverIndex(OracleBase):
     """Exact distance queries on a batch-dynamic weighted graph."""
+
+    capabilities = Capabilities(weighted=True, dynamic=True)
 
     def __init__(
         self,
@@ -226,8 +230,7 @@ class WeightedHighwayCoverIndex:
         selection: str = "degree",
         seed: int = 0,
     ):
-        if graph.num_vertices == 0:
-            raise IndexStateError("cannot index an empty graph")
+        self._check_buildable(graph)
         self._graph = graph
         if landmarks is None:
             landmarks = select_landmarks(
@@ -254,11 +257,7 @@ class WeightedHighwayCoverIndex:
     # -- queries -------------------------------------------------------
 
     def distance(self, s: int, t: int) -> float:
-        n = self._graph.num_vertices
-        if not (0 <= s < n and 0 <= t < n):
-            raise IndexStateError(
-                f"query ({s}, {t}) outside vertex range 0..{n - 1}"
-            )
+        self._check_pair(s, t)
         if s == t:
             return 0
         s_idx = self._labelling.landmark_index.get(s)
@@ -276,9 +275,6 @@ class WeightedHighwayCoverIndex:
         bound = self._labelling.upper_bound(s, t)
         best = self._bounded_dijkstra(s, t, bound)
         return externalise(min(best, INF))
-
-    def query(self, s: int, t: int) -> float:
-        return self.distance(s, t)
 
     def _bounded_dijkstra(self, s: int, t: int, bound: int) -> int:
         """Dijkstra over G[V \\ R] that never explores beyond ``bound``."""
@@ -303,8 +299,23 @@ class WeightedHighwayCoverIndex:
 
     # -- updates -------------------------------------------------------
 
-    def batch_update(self, updates) -> UpdateStats:
-        """Apply a batch of :class:`WeightUpdate` (last write per edge wins)."""
+    def batch_update(
+        self,
+        updates,
+        variant=None,
+        parallel: str | None = None,
+        num_threads: int | None = None,
+        num_shards: int | None = None,
+        pool=None,
+    ) -> UpdateStats:
+        """Apply a batch of :class:`WeightUpdate` (last write per edge wins).
+
+        ``variant`` is accepted for protocol compatibility and ignored —
+        the weighted repair is the unified BHL+ algorithm; the parallel
+        execution options are rejected (sequential-only oracle).
+        """
+        self._ensure_open()
+        self._require_sequential(parallel, num_threads, num_shards, pool)
         updates = list(updates)
         for update in updates:
             if not isinstance(update, WeightUpdate):
@@ -362,6 +373,14 @@ class WeightedHighwayCoverIndex:
         stats.total_seconds = time.perf_counter() - started
         return stats
 
+    def snapshot(self) -> "WeightedHighwayCoverIndex":
+        """A frozen copy (graph + labelling) for concurrent reads."""
+        clone = WeightedHighwayCoverIndex.__new__(WeightedHighwayCoverIndex)
+        clone._graph = self._graph.copy()
+        clone._labelling = self._labelling.copy()
+        clone._landmark_set = self._landmark_set
+        return clone
+
     # -- maintenance ---------------------------------------------------
 
     def rebuild(self) -> None:
@@ -379,3 +398,13 @@ class WeightedHighwayCoverIndex:
             f" |E|={self._graph.num_edges}, |R|={len(self.landmarks)},"
             f" entries={self.label_size()})"
         )
+
+
+register_oracle(
+    "hcl-weighted",
+    WeightedHighwayCoverIndex,
+    capabilities=WeightedHighwayCoverIndex.capabilities,
+    description="weighted highway cover index: Dijkstra construction,"
+    " weight-change batches (paper Section 6)",
+    config_keys=("num_landmarks", "landmarks", "selection", "seed"),
+)

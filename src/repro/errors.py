@@ -25,3 +25,26 @@ class IndexStateError(ReproError):
 
 class WorkloadError(ReproError):
     """Raised for invalid workload or dataset specifications."""
+
+
+class OracleError(ReproError):
+    """Base class for oracle registry and factory failures."""
+
+
+class UnknownOracleError(OracleError):
+    """Raised when :func:`repro.open_oracle` is given an unregistered name."""
+
+
+class CapabilityError(OracleError):
+    """Raised when a requested workload exceeds an oracle's declared
+    capabilities.
+
+    Examples: opening a directed oracle over an undirected graph, requiring
+    ``dynamic`` from a static baseline, asking a sequential oracle for a
+    parallel execution backend, serializing an oracle that does not
+    advertise ``serializable``.
+    """
+
+
+class OracleConfigError(OracleError):
+    """Raised for constructor options the named oracle does not accept."""

@@ -20,6 +20,8 @@ only ``batch_update`` and construction fan out.
 
 from __future__ import annotations
 
+from repro.api.protocol import Capabilities, OracleBase
+from repro.api.registry import register_oracle
 from repro.core.batchhl import Variant
 from repro.core.construction import build_labelling
 from repro.core.index import HighwayCoverIndex
@@ -32,6 +34,13 @@ from repro.parallel.pool import LandmarkShardPool, default_num_shards
 
 class ShardedHighwayCoverIndex(HighwayCoverIndex):
     """A :class:`HighwayCoverIndex` whose maintenance runs on worker processes."""
+
+    # Not serializable: the worker pool cannot round-trip through disk
+    # (save() still works and loads back as a plain HighwayCoverIndex).
+    capabilities = Capabilities(dynamic=True, parallel=True)
+
+    #: honour the declaration above — save() remains for the escape hatch.
+    serialize = OracleBase.serialize
 
     def __init__(
         self,
@@ -138,12 +147,7 @@ class ShardedHighwayCoverIndex(HighwayCoverIndex):
         """Shut the worker processes down (if this index owns them)."""
         if self._owns_pool:
             self._pool.close()
-
-    def __enter__(self) -> "ShardedHighwayCoverIndex":
-        return self
-
-    def __exit__(self, exc_type, exc, tb) -> None:
-        self.close()
+        super().close()
 
     def __repr__(self) -> str:
         return (
@@ -151,3 +155,16 @@ class ShardedHighwayCoverIndex(HighwayCoverIndex):
             f" |E|={self._graph.num_edges}, |R|={len(self.landmarks)},"
             f" entries={self.label_size()}, pool={self._pool!r})"
         )
+
+
+register_oracle(
+    "hcl-sharded",
+    ShardedHighwayCoverIndex,
+    capabilities=ShardedHighwayCoverIndex.capabilities,
+    description="highway cover index with construction + updates on a"
+    " persistent worker-process shard pool",
+    config_keys=(
+        "num_landmarks", "landmarks", "selection", "seed",
+        "num_shards", "pool",
+    ),
+)

@@ -2,11 +2,12 @@
 
 The paper shows that coalescing updates into batches amortises labelling
 maintenance; this module turns that offline result into a serving
-discipline.  One **writer** owns the live :class:`HighwayCoverIndex` and
-applies each flushed batch through ``batch_update`` (the full
-search+repair pipeline).  **Readers** never touch the writer's state: they
-answer against the most recently *published* :class:`EpochSnapshot`, an
-immutable (graph, labelling) copy.  Publishing a snapshot is a single
+discipline.  One **writer** owns the live oracle — any registered
+:class:`~repro.api.protocol.DistanceOracle`, built through
+:func:`repro.open_oracle` — and applies each flushed batch through
+``batch_update`` (the full search+repair pipeline).  **Readers** never
+touch the writer's state: they answer against the most recently
+*published* :class:`EpochSnapshot`, an immutable frozen copy.  Publishing a snapshot is a single
 reference assignment — atomic under the GIL — so queries proceed lock-free
 and never block on an in-flight repair.  The price is bounded staleness:
 between a batch's flush start and its publish, readers see epoch N while
@@ -34,10 +35,11 @@ import threading
 import time
 from dataclasses import dataclass
 
+from repro.api.protocol import Capabilities, DistanceOracle
+from repro.api.registry import open_oracle, oracle_spec
 from repro.core.batchhl import PARALLEL_MODES, Variant, resolve_variant
-from repro.core.index import HighwayCoverIndex
 from repro.core.stats import UpdateStats
-from repro.errors import BatchError, IndexStateError
+from repro.errors import BatchError, CapabilityError, IndexStateError
 from repro.graph.batch import EdgeUpdate
 from repro.graph.dynamic_graph import DynamicGraph
 from repro.parallel.sharded import ShardedHighwayCoverIndex
@@ -52,10 +54,14 @@ from repro.service.scheduler import (
 
 @dataclass(frozen=True)
 class EpochSnapshot:
-    """One immutable published version of the index."""
+    """One immutable published version of the oracle.
+
+    ``index`` is any frozen :class:`~repro.api.protocol.DistanceOracle`
+    snapshot — the store is oracle-agnostic.
+    """
 
     epoch: int
-    index: HighwayCoverIndex
+    index: DistanceOracle
     published_at: float
 
     def distance(self, s: int, t: int) -> float:
@@ -69,7 +75,7 @@ class EpochStore:
     pay no synchronisation.  ``publish`` is writer-side only.
     """
 
-    def __init__(self, index: HighwayCoverIndex):
+    def __init__(self, index: DistanceOracle):
         self._lock = threading.Lock()
         self._current = EpochSnapshot(0, index, time.monotonic())
 
@@ -80,7 +86,7 @@ class EpochStore:
     def epoch(self) -> int:
         return self._current.epoch
 
-    def publish(self, index: HighwayCoverIndex) -> EpochSnapshot:
+    def publish(self, index: DistanceOracle) -> EpochSnapshot:
         with self._lock:
             snapshot = EpochSnapshot(
                 self._current.epoch + 1, index, time.monotonic()
@@ -92,9 +98,16 @@ class EpochStore:
 class DistanceService:
     """Thread-safe online distance-query service over a dynamic graph.
 
-    ``source`` may be a :class:`DynamicGraph` (an index is built over it)
-    or a prebuilt :class:`HighwayCoverIndex` (taken over as the writer's
-    live index — do not mutate it externally afterwards).
+    ``source`` may be a :class:`DynamicGraph` — the writer oracle is then
+    built through :func:`repro.open_oracle` from the registry name in
+    ``oracle`` (default ``"hcl"``) with ``oracle_config`` constructor
+    options — or a prebuilt :class:`~repro.api.protocol.DistanceOracle`
+    (taken over as the writer's live oracle — do not mutate it externally
+    afterwards).  The serving scheduler coalesces undirected
+    :class:`EdgeUpdate` streams, so directed/weighted oracles are rejected
+    with :class:`~repro.errors.CapabilityError`; a static oracle
+    (``dynamic=False``, e.g. ``"pll"``) is accepted and pays a full
+    rebuild per flush.
 
     With ``background=True`` a daemon writer thread flushes whenever the
     policy's size or age trigger fires; otherwise flushes run inline on
@@ -112,8 +125,10 @@ class DistanceService:
 
     def __init__(
         self,
-        source: "DynamicGraph | HighwayCoverIndex",
+        source: "DynamicGraph | DistanceOracle",
         *,
+        oracle: str = "hcl",
+        oracle_config: dict | None = None,
         num_landmarks: int = 20,
         landmarks: tuple[int, ...] | None = None,
         variant: Variant | str = Variant.BHL_PLUS,
@@ -125,16 +140,28 @@ class DistanceService:
         num_shards: int | None = None,
         background: bool = False,
     ):
-        if isinstance(source, HighwayCoverIndex):
+        if isinstance(source, DynamicGraph):
+            spec = oracle_spec(oracle)
+            config = dict(oracle_config or {})
+            # The landmark knobs stay as first-class service options but
+            # only apply to oracles whose constructor takes them.
+            if "num_landmarks" in spec.config_keys:
+                config.setdefault("num_landmarks", num_landmarks)
+            if landmarks is not None and "landmarks" in spec.config_keys:
+                config.setdefault("landmarks", landmarks)
+            writer = open_oracle(oracle, source, **config)
+        elif isinstance(source, DistanceOracle):
             writer = source
-        elif isinstance(source, DynamicGraph):
-            writer = HighwayCoverIndex(
-                source, num_landmarks=num_landmarks, landmarks=landmarks
-            )
         else:
             raise IndexStateError(
-                "DistanceService needs a DynamicGraph or HighwayCoverIndex,"
+                "DistanceService needs a DynamicGraph or a DistanceOracle,"
                 f" got {type(source).__name__}"
+            )
+        writer_caps = getattr(type(writer), "capabilities", Capabilities())
+        if writer_caps.directed or writer_caps.weighted:
+            raise CapabilityError(
+                "DistanceService coalesces undirected EdgeUpdate streams;"
+                f" a {writer_caps.describe()} oracle cannot serve here"
             )
         self._writer = writer
         # Resolve eagerly: a typo'd variant or backend must fail at
@@ -162,6 +189,18 @@ class DistanceService:
             num_shards = None
             if parallel is None:
                 parallel = "processes"
+        if (
+            parallel is not None
+            or num_threads is not None
+            or num_shards is not None
+        ) and not writer_caps.parallel:
+            raise CapabilityError(
+                "parallel execution options requested"
+                f" (parallel={parallel!r}, num_threads={num_threads!r},"
+                f" num_shards={num_shards!r}) but the writer oracle"
+                f" ({type(writer).__name__}) declares"
+                f" capabilities: {writer_caps.describe()}"
+            )
         self._parallel = parallel
         self._num_threads = num_threads
         self._num_shards = num_shards
@@ -207,7 +246,14 @@ class DistanceService:
         return value
 
     def query(self, s: int, t: int) -> float:
-        """Alias of :meth:`distance`."""
+        """Deprecated alias of :meth:`distance`."""
+        import warnings
+
+        warnings.warn(
+            "DistanceService.query() is deprecated; use distance() instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         return self.distance(s, t)
 
     def current_snapshot(self) -> EpochSnapshot:

@@ -11,6 +11,17 @@ def test_list_command(capsys):
     assert "youtube" in out and "uk" in out and "temporal" in out
 
 
+def test_oracles_command_lists_registry(capsys):
+    assert main(["oracles"]) == 0
+    out = capsys.readouterr().out
+    for name in ("hcl", "hcl-directed", "hcl-weighted", "bibfs", "pll",
+                 "fulfd", "fulpll", "psl", "hcl-sharded"):
+        assert name in out
+    assert "description" in out
+    # capability columns render
+    assert "directed" in out and "serial" in out
+
+
 def test_run_unknown_experiment(capsys):
     assert main(["run", "table99"]) == 2
     assert "unknown experiment" in capsys.readouterr().err
@@ -97,6 +108,17 @@ def test_serve_session(capsys, monkeypatch):
     assert "d(0, 1) =" in out
     assert "epoch" in out
     assert "error: unrecognised command" in out
+
+
+def test_loadtest_with_registry_oracle(capsys):
+    assert main(LOADTEST_ARGS + ["--oracle", "bibfs", "--validate"]) == 0
+    out = capsys.readouterr().out
+    assert "150/150 answers exact" in out
+
+
+def test_loadtest_clean_error_on_unknown_oracle(capsys):
+    assert main(LOADTEST_ARGS + ["--oracle", "nosuch"]) == 2
+    assert "unknown oracle" in capsys.readouterr().err
 
 
 def test_loadtest_rejects_validate_with_background(capsys):

@@ -1,0 +1,453 @@
+"""Conformance suite for the unified oracle API.
+
+Parameterized over *every* registry entry: each registered oracle must
+answer exactly like a ground-truth search on its graph kind, batch its
+queries consistently, survive updates (incremental or rebuild-based),
+round-trip serialization where advertised, and fail uniformly — typed
+errors from the factory, ``IndexStateError`` for empty graphs and
+out-of-range queries, ``DeprecationWarning`` from the legacy ``query``
+alias.
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+
+import pytest
+
+from tests.conftest import bfs_oracle
+from repro.api import (
+    Capabilities,
+    available_oracles,
+    load_oracle,
+    open_oracle,
+    oracle_spec,
+    register_oracle,
+    unregister_oracle,
+)
+from repro.constants import INF
+from repro.errors import (
+    CapabilityError,
+    IndexStateError,
+    OracleConfigError,
+    OracleError,
+    UnknownOracleError,
+)
+from repro.graph import generators
+from repro.graph.batch import EdgeUpdate
+from repro.graph.digraph import DynamicDiGraph
+from repro.graph.dynamic_graph import DynamicGraph
+from repro.graph.generators import to_directed
+from repro.graph.traversal import bfs_distances
+from repro.graph.weighted_graph import WeightedDynamicGraph, WeightUpdate
+
+ALL_ORACLES = available_oracles()
+
+#: Small constructor configs keeping every oracle fast on test graphs.
+SMALL_CONFIG = {
+    "hcl": {"num_landmarks": 4},
+    "hcl-sharded": {"num_landmarks": 4},
+    "hcl-directed": {"num_landmarks": 4},
+    "hcl-weighted": {"num_landmarks": 4},
+    "fulfd": {"num_roots": 4},
+}
+
+
+def graph_kind(name: str) -> str:
+    caps = oracle_spec(name).capabilities
+    if caps.directed:
+        return "directed"
+    if caps.weighted:
+        return "weighted"
+    return "undirected"
+
+
+def make_graph(kind: str, n: int = 26, seed: int = 7):
+    base = generators.erdos_renyi(n, 0.14, seed=seed)
+    if kind == "directed":
+        return to_directed(base, reciprocal_p=0.5, seed=seed)
+    if kind == "weighted":
+        rng = random.Random(seed)
+        return WeightedDynamicGraph.from_edges(
+            [(a, b, rng.randint(1, 5)) for a, b in base.edges()],
+            num_vertices=base.num_vertices,
+        )
+    return base
+
+
+def empty_graph(kind: str):
+    return {
+        "directed": DynamicDiGraph(0),
+        "weighted": WeightedDynamicGraph(0),
+        "undirected": DynamicGraph(0),
+    }[kind]
+
+
+def dijkstra_oracle(wgraph, s: int, t: int) -> float:
+    dist = {s: 0}
+    heap = [(0, s)]
+    while heap:
+        d, v = heapq.heappop(heap)
+        if v == t:
+            return d
+        if d > dist.get(v, INF):
+            continue
+        for w, weight in wgraph.neighbors(v).items():
+            nd = d + weight
+            if nd < dist.get(w, INF):
+                dist[w] = nd
+                heapq.heappush(heap, (nd, w))
+    return float("inf")
+
+
+def reference_distance(kind: str, graph, s: int, t: int) -> float:
+    if kind == "directed":
+        d = int(bfs_distances(graph.out_view(), s)[t])
+        return float("inf") if d >= INF else d
+    if kind == "weighted":
+        return dijkstra_oracle(graph, s, t)
+    return bfs_oracle(graph, s, t)
+
+
+def build(name: str, graph, shard_pool=None, **extra):
+    config = dict(SMALL_CONFIG.get(name, {}))
+    config.update(extra)
+    if name == "hcl-sharded" and shard_pool is not None:
+        config["pool"] = shard_pool
+    return open_oracle(name, graph, **config)
+
+
+def sample_pairs(n: int, count: int, seed: int = 11):
+    rng = random.Random(seed)
+    return [(rng.randrange(n), rng.randrange(n)) for _ in range(count)]
+
+
+def make_updates(kind: str, graph, rng: random.Random):
+    """A small valid mixed batch for the oracle's graph kind."""
+    if kind == "weighted":
+        edges = list(graph.edges())
+        rng.shuffle(edges)
+        updates = [WeightUpdate(a, b, None) for a, b, _ in edges[:2]]
+        updates += [
+            WeightUpdate(a, b, w + 1) for a, b, w in edges[2:4]
+        ]
+        n = graph.num_vertices
+        for _ in range(3):
+            a, b = rng.randrange(n), rng.randrange(n)
+            if a != b and not graph.has_edge(a, b):
+                updates.append(WeightUpdate(a, b, rng.randint(1, 5)))
+        return updates
+    edges = list(graph.edges())
+    rng.shuffle(edges)
+    updates = [EdgeUpdate.delete(a, b) for a, b in edges[:3]]
+    n = graph.num_vertices
+    added = 0
+    while added < 3:
+        a, b = rng.randrange(n), rng.randrange(n)
+        if a != b and not graph.has_edge(a, b):
+            updates.append(EdgeUpdate.insert(a, b))
+            added += 1
+    return updates
+
+
+# ----------------------------------------------------------------------
+# query correctness
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("name", ALL_ORACLES)
+def test_distance_matches_ground_truth(name, shard_pool):
+    kind = graph_kind(name)
+    graph = make_graph(kind)
+    oracle = build(name, graph, shard_pool)
+    for s, t in sample_pairs(graph.num_vertices, 40):
+        assert oracle.distance(s, t) == reference_distance(
+            kind, oracle.graph, s, t
+        ), (name, s, t)
+
+
+@pytest.mark.parametrize("name", ALL_ORACLES)
+def test_distances_batch_matches_scalar(name, shard_pool):
+    graph = make_graph(graph_kind(name))
+    oracle = build(name, graph, shard_pool)
+    pairs = sample_pairs(graph.num_vertices, 25, seed=3)
+    assert oracle.distances(pairs) == [oracle.distance(s, t) for s, t in pairs]
+
+
+@pytest.mark.parametrize("name", ALL_ORACLES)
+def test_batch_update_keeps_queries_exact(name, shard_pool):
+    """Every oracle — incremental or rebuild-based — survives a batch."""
+    kind = graph_kind(name)
+    graph = make_graph(kind)
+    oracle = build(name, graph, shard_pool)
+    stats = oracle.batch_update(make_updates(kind, oracle.graph, random.Random(5)))
+    assert stats.n_applied > 0
+    for s, t in sample_pairs(oracle.graph.num_vertices, 40, seed=13):
+        assert oracle.distance(s, t) == reference_distance(
+            kind, oracle.graph, s, t
+        ), (name, s, t)
+
+
+@pytest.mark.parametrize("name", ["pll", "psl"])
+def test_static_rebuild_reports_update_stats(name):
+    """Satellite: static baselines return honest rebuild UpdateStats."""
+    graph = make_graph("undirected")
+    oracle = build(name, graph)
+    updates = make_updates("undirected", graph, random.Random(23))
+    stats = oracle.batch_update(updates)
+    assert stats.variant == f"{name}-rebuild"
+    assert stats.n_applied == stats.n_insertions + stats.n_deletions
+    assert stats.total_seconds > 0
+    assert not oracle_spec(name).capabilities.dynamic
+
+
+# ----------------------------------------------------------------------
+# snapshots / serialization
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("name", ALL_ORACLES)
+def test_snapshot_is_isolated_from_updates(name, shard_pool):
+    kind = graph_kind(name)
+    graph = make_graph(kind)
+    oracle = build(name, graph, shard_pool)
+    pairs = sample_pairs(graph.num_vertices, 20, seed=17)
+    before = {pair: oracle.distance(*pair) for pair in pairs}
+    frozen = oracle.snapshot()
+    oracle.batch_update(make_updates(kind, oracle.graph, random.Random(29)))
+    for pair, expected in before.items():
+        assert frozen.distance(*pair) == expected, (name, pair)
+
+
+@pytest.mark.parametrize("name", ALL_ORACLES)
+def test_serialize_honours_capability(name, tmp_path, shard_pool):
+    spec = oracle_spec(name)
+    graph = make_graph(graph_kind(name))
+    oracle = build(name, graph, shard_pool)
+    path = tmp_path / "oracle.npz"
+    if spec.capabilities.serializable:
+        oracle.serialize(path)
+        restored = load_oracle(name, path)
+        pairs = sample_pairs(graph.num_vertices, 20, seed=19)
+        assert restored.distances(pairs) == oracle.distances(pairs)
+    else:
+        with pytest.raises(CapabilityError):
+            oracle.serialize(path)
+        with pytest.raises(CapabilityError):
+            load_oracle(name, path)
+
+
+# ----------------------------------------------------------------------
+# uniform failure modes (satellite: IndexStateError everywhere)
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("name", ALL_ORACLES)
+def test_empty_graph_raises_index_state_error(name):
+    with pytest.raises(IndexStateError):
+        open_oracle(name, empty_graph(graph_kind(name)))
+
+
+@pytest.mark.parametrize("name", ALL_ORACLES)
+def test_out_of_range_query_raises_index_state_error(name, shard_pool):
+    graph = make_graph(graph_kind(name), n=12)
+    oracle = build(name, graph, shard_pool)
+    with pytest.raises(IndexStateError):
+        oracle.distance(0, graph.num_vertices + 3)
+    with pytest.raises(IndexStateError):
+        oracle.distance(-1, 0)
+
+
+@pytest.mark.parametrize("name", ALL_ORACLES)
+def test_update_after_close_raises_and_reads_survive(name, shard_pool):
+    kind = graph_kind(name)
+    graph = make_graph(kind, n=12)
+    with build(name, graph, shard_pool) as oracle:
+        expected = oracle.distance(0, 5)
+    with pytest.raises(IndexStateError):
+        oracle.batch_update(make_updates(kind, oracle.graph, random.Random(1)))
+    # Reads keep working — the epoch-snapshot pattern relies on this.
+    assert oracle.distance(0, 5) == expected
+    oracle.close()  # idempotent
+
+
+@pytest.mark.parametrize("name", ALL_ORACLES)
+def test_query_alias_is_deprecated(name, shard_pool):
+    graph = make_graph(graph_kind(name), n=12)
+    oracle = build(name, graph, shard_pool)
+    with pytest.warns(DeprecationWarning):
+        assert oracle.query(0, 5) == oracle.distance(0, 5)
+
+
+@pytest.mark.parametrize("name", ALL_ORACLES)
+def test_stats_reports_uniform_fields(name, shard_pool):
+    graph = make_graph(graph_kind(name), n=12)
+    oracle = build(name, graph, shard_pool)
+    info = oracle.stats()
+    assert info["num_vertices"] == graph.num_vertices
+    assert info["num_edges"] == graph.num_edges
+    assert info["capabilities"] == oracle_spec(name).capabilities.describe()
+
+
+# ----------------------------------------------------------------------
+# factory validation
+# ----------------------------------------------------------------------
+
+
+def test_unknown_oracle_name():
+    with pytest.raises(UnknownOracleError, match="available:"):
+        open_oracle("nosuch", make_graph("undirected"))
+
+
+def test_graph_kind_mismatches_raise_capability_error():
+    undirected = make_graph("undirected", n=10)
+    digraph = make_graph("directed", n=10)
+    weighted = make_graph("weighted", n=10)
+    with pytest.raises(CapabilityError):
+        open_oracle("hcl", digraph)
+    with pytest.raises(CapabilityError):
+        open_oracle("hcl", weighted)
+    with pytest.raises(CapabilityError):
+        open_oracle("hcl-directed", undirected)
+    with pytest.raises(CapabilityError):
+        open_oracle("hcl-weighted", undirected)
+    with pytest.raises(CapabilityError):
+        open_oracle("bibfs", [(0, 1)])  # not a graph at all
+
+
+def test_require_validates_against_capabilities():
+    graph = make_graph("undirected", n=10)
+    oracle = open_oracle("pll", graph, require=())  # fine: no requirements
+    assert oracle.distance(0, 5) == bfs_oracle(graph, 0, 5)
+    with pytest.raises(CapabilityError, match="dynamic"):
+        open_oracle("pll", make_graph("undirected", n=10), require=("dynamic",))
+    with pytest.raises(CapabilityError, match="serializable"):
+        open_oracle(
+            "bibfs", make_graph("undirected", n=10), require=("serializable",)
+        )
+    with pytest.raises(CapabilityError, match="unknown capability"):
+        open_oracle(
+            "hcl", make_graph("undirected", n=10), require=("quantum",)
+        )
+
+
+def test_unsupported_config_key_raises():
+    with pytest.raises(OracleConfigError, match="num_landmarks"):
+        open_oracle("bibfs", make_graph("undirected", n=10), num_landmarks=4)
+
+
+@pytest.mark.parametrize("name", ["pll", "psl", "fulpll", "fulfd", "bibfs"])
+def test_sequential_oracles_reject_parallel_options(name):
+    oracle = build(name, make_graph("undirected", n=10))
+    with pytest.raises(CapabilityError):
+        oracle.batch_update([EdgeUpdate.insert(0, 5)], parallel="threads")
+    with pytest.raises(CapabilityError):
+        oracle.batch_update([EdgeUpdate.insert(0, 5)], num_shards=2)
+
+
+def test_register_oracle_rejects_duplicates_and_allows_replace():
+    spec = oracle_spec("bibfs")
+    try:
+        with pytest.raises(OracleError, match="already registered"):
+            register_oracle(
+                "bibfs",
+                lambda graph: None,
+                capabilities=Capabilities(),
+                description="imposter",
+            )
+        replaced = register_oracle(
+            "bibfs",
+            spec.factory,
+            capabilities=spec.capabilities,
+            description=spec.description,
+            replace=True,
+        )
+        assert replaced.factory is spec.factory
+    finally:
+        unregister_oracle("bibfs")
+        register_oracle(
+            "bibfs",
+            spec.factory,
+            capabilities=spec.capabilities,
+            description=spec.description,
+            config_keys=tuple(spec.config_keys),
+        )
+
+
+def test_third_party_registration_round_trip():
+    class EchoOracle:
+        capabilities = Capabilities(dynamic=True)
+
+        def __init__(self, graph):
+            self.graph = graph
+
+        def distance(self, s, t):
+            return 0.0
+
+    try:
+        register_oracle(
+            "echo",
+            EchoOracle,
+            capabilities=EchoOracle.capabilities,
+            description="test double",
+        )
+        assert "echo" in available_oracles()
+        oracle = open_oracle("echo", make_graph("undirected", n=8))
+        assert oracle.distance(1, 2) == 0.0
+    finally:
+        unregister_oracle("echo")
+    assert "echo" not in available_oracles()
+
+
+# ----------------------------------------------------------------------
+# serving layer plumbing (writer oracles come from the registry)
+# ----------------------------------------------------------------------
+
+
+def path_graph(n: int) -> DynamicGraph:
+    return DynamicGraph.from_edges([(i, i + 1) for i in range(n - 1)])
+
+
+@pytest.mark.parametrize("name", ["bibfs", "pll", "fulfd"])
+def test_service_over_registry_oracle(name):
+    from repro.service import DistanceService, FlushPolicy
+
+    config = {"oracle_config": {"num_roots": 2}} if name == "fulfd" else {}
+    with DistanceService(
+        path_graph(6),
+        oracle=name,
+        policy=FlushPolicy(max_batch=100, max_delay=None),
+        **config,
+    ) as service:
+        assert service.distance(0, 5) == 5
+        service.insert_edge(0, 5)
+        service.flush()
+        assert service.distance(0, 5) == 1
+        assert service.epoch == 1
+
+
+def test_service_rejects_unknown_oracle_and_capability_gaps():
+    from repro.service import DistanceService
+
+    with pytest.raises(UnknownOracleError):
+        DistanceService(path_graph(4), oracle="nosuch")
+    with pytest.raises(CapabilityError):
+        DistanceService(path_graph(4), oracle="bibfs", parallel="threads")
+    # Every parallel knob must fail at construction, not poison the first
+    # flush (num_shards is reachable from the CLI via --shards).
+    with pytest.raises(CapabilityError):
+        DistanceService(path_graph(4), oracle="bibfs", num_shards=4)
+    with pytest.raises(CapabilityError):
+        DistanceService(path_graph(4), oracle="pll", num_threads=2)
+
+
+def test_hcl_labelling_wrap_rejects_other_config():
+    from repro.errors import OracleConfigError
+
+    graph = path_graph(5)
+    oracle = open_oracle("hcl", graph.copy(), num_landmarks=2)
+    with pytest.raises(OracleConfigError, match="labelling"):
+        open_oracle(
+            "hcl", graph.copy(), labelling=oracle.labelling, num_landmarks=2
+        )

@@ -28,7 +28,7 @@ def make_service(graph=None, **kwargs) -> DistanceService:
 def test_answers_match_index_before_any_update():
     service = make_service()
     assert service.distance(0, 5) == 5
-    assert service.query(2, 4) == 2
+    assert service.distance(2, 4) == 2
     assert service.epoch == 0
 
 
