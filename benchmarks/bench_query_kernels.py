@@ -1,0 +1,259 @@
+"""Query-kernel benchmark: pure-Python traversal vs the CSR frontier kernels.
+
+The query hot path used to walk dict-of-set adjacency in pure Python for
+every bounded bidirectional search; :mod:`repro.graph.csr` replaces that
+with a frozen CSR view and numpy frontier kernels.  This benchmark pits
+the two implementations against each other on one graph, through the
+*real* query algorithm (labelling bound + bounded search):
+
+* ``single-pair`` — ``query_distance`` per pair: Python traversal vs the
+  adaptive CSR kernel (p50 is the paper's query-latency metric);
+* ``batched distances()`` — shared-source query groups: the per-pair
+  Python path vs the CSR path with source-grouped sweep amortisation;
+* ``sssp sweep`` — one full single-source BFS (the amortised unit);
+* ``landmark bfs`` — the landmark-flagged construction BFS per landmark.
+
+The default instance is a ≥50k-edge grid — the road-network-shaped
+workload where distance oracles earn their keep and Python traversal is
+slowest.  Every timed comparison also asserts the two implementations
+agree, and an extra randomized agreement sweep (``--agree``) checks the
+raw bidirectional kernels on uniformly random pairs, landmark exclusion
+included.  The CSV lands in ``results/query_kernels.csv`` (CI uploads it
+as an artifact from a smoke-size run).
+
+Run standalone:  PYTHONPATH=src python benchmarks/bench_query_kernels.py
+Smoke mode:      PYTHONPATH=src python benchmarks/bench_query_kernels.py --smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import statistics
+import time
+
+from repro.api.registry import open_oracle
+from repro.bench.reporting import ResultTable
+from repro.constants import INF
+from repro.core.construction import bfs_landmark_lengths
+from repro.core.queries import query_distance
+from repro.graph import generators
+from repro.graph.csr import (
+    bfs_distances as csr_bfs_distances,
+    bidirectional_distance,
+    landmark_lengths as csr_landmark_lengths,
+)
+from repro.graph.traversal import (
+    bfs_distances,
+    bidirectional_bfs,
+)
+
+
+def _timed(fn, items):
+    """Run ``fn`` per item; returns (per-item seconds, results)."""
+    times, results = [], []
+    for item in items:
+        started = time.perf_counter()
+        results.append(fn(item))
+        times.append(time.perf_counter() - started)
+    return times, results
+
+
+def kernel_agreement(graph, csr, landmark_set, num_pairs: int, seed: int) -> int:
+    """Assert python and CSR bidirectional kernels agree on random pairs.
+
+    Exercises both bounded and unbounded searches, with and without
+    landmark exclusion.  Returns the number of pairs checked; raises
+    AssertionError on the first disagreement.
+    """
+    rng = random.Random(seed)
+    n = graph.num_vertices
+    checked = 0
+    for _ in range(num_pairs):
+        s, t = rng.randrange(n), rng.randrange(n)
+        bound = rng.choice([INF, rng.randint(0, 24)])
+        excluded = landmark_set if rng.random() < 0.7 else frozenset()
+        want = bidirectional_bfs(graph, s, t, excluded=excluded, bound=bound)
+        got = bidirectional_distance(
+            csr, s, t, excluded=excluded, bound=bound
+        )
+        assert got == want, (
+            f"kernel mismatch: d({s},{t}) bound={bound} "
+            f"excluded={bool(excluded)}: python={want} csr={got}"
+        )
+        checked += 1
+    return checked
+
+
+def experiment_query_kernels(
+    side: int = 330,
+    num_landmarks: int = 16,
+    num_pairs: int = 60,
+    batch_sources: int = 6,
+    batch_targets: int = 48,
+    agree_pairs: int = 200,
+    seed: int = 0,
+    check_only: bool = False,
+) -> ResultTable:
+    graph = generators.grid(side, side)
+    index = open_oracle("hcl", graph, num_landmarks=num_landmarks, seed=seed)
+    labelling = index.labelling
+    landmark_set = frozenset(index.landmarks)
+    csr = index.ensure_csr()
+    csr.adjacency_lists()  # warm the frozen list view once, like a reader
+    rng = random.Random(seed)
+    n = graph.num_vertices
+
+    table = ResultTable(
+        f"Query kernels: {side}x{side} grid, |V|={n},"
+        f" |E|={graph.num_edges}, |R|={num_landmarks}",
+        [
+            "kernel",
+            "items",
+            "python_p50_ms",
+            "csr_p50_ms",
+            "p50_speedup",
+            "python_total_s",
+            "csr_total_s",
+            "total_speedup",
+        ],
+    )
+
+    checked = kernel_agreement(graph, csr, landmark_set, agree_pairs, seed)
+    table.add_note(
+        f"agreement: python == CSR on {checked} randomized pairs"
+        " (bounded/unbounded, with/without landmark exclusion)"
+    )
+    if check_only:
+        return table
+
+    def add_row(kernel: str, python_times, csr_times):
+        p50_py = statistics.median(python_times)
+        p50_csr = statistics.median(csr_times)
+        table.add_row(
+            kernel=kernel,
+            items=len(python_times),
+            python_p50_ms=p50_py * 1e3,
+            csr_p50_ms=p50_csr * 1e3,
+            p50_speedup=p50_py / p50_csr,
+            python_total_s=sum(python_times),
+            csr_total_s=sum(csr_times),
+            total_speedup=sum(python_times) / sum(csr_times),
+        )
+
+    # -- single-pair queries through the full query algorithm ----------
+    pairs = [(rng.randrange(n), rng.randrange(n)) for _ in range(num_pairs)]
+    py_times, py_values = _timed(
+        lambda p: query_distance(
+            graph, labelling, p[0], p[1], landmark_set, csr=None
+        ),
+        pairs,
+    )
+    csr_times, csr_values = _timed(
+        lambda p: query_distance(
+            graph, labelling, p[0], p[1], landmark_set, csr=csr
+        ),
+        pairs,
+    )
+    assert py_values == csr_values, "single-pair query values diverged"
+    add_row("single-pair query", py_times, csr_times)
+
+    # -- batched distances(): shared-source groups ---------------------
+    sources = [rng.randrange(n) for _ in range(batch_sources)]
+    batch = [
+        (s, rng.randrange(n)) for s in sources for _ in range(batch_targets)
+    ]
+    started = time.perf_counter()
+    py_batch = [
+        float(v) if (v := query_distance(
+            graph, labelling, s, t, landmark_set, csr=None
+        )) < INF else float("inf")
+        for s, t in batch
+    ]
+    python_batch_s = time.perf_counter() - started
+    started = time.perf_counter()
+    csr_batch = index.distances(batch)
+    csr_batch_s = time.perf_counter() - started
+    assert py_batch == csr_batch, "batched distances() values diverged"
+    table.add_row(
+        kernel="batched distances()",
+        items=len(batch),
+        python_p50_ms=python_batch_s / len(batch) * 1e3,
+        csr_p50_ms=csr_batch_s / len(batch) * 1e3,
+        p50_speedup=python_batch_s / csr_batch_s,
+        python_total_s=python_batch_s,
+        csr_total_s=csr_batch_s,
+        total_speedup=python_batch_s / csr_batch_s,
+    )
+
+    # -- full single-source sweeps (the amortised unit) ----------------
+    sweep_sources = [rng.randrange(n) for _ in range(5)]
+    py_times, py_sweeps = _timed(lambda s: bfs_distances(graph, s), sweep_sources)
+    csr_times, csr_sweeps = _timed(
+        lambda s: csr_bfs_distances(csr, s), sweep_sources
+    )
+    for a, b in zip(py_sweeps, csr_sweeps):
+        assert (a == b).all(), "sssp sweeps diverged"
+    add_row("sssp sweep", py_times, csr_times)
+
+    # -- landmark-flagged construction BFS -----------------------------
+    is_landmark = labelling.is_landmark
+    roots = list(index.landmarks)
+    py_times, py_cols = _timed(
+        lambda r: bfs_landmark_lengths(graph, r, is_landmark), roots
+    )
+    csr_times, csr_cols = _timed(
+        lambda r: csr_landmark_lengths(csr, r, is_landmark), roots
+    )
+    for (d1, f1), (d2, f2) in zip(py_cols, csr_cols):
+        assert (d1 == d2).all() and (f1 == f2).all(), "landmark BFS diverged"
+    add_row("landmark bfs", py_times, csr_times)
+    return table
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small instance for CI: a 40x40 grid and fewer pairs",
+    )
+    parser.add_argument(
+        "--check-only",
+        action="store_true",
+        help="run only the randomized kernel-agreement sweep (no timings)",
+    )
+    parser.add_argument("--side", type=int, default=None, help="grid side")
+    parser.add_argument("--pairs", type=int, default=None, help="single pairs")
+    parser.add_argument(
+        "--agree", type=int, default=200, help="agreement-sweep pair count"
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--csv", default="query_kernels.csv", help="CSV name under results/"
+    )
+    args = parser.parse_args(argv)
+
+    side = args.side or (40 if args.smoke else 330)
+    num_pairs = args.pairs or (20 if args.smoke else 60)
+    table = experiment_query_kernels(
+        side=side,
+        num_landmarks=8 if args.smoke else 16,
+        num_pairs=num_pairs,
+        batch_sources=4 if args.smoke else 6,
+        # Keep smoke groups above OracleBase._sweep_threshold (32) so the
+        # source-grouped sweep path is the one CI actually measures.
+        batch_targets=40 if args.smoke else 48,
+        agree_pairs=args.agree,
+        seed=args.seed,
+        check_only=args.check_only,
+    )
+    print(table.to_text())
+    if not args.check_only:
+        path = table.save_csv(args.csv)
+        print(f"saved {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -163,9 +163,56 @@ class OracleBase:
 
     # -- queries --------------------------------------------------------
 
+    #: Pairs sharing one source before :meth:`distances` answers the whole
+    #: group with a single sweep (:meth:`_distances_from_source`) instead
+    #: of independent per-pair searches.  A full sweep costs O(V + E), so
+    #: small groups stay on the per-pair path.
+    _sweep_threshold: ClassVar[int] = 32
+
     def distances(self, pairs) -> list[float]:
-        """Batched queries: one distance per (s, t) pair, in order."""
-        return [self.distance(s, t) for s, t in pairs]
+        """Batched queries: one distance per (s, t) pair, in order.
+
+        Pairs are grouped by shared source: once a group reaches
+        :attr:`_sweep_threshold`, oracles that implement
+        :meth:`_distances_from_source` amortise one single-source sweep
+        across the whole group — the batched read path the serving layer
+        and the bench drivers rely on.
+        """
+        pairs = list(pairs)
+        by_source: dict[int, list[int]] = {}
+        for position, (s, _) in enumerate(pairs):
+            by_source.setdefault(s, []).append(position)
+        results: list[float] = [0.0] * len(pairs)
+        for s, positions in by_source.items():
+            values = None
+            if len(positions) >= self._sweep_threshold:
+                values = self._distances_from_source(
+                    s, [pairs[i][1] for i in positions]
+                )
+            if values is not None:
+                if len(values) != len(positions):
+                    raise IndexStateError(
+                        f"{type(self).__name__}._distances_from_source"
+                        f" returned {len(values)} values for"
+                        f" {len(positions)} targets"
+                    )
+                for i, value in zip(positions, values):
+                    results[i] = value
+            else:
+                for i in positions:
+                    results[i] = self.distance(*pairs[i])
+        return results
+
+    def _distances_from_source(
+        self, source: int, targets: list[int]
+    ) -> list[float] | None:
+        """Bulk hook: answer every target from ``source`` with one sweep.
+
+        Return None (the default) to fall back to per-pair ``distance``
+        calls; oracles with a frozen CSR view override this with a
+        single-source BFS whose cost is shared by the whole group.
+        """
+        return None
 
     def query(self, s: int, t: int) -> float:
         """Deprecated alias of :meth:`distance`."""

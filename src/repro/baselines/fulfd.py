@@ -34,7 +34,7 @@ from repro.api.registry import register_oracle
 from repro.baselines.bitparallel import bit_parallel_bfs, refined_upper_bound
 from repro.constants import INF, externalise
 from repro.core.stats import UpdateStats
-from repro.errors import BatchError, IndexStateError
+from repro.errors import IndexStateError
 from repro.graph.batch import normalize_batch
 from repro.graph.dynamic_graph import DynamicGraph
 from repro.graph.traversal import bfs_distances, bidirectional_bfs
@@ -244,8 +244,19 @@ class FulFDIndex(OracleBase):
         if len(batch):
             highest = max(max(u.u, u.v) for u in batch)
             if highest >= self._graph.num_vertices:
-                raise BatchError(
-                    "FulFDIndex does not support growing the vertex set"
+                # Vertex growth: new vertices start unreachable from every
+                # root SPT (an INF column each); the batch's insertions
+                # then repair them like any other improvement.  The root
+                # set itself is fixed at construction, as in the original.
+                grown = highest + 1 - self._dist.shape[1]
+                self._graph.ensure_vertex(highest)
+                self._dist = np.hstack(
+                    [
+                        self._dist,
+                        np.full(
+                            (len(self._roots), grown), INF, dtype=np.int64
+                        ),
+                    ]
                 )
         stats = UpdateStats(variant="fulfd", n_requested=len(batch))
         started = time.perf_counter()

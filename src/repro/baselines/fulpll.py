@@ -16,7 +16,6 @@ from repro.api.registry import register_oracle
 from repro.baselines import decpll, incpll
 from repro.baselines.pll import PrunedLandmarkLabelling
 from repro.core.stats import UpdateStats
-from repro.errors import BatchError
 from repro.graph.batch import normalize_batch
 from repro.graph.dynamic_graph import DynamicGraph
 
@@ -72,9 +71,11 @@ class FullPLLIndex(OracleBase):
         if len(batch):
             highest = max(max(u.u, u.v) for u in batch)
             if highest >= graph.num_vertices:
-                raise BatchError(
-                    "FullPLLIndex does not support growing the vertex set"
-                )
+                # Vertex insertion, Akiba et al. style: new vertices join
+                # at the bottom of the hub order with trivial self-labels,
+                # then the batch's edge insertions run IncPLL as usual.
+                graph.ensure_vertex(highest)
+                self._pll.grow(graph.num_vertices)
         stats = UpdateStats(variant="fulpll", n_requested=len(batch))
         started = time.perf_counter()
         for update in batch:

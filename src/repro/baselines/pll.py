@@ -196,6 +196,23 @@ class PrunedLandmarkLabelling(OracleBase):
         stats.total_seconds = time.perf_counter() - started
         return stats
 
+    def grow(self, num_vertices: int) -> None:
+        """Extend the hub order for new vertices (no-op if none are new).
+
+        New vertices take the lowest hub priority (appended to ``order``)
+        and a trivial self-label, exactly the state a from-scratch build
+        gives an isolated vertex; incremental edge insertions then label
+        them through the normal resumed pruned BFS.  The caller must have
+        grown the graph first.
+        """
+        current = len(self.labels)
+        if num_vertices <= current:
+            return
+        for v in range(current, num_vertices):
+            self.order.append(v)
+            self.rank.append(len(self.rank))
+            self.labels.append({v: 0})
+
     def _rebuild(self) -> None:
         """Re-run construction on the current graph (degree order afresh)."""
         n = self._graph.num_vertices

@@ -107,7 +107,8 @@ def _cmd_quickcheck(args) -> int:
     from repro import EdgeUpdate, open_oracle
     from repro.constants import INF
     from repro.graph import generators
-    from repro.graph.traversal import bfs_distance_pair
+    from repro.graph.csr import bidirectional_distance
+    from repro.graph.traversal import bfs_distance_pair, bidirectional_bfs
 
     rng = random.Random(args.seed)
     failures = 0
@@ -122,12 +123,15 @@ def _cmd_quickcheck(args) -> int:
             a, b = rng.randrange(n), rng.randrange(n)
             if a != b:
                 updates.append(EdgeUpdate.insert(a, b))
+        if rng.random() < 0.5:
+            updates.append(EdgeUpdate.insert(rng.randrange(n), n))  # growth
         index.batch_update(updates, variant=rng.choice(["bhl", "bhl+"]))
         problems = index.check_minimality()
         if problems:
             failures += 1
             print(f"trial {trial}: labelling diverged: {problems[:3]}")
             continue
+        n = index.graph.num_vertices
         for _ in range(20):
             s, t = rng.randrange(n), rng.randrange(n)
             expected = bfs_distance_pair(graph, s, t)
@@ -135,6 +139,26 @@ def _cmd_quickcheck(args) -> int:
             if index.distance(s, t) != expected:
                 failures += 1
                 print(f"trial {trial}: query ({s},{t}) wrong")
+                break
+        # The two bounded-search kernels (pure-Python traversal vs the
+        # frozen-CSR frontier kernel) must agree on the sparsified graph.
+        csr = index.ensure_csr()
+        landmark_set = frozenset(index.landmarks)
+        for _ in range(10):
+            s, t = rng.randrange(n), rng.randrange(n)
+            bound = rng.choice([INF, rng.randint(0, 10)])
+            want = bidirectional_bfs(
+                graph, s, t, excluded=landmark_set, bound=bound
+            )
+            got = bidirectional_distance(
+                csr, s, t, excluded=landmark_set, bound=bound
+            )
+            if got != want:
+                failures += 1
+                print(
+                    f"trial {trial}: kernels disagree on ({s},{t})"
+                    f" bound={bound}: python={want} csr={got}"
+                )
                 break
     print(f"quickcheck: {args.trials - failures}/{args.trials} trials clean")
     return 1 if failures else 0

@@ -41,6 +41,7 @@ from repro.core.labelling import HighwayCoverLabelling
 from repro.core.stats import ShardTiming, UpdateStats
 from repro.errors import BatchError
 from repro.graph.batch import Batch, apply_batch, normalize_batch, revert_batch
+from repro.graph.csr import CSRGraph
 
 PARALLEL_MODES = (None, "threads", "processes", "simulate")
 
@@ -188,8 +189,20 @@ def _apply_one_batch(
         # edge mutations just like a worker-pool failure mid-repair.
         oriented = orient_updates(batch, directed=False)
         labelling_new = labelling.copy()
+        # Freeze G' once per multi-update sub-batch: every landmark's
+        # search + repair traverses the same immutable CSR-decoded
+        # adjacency, and the processes backend ships the arrays directly
+        # instead of re-encoding the graph.  Unit sub-batches skip the
+        # O(V + E) freeze on in-process backends — their search cost is
+        # proportional to the affected region, not the graph.
+        if parallel == "processes" or len(batch) > 1:
+            csr = CSRGraph.from_graph(graph)
+            view = csr.list_view()
+        else:
+            csr = None
+            view = graph
         outcomes, makespan, shard_timings, merge_seconds = process_landmarks(
-            graph,
+            view,
             labelling,
             labelling_new,
             oriented,
@@ -198,6 +211,7 @@ def _apply_one_batch(
             parallel=parallel,
             num_threads=num_threads,
             pool=pool,
+            csr=csr,
         )
     except BaseException:
         # The graph is already G' but the labelling was never repaired —
@@ -281,6 +295,7 @@ def process_landmarks(
     num_threads: int | None,
     pred_view=None,
     pool=None,
+    csr=None,
 ) -> tuple[
     list[tuple[int, float, float, int, list[int]]],
     float,
@@ -291,11 +306,14 @@ def process_landmarks(
 
     Shared by the undirected and directed indexes.  ``pred_view`` provides
     predecessor neighbourhoods for repair's boundary bounds (in-neighbours
-    on directed graphs; None means same as ``view``).  Returns per-landmark
-    ``(n_affected, search_seconds, repair_seconds, cells_changed,
-    affected_vertices)``, the makespan (max per-shard wall time), the
-    per-shard timing breakdown, and the writer-side merge time (non-zero
-    only for the processes backend, which scatters worker results back).
+    on directed graphs; None means same as ``view``).  ``csr`` is the
+    frozen :class:`~repro.graph.csr.CSRGraph` encoding of ``view`` when
+    the caller already froze one — the processes backend ships its arrays
+    to the worker shards verbatim.  Returns per-landmark ``(n_affected,
+    search_seconds, repair_seconds, cells_changed, affected_vertices)``,
+    the makespan (max per-shard wall time), the per-shard timing
+    breakdown, and the writer-side merge time (non-zero only for the
+    processes backend, which scatters worker results back).
     """
     if parallel == "processes":
         if pred_view is not None:
@@ -310,7 +328,11 @@ def process_landmarks(
                 " pool=... or go through run_batch_update"
             )
         return pool.run_update(
-            view, labelling_old, labelling_new, oriented, improved
+            csr if csr is not None else view,
+            labelling_old,
+            labelling_new,
+            oriented,
+            improved,
         )
 
     is_landmark = labelling_old.is_landmark.tolist()

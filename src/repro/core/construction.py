@@ -15,6 +15,8 @@ import numpy as np
 from repro.constants import INF, NO_LABEL
 from repro.core.labelling import HighwayCoverLabelling
 from repro.errors import ReproError
+from repro.graph.csr import CSRGraph
+from repro.graph.csr import landmark_lengths as csr_landmark_lengths
 
 
 def bfs_landmark_lengths(
@@ -60,9 +62,14 @@ def landmark_column(
     The Lemma 5.14 rule in one place (shared by the sequential build and
     the worker-process build shards): a vertex gets an ``r``-label iff it
     is reachable, not a landmark, and flag-False; the highway row is the
-    root's distance to every landmark.
+    root's distance to every landmark.  A :class:`CSRGraph` runs the
+    vectorised frontier kernel; any other adjacency provider falls back
+    to the Python BFS above.
     """
-    dist, flag = bfs_landmark_lengths(graph, root, is_landmark)
+    if isinstance(graph, CSRGraph):
+        dist, flag = csr_landmark_lengths(graph, root, is_landmark)
+    else:
+        dist, flag = bfs_landmark_lengths(graph, root, is_landmark)
     eligible = (~is_landmark) & (dist < INF) & (~flag)
     return np.where(eligible, dist, NO_LABEL), dist[landmark_list]
 
@@ -97,9 +104,12 @@ def build_labelling(
     labelling = HighwayCoverLabelling.empty(n, landmarks)
     is_landmark = labelling.is_landmark
     landmark_list = list(landmarks)
+    # One frozen CSR view serves every landmark's BFS tree (the mutable
+    # graph is only read here); the vectorised kernel runs per landmark.
+    view = graph if isinstance(graph, CSRGraph) else CSRGraph.from_graph(graph)
     for i, root in enumerate(landmarks):
         column, highway_row = landmark_column(
-            graph, root, is_landmark, landmark_list
+            view, root, is_landmark, landmark_list
         )
         labelling.labels[:, i] = column
         labelling.highway[i, :] = highway_row

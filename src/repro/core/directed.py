@@ -39,8 +39,12 @@ from repro.core.landmarks import select_landmarks
 from repro.core.stats import UpdateStats
 from repro.errors import BatchError
 from repro.graph.batch import Batch, apply_batch, normalize_batch
+from repro.graph.csr import (
+    CSRGraph,
+    bfs_distances as csr_bfs_distances,
+    bidirectional_distance,
+)
 from repro.graph.digraph import DynamicDiGraph
-from repro.graph.traversal import bidirectional_bfs
 
 
 class DirectedHighwayCoverIndex(OracleBase):
@@ -66,6 +70,7 @@ class DirectedHighwayCoverIndex(OracleBase):
         self._forward = build_labelling(graph.out_view(), landmarks)
         self._backward = build_labelling(graph.in_view(), landmarks)
         self._landmark_set = frozenset(landmarks)
+        self._csr_pair: tuple[CSRGraph, CSRGraph] | None = None
 
     # ------------------------------------------------------------------
     # introspection
@@ -98,6 +103,23 @@ class DirectedHighwayCoverIndex(OracleBase):
     # queries
     # ------------------------------------------------------------------
 
+    def ensure_csr(self) -> tuple[CSRGraph, CSRGraph]:
+        """Frozen (forward, backward) CSR views of the current digraph."""
+        pair = self._csr_pair
+        if (
+            pair is None
+            or pair[0].num_vertices != self._graph.num_vertices
+            or pair[0].num_arcs != self._graph.num_edges
+        ):
+            pair = CSRGraph.from_digraph(self._graph)
+            pair[0].adjacency_lists()  # warm for the adaptive kernel's
+            pair[1].adjacency_lists()  # Python phase (see ensure_csr on
+            self._csr_pair = pair      # the undirected index)
+        return pair
+
+    def _invalidate_csr(self) -> None:
+        self._csr_pair = None
+
     def distance(self, s: int, t: int) -> float:
         """Exact directed distance ``s -> t``; inf if unreachable."""
         self._check_pair(s, t)
@@ -120,15 +142,28 @@ class DirectedHighwayCoverIndex(OracleBase):
         bound = self.upper_bound_internal(s, t)
         if bound <= 1:
             return externalise(bound)
-        best = bidirectional_bfs(
-            self._graph.out_view(),
+        forward_csr, backward_csr = self.ensure_csr()
+        best = bidirectional_distance(
+            forward_csr,
             s,
             t,
             excluded=self._landmark_set,
             bound=bound,
-            backward_graph=self._graph.in_view(),
+            backward=backward_csr,
         )
         return externalise(min(best, INF))
+
+    def _distances_from_source(
+        self, source: int, targets: list[int]
+    ) -> list[float] | None:
+        """One forward CSR BFS answers every target sharing ``source``."""
+        self._check_pair(source, source)
+        dist = csr_bfs_distances(self.ensure_csr()[0], source)
+        values = []
+        for t in targets:
+            self._check_pair(source, t)
+            values.append(externalise(int(dist[t])))
+        return values
 
     def upper_bound_internal(self, s: int, t: int) -> int:
         """min_j d(s -> r_j) + d(r_j -> t), the directed Eq. 3 bound."""
@@ -168,11 +203,14 @@ class DirectedHighwayCoverIndex(OracleBase):
         stats.affected_per_landmark = [0] * self._forward.num_landmarks
         batch = normalize_batch(updates, self._graph, directed=True)
         started = time.perf_counter()
-        for sub_batch, improved in variant_plan(batch, variant):
-            sub_stats = self._apply_one_batch(
-                sub_batch, improved, parallel, num_threads
-            )
-            stats.merge(sub_stats)
+        try:
+            for sub_batch, improved in variant_plan(batch, variant):
+                sub_stats = self._apply_one_batch(
+                    sub_batch, improved, parallel, num_threads
+                )
+                stats.merge(sub_stats)
+        finally:
+            self._invalidate_csr()
         stats.n_requested = len(updates)
         stats.total_seconds = time.perf_counter() - started
         return stats
@@ -202,10 +240,22 @@ class DirectedHighwayCoverIndex(OracleBase):
             stats.affected_vertices.add(update.u)
             stats.affected_vertices.add(update.v)
 
+        # Freeze G' once per multi-update sub-batch: both labelling passes
+        # traverse the same immutable decoded views (successors for
+        # search, predecessors for repair's boundary bounds).  Unit
+        # sub-batches stay on the live views — their cost is proportional
+        # to the affected region, not the graph.
+        if len(batch) > 1:
+            csr_out, csr_in = CSRGraph.from_digraph(graph)
+            out_lists = csr_out.list_view()
+            in_lists = csr_in.list_view()
+        else:
+            out_lists = graph.out_view()
+            in_lists = graph.in_view()
         makespan_total = 0.0
         for labelling, view, pred_view, reverse in (
-            (self._forward, graph.out_view(), graph.in_view(), False),
-            (self._backward, graph.in_view(), graph.out_view(), True),
+            (self._forward, out_lists, in_lists, False),
+            (self._backward, in_lists, out_lists, True),
         ):
             oriented = [
                 ((u.v, u.u, u.is_delete) if reverse else (u.u, u.v, u.is_delete))
@@ -253,6 +303,8 @@ class DirectedHighwayCoverIndex(OracleBase):
         clone._forward = self._forward.copy()
         clone._backward = self._backward.copy()
         clone._landmark_set = self._landmark_set
+        clone._csr_pair = None
+        clone.ensure_csr()
         return clone
 
     # ------------------------------------------------------------------
@@ -263,6 +315,7 @@ class DirectedHighwayCoverIndex(OracleBase):
         landmarks = self._forward.landmarks
         self._forward = build_labelling(self._graph.out_view(), landmarks)
         self._backward = build_labelling(self._graph.in_view(), landmarks)
+        self._invalidate_csr()
 
     def check_minimality(self) -> list[str]:
         """Compare both labellings against from-scratch builds."""

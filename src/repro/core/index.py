@@ -29,6 +29,7 @@ from repro.core.landmarks import select_landmarks
 from repro.core.queries import query_distance
 from repro.core.stats import UpdateStats
 from repro.graph.batch import EdgeUpdate
+from repro.graph.csr import CSRGraph, bfs_distances as csr_bfs_distances
 from repro.graph.dynamic_graph import DynamicGraph
 
 
@@ -55,6 +56,7 @@ class HighwayCoverIndex(OracleBase):
             )
         self._labelling = self._build_labelling(graph, tuple(landmarks))
         self._landmark_set = frozenset(self._labelling.landmarks)
+        self._csr: CSRGraph | None = None
 
     def _build_labelling(
         self, graph: DynamicGraph, landmarks: tuple[int, ...]
@@ -75,6 +77,7 @@ class HighwayCoverIndex(OracleBase):
         index._graph = graph
         index._labelling = labelling
         index._landmark_set = frozenset(labelling.landmarks)
+        index._csr = None
         return index
 
     # ------------------------------------------------------------------
@@ -104,12 +107,57 @@ class HighwayCoverIndex(OracleBase):
     # queries
     # ------------------------------------------------------------------
 
+    def ensure_csr(self) -> CSRGraph:
+        """The frozen CSR read view of the current graph (built lazily).
+
+        Every query path runs on this view, never on the mutable
+        adjacency sets; ``batch_update``/``rebuild`` drop it so the next
+        read re-freezes the updated topology.  ``snapshot()`` builds it
+        eagerly so published epochs ship query-ready.
+        """
+        csr = self._csr
+        if (
+            csr is None
+            or csr.num_vertices != self._graph.num_vertices
+            or csr.num_arcs != 2 * self._graph.num_edges
+        ):
+            csr = CSRGraph.from_graph(self._graph)
+            # Warm the cached adjacency lists too: the adaptive query
+            # kernel's Python phase reads them on every bounded search,
+            # and paying the expansion here keeps first-query latency
+            # flat after a freeze.
+            csr.adjacency_lists()
+            self._csr = csr
+        return csr
+
+    def _invalidate_csr(self) -> None:
+        self._csr = None
+
     def distance(self, s: int, t: int) -> float:
         """Exact shortest-path distance; ``float('inf')`` if disconnected."""
         self._check_pair(s, t)
         return externalise(
-            query_distance(self._graph, self._labelling, s, t, self._landmark_set)
+            query_distance(
+                self._graph,
+                self._labelling,
+                s,
+                t,
+                self._landmark_set,
+                csr=self.ensure_csr(),
+            )
         )
+
+    def _distances_from_source(
+        self, source: int, targets: list[int]
+    ) -> list[float] | None:
+        """Answer a shared-source group with one exact CSR BFS sweep."""
+        self._check_pair(source, source)
+        dist = csr_bfs_distances(self.ensure_csr(), source)
+        values = []
+        for t in targets:
+            self._check_pair(source, t)
+            values.append(externalise(int(dist[t])))
+        return values
 
     def upper_bound(self, s: int, t: int) -> float:
         """The labelling-only bound :math:`d^\\top_{st}` (Eq. 3)."""
@@ -123,9 +171,12 @@ class HighwayCoverIndex(OracleBase):
         """
         from repro.core.paths import extract_shortest_path
 
+        csr = self.ensure_csr()
+
         def internal(a: int, b: int) -> int:
             return query_distance(
-                self._graph, self._labelling, a, b, self._landmark_set
+                self._graph, self._labelling, a, b, self._landmark_set,
+                csr=csr,
             )
 
         return extract_shortest_path(self._graph, s, t, internal)
@@ -139,10 +190,14 @@ class HighwayCoverIndex(OracleBase):
         original — this is the epoch-publication hook the online serving
         layer (:mod:`repro.service`) builds on.  Cost is O(V·R + V + E)
         per call; queries against the snapshot never block on writers.
+        The snapshot ships with its CSR read view prebuilt, so readers
+        never pay (or race on) a lazy freeze.
         """
-        return HighwayCoverIndex.from_parts(
+        frozen = HighwayCoverIndex.from_parts(
             self._graph.copy(), self._labelling.copy()
         )
+        frozen.ensure_csr()
+        return frozen
 
     # ------------------------------------------------------------------
     # updates
@@ -165,16 +220,22 @@ class HighwayCoverIndex(OracleBase):
         ``num_shards``/``pool`` configure the processes backend only.
         """
         self._ensure_open()
-        new_labelling, stats = run_batch_update(
-            self._graph,
-            self._labelling,
-            updates,
-            variant=variant,
-            parallel=parallel,
-            num_threads=num_threads,
-            num_shards=num_shards,
-            pool=pool,
-        )
+        try:
+            new_labelling, stats = run_batch_update(
+                self._graph,
+                self._labelling,
+                updates,
+                variant=variant,
+                parallel=parallel,
+                num_threads=num_threads,
+                num_shards=num_shards,
+                pool=pool,
+            )
+        finally:
+            # Even a failed batch may have grown the vertex set (growth
+            # survives the revert) — the frozen read view is stale either
+            # way.
+            self._invalidate_csr()
         self._labelling = new_labelling
         return stats
 
@@ -200,6 +261,7 @@ class HighwayCoverIndex(OracleBase):
         # the new vertex exists either way.
         self._graph.ensure_vertex(vertex)
         self._labelling.grow(self._graph.num_vertices)
+        self._invalidate_csr()
         return vertex, stats
 
     def detach_vertex(self, vertex: int) -> UpdateStats:
@@ -239,6 +301,7 @@ class HighwayCoverIndex(OracleBase):
     def rebuild(self) -> None:
         """Recompute the labelling from scratch (keeps the landmark set)."""
         self._labelling = build_labelling(self._graph, self._labelling.landmarks)
+        self._invalidate_csr()
 
     def check_minimality(self) -> list[str]:
         """Compare against a from-scratch build; [] iff identical.

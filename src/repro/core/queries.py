@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from repro.constants import INF
 from repro.core.labelling import HighwayCoverLabelling
+from repro.graph.csr import CSRGraph, bidirectional_distance
 from repro.graph.traversal import bidirectional_bfs
 
 
@@ -26,8 +27,16 @@ def query_distance(
     s: int,
     t: int,
     landmark_set: frozenset[int],
+    csr: CSRGraph | None = None,
 ) -> int:
-    """Exact s-t distance (internal INF sentinel for unreachable)."""
+    """Exact s-t distance (internal INF sentinel for unreachable).
+
+    With ``csr`` (a frozen :class:`~repro.graph.csr.CSRGraph` of the same
+    topology as ``graph``), the bounded search runs on the adaptive CSR
+    kernel instead of walking the mutable adjacency sets — this is how
+    every index read path queries; ``graph`` is then only a fallback for
+    callers that never froze a view.
+    """
     if s == t:
         return 0
     s_idx = labelling.landmark_index.get(s)
@@ -41,5 +50,12 @@ def query_distance(
     bound = labelling.upper_bound(s, t)
     if bound <= 1:
         return bound  # an adjacent pair cannot improve below 1
-    best = bidirectional_bfs(graph, s, t, excluded=landmark_set, bound=bound)
+    if csr is not None:
+        best = bidirectional_distance(
+            csr, s, t, excluded=landmark_set, bound=bound
+        )
+    else:
+        best = bidirectional_bfs(
+            graph, s, t, excluded=landmark_set, bound=bound
+        )
     return min(best, INF)

@@ -1,6 +1,8 @@
-"""Dynamic graph substrate: containers, batches, traversals, generators, IO."""
+"""Dynamic graph substrate: containers, batches, traversals, generators, IO,
+and the frozen CSR read views every query path runs on."""
 
 from repro.graph.batch import Batch, EdgeUpdate, UpdateKind, normalize_batch
+from repro.graph.csr import CSRGraph, CSRListView
 from repro.graph.digraph import DynamicDiGraph
 from repro.graph.dynamic_graph import DynamicGraph
 from repro.graph.weighted_graph import WeightedDynamicGraph, WeightUpdate
@@ -10,6 +12,8 @@ __all__ = [
     "EdgeUpdate",
     "UpdateKind",
     "normalize_batch",
+    "CSRGraph",
+    "CSRListView",
     "DynamicGraph",
     "DynamicDiGraph",
     "WeightedDynamicGraph",

@@ -22,6 +22,10 @@ import enum
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Iterable, Iterator, Sequence
 
+import numpy as np
+
+from repro.errors import BatchError
+
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.graph.digraph import DynamicDiGraph
     from repro.graph.dynamic_graph import DynamicGraph
@@ -36,27 +40,68 @@ class UpdateKind(enum.Enum):
 
 @dataclass(frozen=True)
 class EdgeUpdate:
-    """One edge insertion or deletion."""
+    """One edge insertion or deletion: ``EdgeUpdate(u, v, is_delete=False)``.
 
-    kind: UpdateKind
+    The positional form matches the paper's update tuples ``(u, v, δ)``.
+    Endpoints are validated at construction: an earlier field order
+    ``(kind, u, v)`` let ``EdgeUpdate(3, 7, False)`` silently build an
+    update whose second endpoint was the literal ``False`` — it then
+    polluted ``UpdateStats.affected_vertices`` with a bool and the
+    mis-typed kind made normalisation drop the edge entirely, leaving a
+    grown vertex unlabelled.  Both are now construction-time errors.
+    """
+
     u: int
     v: int
+    is_delete: bool = False
+
+    def __post_init__(self):
+        if isinstance(self.u, UpdateKind) or isinstance(self.v, UpdateKind):
+            raise BatchError(
+                "EdgeUpdate now takes (u, v, is_delete); the old"
+                " (kind, u, v) field order is gone — use"
+                " EdgeUpdate.insert(u, v) / EdgeUpdate.delete(u, v)"
+            )
+        for name, value in (("u", self.u), ("v", self.v)):
+            if isinstance(value, bool) or not isinstance(
+                value, (int, np.integer)
+            ):
+                raise BatchError(
+                    f"EdgeUpdate endpoint {name}={value!r} is not a vertex"
+                    " id; endpoints must be non-negative ints"
+                )
+            if value < 0:
+                raise BatchError(
+                    f"EdgeUpdate endpoint {name}={value} is negative"
+                )
+        if isinstance(self.is_delete, UpdateKind):
+            object.__setattr__(
+                self, "is_delete", self.is_delete is UpdateKind.DELETE
+            )
+        elif not isinstance(self.is_delete, bool):
+            raise BatchError(
+                f"EdgeUpdate is_delete={self.is_delete!r} must be a bool"
+                " (False = insertion, True = deletion)"
+            )
+        # Normalise numpy integers so downstream sets/heaps stay lightweight.
+        object.__setattr__(self, "u", int(self.u))
+        object.__setattr__(self, "v", int(self.v))
 
     @staticmethod
     def insert(u: int, v: int) -> "EdgeUpdate":
-        return EdgeUpdate(UpdateKind.INSERT, u, v)
+        return EdgeUpdate(u, v, False)
 
     @staticmethod
     def delete(u: int, v: int) -> "EdgeUpdate":
-        return EdgeUpdate(UpdateKind.DELETE, u, v)
+        return EdgeUpdate(u, v, True)
+
+    @property
+    def kind(self) -> UpdateKind:
+        return UpdateKind.DELETE if self.is_delete else UpdateKind.INSERT
 
     @property
     def is_insert(self) -> bool:
-        return self.kind is UpdateKind.INSERT
-
-    @property
-    def is_delete(self) -> bool:
-        return self.kind is UpdateKind.DELETE
+        return not self.is_delete
 
     def endpoints(self) -> tuple[int, int]:
         return (self.u, self.v)
@@ -65,7 +110,7 @@ class EdgeUpdate:
         """Order endpoints as ``(min, max)`` — for undirected graphs only."""
         if self.u <= self.v:
             return self
-        return EdgeUpdate(self.kind, self.v, self.u)
+        return EdgeUpdate(self.v, self.u, self.is_delete)
 
 
 class Batch(Sequence[EdgeUpdate]):

@@ -1,0 +1,456 @@
+"""Frozen CSR adjacency and vectorized (numpy frontier) query kernels.
+
+Every read path in the library — single-pair queries, batched
+``distances()``, per-landmark construction BFS, batch-search traversal,
+epoch snapshots published by the serving engine, and the worker-process
+shard tasks — runs over an *immutable* view of the graph.  This module is
+that view: a :class:`CSRGraph` holds the standard compressed-sparse-row
+pair ``(indptr, indices)`` (the neighbours of ``v`` are
+``indices[indptr[v]:indptr[v + 1]]``, sorted), plus level-synchronous
+kernels that advance whole frontiers as numpy arrays instead of walking
+Python dict-of-set adjacency one vertex at a time:
+
+* :func:`bfs_distances` / :func:`bfs_distances_multi` — full sweeps, used
+  by construction and by source-grouped batched queries (one sweep
+  answers every query that shares the source);
+* :func:`landmark_lengths` — the landmark-flagged BFS of the static
+  construction (Lemma 5.14), bit-identical to the Python reference in
+  :func:`repro.core.construction.bfs_landmark_lengths`;
+* :func:`bidirectional_distance` — the distance-bounded bidirectional BFS
+  of the query algorithm (Section 4), with landmark exclusion via an
+  excluded-node set (marked into the distance arrays as a node mask in
+  the vector phase); on directed graphs pass the backward CSR for the
+  reverse side.
+
+Mutable graphs (:class:`~repro.graph.dynamic_graph.DynamicGraph` and the
+directed views) stay the write-side substrate; a CSR view is built once
+per batch / epoch / construction and is never mutated — writers build a
+fresh one after applying updates.  The worker-process snapshot module
+(:mod:`repro.parallel.snapshot`) ships these same two arrays across
+process boundaries.
+"""
+
+from __future__ import annotations
+
+from typing import Collection, Iterable
+
+import numpy as np
+
+from repro.constants import INF
+from repro.errors import GraphError
+
+_EMPTY = np.empty(0, dtype=np.int64)
+
+
+class CSRListView:
+    """Read-only adjacency of Python-int lists decoded from CSR arrays.
+
+    Quacks like :class:`~repro.graph.dynamic_graph.DynamicGraph` for the
+    operations the pure-Python search/repair kernels use
+    (``num_vertices`` and ``neighbors``).  Neighbour lists hold plain
+    Python ints so downstream heap entries and affected sets stay
+    lightweight — the per-element unboxing cost of iterating numpy slices
+    in Python loops is paid once here, not once per traversal.
+    """
+
+    __slots__ = ("_adj",)
+
+    def __init__(self, adjacency: list[list[int]]):
+        self._adj = adjacency
+
+    @property
+    def num_vertices(self) -> int:
+        return len(self._adj)
+
+    def neighbors(self, vertex: int) -> list[int]:
+        return self._adj[vertex]
+
+    def degree(self, vertex: int) -> int:
+        return len(self._adj[vertex])
+
+
+class CSRGraph:
+    """A frozen compressed-sparse-row adjacency over vertices ``0..n-1``.
+
+    For undirected graphs each edge appears in both rows; for directed
+    graphs build one instance per traversal direction
+    (:meth:`from_digraph` returns the forward/backward pair).  Instances
+    are immutable by convention — kernels only read, and writers build a
+    fresh view after mutating the dynamic graph.
+    """
+
+    __slots__ = ("indptr", "indices", "_lists", "_arange")
+
+    def __init__(self, indptr: np.ndarray, indices: np.ndarray):
+        if indptr.ndim != 1 or indices.ndim != 1:
+            raise GraphError("CSR arrays must be one-dimensional")
+        if len(indptr) == 0 or indptr[0] != 0 or int(indptr[-1]) != len(indices):
+            raise GraphError("malformed CSR indptr")
+        self.indptr = np.ascontiguousarray(indptr, dtype=np.int64)
+        self.indices = np.ascontiguousarray(indices, dtype=np.int64)
+        self._lists: list[list[int]] | None = None
+        self._arange: np.ndarray | None = None
+
+    def _iota(self) -> np.ndarray:
+        """A shared ``arange(num_arcs)`` for the gather kernels (cached)."""
+        if self._arange is None:
+            self._arange = np.arange(len(self.indices), dtype=np.int64)
+        return self._arange
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_graph(cls, graph) -> "CSRGraph":
+        """Encode any ``num_vertices``/``neighbors(v)`` provider.
+
+        Works for :class:`DynamicGraph`, a digraph direction view, a
+        :class:`WeightedDynamicGraph` (weights dropped) or a test double.
+        Neighbour rows are sorted, making the encoding canonical for a
+        given topology.
+        """
+        n = graph.num_vertices
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        chunks: list[list[int]] = []
+        total = 0
+        for v in range(n):
+            neighbours = sorted(graph.neighbors(v))
+            total += len(neighbours)
+            indptr[v + 1] = total
+            chunks.append(neighbours)
+        indices = np.fromiter(
+            (w for row in chunks for w in row), dtype=np.int64, count=total
+        )
+        return cls(indptr, indices)
+
+    @classmethod
+    def from_digraph(cls, digraph) -> "tuple[CSRGraph, CSRGraph]":
+        """The (forward, backward) pair of a :class:`DynamicDiGraph`."""
+        return cls.from_graph(digraph.out_view()), cls.from_graph(
+            digraph.in_view()
+        )
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def num_vertices(self) -> int:
+        return len(self.indptr) - 1
+
+    @property
+    def num_arcs(self) -> int:
+        """Stored arcs (twice the edge count on undirected graphs)."""
+        return len(self.indices)
+
+    def neighbors(self, vertex: int) -> np.ndarray:
+        """The neighbour row of ``vertex`` as an int64 array view."""
+        return self.indices[self.indptr[vertex] : self.indptr[vertex + 1]]
+
+    def degree(self, vertex: int) -> int:
+        return int(self.indptr[vertex + 1] - self.indptr[vertex])
+
+    def adjacency_lists(self) -> list[list[int]]:
+        """Expand into a list-of-lists of Python ints (cached).
+
+        The expansion is built once per CSR view and shared: the adaptive
+        query kernel, the batch search/repair traversals and
+        :meth:`list_view` all read the same lists.  Treat them as frozen.
+        """
+        if self._lists is None:
+            bounds = self.indptr.tolist()
+            flat = self.indices.tolist()
+            self._lists = [
+                flat[bounds[v] : bounds[v + 1]]
+                for v in range(len(bounds) - 1)
+            ]
+        return self._lists
+
+    def list_view(self) -> CSRListView:
+        """A :class:`CSRListView` for the pure-Python kernels."""
+        return CSRListView(self.adjacency_lists())
+
+    def __repr__(self) -> str:
+        return f"CSRGraph(|V|={self.num_vertices}, arcs={self.num_arcs})"
+
+
+# ----------------------------------------------------------------------
+# frontier plumbing
+# ----------------------------------------------------------------------
+
+
+def _gather_targets(
+    indptr_lo: np.ndarray, indptr_hi: np.ndarray, indices: np.ndarray,
+    frontier: np.ndarray, iota: np.ndarray | None = None,
+) -> np.ndarray:
+    """All arc targets out of ``frontier``, concatenated.
+
+    Vectorised ranges-to-indices: position ``k`` within a row offsets from
+    that row's start, computed as a global arange minus the row's base in
+    the concatenation.  Zero-degree rows are handled naturally by repeat.
+    ``indptr_lo``/``indptr_hi`` are ``indptr[:-1]``/``indptr[1:]`` views.
+    """
+    starts = indptr_lo[frontier]
+    counts = indptr_hi[frontier] - starts
+    cum = np.cumsum(counts)
+    total = int(cum[-1]) if len(cum) else 0
+    if total == 0:
+        return _EMPTY
+    offsets = np.repeat(starts - cum + counts, counts)
+    ramp = np.arange(total) if iota is None else iota[:total]
+    return indices[offsets + ramp]
+
+
+def _gather(
+    indptr: np.ndarray, indices: np.ndarray, frontier: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """All arcs out of ``frontier`` as ``(sources, targets)`` arrays.
+
+    ``sources[k]`` is the frontier vertex whose row contributed
+    ``targets[k]``.
+    """
+    counts = indptr[frontier + 1] - indptr[frontier]
+    targets = _gather_targets(indptr[:-1], indptr[1:], indices, frontier)
+    return np.repeat(frontier, counts), targets
+
+
+# ----------------------------------------------------------------------
+# kernels
+# ----------------------------------------------------------------------
+
+
+def bfs_distances(csr: CSRGraph, source: int) -> np.ndarray:
+    """Full single-source BFS; int64 distances with INF sentinels."""
+    return bfs_distances_multi(csr, (source,))
+
+
+def bfs_distances_multi(csr: CSRGraph, sources: Iterable[int]) -> np.ndarray:
+    """Multi-source BFS (distance to the nearest source)."""
+    dist = np.full(csr.num_vertices, INF, dtype=np.int64)
+    seeds = np.unique(np.fromiter(sources, dtype=np.int64))
+    if not seeds.size:
+        return dist
+    dist[seeds] = 0
+    frontier = seeds
+    indptr_lo, indptr_hi = csr.indptr[:-1], csr.indptr[1:]
+    indices = csr.indices
+    iota = csr._iota()
+    level = 0
+    while frontier.size:
+        level += 1
+        targets = _gather_targets(
+            indptr_lo, indptr_hi, indices, frontier, iota
+        )
+        if not targets.size:
+            break
+        fresh = targets[dist[targets] >= INF]
+        if not fresh.size:
+            break
+        frontier = np.unique(fresh)
+        dist[frontier] = level
+    return dist
+
+
+def landmark_lengths(
+    csr: CSRGraph, root: int, is_landmark: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Landmark-flagged BFS :math:`d^L_G(root, \\cdot)` over a CSR view.
+
+    Returns ``(dist, flag)`` exactly as
+    :func:`repro.core.construction.bfs_landmark_lengths`: ``flag[v]`` is
+    True iff some shortest root-v path passes through a landmark other
+    than the root (endpoints count, the root does not).  Per level, a
+    vertex's flag is the OR over all its shortest-path predecessors of
+    ``flag[pred] | is_landmark[v]`` — computed with one bincount over the
+    level's arc list instead of a Python predecessor loop.
+    """
+    n = csr.num_vertices
+    dist = np.full(n, INF, dtype=np.int64)
+    flag = np.zeros(n, dtype=bool)
+    dist[root] = 0
+    frontier = np.array([root], dtype=np.int64)
+    indptr, indices = csr.indptr, csr.indices
+    level = 0
+    while frontier.size:
+        level += 1
+        sources, targets = _gather(indptr, indices, frontier)
+        if not targets.size:
+            break
+        fresh = targets[dist[targets] >= INF]
+        if fresh.size:
+            fresh = np.unique(fresh)
+            dist[fresh] = level
+        # Every arc frontier->w with dist[w] == level is a shortest-path
+        # predecessor edge (the frontier is the complete previous level).
+        at_level = dist[targets] == level
+        if at_level.any():
+            heads = targets[at_level]
+            contrib = flag[sources[at_level]] | is_landmark[heads]
+            low = int(heads.min())
+            votes = np.bincount(
+                heads - low,
+                weights=contrib.astype(np.float64),
+                minlength=int(heads.max()) - low + 1,
+            )
+            flag[low : low + len(votes)] |= votes > 0
+        frontier = fresh
+    return dist, flag
+
+
+#: Frontier width at which the adaptive bidirectional kernel switches
+#: from Python dict expansion to vectorised numpy frontiers.  Below this
+#: the per-call dispatch overhead of numpy outweighs the per-element cost
+#: of the Python loop; above it whole-frontier array ops win.
+SWITCH_WIDTH = 64
+
+#: Minimum remaining level budget (``bound - level_fwd - level_bwd - 1``)
+#: for the vector phase to be worth its state-conversion cost.  A search
+#: about to be cut off by a tight labelling bound finishes in Python even
+#: when a frontier is momentarily wide.
+_MIN_VECTOR_LEVELS = 3
+
+
+def bidirectional_distance(
+    csr: CSRGraph,
+    source: int,
+    target: int,
+    excluded: Collection[int] = (),
+    bound: int = INF,
+    backward: "CSRGraph | None" = None,
+    switch_width: int = SWITCH_WIDTH,
+) -> int:
+    """Distance-bounded bidirectional BFS over ``G[V \\ excluded]``.
+
+    The CSR twin of :func:`repro.graph.traversal.bidirectional_bfs`:
+    expands the smaller frontier (ties go forward), never explores paths
+    of length >= ``bound``, and returns the best length found or
+    ``bound`` itself.  ``excluded`` is a set-like collection of node ids
+    (landmark exclusion); ``backward`` is the reverse-direction CSR for
+    digraphs.
+
+    The kernel is *adaptive*: narrow frontiers — the common case when the
+    labelling bound is tight, and throughout high-diameter low-width
+    graphs — are expanded with a Python loop over the cached adjacency
+    lists, where per-vertex cost beats numpy dispatch overhead; once a
+    frontier exceeds ``switch_width`` the whole search state converts to
+    int64 distance arrays and every later level advances as vectorised
+    frontier sweeps (the regime of grid/road-shaped graphs where Python
+    traversal is slowest).
+    """
+    if source == target:
+        return 0
+    if source in excluded or target in excluded:
+        return bound
+    if backward is None:
+        backward = csr
+
+    best = bound
+    dist_fwd: dict[int, int] = {source: 0}
+    dist_bwd: dict[int, int] = {target: 0}
+    frontier_fwd: list[int] = [source]
+    frontier_bwd: list[int] = [target]
+    level_fwd = 0
+    level_bwd = 0
+    adj_fwd = csr.adjacency_lists()
+    adj_bwd = adj_fwd if backward is csr else backward.adjacency_lists()
+
+    # -- Python phase: narrow frontiers -------------------------------
+    while frontier_fwd and frontier_bwd:
+        if level_fwd + level_bwd + 1 >= best:
+            return best
+        if (
+            len(frontier_fwd) > switch_width
+            or len(frontier_bwd) > switch_width
+        ) and best - level_fwd - level_bwd - 1 >= _MIN_VECTOR_LEVELS:
+            break  # wide regime with budget left: go vectorised
+        if len(frontier_fwd) <= len(frontier_bwd):
+            expand, dist_here, dist_other = frontier_fwd, dist_fwd, dist_bwd
+            adjacency = adj_fwd
+            level_fwd += 1
+            next_level = level_fwd
+            forward_side = True
+        else:
+            expand, dist_here, dist_other = frontier_bwd, dist_bwd, dist_fwd
+            adjacency = adj_bwd
+            level_bwd += 1
+            next_level = level_bwd
+            forward_side = False
+        next_frontier: list[int] = []
+        for v in expand:
+            for w in adjacency[v]:
+                if w in dist_here or w in excluded:
+                    continue
+                dist_here[w] = next_level
+                other = dist_other.get(w)
+                if other is not None and next_level + other < best:
+                    best = next_level + other
+                next_frontier.append(w)
+        if forward_side:
+            frontier_fwd = next_frontier
+        else:
+            frontier_bwd = next_frontier
+    if not (frontier_fwd and frontier_bwd):
+        return best
+
+    # -- vector phase: convert state, then numpy frontier sweeps ------
+    n = csr.num_vertices
+    arr_fwd = np.full(n, -1, dtype=np.int64)
+    arr_bwd = np.full(n, -1, dtype=np.int64)
+    if excluded:
+        barred = np.fromiter(excluded, dtype=np.int64, count=len(excluded))
+        barred = barred[barred < n]
+        arr_fwd[barred] = -2  # visited-like: never re-entered, never a meet
+        arr_bwd[barred] = -2
+    for mapping, arr in ((dist_fwd, arr_fwd), (dist_bwd, arr_bwd)):
+        keys = np.fromiter(mapping.keys(), dtype=np.int64, count=len(mapping))
+        values = np.fromiter(
+            mapping.values(), dtype=np.int64, count=len(mapping)
+        )
+        arr[keys] = values
+    front_fwd = np.fromiter(
+        frontier_fwd, dtype=np.int64, count=len(frontier_fwd)
+    )
+    front_bwd = np.fromiter(
+        frontier_bwd, dtype=np.int64, count=len(frontier_bwd)
+    )
+    lo_fwd, hi_fwd = csr.indptr[:-1], csr.indptr[1:]
+    lo_bwd, hi_bwd = backward.indptr[:-1], backward.indptr[1:]
+    iota_fwd = csr._iota()
+    iota_bwd = backward._iota()
+
+    while front_fwd.size and front_bwd.size:
+        if level_fwd + level_bwd + 1 >= best:
+            break
+        if front_fwd.size <= front_bwd.size:
+            lo, hi, indices, iota = lo_fwd, hi_fwd, csr.indices, iota_fwd
+            dist_here, dist_other = arr_fwd, arr_bwd
+            frontier = front_fwd
+            level_fwd += 1
+            next_level = level_fwd
+            forward_side = True
+        else:
+            lo, hi, indices, iota = lo_bwd, hi_bwd, backward.indices, iota_bwd
+            dist_here, dist_other = arr_bwd, arr_fwd
+            frontier = front_bwd
+            level_bwd += 1
+            next_level = level_bwd
+            forward_side = False
+        targets = _gather_targets(lo, hi, indices, frontier, iota)
+        if targets.size:
+            next_frontier = np.unique(targets[dist_here[targets] == -1])
+        else:
+            next_frontier = _EMPTY
+        if next_frontier.size:
+            dist_here[next_frontier] = next_level
+            met = dist_other[next_frontier]
+            met = met[met >= 0]
+            if met.size:
+                candidate = next_level + int(met.min())
+                if candidate < best:
+                    best = candidate
+        if forward_side:
+            front_fwd = next_frontier
+        else:
+            front_bwd = next_frontier
+    return best

@@ -26,10 +26,12 @@ from __future__ import annotations
 import atexit
 import multiprocessing
 import os
+import sys
 import threading
 import time
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
+from contextlib import contextmanager
 
 from repro.core.labelling import HighwayCoverLabelling
 from repro.core.stats import ShardTiming
@@ -66,6 +68,38 @@ def partition_landmarks(num_landmarks: int, num_shards: int) -> list[list[int]]:
 def default_num_shards(num_landmarks: int) -> int:
     """One shard per core, capped by the landmark count."""
     return max(1, min(os.cpu_count() or 1, num_landmarks))
+
+
+@contextmanager
+def _importable_main():
+    """Neutralise a ``__main__`` that spawned workers cannot re-import.
+
+    Under spawn/forkserver, multiprocessing re-runs the driver's
+    ``__main__`` by path in every fresh worker.  When the driver is not a
+    real file — ``python -`` / ``python -c``, an embedded REPL, a
+    notebook cell — ``__main__.__file__`` points at ``<stdin>`` or
+    similar, the re-import dies with ``FileNotFoundError`` and every
+    shard task surfaces as ``BrokenProcessPool``.  While workers may
+    spawn, drop the bogus ``__file__`` (restored afterwards):
+    multiprocessing then skips re-importing ``__main__`` entirely, which
+    is also the correct semantic — there is nothing on disk to re-run.
+    """
+    main = sys.modules.get("__main__")
+    main_file = getattr(main, "__file__", None)
+    if (
+        main is None
+        or main_file is None
+        # python -m / real scripts resolve by module spec or real path.
+        or getattr(main, "__spec__", None) is not None
+        or os.path.exists(main_file)
+    ):
+        yield
+        return
+    try:
+        del main.__file__
+        yield
+    finally:
+        main.__file__ = main_file
 
 
 def _default_mp_context():
@@ -154,9 +188,13 @@ class LandmarkShardPool:
     def _run_sharded(self, task, shards: list[list[int]], *args) -> list:
         executor = self._ensure_executor()
         try:
-            futures = [
-                executor.submit(task, *args, shard) for shard in shards
-            ]
+            # Workers spawn lazily inside submit(): keep the main-module
+            # guard up for the whole submission burst so drivers without
+            # a file-backed __main__ (stdin/-c/notebooks) work too.
+            with _importable_main():
+                futures = [
+                    executor.submit(task, *args, shard) for shard in shards
+                ]
             return [future.result() for future in futures]
         except BrokenProcessPool:
             self._discard_broken()

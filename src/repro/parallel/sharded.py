@@ -142,6 +142,7 @@ class ShardedHighwayCoverIndex(HighwayCoverIndex):
             parallel="processes",
             pool=self._pool,
         )
+        self._invalidate_csr()
 
     def close(self) -> None:
         """Shut the worker processes down (if this index owns them)."""

@@ -3,10 +3,11 @@
 A worker process needs exactly two things to run batch search + repair for
 a set of landmarks: the *updated* graph G' and the *old* labelling Γ.  Both
 are encoded as a handful of dense numpy arrays — CSR adjacency for the
-graph, the native label/highway matrices for the labelling — so one shard
-task pickles in O(V + E + V·R) contiguous bytes instead of walking a
-million Python set objects.  Decoding on the worker side is a single
-``tolist()`` pass per array.
+graph (the same :class:`~repro.graph.csr.CSRGraph` arrays every in-process
+read path runs on), the native label/highway matrices for the labelling —
+so one shard task pickles in O(V + E + V·R) contiguous bytes instead of
+walking a million Python set objects.  Decoding on the worker side is a
+single ``tolist()`` pass per array.
 
 The snapshot is immutable by convention: the writer builds it once per
 batch (after ``apply_batch``, so the adjacency already describes G') and
@@ -20,31 +21,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.labelling import HighwayCoverLabelling
-
-
-class CSRGraphView:
-    """Read-only adjacency decoded from a CSR snapshot.
-
-    Quacks like :class:`~repro.graph.dynamic_graph.DynamicGraph` for the
-    two operations the search/repair kernels use: ``num_vertices`` and
-    ``neighbors``.  Neighbour lists hold plain Python ints so downstream
-    heap entries and affected sets stay lightweight.
-    """
-
-    __slots__ = ("_adj",)
-
-    def __init__(self, adjacency: list[list[int]]):
-        self._adj = adjacency
-
-    @property
-    def num_vertices(self) -> int:
-        return len(self._adj)
-
-    def neighbors(self, vertex: int) -> list[int]:
-        return self._adj[vertex]
-
-    def degree(self, vertex: int) -> int:
-        return len(self._adj[vertex])
+from repro.graph.csr import CSRGraph, CSRListView
 
 
 @dataclass(frozen=True)
@@ -67,9 +44,9 @@ class StateSnapshot:
     def num_vertices(self) -> int:
         return len(self.indptr) - 1
 
-    def decode_graph(self) -> CSRGraphView:
+    def decode_graph(self) -> CSRListView:
         """Materialise the adjacency as Python lists (worker side)."""
-        return CSRGraphView(decode_adjacency(self.indptr, self.indices))
+        return CSRGraph(self.indptr, self.indices).list_view()
 
     def decode_labelling(self) -> HighwayCoverLabelling:
         """Wrap the label matrices without copying (worker side).
@@ -82,29 +59,16 @@ class StateSnapshot:
 
 
 def encode_graph(graph) -> tuple[np.ndarray, np.ndarray]:
-    """CSR-encode a :class:`DynamicGraph` (or any ``neighbors`` provider)."""
-    n = graph.num_vertices
-    indptr = np.zeros(n + 1, dtype=np.int64)
-    chunks: list[list[int]] = []
-    total = 0
-    for v in range(n):
-        neighbours = sorted(graph.neighbors(v))
-        total += len(neighbours)
-        indptr[v + 1] = total
-        chunks.append(neighbours)
-    indices = np.empty(total, dtype=np.int64)
-    position = 0
-    for neighbours in chunks:
-        indices[position : position + len(neighbours)] = neighbours
-        position += len(neighbours)
-    return indptr, indices
+    """CSR-encode a graph (delegates to :meth:`CSRGraph.from_graph`).
 
-
-def decode_adjacency(indptr: np.ndarray, indices: np.ndarray) -> list[list[int]]:
-    """Expand CSR arrays back into a list-of-lists of Python ints."""
-    bounds = indptr.tolist()
-    flat = indices.tolist()
-    return [flat[bounds[v] : bounds[v + 1]] for v in range(len(bounds) - 1)]
+    A :class:`CSRGraph` passes its arrays through unchanged — callers
+    that already froze a view for the in-process read paths ship it to
+    the workers without re-walking the adjacency.
+    """
+    if isinstance(graph, CSRGraph):
+        return graph.indptr, graph.indices
+    csr = CSRGraph.from_graph(graph)
+    return csr.indptr, csr.indices
 
 
 def encode_state(graph, labelling: HighwayCoverLabelling) -> StateSnapshot:
@@ -113,7 +77,8 @@ def encode_state(graph, labelling: HighwayCoverLabelling) -> StateSnapshot:
     Call *after* the batch has been applied to ``graph`` and the labelling
     grown to the new vertex count — workers must see the updated topology
     with the pre-update labels, the same view the sequential pipeline
-    hands to :func:`~repro.core.batchhl.process_landmarks`.
+    hands to :func:`~repro.core.batchhl.process_landmarks`.  ``graph`` may
+    be the already-frozen :class:`CSRGraph` of G'.
     """
     indptr, indices = encode_graph(graph)
     return StateSnapshot(

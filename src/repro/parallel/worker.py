@@ -28,7 +28,8 @@ from repro.constants import INF
 from repro.core.batch_search import OrientedUpdate
 from repro.core.batchhl import process_one_landmark
 from repro.core.construction import landmark_column
-from repro.parallel.snapshot import CSRGraphView, StateSnapshot, decode_adjacency
+from repro.graph.csr import CSRGraph
+from repro.parallel.snapshot import StateSnapshot
 
 #: Per-landmark outcome, same shape process_landmarks reports:
 #: (n_affected, search_seconds, repair_seconds, cells_changed, affected).
@@ -120,10 +121,12 @@ def run_build_shard(
 
     The minimality rule is per landmark (Lemma 5.14: label a vertex iff
     reachable, not a landmark, flag False), so construction shards are
-    fully independent given the graph and the landmark set.
+    fully independent given the graph and the landmark set.  The arrays
+    are wrapped as a :class:`CSRGraph` directly — the vectorised BFS
+    kernel reads them without expanding Python adjacency lists.
     """
     t0 = time.perf_counter()
-    graph = CSRGraphView(decode_adjacency(indptr, indices))
+    graph = CSRGraph(indptr, indices)
     n = graph.num_vertices
     is_landmark = np.zeros(n, dtype=bool)
     for r in landmarks:

@@ -18,7 +18,9 @@ The interesting part is invalidation when an epoch flips.  Two modes:
   no landmark distance changes (``affected_vertices = {u, v}``) yet
   ``d(s, t)`` drops from 4 to 3.  Use it only where bounded staleness is
   acceptable — the load generators report how many stale answers slipped
-  through when validation is on.
+  through when validation is on.  (This caveat is summarised in the
+  README's "Online serving" section, which links back here; keep the two
+  in sync.)
 
 Keys are canonicalised ``(min(s,t), max(s,t))`` pairs — the serving layer
 fronts the undirected index, whose distances are symmetric.

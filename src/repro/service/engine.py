@@ -204,7 +204,7 @@ class DistanceService:
         self._parallel = parallel
         self._num_threads = num_threads
         self._num_shards = num_shards
-        self._epochs = EpochStore(writer.snapshot())
+        self._epochs = EpochStore(self._freeze_snapshot())
         self.scheduler = CoalescingScheduler(policy)
         self.cache = QueryCache(cache_capacity, cache_mode)
         self.metrics = ServiceMetrics()
@@ -270,6 +270,20 @@ class DistanceService:
     # ------------------------------------------------------------------
     # write path (single logical writer)
     # ------------------------------------------------------------------
+
+    def _freeze_snapshot(self) -> DistanceOracle:
+        """A publishable frozen copy of the writer's oracle.
+
+        CSR-backed oracles build their frozen array read view here — once
+        per epoch, on the writer thread, *before* the pointer flip — so
+        readers answer from immutable CSR kernels and never traverse (or
+        lazily re-freeze over) mutable adjacency sets.
+        """
+        frozen = self._writer.snapshot()
+        freeze = getattr(frozen, "ensure_csr", None)
+        if callable(freeze):
+            freeze()
+        return frozen
 
     def submit(self, update: EdgeUpdate) -> None:
         """Buffer one edge update; it becomes visible after the next flush.
@@ -348,7 +362,7 @@ class DistanceService:
                     # epoch tag — conservative, never stale.
                     next_epoch = self._epochs.epoch + 1
                     self.cache.on_epoch(stats.affected_vertices, next_epoch)
-                    self._epochs.publish(self._writer.snapshot())
+                    self._epochs.publish(self._freeze_snapshot())
                     self.metrics.record_publish()
             except BaseException as exc:
                 # Anywhere this fails — mid-repair (graph mutated before

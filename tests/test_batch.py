@@ -143,3 +143,55 @@ def test_fold_update_directed_keeps_orientation():
     fold_update(pending, EdgeUpdate.insert(1, 0), directed=True)
     fold_update(pending, EdgeUpdate.insert(0, 1), directed=True)
     assert set(pending) == {(1, 0), (0, 1)}  # distinct directed edges
+
+
+# ----------------------------------------------------------------------
+# EdgeUpdate constructor contract (regression: the old (kind, u, v) field
+# order let EdgeUpdate(3, 7, False) build u=7, v=False silently)
+# ----------------------------------------------------------------------
+
+
+def test_edge_update_positional_form_is_u_v_is_delete():
+    update = EdgeUpdate(3, 7, False)
+    assert (update.u, update.v, update.is_delete) == (3, 7, False)
+    assert update.is_insert and update.kind is UpdateKind.INSERT
+    update = EdgeUpdate(3, 7, True)
+    assert update.is_delete and update.kind is UpdateKind.DELETE
+    assert EdgeUpdate(3, 7) == EdgeUpdate.insert(3, 7)
+    assert EdgeUpdate(7, 3, True).canonical() == EdgeUpdate.delete(3, 7)
+
+
+def test_edge_update_rejects_old_field_order():
+    import pytest
+
+    from repro.errors import BatchError
+
+    with pytest.raises(BatchError, match="is_delete"):
+        EdgeUpdate(UpdateKind.INSERT, 3, 7)
+    with pytest.raises(BatchError, match="is_delete"):
+        EdgeUpdate(UpdateKind.DELETE, 3, 7)
+
+
+def test_edge_update_rejects_non_vertex_endpoints():
+    import pytest
+
+    from repro.errors import BatchError
+
+    with pytest.raises(BatchError, match="endpoint"):
+        EdgeUpdate(3, False)  # a bool is not a vertex id
+    with pytest.raises(BatchError, match="endpoint"):
+        EdgeUpdate(True, 7)
+    with pytest.raises(BatchError, match="negative"):
+        EdgeUpdate(-1, 7)
+    with pytest.raises(BatchError, match="endpoint"):
+        EdgeUpdate(0.5, 7)
+    with pytest.raises(BatchError, match="is_delete"):
+        EdgeUpdate(3, 7, "delete")
+
+
+def test_edge_update_normalises_numpy_ints():
+    import numpy as np
+
+    update = EdgeUpdate(np.int64(2), np.int32(5), True)
+    assert type(update.u) is int and type(update.v) is int
+    assert update == EdgeUpdate.delete(2, 5)

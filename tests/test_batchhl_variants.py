@@ -167,3 +167,42 @@ def test_invalid_parallel_mode_rejected():
     index = HighwayCoverIndex(graph, num_landmarks=2)
     with pytest.raises(BatchError):
         index.batch_update([EdgeUpdate.insert(0, 2)], parallel="gpu")
+
+
+@pytest.mark.parametrize("variant", ALL_VARIANTS)
+def test_vertex_growth_stays_minimal_across_variants(variant):
+    """Regression guard: growing batches — chained new vertices, id gaps,
+    growth mixed with deletions — must reach the rebuild labelling under
+    every variant, including unit-update processing."""
+    rng = random.Random(hash(variant) & 0xFFF)
+    for trial in range(4):
+        graph = generators.erdos_renyi(30, 0.12, seed=trial)
+        index = HighwayCoverIndex(graph, num_landmarks=3)
+        n = index.graph.num_vertices
+        edges = list(index.graph.edges())
+        rng.shuffle(edges)
+        updates = [
+            EdgeUpdate.insert(rng.randrange(n), n),
+            EdgeUpdate.insert(n, n + 1),        # reachable only in-batch
+            EdgeUpdate.insert(rng.randrange(n), n + 3),  # id gap
+            EdgeUpdate.delete(*edges[0]),
+        ]
+        index.batch_update(updates, variant=variant)
+        assert index.graph.num_vertices == n + 4
+        assert index.check_minimality() == [], (variant, trial)
+        assert index.distance(n, n + 1) == 1
+        assert index.distance(0, n + 2) == float("inf")  # gap: isolated
+
+
+def test_self_loops_are_noops_for_every_variant():
+    graph = generators.cycle(8)
+    for variant in ALL_VARIANTS:
+        index = HighwayCoverIndex(graph.copy(), num_landmarks=2)
+        before = index.labelling.copy()
+        stats = index.batch_update(
+            [EdgeUpdate(3, 3, False), EdgeUpdate(5, 5, True)],
+            variant=variant,
+        )
+        assert stats.n_applied == 0
+        assert index.labelling.equals(before), variant
+        assert index.graph.num_edges == 8

@@ -58,8 +58,10 @@ def random_fuzz_batch(graph, rng: random.Random) -> list[EdgeUpdate]:
     with the paper's normalisation rules in mind — duplicates, an
     insert/delete pair of the same edge (must cancel), an insertion of an
     existing edge and a deletion of a missing one (must be ignored), a
-    landmark-incident update, and occasionally an edge to a brand-new
-    vertex (batch-driven growth).
+    landmark-incident update, self-loop inserts and deletes (must be
+    dropped), and edges to brand-new vertices (batch-driven growth,
+    including a chain of two new vertices and an id gap that leaves
+    isolated vertices behind).
     """
     n = graph.num_vertices
     updates: list[EdgeUpdate] = []
@@ -86,8 +88,20 @@ def random_fuzz_batch(graph, rng: random.Random) -> list[EdgeUpdate]:
         a, b = rng.randrange(n), rng.randrange(n)
         if a != b and not graph.has_edge(a, b):
             updates.append(EdgeUpdate.delete(a, b))  # invalid
-    if rng.random() < 0.25:
+    if rng.random() < 0.5:
+        v = rng.randrange(n)
+        # Self-loops never change a distance: both forms must be dropped.
+        updates.append(EdgeUpdate(v, v, rng.random() < 0.5))
+    if rng.random() < 0.35:
         updates.append(EdgeUpdate.insert(rng.randrange(n), n))  # new vertex
+    if rng.random() < 0.25:
+        # A chain of two brand-new vertices: the second is only reachable
+        # through the first, so its labels depend on in-batch growth.
+        updates.append(EdgeUpdate.insert(rng.randrange(n), n))
+        updates.append(EdgeUpdate.insert(n, n + 1))
+    if rng.random() < 0.15:
+        # Growth with an id gap: vertices n..n+1 appear but stay isolated.
+        updates.append(EdgeUpdate.insert(rng.randrange(n), n + 2))
     rng.shuffle(updates)
     return updates
 

@@ -5,7 +5,7 @@ import random
 import pytest
 
 from repro.baselines.fulfd import FulFDIndex
-from repro.errors import BatchError, IndexStateError
+from repro.errors import IndexStateError
 from repro.graph import generators
 from repro.graph.batch import EdgeUpdate
 from repro.graph.traversal import bfs_distances
@@ -99,7 +99,18 @@ def test_invalid_inputs():
     with pytest.raises(IndexStateError):
         FulFDIndex(graph, bp_mode="sometimes")
     index = FulFDIndex(graph, num_roots=2, bp_mode="off")
-    with pytest.raises(BatchError):
-        index.batch_update([EdgeUpdate.insert(0, 9)])
     with pytest.raises(IndexStateError):
         index.distance(0, 11)
+
+
+def test_vertex_growth_repairs_root_spts():
+    """A growing batch extends every root SPT with INF columns, then the
+    insertions repair them like any other improvement."""
+    graph = generators.path(4)
+    index = FulFDIndex(graph, num_roots=2, bp_mode="off")
+    index.batch_update([EdgeUpdate.insert(0, 9)])
+    assert index.graph.num_vertices == 10
+    assert index.distance(0, 9) == 1
+    assert index.distance(3, 9) == 4
+    for isolated in range(4, 9):
+        assert index.distance(0, isolated) == float("inf")

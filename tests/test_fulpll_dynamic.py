@@ -5,7 +5,7 @@ import random
 import pytest
 
 from repro.baselines.fulpll import FullPLLIndex
-from repro.errors import BatchError
+
 from repro.graph import generators
 from repro.graph.batch import EdgeUpdate
 from repro.graph.dynamic_graph import DynamicGraph
@@ -97,8 +97,14 @@ def test_label_growth_under_insertions():
     assert index.label_size() >= before
 
 
-def test_vertex_growth_unsupported():
+def test_vertex_growth_labels_new_vertices():
+    """Vertex insertion, Akiba style: new lowest-rank hubs with trivial
+    self-labels, then IncPLL over the batch's edges."""
     graph = generators.path(4)
     index = FullPLLIndex(graph)
-    with pytest.raises(BatchError):
-        index.batch_update([EdgeUpdate.insert(0, 9)])
+    index.batch_update([EdgeUpdate.insert(0, 9)])
+    assert index.graph.num_vertices == 10
+    assert index.distance(0, 9) == 1
+    assert index.distance(3, 9) == 4
+    for isolated in range(4, 9):
+        assert index.distance(0, isolated) == float("inf")

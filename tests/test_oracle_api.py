@@ -451,3 +451,75 @@ def test_hcl_labelling_wrap_rejects_other_config():
         open_oracle(
             "hcl", graph.copy(), labelling=oracle.labelling, num_landmarks=2
         )
+
+
+# ----------------------------------------------------------------------
+# vertex growth + affected-set integrity (regression: a batch inserting
+# an edge to a brand-new vertex id left the grown vertex unlabelled, and
+# affected sets could contain the is_delete flag instead of an endpoint)
+# ----------------------------------------------------------------------
+
+DYNAMIC_ORACLES = [
+    name for name in ALL_ORACLES if oracle_spec(name).capabilities.dynamic
+]
+
+
+def growth_updates(kind: str, n: int):
+    """A batch attaching new vertex ``n`` and chaining ``n + 1`` onto it."""
+    if kind == "weighted":
+        return [WeightUpdate(3, n, 2), WeightUpdate(n, n + 1, 3)]
+    return [EdgeUpdate.insert(3, n), EdgeUpdate.insert(n, n + 1)]
+
+
+@pytest.mark.parametrize("name", DYNAMIC_ORACLES)
+def test_vertex_growing_update_then_exact(name, shard_pool):
+    """Every dynamic oracle answers exactly after a batch grows |V|."""
+    kind = graph_kind(name)
+    graph = make_graph(kind, n=20)
+    oracle = build(name, graph, shard_pool)
+    n = oracle.graph.num_vertices
+    stats = oracle.batch_update(growth_updates(kind, n))
+    assert oracle.graph.num_vertices == n + 2
+    assert stats.n_applied == 2
+    assert all(type(v) is int for v in stats.affected_vertices), (
+        name,
+        stats.affected_vertices,
+    )
+    assert {3, n, n + 1} <= stats.affected_vertices
+    probes = sample_pairs(n + 2, 40, seed=31)
+    probes += [(0, n), (0, n + 1), (3, n + 1), (n, n + 1), (n + 1, 0)]
+    for s, t in probes:
+        assert oracle.distance(s, t) == reference_distance(
+            kind, oracle.graph, s, t
+        ), (name, s, t)
+
+
+@pytest.mark.parametrize("name", DYNAMIC_ORACLES)
+def test_vertex_growth_with_id_gap(name, shard_pool):
+    """Growing past the next id leaves the gap as isolated vertices."""
+    kind = graph_kind(name)
+    graph = make_graph(kind, n=12)
+    oracle = build(name, graph, shard_pool)
+    n = oracle.graph.num_vertices
+    far = n + 3
+    if kind == "weighted":
+        updates = [WeightUpdate(0, far, 1)]
+    else:
+        updates = [EdgeUpdate.insert(0, far)]
+    oracle.batch_update(updates)
+    assert oracle.graph.num_vertices == far + 1
+    assert oracle.distance(0, far) == 1
+    for isolated in range(n, far):
+        assert oracle.distance(1, isolated) == float("inf"), (name, isolated)
+
+
+def test_issue_repro_growth_and_affected_set():
+    """The reported scenario end-to-end: EdgeUpdate(3, 7, False) grows the
+    path 0-1-2-3 and both the labels and the affected set are sound."""
+    graph = DynamicGraph.from_edges([(0, 1), (1, 2), (2, 3)])
+    oracle = open_oracle("hcl", graph)
+    stats = oracle.batch_update([EdgeUpdate(3, 7, False)])
+    assert stats.affected_vertices == {3, 7}
+    assert oracle.distance(0, 7) == 4
+    assert oracle.distance(3, 7) == 1
+    assert oracle.check_minimality() == []

@@ -307,3 +307,59 @@ def test_sequential_runs_report_no_shard_timings():
     stats = index.batch_update(random_mixed_updates(graph, rng, 3, 3))
     assert stats.shard_timings == []
     assert stats.makespan_seconds is None
+
+
+def test_shard_pool_works_under_stdin_main():
+    """Regression: forkserver/spawn workers re-import the driver's
+    __main__ by path; with a stdin driver that path is '<stdin>' and
+    every shard died with BrokenProcessPool.  The pool must now serve a
+    driver whose __main__ is not a real file."""
+    import os
+    import subprocess
+    import sys
+
+    repo = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    script = (
+        "from repro.graph import generators\n"
+        "from repro.api.registry import open_oracle\n"
+        "from repro.graph.batch import EdgeUpdate\n"
+        "g = generators.erdos_renyi(30, 0.15, seed=2)\n"
+        "o = open_oracle('hcl-sharded', g, num_landmarks=3, num_shards=2)\n"
+        "o.batch_update([EdgeUpdate.insert(1, 30)])\n"
+        "assert o.distance(1, 30) == 1\n"
+        "o.close()\n"
+        "print('STDIN-POOL-OK')\n"
+    )
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(repo, "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    result = subprocess.run(
+        [sys.executable, "-"],
+        input=script,
+        capture_output=True,
+        text=True,
+        env=env,
+        timeout=180,
+    )
+    assert result.returncode == 0, result.stderr
+    assert "STDIN-POOL-OK" in result.stdout
+
+
+def test_importable_main_guard_strips_only_bogus_mains(monkeypatch):
+    import sys
+    import types
+
+    from repro.parallel.pool import _importable_main
+
+    fake = types.ModuleType("__main__")
+    fake.__file__ = "<not-a-real-file>"
+    fake.__spec__ = None
+    monkeypatch.setitem(sys.modules, "__main__", fake)
+    with _importable_main():
+        assert not hasattr(fake, "__file__")  # stripped while spawning
+    assert fake.__file__ == "<not-a-real-file>"  # restored afterwards
+
+    fake.__file__ = __file__  # a real on-disk file: left alone
+    with _importable_main():
+        assert fake.__file__ == __file__

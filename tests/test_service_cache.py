@@ -101,3 +101,27 @@ def test_stale_put_is_dropped_after_epoch_bump():
     assert cache.get(1, 2) is None
     cache.put(1, 2, 4.0, epoch=3)
     assert cache.get(1, 2) == 4.0
+
+
+def test_affected_mode_eviction_uses_real_batch_endpoints():
+    """Regression: a growing update once polluted the affected set with
+    its is_delete flag (False == 0), wrongly evicting vertex 0's entries
+    and keeping the real endpoint's.  Drive the cache from the actual
+    UpdateStats of a vertex-growing batch."""
+    from repro.api import open_oracle
+    from repro.graph.batch import EdgeUpdate
+    from repro.graph.dynamic_graph import DynamicGraph
+
+    oracle = open_oracle(
+        "hcl", DynamicGraph.from_edges([(0, 1), (1, 2), (2, 3)])
+    )
+    cache = QueryCache(capacity=64, mode="affected")
+    cache.put(0, 1, 1.0, epoch=0)   # touches neither endpoint: survives
+    cache.put(2, 3, 1.0, epoch=0)   # touches endpoint 3: evicted
+    for filler in range(10, 18):    # keep the affected set below the
+        cache.put(filler, filler + 1, 2.0, epoch=0)  # whole-clear ratio
+    stats = oracle.batch_update([EdgeUpdate(3, 7, False)])
+    assert all(type(v) is int for v in stats.affected_vertices)
+    cache.on_epoch(stats.affected_vertices, epoch=1)
+    assert cache.get(0, 1) == 1.0
+    assert cache.get(2, 3) is None

@@ -276,7 +276,7 @@ def test_serve_session_survives_malformed_update(capsys, monkeypatch):
     monkeypatch.setattr("sys.stdin", io.StringIO(script))
     assert main(["serve", "--random", "20", "0.2", "--landmarks", "3"]) == 0
     out = capsys.readouterr().out
-    assert "error: invalid update (-1, 5)" in out
+    assert "error: EdgeUpdate endpoint u=-1 is negative" in out
     assert "d(0, 1) =" in out
 
 
