@@ -194,6 +194,7 @@ def _make_service(args, graph, background: bool):
         parallel=None if args.parallel == "none" else args.parallel,
         num_shards=args.shards,
         background=background,
+        max_vertex_growth=None if args.max_growth < 0 else args.max_growth,
     )
 
 
@@ -349,6 +350,12 @@ def _add_service_options(parser: argparse.ArgumentParser) -> None:
         "--shards", type=int, default=None, metavar="N",
         help="landmark shard count for --parallel processes"
         " (default: one per core)",
+    )
+    parser.add_argument(
+        "--max-growth", type=int, default=1024, metavar="N",
+        help="accept updates that grow the vertex set by at most N ids"
+        " beyond the current count per flush (dynamic writers only;"
+        " -1 removes the bound; default: 1024)",
     )
     parser.add_argument("--seed", type=int, default=0)
 

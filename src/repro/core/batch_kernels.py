@@ -1,0 +1,438 @@
+"""Adaptive vectorized batch search + repair kernels (Algorithms 2–4).
+
+The heap implementations in :mod:`repro.core.batch_search` and
+:mod:`repro.core.batch_repair` walk one vertex at a time and are the
+*equivalence oracle* for this module; the kernels here compute the exact
+same affected sets and repaired labellings by advancing whole frontiers
+as numpy arrays over a frozen :class:`~repro.graph.csr.CSRGraph` — the
+same machinery the query/construction read paths adopted earlier, now
+applied to the update path the paper is named after.
+
+Why level synchrony is sound here: updates have unit weights, so every
+key a search or repair can generate at "distance" ``d`` is produced
+while settling distance ``d - 1`` (expansions add exactly one hop) or is
+known up front (anchor seeds, repair's boundary bounds).  Processing
+distances in increasing order therefore settles each vertex at exactly
+the key the lazy-deletion heaps would pop first.  Within one distance
+level, ties are resolved on the flag components of the paper's
+lexicographic keys — ``(d, l)`` landmark lengths for repair,
+``(d, l, e)`` extended landmark lengths for the improved search — by
+encoding the flags as a small integer *class* (``2·l + e``, with the
+paper's True < False order giving True the smaller encoding) and
+settling the level's candidates class by class with bucketed
+min-reductions: a vertex reached under a smaller class is marked first,
+and later classes skip it.
+
+Both kernels are *adaptive* in the same spirit as
+:func:`repro.graph.csr.bidirectional_distance`: the affected region of a
+small batch is usually tiny, and numpy dispatch per level would dwarf
+the per-vertex work, so
+
+* :func:`batch_search_adaptive` starts level-synchronous in pure Python
+  over the CSR's cached adjacency lists and converts its whole state to
+  int64 arrays once a settled frontier outgrows ``switch_width`` (or the
+  anchor set already does);
+* :func:`batch_repair_adaptive` knows ``len(affected)`` up front — the
+  frontier can never outgrow it — and simply delegates to the heap
+  implementation below the threshold.
+
+``switch_width=None`` reads the module-level :data:`SWITCH_WIDTH` at
+call time, so tests can force either phase globally.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.constants import INF, NO_LABEL
+from repro.core.batch_repair import batch_repair
+from repro.core.batch_search import OrientedUpdate
+from repro.core.lengths import FALSE_KEY, TRUE_KEY
+from repro.graph.csr import CSRGraph, _gather_targets
+
+#: Frontier width at which the adaptive kernels switch from the Python
+#: level loop to vectorised numpy sweeps.  Same trade-off (and default)
+#: as the bidirectional query kernel's constant.
+SWITCH_WIDTH = 64
+
+_EMPTY = np.empty(0, dtype=np.int64)
+
+
+def _as_index_array(values) -> np.ndarray:
+    return np.asarray(values, dtype=np.int64)
+
+
+# ----------------------------------------------------------------------
+# batch search (Algorithms 2 and 3)
+# ----------------------------------------------------------------------
+
+
+def batch_search_adaptive(
+    csr: CSRGraph,
+    oriented_updates: Iterable[OrientedUpdate],
+    old_dist: np.ndarray,
+    old_flag: np.ndarray | None,
+    is_landmark: np.ndarray | None,
+    improved: bool,
+    switch_width: int | None = None,
+) -> list[int]:
+    """Affected superset w.r.t. one landmark, identical to the heap kernels.
+
+    ``improved=False`` is Algorithm 2 (:func:`batch_search_basic`);
+    ``improved=True`` is Algorithm 3 (:func:`batch_search_improved`) and
+    additionally needs ``old_flag`` / ``is_landmark``.  ``old_dist`` and
+    ``old_flag`` are the int64 arrays straight from
+    :meth:`HighwayCoverLabelling.distances_from` — no ``tolist()``
+    round-trip, so the per-landmark fixed cost is O(anchors), not O(V).
+    Returns the affected vertices as plain Python ints (level order).
+    """
+    if switch_width is None:
+        switch_width = SWITCH_WIDTH
+
+    # -- anchor seeding (tiny: one entry per oriented update) ----------
+    buckets: dict[int, list] = {}
+    for tail, head, is_delete in oriented_updates:
+        anchor = int(old_dist[tail]) + 1
+        d_head = int(old_dist[head])
+        if anchor > d_head:
+            continue
+        if improved:
+            l_key = TRUE_KEY if is_landmark[head] else int(old_flag[tail])
+            e_key = TRUE_KEY if is_delete else FALSE_KEY
+            cls = 2 * l_key + e_key
+            # The anchor itself must pass the β check (Lemma 5.17).
+            if anchor == d_head and cls > 2 * int(old_flag[head]):
+                continue
+            buckets.setdefault(anchor, []).append((head, cls))
+        else:
+            buckets.setdefault(anchor, []).append(head)
+    if not buckets:
+        return []
+
+    pending = sorted(buckets)
+    pi = 0
+    affected: set[int] = set()
+    result: list[int] = []
+    frontier: list = []
+    level = -1
+    adj: list[list[int]] | None = None
+
+    # -- Python phase: narrow frontiers --------------------------------
+    if sum(len(b) for b in buckets.values()) <= switch_width:
+        while frontier or pi < len(pending):
+            if len(frontier) > switch_width:
+                break  # wide regime: convert state and go vectorised
+            nxt = level + 1 if frontier else pending[pi]
+            anchors: Sequence = ()
+            if pi < len(pending) and pending[pi] == nxt:
+                anchors = buckets[nxt]
+                pi += 1
+            if adj is None and frontier:
+                adj = csr.adjacency_lists()
+            if improved:
+                best: dict[int, int] = {}
+                for v, cls in frontier:
+                    e_key = cls & 1
+                    l_half = cls >> 1
+                    for w in adj[v]:
+                        if w in affected:
+                            continue
+                        d_w = old_dist[w]
+                        if nxt > d_w:
+                            continue
+                        c2 = 2 * (TRUE_KEY if is_landmark[w] else l_half) + e_key
+                        if nxt == d_w and c2 > 2 * old_flag[w]:
+                            continue
+                        prev = best.get(w)
+                        if prev is None or c2 < prev:
+                            best[w] = c2
+                for v, cls in anchors:
+                    if v not in affected:
+                        prev = best.get(v)
+                        if prev is None or cls < prev:
+                            best[v] = cls
+                frontier = list(best.items())
+                for v in best:
+                    affected.add(v)
+                    result.append(v)
+            else:
+                next_frontier: list[int] = []
+                for v in frontier:
+                    for w in adj[v]:
+                        if w not in affected and nxt <= old_dist[w]:
+                            affected.add(w)
+                            result.append(w)
+                            next_frontier.append(w)
+                for v in anchors:
+                    if v not in affected:
+                        affected.add(v)
+                        result.append(v)
+                        next_frontier.append(v)
+                frontier = next_frontier
+            level = nxt
+        if not frontier and pi >= len(pending):
+            return result
+
+    # -- vector phase: convert state, then numpy level sweeps ----------
+    n = csr.num_vertices
+    aff_mask = np.zeros(n, dtype=bool)
+    if result:
+        aff_mask[_as_index_array(result)] = True
+    if improved:
+        front = _as_index_array([v for v, _ in frontier])
+        front_cls = _as_index_array([c for _, c in frontier])
+    else:
+        front = _as_index_array(frontier)
+        front_cls = _EMPTY
+    indptr_lo, indptr_hi = csr.indptr[:-1], csr.indptr[1:]
+    indices = csr.indices
+    iota = csr._iota()
+
+    while front.size or pi < len(pending):
+        nxt = level + 1 if front.size else pending[pi]
+        chunks_v: list[np.ndarray] = []
+        chunks_c: list[np.ndarray] = []
+        if front.size:
+            targets = _gather_targets(
+                indptr_lo, indptr_hi, indices, front, iota
+            )
+            if targets.size:
+                if improved:
+                    counts = indptr_hi[front] - indptr_lo[front]
+                    src_cls = np.repeat(front_cls, counts)
+                    cand_cls = 2 * np.where(
+                        is_landmark[targets], TRUE_KEY, src_cls >> 1
+                    ) + (src_cls & 1)
+                    d_w = old_dist[targets]
+                    ok = ~aff_mask[targets] & (
+                        (nxt < d_w)
+                        | ((nxt == d_w) & (cand_cls <= 2 * old_flag[targets]))
+                    )
+                    chunks_v.append(targets[ok])
+                    chunks_c.append(cand_cls[ok])
+                else:
+                    ok = ~aff_mask[targets] & (nxt <= old_dist[targets])
+                    chunks_v.append(targets[ok])
+        if pi < len(pending) and pending[pi] == nxt:
+            anchors = buckets[nxt]
+            pi += 1
+            if improved:
+                anchor_v = _as_index_array([v for v, _ in anchors])
+                anchor_c = _as_index_array([c for _, c in anchors])
+                keep = ~aff_mask[anchor_v]
+                chunks_v.append(anchor_v[keep])
+                chunks_c.append(anchor_c[keep])
+            else:
+                anchor_v = _as_index_array(anchors)
+                chunks_v.append(anchor_v[~aff_mask[anchor_v]])
+        if improved:
+            # Settle the level class by class (True < False order): a
+            # vertex reached under a smaller (l, e) class is marked
+            # first and later classes skip it — the bucketed
+            # min-reduction replacing per-entry heap pops.
+            cand_v = np.concatenate(chunks_v) if chunks_v else _EMPTY
+            cand_c = np.concatenate(chunks_c) if chunks_c else _EMPTY
+            new_v: list[np.ndarray] = []
+            new_c: list[np.ndarray] = []
+            for cls in range(4):
+                sub = cand_v[cand_c == cls]
+                if not sub.size:
+                    continue
+                sub = np.unique(sub)
+                sub = sub[~aff_mask[sub]]
+                if not sub.size:
+                    continue
+                aff_mask[sub] = True
+                new_v.append(sub)
+                new_c.append(np.full(sub.size, cls, dtype=np.int64))
+            if new_v:
+                front = np.concatenate(new_v)
+                front_cls = np.concatenate(new_c)
+                result.extend(front.tolist())
+            else:
+                front = _EMPTY
+                front_cls = _EMPTY
+        else:
+            cand_v = np.concatenate(chunks_v) if chunks_v else _EMPTY
+            front = np.unique(cand_v)
+            if front.size:
+                aff_mask[front] = True
+                result.extend(front.tolist())
+        level = nxt
+    return result
+
+
+# ----------------------------------------------------------------------
+# batch repair (Algorithm 4)
+# ----------------------------------------------------------------------
+
+#: Encoded (INF, False) — the bound of a vertex with no settled
+#: predecessor, matching the heap's initial ``(INF, FALSE_KEY)``.
+_INF_KEY = 2 * INF + FALSE_KEY
+
+
+def batch_repair_adaptive(
+    csr: CSRGraph,
+    affected: Sequence[int],
+    landmark_idx: int,
+    labelling_new,
+    old_dist: np.ndarray,
+    old_flag: np.ndarray,
+    is_landmark: np.ndarray,
+    symmetric_highway: bool = True,
+    highway_writer=None,
+    pred_csr: CSRGraph | None = None,
+    switch_width: int | None = None,
+) -> int:
+    """Repair ``affected`` r-labels; result identical to :func:`batch_repair`.
+
+    ``csr`` carries successor rows (relaxation direction) and
+    ``pred_csr`` predecessor rows for the boundary bounds — the reverse
+    CSR of a digraph pair, or ``None`` (= ``csr``) when undirected.  The
+    affected-set size bounds every frontier, so small sets stay on the
+    heap implementation (O(affected) cost); larger sets run boundary-
+    bound initialisation and level-synchronous relaxation as whole-array
+    operations.  Unlike the search — whose vector phase only ever starts
+    after a frontier has already grown wide — the vector repair pays
+    O(V) scatter/mask initialisation up front, so the heap/vector
+    break-even point scales with the graph: the threshold is
+    ``switch_width`` scaled by ``num_vertices / 2**14`` (floored at 1).
+    """
+    if switch_width is None:
+        switch_width = SWITCH_WIDTH
+    if pred_csr is None:
+        pred_csr = csr
+    if len(affected) <= switch_width * max(1, csr.num_vertices >> 14):
+        # The cached adjacency lists are (almost always) already warm:
+        # a small affected set means the search ran its Python phase,
+        # which expanded them.  Iterating them beats per-element numpy
+        # slice indexing by ~3x in the heap loops.
+        return batch_repair(
+            csr.list_view(),
+            affected,
+            landmark_idx,
+            labelling_new,
+            old_dist,
+            old_flag,
+            is_landmark,
+            symmetric_highway=symmetric_highway,
+            highway_writer=highway_writer,
+            pred_view=pred_csr.list_view(),
+        )
+
+    n = csr.num_vertices
+    members = _as_index_array(affected)
+    in_affected = np.zeros(n, dtype=bool)
+    in_affected[members] = True
+
+    # -- boundary-bound initialisation from non-affected predecessors --
+    p_lo, p_hi = pred_csr.indptr[:-1], pred_csr.indptr[1:]
+    counts = p_hi[members] - p_lo[members]
+    preds = _gather_targets(p_lo, p_hi, pred_csr.indices, members, pred_csr._iota())
+    owners = np.repeat(members, counts)
+    ok = ~in_affected[preds] & (old_dist[preds] < INF)
+    preds, owners = preds[ok], owners[ok]
+    keys = 2 * (old_dist[preds] + 1) + np.where(
+        is_landmark[owners], TRUE_KEY, old_flag[preds]
+    )
+    bound = np.full(n, _INF_KEY, dtype=np.int64)
+    np.minimum.at(bound, owners, keys)
+
+    member_keys = bound[members]
+    finite = member_keys < 2 * INF
+    init_v = members[finite]
+    init_k = member_keys[finite]
+    order = np.argsort(init_k >> 1, kind="stable")
+    init_v, init_k = init_v[order], init_k[order]
+    init_d = init_k >> 1
+    levels, starts = np.unique(init_d, return_index=True)
+    ends = np.append(starts[1:], len(init_d))
+
+    # -- level-synchronous relaxation restricted to the affected set ---
+    settled = np.zeros(n, dtype=bool)
+    new_dist = np.full(n, INF, dtype=np.int64)
+    new_flag = np.full(n, FALSE_KEY, dtype=np.int64)
+    f_lo, f_hi = csr.indptr[:-1], csr.indptr[1:]
+    f_indices, f_iota = csr.indices, csr._iota()
+    front_v, front_f = _EMPTY, _EMPTY
+    level = -1
+    li = 0
+    while front_v.size or li < len(levels):
+        nxt = level + 1 if front_v.size else int(levels[li])
+        chunks_v: list[np.ndarray] = []
+        chunks_f: list[np.ndarray] = []
+        if front_v.size:
+            targets = _gather_targets(f_lo, f_hi, f_indices, front_v, f_iota)
+            if targets.size:
+                src_f = np.repeat(front_f, f_hi[front_v] - f_lo[front_v])
+                ok = in_affected[targets] & ~settled[targets]
+                targets, src_f = targets[ok], src_f[ok]
+                chunks_v.append(targets)
+                chunks_f.append(
+                    np.where(is_landmark[targets], TRUE_KEY, src_f)
+                )
+        if li < len(levels) and int(levels[li]) == nxt:
+            lo, hi = int(starts[li]), int(ends[li])
+            seed_v, seed_f = init_v[lo:hi], init_k[lo:hi] & 1
+            keep = ~settled[seed_v]
+            chunks_v.append(seed_v[keep])
+            chunks_f.append(seed_f[keep])
+            li += 1
+        new_v: list[np.ndarray] = []
+        new_f: list[np.ndarray] = []
+        if chunks_v:
+            cand_v = np.concatenate(chunks_v)
+            cand_f = np.concatenate(chunks_f)
+            for flag in (TRUE_KEY, FALSE_KEY):  # True < False order
+                sub = cand_v[cand_f == flag]
+                if not sub.size:
+                    continue
+                sub = np.unique(sub)
+                sub = sub[~settled[sub]]
+                if not sub.size:
+                    continue
+                settled[sub] = True
+                new_dist[sub] = nxt
+                new_flag[sub] = flag
+                new_v.append(sub)
+                new_f.append(np.full(sub.size, flag, dtype=np.int64))
+        if new_v:
+            front_v = np.concatenate(new_v)
+            front_f = np.concatenate(new_f)
+        else:
+            front_v, front_f = _EMPTY, _EMPTY
+        level = nxt
+    # Never-settled members keep (INF, False): unreachable in G'.
+
+    # -- write phase (Lemma 5.14): labels vectorised, highway per root -
+    member_d = new_dist[members]
+    member_f = new_flag[members]
+    new_col = np.where(
+        (member_d >= INF) | (member_f == TRUE_KEY), NO_LABEL, member_d
+    )
+    old_col = labelling_new.labels[members, landmark_idx]
+    label_changed = new_col != old_col
+    labelling_new.labels[members, landmark_idx] = new_col
+    changed = int(np.count_nonzero(label_changed))
+
+    landmark_members = members[is_landmark[members]]
+    if landmark_members.size:
+        label_changed_mask = np.zeros(n, dtype=bool)
+        label_changed_mask[members] = label_changed
+        highway = labelling_new.highway
+        landmark_index = labelling_new.landmark_index
+        for v in landmark_members.tolist():
+            d = int(new_dist[v])
+            stored = INF if d >= INF else d
+            j = landmark_index[v]
+            if highway[landmark_idx, j] != stored and not label_changed_mask[v]:
+                changed += 1
+            if highway_writer is not None:
+                highway_writer(landmark_idx, j, stored)
+            elif symmetric_highway:
+                labelling_new.set_highway_symmetric(landmark_idx, j, stored)
+            else:
+                labelling_new.set_highway(landmark_idx, j, stored)
+    return changed

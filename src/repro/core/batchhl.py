@@ -31,6 +31,12 @@ import enum
 import time
 from concurrent.futures import ThreadPoolExecutor
 
+import numpy as np
+
+from repro.core.batch_kernels import (
+    batch_repair_adaptive,
+    batch_search_adaptive,
+)
 from repro.core.batch_repair import batch_repair
 from repro.core.batch_search import (
     batch_search_basic,
@@ -131,6 +137,17 @@ def run_batch_update(
     batch = normalize_batch(updates, graph)
     started = time.perf_counter()
 
+    # Grow once for the whole batch, not once per sub-batch: every grow
+    # reallocates the full (V, R) label matrix, so a UHL/BHL-s plan that
+    # splits a growing batch into unit sub-batches would otherwise copy
+    # the labels O(batch) times.  New vertices stay isolated until their
+    # insertions apply, so pre-growing changes no distance.
+    if len(batch):
+        highest = max(max(u.u, u.v) for u in batch)
+        if highest >= graph.num_vertices:
+            graph.ensure_vertex(highest)
+            labelling.grow(graph.num_vertices)
+
     current = labelling
     applied: list[Batch] = []
     try:
@@ -148,9 +165,10 @@ def run_batch_update(
         # labelling) describing the same topology as before the call.
         for done in reversed(applied):
             revert_batch(graph, done)
-        # Vertices grown by any sub-batch are kept (isolated); a later
-        # sub-batch's growth hit only an intermediate labelling copy, so
-        # grow the caller's labelling to match the surviving vertex set.
+        # Vertices grown up front for the batch are kept (isolated), and
+        # the caller's labelling was grown alongside them — (graph,
+        # labelling) still describe the same vertex set.  The grow here
+        # is a no-op safety net for direct _apply_one_batch callers.
         labelling.grow(graph.num_vertices)
         raise
 
@@ -169,7 +187,12 @@ def _apply_one_batch(
     num_threads: int | None,
     pool=None,
 ) -> tuple[HighwayCoverLabelling, UpdateStats]:
-    """Apply one normalised (sub-)batch: grow, mutate graph, search+repair."""
+    """Apply one normalised (sub-)batch: mutate graph, search + repair.
+
+    Vertex growth already happened, once for the whole batch, in
+    :func:`run_batch_update` — graph and labelling cover every endpoint
+    this sub-batch references.
+    """
     stats = UpdateStats(variant="", n_applied=len(batch))
     stats.n_insertions = len(batch.insertions)
     stats.n_deletions = len(batch.deletions)
@@ -177,10 +200,6 @@ def _apply_one_batch(
     if not len(batch):
         return labelling, stats
 
-    highest = max(max(u.u, u.v) for u in batch)
-    if highest >= graph.num_vertices:
-        graph.ensure_vertex(highest)
-    labelling.grow(graph.num_vertices)
     apply_batch(graph, batch)  # graph is now G'
 
     try:
@@ -190,14 +209,21 @@ def _apply_one_batch(
         oriented = orient_updates(batch, directed=False)
         labelling_new = labelling.copy()
         # Freeze G' once per multi-update sub-batch: every landmark's
-        # search + repair traverses the same immutable CSR-decoded
-        # adjacency, and the processes backend ships the arrays directly
-        # instead of re-encoding the graph.  Unit sub-batches skip the
-        # O(V + E) freeze on in-process backends — their search cost is
-        # proportional to the affected region, not the graph.
+        # search + repair runs the adaptive vector kernels over the same
+        # immutable CSR arrays, and the processes backend ships them
+        # directly instead of re-encoding the graph.  Unit sub-batches
+        # skip the O(V + E) freeze on in-process backends — their search
+        # cost is proportional to the affected region, not the graph —
+        # and stay on the Python heap kernels over the live adjacency.
         if parallel == "processes" or len(batch) > 1:
             csr = CSRGraph.from_graph(graph)
-            view = csr.list_view()
+            view = csr
+            if parallel == "threads":
+                # Warm the cached adjacency lists once on the writer:
+                # the adaptive kernels' Python phase reads them lazily,
+                # and a cold cache would make every worker thread race
+                # to build the same O(V + E) expansion.
+                csr.adjacency_lists()
         else:
             csr = None
             view = graph
@@ -250,16 +276,40 @@ def process_one_landmark(
     i: int,
     symmetric_highway: bool = True,
     pred_view=None,
+    csr=None,
+    pred_csr=None,
 ) -> tuple[int, float, float, int, list[int], float]:
     """Search + repair for one landmark — the unit of landmark parallelism.
 
     Shared by the in-process backends below and the worker-process shard
     tasks (:mod:`repro.parallel.worker`), so the kernel call contract
-    lives in exactly one place.  Returns ``(n_affected, search_seconds,
+    lives in exactly one place.  With a frozen ``csr`` view the adaptive
+    vector kernels run (``pred_csr`` carries the reverse direction for
+    directed repair); without one — unit sub-batches on the live graph —
+    the Python heap kernels do.  Returns ``(n_affected, search_seconds,
     repair_seconds, cells_changed, affected_vertices, wall_seconds)``.
     """
     t0 = time.perf_counter()
     dist_arr, flag_arr = labelling_old.distances_from(i)
+    if csr is not None:
+        landmark_mask = np.asarray(is_landmark, dtype=bool)
+        affected = batch_search_adaptive(
+            csr, oriented, dist_arr, flag_arr, landmark_mask, improved
+        )
+        t1 = time.perf_counter()
+        changed = batch_repair_adaptive(
+            csr,
+            affected,
+            i,
+            labelling_new,
+            dist_arr,
+            flag_arr,
+            landmark_mask,
+            symmetric_highway=symmetric_highway,
+            pred_csr=pred_csr,
+        )
+        t2 = time.perf_counter()
+        return len(affected), t1 - t0, t2 - t1, changed, affected, t2 - t0
     old_dist = dist_arr.tolist()
     old_flag = flag_arr.tolist()
     if improved:
@@ -296,6 +346,7 @@ def process_landmarks(
     pred_view=None,
     pool=None,
     csr=None,
+    pred_csr=None,
 ) -> tuple[
     list[tuple[int, float, float, int, list[int]]],
     float,
@@ -308,7 +359,9 @@ def process_landmarks(
     predecessor neighbourhoods for repair's boundary bounds (in-neighbours
     on directed graphs; None means same as ``view``).  ``csr`` is the
     frozen :class:`~repro.graph.csr.CSRGraph` encoding of ``view`` when
-    the caller already froze one — the processes backend ships its arrays
+    the caller already froze one — the in-process backends then run the
+    adaptive vector kernels over it (``pred_csr`` is its reverse-direction
+    twin on directed graphs) and the processes backend ships its arrays
     to the worker shards verbatim.  Returns per-landmark ``(n_affected,
     search_seconds, repair_seconds, cells_changed, affected_vertices)``,
     the makespan (max per-shard wall time), the per-shard timing
@@ -335,7 +388,13 @@ def process_landmarks(
             improved,
         )
 
-    is_landmark = labelling_old.is_landmark.tolist()
+    # The heap kernels want plain-list flag lookups; the vector kernels
+    # read the bool array directly, so skip the O(V) expansion with a csr.
+    is_landmark = (
+        labelling_old.is_landmark.tolist()
+        if csr is None
+        else labelling_old.is_landmark
+    )
 
     def process(i: int) -> tuple[int, float, float, int, list[int], float]:
         return process_one_landmark(
@@ -348,6 +407,8 @@ def process_landmarks(
             i,
             symmetric_highway=symmetric_highway,
             pred_view=pred_view,
+            csr=csr,
+            pred_csr=pred_csr,
         )
 
     indices = range(labelling_old.num_landmarks)

@@ -203,6 +203,16 @@ class DirectedHighwayCoverIndex(OracleBase):
         stats.affected_per_landmark = [0] * self._forward.num_landmarks
         batch = normalize_batch(updates, self._graph, directed=True)
         started = time.perf_counter()
+        # Grow once for the whole batch (see run_batch_update): per-sub-
+        # batch growth would reallocate both label matrices once per
+        # UHL/BHL-s step.  New vertices stay isolated until their edges
+        # apply, so pre-growing changes no distance.
+        if len(batch):
+            highest = max(max(u.u, u.v) for u in batch)
+            if highest >= self._graph.num_vertices:
+                self._graph.ensure_vertex(highest)
+                self._forward.grow(self._graph.num_vertices)
+                self._backward.grow(self._graph.num_vertices)
         try:
             for sub_batch, improved in variant_plan(batch, variant):
                 sub_stats = self._apply_one_batch(
@@ -230,40 +240,41 @@ class DirectedHighwayCoverIndex(OracleBase):
             return stats
 
         graph = self._graph
-        highest = max(max(u.u, u.v) for u in batch)
-        if highest >= graph.num_vertices:
-            graph.ensure_vertex(highest)
-        self._forward.grow(graph.num_vertices)
-        self._backward.grow(graph.num_vertices)
+        # Growth happened once for the whole batch in batch_update; both
+        # labellings already cover every endpoint this sub-batch touches.
         apply_batch(graph, batch)
         for update in batch:
             stats.affected_vertices.add(update.u)
             stats.affected_vertices.add(update.v)
 
         # Freeze G' once per multi-update sub-batch: both labelling passes
-        # traverse the same immutable decoded views (successors for
-        # search, predecessors for repair's boundary bounds).  Unit
-        # sub-batches stay on the live views — their cost is proportional
-        # to the affected region, not the graph.
+        # run the adaptive vector kernels over the same immutable CSR
+        # pair (successor rows for search and relaxation, predecessor
+        # rows for repair's boundary bounds — each direction's search CSR
+        # is the other's repair-predecessor CSR).  Unit sub-batches stay
+        # on the live views and the Python heap kernels — their cost is
+        # proportional to the affected region, not the graph.
         if len(batch) > 1:
             csr_out, csr_in = CSRGraph.from_digraph(graph)
-            out_lists = csr_out.list_view()
-            in_lists = csr_in.list_view()
+            if parallel == "threads":
+                csr_out.adjacency_lists()  # warm once on the writer; see
+                csr_in.adjacency_lists()   # _apply_one_batch (undirected)
         else:
-            out_lists = graph.out_view()
-            in_lists = graph.in_view()
+            csr_out = csr_in = None
         makespan_total = 0.0
-        for labelling, view, pred_view, reverse in (
-            (self._forward, out_lists, in_lists, False),
-            (self._backward, in_lists, out_lists, True),
+        for labelling, csr_dir, pred_csr, reverse in (
+            (self._forward, csr_out, csr_in, False),
+            (self._backward, csr_in, csr_out, True),
         ):
             oriented = [
                 ((u.v, u.u, u.is_delete) if reverse else (u.u, u.v, u.is_delete))
                 for u in batch
             ]
+            view = graph.in_view() if reverse else graph.out_view()
+            pred_view = graph.out_view() if reverse else graph.in_view()
             labelling_new = labelling.copy()
             outcomes, makespan, shard_timings, merge_seconds = process_landmarks(
-                view,
+                csr_dir if csr_dir is not None else view,
                 labelling,
                 labelling_new,
                 oriented,
@@ -272,6 +283,8 @@ class DirectedHighwayCoverIndex(OracleBase):
                 parallel=parallel,
                 num_threads=num_threads,
                 pred_view=pred_view,
+                csr=csr_dir,
+                pred_csr=pred_csr,
             )
             for i, (
                 n_affected,

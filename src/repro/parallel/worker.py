@@ -64,7 +64,12 @@ def run_update_shard(
     the labelling.  Only this shard's columns/rows leave the process.
     """
     t0 = time.perf_counter()
-    graph = snapshot.decode_graph()
+    # Wrap the snapshot arrays as a frozen CSR directly: the adaptive
+    # search/repair kernels advance numpy frontiers over them, and their
+    # Python phase expands the cached adjacency lists lazily (shared by
+    # every landmark in the shard) instead of paying an unconditional
+    # O(V + E) decode per task.
+    csr = CSRGraph(snapshot.indptr, snapshot.indices)
     labelling_old = snapshot.decode_labelling()
     # A full copy, not just this shard's columns: every landmark's
     # distances_from() decode reads ALL label columns (Eq. 2 routes
@@ -72,13 +77,13 @@ def run_update_shard(
     # matrix that later landmarks in this shard still read old values
     # from.
     labelling_new = labelling_old.copy()
-    is_landmark = labelling_old.is_landmark.tolist()
+    is_landmark = labelling_old.is_landmark
 
     outcomes: list[LandmarkOutcome] = []
     for i in shard:
         n_affected, search_s, repair_s, changed, affected, _ = (
             process_one_landmark(
-                graph,
+                csr,
                 labelling_old,
                 labelling_new,
                 oriented,
@@ -86,6 +91,7 @@ def run_update_shard(
                 is_landmark,
                 i,
                 symmetric_highway=True,
+                csr=csr,
             )
         )
         outcomes.append((n_affected, search_s, repair_s, changed, affected))

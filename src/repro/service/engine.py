@@ -121,6 +121,16 @@ class DistanceService:
     with ``parallel="processes"`` flushes fan landmark shards out to the
     shared persistent worker pool (:mod:`repro.parallel`) while readers
     keep answering in-process from the published epoch.
+
+    Vertex growth: an update whose endpoint is at or beyond the current
+    vertex count is accepted when the writer oracle advertises
+    ``dynamic`` (every dynamic oracle supports batch-driven growth) and
+    the endpoint stays below ``current count + max_vertex_growth`` —
+    the bound that keeps one stray huge client id from forcing a
+    labelling allocation for millions of phantom vertices.  Static
+    rebuild-per-flush writers reject growth with
+    :class:`~repro.errors.CapabilityError`.  ``max_vertex_growth=None``
+    removes the bound.
     """
 
     def __init__(
@@ -139,6 +149,7 @@ class DistanceService:
         num_threads: int | None = None,
         num_shards: int | None = None,
         background: bool = False,
+        max_vertex_growth: int | None = 1024,
     ):
         if isinstance(source, DynamicGraph):
             spec = oracle_spec(oracle)
@@ -201,9 +212,23 @@ class DistanceService:
                 f" ({type(writer).__name__}) declares"
                 f" capabilities: {writer_caps.describe()}"
             )
+        if max_vertex_growth is not None and max_vertex_growth < 0:
+            raise BatchError(
+                f"max_vertex_growth must be >= 0 or None,"
+                f" got {max_vertex_growth}"
+            )
+        self._max_vertex_growth = max_vertex_growth
+        self._accepts_growth = bool(writer_caps.dynamic)
         self._parallel = parallel
         self._num_threads = num_threads
         self._num_shards = num_shards
+        # The accept boundary validates against this count, not against a
+        # live read of the writer's graph: it is republished under
+        # self._wakeup at the end of every flush, so a submit racing a
+        # flush that grows the graph sees either the old count (merely
+        # conservative — growth is monotone) or the new one, never a
+        # half-grown intermediate.
+        self._vertex_count = writer.graph.num_vertices
         self._epochs = EpochStore(self._freeze_snapshot())
         self.scheduler = CoalescingScheduler(policy)
         self.cache = QueryCache(cache_capacity, cache_mode)
@@ -285,33 +310,65 @@ class DistanceService:
             freeze()
         return frozen
 
+    def _check_accepting_locked(self) -> None:
+        """Raise unless the service currently accepts updates.
+
+        Caller holds ``self._wakeup``."""
+        if self._closed:
+            raise IndexStateError("service is closed")
+        if self._writer_error is not None:
+            raise IndexStateError(
+                "service writer failed; no further updates are accepted"
+            ) from self._writer_error
+
+    def _validate_update_locked(self, update: EdgeUpdate) -> None:
+        """The accept decision for one update.  Caller holds ``self._wakeup``.
+
+        Endpoints below the current vertex count always pass (EdgeUpdate
+        construction already rejected negatives).  Growing endpoints pass
+        only on a growth-capable (``dynamic``) writer and only within
+        ``max_vertex_growth`` of the current count — the growth a single
+        flush may allocate is bounded even if every buffered update
+        stretches to the limit.
+        """
+        n = self._vertex_count
+        highest = max(update.u, update.v)
+        if highest < n:
+            return
+        if not self._accepts_growth:
+            raise CapabilityError(
+                f"invalid update ({update.u}, {update.v}): vertex ids must"
+                f" be in 0..{n - 1} — the writer oracle"
+                f" ({type(self._writer).__name__}) is static and cannot"
+                " grow the vertex set"
+            )
+        limit = (
+            None
+            if self._max_vertex_growth is None
+            else n + self._max_vertex_growth
+        )
+        if limit is not None and highest >= limit:
+            raise BatchError(
+                f"invalid update ({update.u}, {update.v}): endpoint"
+                f" {highest} exceeds the growth bound {limit - 1}"
+                f" (current vertices 0..{n - 1},"
+                f" max_vertex_growth={self._max_vertex_growth})"
+            )
+
     def submit(self, update: EdgeUpdate) -> None:
         """Buffer one edge update; it becomes visible after the next flush.
 
         Malformed updates are rejected here, at the accept boundary — one
         bad update must not poison a whole flushed batch later.  The
-        closed-check and the buffer insert happen under one lock, so an
-        accepted update is always either flushed by a trigger or drained
-        by ``close()``; it cannot slip into a buffer nothing will drain.
+        whole accept decision (closed-check, vertex-range/growth
+        validation, buffer insert) happens under one lock, so an accepted
+        update is always either flushed by a trigger or drained by
+        ``close()``, and validation never races a flush that grows the
+        graph.
         """
-        n = self._writer.graph.num_vertices
-        if not (0 <= update.u < n and 0 <= update.v < n):
-            # Same boundary the read path enforces.  Growing the vertex
-            # set is an index-level operation (attach_vertex), not
-            # something a stray client id should trigger: an oversized id
-            # here would make the flush allocate a labelling for that
-            # many vertices.
-            raise BatchError(
-                f"invalid update ({update.u}, {update.v}):"
-                f" vertex ids must be in 0..{n - 1}"
-            )
         with self._wakeup:
-            if self._closed:
-                raise IndexStateError("service is closed")
-            if self._writer_error is not None:
-                raise IndexStateError(
-                    "service writer failed; no further updates are accepted"
-                ) from self._writer_error
+            self._check_accepting_locked()
+            self._validate_update_locked(update)
             coalesced = self.scheduler.offer(update)
             if self._thread is not None:
                 self._wakeup.notify()
@@ -322,8 +379,32 @@ class DistanceService:
                 self.flush(trigger)
 
     def submit_many(self, updates) -> None:
-        for update in updates:
-            self.submit(update)
+        """Buffer a sequence of updates under one lock acquisition.
+
+        All-or-nothing at the accept boundary: every update is validated
+        against the same vertex count before any is offered, so a
+        malformed update rejects the whole call and leaves the buffer
+        untouched.  Foreground flush triggers are evaluated once, after
+        the batch is buffered, instead of once per update.
+        """
+        updates = list(updates)
+        if not updates:
+            return  # no-op, even on a closed/poisoned service (as before)
+        coalesced_flags = []
+        with self._wakeup:
+            self._check_accepting_locked()
+            for update in updates:
+                self._validate_update_locked(update)
+            for update in updates:
+                coalesced_flags.append(self.scheduler.offer(update))
+            if self._thread is not None and updates:
+                self._wakeup.notify()
+        for coalesced in coalesced_flags:
+            self.metrics.record_submit(coalesced)
+        if self._thread is None and updates:
+            trigger = self.scheduler.due()
+            if trigger is not None:
+                self.flush(trigger)
 
     def insert_edge(self, u: int, v: int) -> None:
         self.submit(EdgeUpdate.insert(u, v))
@@ -354,6 +435,12 @@ class DistanceService:
                     num_threads=self._num_threads,
                     num_shards=self._num_shards,
                 )
+                with self._wakeup:
+                    # Republish the accept boundary's vertex count now
+                    # that the batch (and any growth it carried) is
+                    # fully applied — submitters validating concurrently
+                    # saw the old count, which growth keeps conservative.
+                    self._vertex_count = self._writer.graph.num_vertices
                 if stats.n_applied:
                     # Invalidate BEFORE the pointer flip: a reader that
                     # already holds the new snapshot must never get a hit

@@ -280,16 +280,97 @@ def test_serve_session_survives_malformed_update(capsys, monkeypatch):
     assert "d(0, 1) =" in out
 
 
-def test_submit_rejects_out_of_range_vertex_ids():
+def test_submit_bounds_vertex_growth():
+    """A dynamic writer accepts in-bound growth; a stray huge id (beyond
+    max_vertex_growth) is still rejected at the accept boundary."""
     from repro import BatchError
 
-    service = make_service()  # 6 vertices
+    service = make_service()  # 6 vertices, hcl writer (dynamic)
+    service.insert_edge(0, 6)  # growth: accepted
     with pytest.raises(BatchError):
+        service.insert_edge(0, 200_000)  # beyond the default bound
+    assert service.pending_updates == 1
+    service.flush()
+    assert service.distance(0, 6) == 1
+    assert service.current_snapshot().index.graph.num_vertices == 7
+
+
+def test_submit_growth_bound_is_configurable():
+    from repro import BatchError
+
+    service = make_service(max_vertex_growth=2)
+    service.insert_edge(0, 7)  # 6 + 2 - 1: the last admissible id
+    with pytest.raises(BatchError):
+        service.insert_edge(0, 8)
+    unbounded = make_service(max_vertex_growth=None)
+    unbounded.insert_edge(0, 5_000)
+    unbounded.flush()
+    assert unbounded.distance(0, 5_000) == 1
+
+
+def test_static_writer_rejects_growth_with_typed_error():
+    """Rebuild-per-flush writers cannot grow: CapabilityError, and the
+    rejection protects the buffer for later valid traffic."""
+    from repro.errors import CapabilityError
+
+    service = make_service(oracle="pll")
+    with pytest.raises(CapabilityError):
         service.insert_edge(0, 6)
-    with pytest.raises(BatchError):
-        service.insert_edge(0, 200_000)
     assert service.pending_updates == 0
-    assert service.current_snapshot().index.graph.num_vertices == 6
+    service.insert_edge(0, 5)  # in-range traffic still accepted
+    service.flush()
+    assert service.distance(0, 5) == 1
+
+
+@pytest.mark.parametrize("cache_mode", ["epoch", "affected"])
+def test_growth_through_service_is_queryable(cache_mode):
+    """Regression: submit growth update -> flush -> query the new vertex.
+
+    Before the capability-gated accept boundary, every vertex-growing
+    update was rejected at submit even though all dynamic oracles have
+    supported batch-driven growth since the EdgeUpdate redesign."""
+    service = make_service(cache_mode=cache_mode)
+    service.distance(0, 5)  # warm the cache under the old vertex set
+    service.submit(EdgeUpdate.insert(5, 6))
+    service.submit_many(
+        [EdgeUpdate.insert(6, 7), EdgeUpdate.insert(7, 8)]
+    )
+    service.flush()
+    assert service.distance(0, 8) == 8
+    assert service.distance(8, 8) == 0
+    assert service.distance(0, 5) == 5
+
+
+def test_growth_through_service_processes_backend():
+    """Growth flushes correctly when repairs fan out to worker shards:
+    the snapshot ships the grown arrays and the merged columns cover the
+    new vertex."""
+    service = make_service(parallel="processes", num_shards=2)
+    service.submit(EdgeUpdate.insert(5, 6))
+    service.submit(EdgeUpdate.insert(6, 7))
+    service.flush()
+    assert service.distance(0, 7) == 7
+    assert service.distance(6, 7) == 1
+
+
+def test_submit_many_is_all_or_nothing():
+    """One malformed update rejects the whole submit_many call before
+    anything reaches the buffer."""
+    from repro import BatchError
+
+    service = make_service()
+    with pytest.raises(BatchError):
+        service.submit_many(
+            [
+                EdgeUpdate.insert(0, 5),
+                EdgeUpdate.insert(0, 200_000),  # beyond the growth bound
+            ]
+        )
+    assert service.pending_updates == 0
+    service.submit_many([EdgeUpdate.insert(0, 5), EdgeUpdate.insert(1, 3)])
+    assert service.pending_updates == 2
+    service.flush()
+    assert service.distance(0, 5) == 1
 
 
 def test_foreground_flush_failure_poisons_the_service():
