@@ -32,6 +32,7 @@ Smoke mode:      PYTHONPATH=src python benchmarks/bench_batch_kernels.py --smoke
 from __future__ import annotations
 
 import argparse
+import os
 import random
 import time
 
@@ -50,6 +51,9 @@ from repro.core.batch_search import (
 from repro.graph import generators
 from repro.graph.batch import EdgeUpdate, apply_batch, normalize_batch
 from repro.graph.csr import CSRGraph
+from repro.obs import configure_logging, get_logger
+
+_log = get_logger("repro.bench.batch_kernels")
 
 
 def mixed_batch(graph, rng: random.Random, n_deletions: int, n_insertions: int):
@@ -147,6 +151,10 @@ def bench_instance(
 ) -> float:
     """Benchmark both kernels on one instance; returns the combined
     search+repair speedup of the improved (BHL+) variant."""
+    _log.info(
+        "instance starting",
+        extra={"instance": name, "edges": graph.num_edges},
+    )
     index = open_oracle("hcl", graph, num_landmarks=num_landmarks, seed=seed)
     labelling = index.labelling
     rng = random.Random(seed)
@@ -267,15 +275,25 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--csv", default="batch_kernels.csv", help="CSV name under results/"
     )
+    parser.add_argument(
+        "--log-level", help="repro.* logger level (overrides REPRO_LOG)"
+    )
+    parser.add_argument("--log-format", choices=("human", "json"))
     args = parser.parse_args(argv)
+    # Drivers are interactive tools: progress at info by default, unless
+    # REPRO_LOG or --log-level says otherwise.
+    level = args.log_level or (
+        None if os.environ.get("REPRO_LOG") else "info"
+    )
+    configure_logging(level=level, fmt=args.log_format)
 
     if args.check_only:
         checked = agreement_sweep(args.seeds, args.seed)
-        print(
-            f"agreement: heap == vector on {checked} randomized"
-            " (seed, algorithm) cases — per-landmark affected sets"
-            " identical, repaired labellings bit-identical and exactly"
-            " minimal vs rebuild"
+        _log.info(
+            "agreement sweep clean: heap == vector — per-landmark"
+            " affected sets identical, repaired labellings bit-identical"
+            " and exactly minimal vs rebuild",
+            extra={"cases": checked},
         )
         return 0
 
@@ -317,10 +335,12 @@ def main(argv=None) -> int:
         f"headline (grid, search+repair, bhl+): {headline:.1f}x"
     )
     print(table.to_text())
-    path = table.save_csv(args.csv)
-    print(f"saved {path}")
+    _log.info("csv saved", extra={"path": table.save_csv(args.csv)})
     if not args.smoke and headline < 3.0:
-        print("FAIL: headline speedup below the 3x acceptance floor")
+        _log.error(
+            "headline speedup below the 3x acceptance floor",
+            extra={"headline": round(headline, 2)},
+        )
         return 1
     return 0
 

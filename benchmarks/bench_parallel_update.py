@@ -27,8 +27,11 @@ from repro.core.construction import build_labelling
 from repro.core.index import HighwayCoverIndex
 from repro.core.landmarks import select_landmarks
 from repro.graph import generators
+from repro.obs import configure_logging, get_logger
 from repro.parallel import LandmarkShardPool, default_num_shards
 from repro.workloads.updates import fully_dynamic_workload
+
+_log = get_logger("repro.bench.parallel_update")
 
 MODES = ("sequential", "threads", "processes", "simulate")
 
@@ -50,6 +53,15 @@ def experiment_parallel_update(
     graph = generators.barabasi_albert(num_vertices, attach, seed=seed)
     workload = fully_dynamic_workload(
         graph, num_batches=num_batches, batch_size=batch_size, seed=seed
+    )
+    _log.info(
+        "instance built",
+        extra={
+            "vertices": workload.graph.num_vertices,
+            "edges": workload.graph.num_edges,
+            "batches": num_batches,
+            "batch_size": batch_size,
+        },
     )
     landmarks = select_landmarks(workload.graph, num_landmarks, "degree", seed)
     base = build_labelling(workload.graph, landmarks)
@@ -96,6 +108,15 @@ def experiment_parallel_update(
             mean_wall = sum(walls) / len(walls)
             if mode == "sequential":
                 sequential_mean = mean_wall
+            _log.info(
+                "backend timed",
+                extra={
+                    "mode": mode,
+                    "mean_batch_s": round(mean_wall, 6),
+                    "search_s": round(search, 6),
+                    "repair_s": round(repair, 6),
+                },
+            )
             table.add_row(
                 mode=mode,
                 shards=shards if mode == "processes" else "-",
@@ -138,6 +159,7 @@ def test_parallel_update(run_table):
 
 if __name__ == "__main__":  # pragma: no cover - CLI entry for CI artifacts
     import argparse
+    import os
 
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--vertices", type=int, default=10400)
@@ -148,7 +170,17 @@ if __name__ == "__main__":  # pragma: no cover - CLI entry for CI artifacts
     parser.add_argument("--batch-size", type=int, default=200)
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--csv", default="parallel_update.csv")
+    parser.add_argument(
+        "--log-level", help="repro.* logger level (overrides REPRO_LOG)"
+    )
+    parser.add_argument("--log-format", choices=("human", "json"))
     args = parser.parse_args()
+    # Drivers are interactive tools: progress at info by default, unless
+    # REPRO_LOG or --log-level says otherwise.
+    level = args.log_level or (
+        None if os.environ.get("REPRO_LOG") else "info"
+    )
+    configure_logging(level=level, fmt=args.log_format)
     result = experiment_parallel_update(
         num_vertices=args.vertices,
         attach=args.attach,
@@ -159,4 +191,4 @@ if __name__ == "__main__":  # pragma: no cover - CLI entry for CI artifacts
         seed=args.seed,
     )
     print(result.to_text())
-    print(f"saved {result.save_csv(args.csv)}")
+    _log.info("csv saved", extra={"path": result.save_csv(args.csv)})

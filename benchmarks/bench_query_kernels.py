@@ -28,6 +28,7 @@ Smoke mode:      PYTHONPATH=src python benchmarks/bench_query_kernels.py --smoke
 from __future__ import annotations
 
 import argparse
+import os
 import random
 import statistics
 import time
@@ -47,6 +48,9 @@ from repro.graph.traversal import (
     bfs_distances,
     bidirectional_bfs,
 )
+from repro.obs import configure_logging, get_logger
+
+_log = get_logger("repro.bench.query_kernels")
 
 
 def _timed(fn, items):
@@ -140,6 +144,13 @@ def experiment_query_kernels(
             csr_total_s=sum(csr_times),
             total_speedup=sum(python_times) / sum(csr_times),
         )
+        _log.info(
+            "kernel timed",
+            extra={
+                "kernel": kernel,
+                "p50_speedup": round(p50_py / p50_csr, 2),
+            },
+        )
 
     # -- single-pair queries through the full query algorithm ----------
     pairs = [(rng.randrange(n), rng.randrange(n)) for _ in range(num_pairs)]
@@ -232,7 +243,17 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--csv", default="query_kernels.csv", help="CSV name under results/"
     )
+    parser.add_argument(
+        "--log-level", help="repro.* logger level (overrides REPRO_LOG)"
+    )
+    parser.add_argument("--log-format", choices=("human", "json"))
     args = parser.parse_args(argv)
+    # Drivers are interactive tools: progress at info by default, unless
+    # REPRO_LOG or --log-level says otherwise.
+    level = args.log_level or (
+        None if os.environ.get("REPRO_LOG") else "info"
+    )
+    configure_logging(level=level, fmt=args.log_format)
 
     side = args.side or (40 if args.smoke else 330)
     num_pairs = args.pairs or (20 if args.smoke else 60)
@@ -250,8 +271,7 @@ def main(argv=None) -> int:
     )
     print(table.to_text())
     if not args.check_only:
-        path = table.save_csv(args.csv)
-        print(f"saved {path}")
+        _log.info("csv saved", extra={"path": table.save_csv(args.csv)})
     return 0
 
 

@@ -22,6 +22,7 @@ import time and are imported lazily on first registry access, so
 from __future__ import annotations
 
 import importlib
+import time
 from dataclasses import dataclass
 from typing import Callable
 
@@ -33,6 +34,9 @@ from repro.errors import (
     OracleError,
     UnknownOracleError,
 )
+from repro.obs.log import get_logger
+
+_log = get_logger("repro.api.registry")
 
 #: Modules whose import registers the built-in oracles.
 _BUILTIN_MODULES: tuple[str, ...] = (
@@ -199,7 +203,17 @@ def open_oracle(name: str, graph, *, require: tuple[str, ...] = (), **config):
     if graph.num_vertices == 0:
         raise IndexStateError("cannot index an empty graph")
 
-    return spec.factory(graph, **config)
+    started = time.perf_counter()
+    oracle = spec.factory(graph, **config)
+    _log.debug(
+        "oracle opened",
+        extra={
+            "oracle": name,
+            "vertices": graph.num_vertices,
+            "build_s": round(time.perf_counter() - started, 6),
+        },
+    )
+    return oracle
 
 
 def load_oracle(name: str, path):

@@ -27,6 +27,7 @@ from __future__ import annotations
 import argparse
 import random
 import sys
+import threading
 
 from repro.bench import experiments
 from repro.workloads.datasets import PAPER_DATASETS
@@ -198,9 +199,78 @@ def _make_service(args, graph, background: bool):
     )
 
 
+def _setup_obs(args) -> None:
+    """Arm the observability sinks the flags asked for (before service
+    construction, so startup logs and the first flush are captured)."""
+    from repro.obs import configure_logging, enable_profiling, get_tracer
+
+    configure_logging(level=args.log_level, fmt=args.log_format)
+    if args.trace_out:
+        get_tracer().enable()
+    if args.profile:
+        enable_profiling()
+
+
+def _finish_obs(args, service) -> None:
+    """Drain every armed sink to its file; confirmations go to stderr so
+    stdout stays the command's report/protocol stream."""
+    from repro.obs import (
+        get_registry,
+        get_tracer,
+        profile_sections,
+        profile_summary,
+        write_metrics,
+    )
+
+    if args.metrics_out:
+        fmt = write_metrics(
+            args.metrics_out, service.metrics.registry, get_registry()
+        )
+        print(f"metrics ({fmt}) -> {args.metrics_out}", file=sys.stderr)
+    if args.trace_out:
+        count = get_tracer().export_jsonl(args.trace_out)
+        print(f"trace ({count} events) -> {args.trace_out}", file=sys.stderr)
+    if args.profile:
+        for name in profile_sections():
+            print(profile_summary(name), file=sys.stderr)
+
+
+class _IntervalReporter:
+    """Daemon thread printing a windowed stats line every ``interval`` s.
+
+    Uses :meth:`ServiceMetrics.format_interval_line`, so each line covers
+    only the window since the previous one (rates, not lifetime means).
+    Writes to stderr: stdout carries the serve protocol / report tables.
+    """
+
+    def __init__(self, metrics, interval: float):
+        self._metrics = metrics
+        self._interval = interval
+        self._stop = threading.Event()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-reporter", daemon=True
+        )
+
+    def _run(self) -> None:
+        while not self._stop.wait(self._interval):
+            print(self._metrics.format_interval_line(), file=sys.stderr)
+
+    def __enter__(self):
+        if self._interval > 0:
+            self._metrics.interval_summary()  # reset the window to now
+            self._thread.start()
+        return self
+
+    def __exit__(self, *exc):
+        self._stop.set()
+        if self._thread.is_alive():
+            self._thread.join(timeout=1.0)
+
+
 def _cmd_serve(args) -> int:
     from repro.errors import ReproError
 
+    _setup_obs(args)
     try:
         service = _make_service(args, _service_graph(args), background=True)
     except ReproError as exc:
@@ -208,7 +278,7 @@ def _cmd_serve(args) -> int:
         return 2
     print(f"# serving {service!r}; 'help' lists commands", flush=True)
     stream = sys.stdin
-    with service:
+    with service, _IntervalReporter(service.metrics, args.report_interval):
         for line in stream:
             words = line.split()
             if not words or words[0].startswith("#"):
@@ -244,6 +314,7 @@ def _cmd_serve(args) -> int:
             except Exception as exc:  # keep serving after a bad request
                 print(f"error: {exc}")
             sys.stdout.flush()
+    _finish_obs(args, service)
     return 0
 
 
@@ -251,6 +322,7 @@ def _cmd_loadtest(args) -> int:
     from repro.errors import ReproError
     from repro.service import ClosedLoopGenerator, mixed_scenario, replay
 
+    _setup_obs(args)
     if args.validate and args.background:
         # The oracle check is only exact for a single-threaded foreground
         # service (the snapshot must not flip between answer and check).
@@ -283,7 +355,7 @@ def _cmd_loadtest(args) -> int:
         f" mode={'validated replay' if args.validate else 'closed-loop'}"
     )
     mismatches = 0
-    with service:
+    with service, _IntervalReporter(service.metrics, args.report_interval):
         if args.validate:
             outcome = replay(service, scenario.ops, validate=True)
             mismatches = outcome["mismatches"]
@@ -294,6 +366,7 @@ def _cmd_loadtest(args) -> int:
         service.flush()
         print(service.metrics.format_report())
         print(f"final epoch        {service.epoch}")
+    _finish_obs(args, service)
     if args.validate:
         verdict = "all exact" if not mismatches else "MISMATCHES"
         print(
@@ -358,6 +431,41 @@ def _add_service_options(parser: argparse.ArgumentParser) -> None:
         " -1 removes the bound; default: 1024)",
     )
     parser.add_argument("--seed", type=int, default=0)
+    _add_obs_options(parser)
+
+
+def _add_obs_options(parser: argparse.ArgumentParser) -> None:
+    obs = parser.add_argument_group("observability")
+    obs.add_argument(
+        "--log-level", metavar="LEVEL",
+        help="level for the repro.* loggers (debug/info/warning/error;"
+        " overrides REPRO_LOG)",
+    )
+    obs.add_argument(
+        "--log-format", choices=("human", "json"),
+        help="log line format (default: human, or REPRO_LOG's"
+        " level:format suffix)",
+    )
+    obs.add_argument(
+        "--metrics-out", metavar="PATH",
+        help="write final metrics to PATH on exit (.json suffix = flat"
+        " JSON, anything else = Prometheus text exposition)",
+    )
+    obs.add_argument(
+        "--trace-out", metavar="PATH",
+        help="enable span tracing; write Chrome/Perfetto trace-event"
+        " JSONL to PATH on exit",
+    )
+    obs.add_argument(
+        "--profile", action="store_true",
+        help="cProfile the flush/kernel phases; print per-section"
+        " summaries to stderr on exit",
+    )
+    obs.add_argument(
+        "--report-interval", type=float, default=0.0, metavar="SECONDS",
+        help="print a windowed live-stats line to stderr every SECONDS"
+        " while running (0 disables)",
+    )
 
 
 def main(argv: list[str] | None = None) -> int:

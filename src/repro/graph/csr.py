@@ -32,12 +32,14 @@ process boundaries.
 
 from __future__ import annotations
 
+import time
 from typing import Collection, Iterable
 
 import numpy as np
 
 from repro.constants import INF
 from repro.errors import GraphError
+from repro.obs.metrics import get_registry
 
 _EMPTY = np.empty(0, dtype=np.int64)
 
@@ -110,6 +112,7 @@ class CSRGraph:
         Neighbour rows are sorted, making the encoding canonical for a
         given topology.
         """
+        t0 = time.perf_counter()
         n = graph.num_vertices
         indptr = np.zeros(n + 1, dtype=np.int64)
         chunks: list[list[int]] = []
@@ -122,6 +125,14 @@ class CSRGraph:
         indices = np.fromiter(
             (w for row in chunks for w in row), dtype=np.int64, count=total
         )
+        registry = get_registry()
+        registry.counter(
+            "repro_csr_freeze_total", "graph snapshots frozen to CSR"
+        ).inc()
+        registry.counter(
+            "repro_csr_freeze_seconds_total",
+            "wall time spent freezing graphs to CSR",
+        ).inc(time.perf_counter() - t0)
         return cls(indptr, indices)
 
     @classmethod

@@ -1,0 +1,81 @@
+"""Cross-cutting observability: structured logging, metrics, tracing,
+profiling.
+
+Dependency-free (stdlib only) so every layer — graph kernels, the
+parallel pool, the serving engine, benchmark drivers — can import it
+without cycles or optional-extra gates.  Four pillars:
+
+* :mod:`repro.obs.log`     — the ``repro.*`` logger hierarchy with human
+  and JSON-lines formatters (``REPRO_LOG`` env, CLI ``--log-level``);
+* :mod:`repro.obs.metrics` — labelled Counter/Gauge/Histogram families in
+  a :class:`MetricsRegistry`, with windowed snapshot/delta reads and
+  flat-JSON / Prometheus-text export;
+* :mod:`repro.obs.trace`   — nested ``with span(...)`` tracing to a
+  bounded ring, exported as Chrome/Perfetto trace-event JSONL;
+* :mod:`repro.obs.profile` — opt-in cProfile accumulation around flush
+  and kernel phases.
+
+Everything is off (or a no-op) by default — the hot paths pay a single
+boolean check until an operator opts in.
+"""
+
+from repro.obs.log import (
+    HumanFormatter,
+    JsonLinesFormatter,
+    configure_logging,
+    get_logger,
+    resolve_level,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    exponential_buckets,
+    get_registry,
+    parse_prometheus,
+    render_prometheus,
+    reset_registry,
+    write_metrics,
+)
+from repro.obs.profile import (
+    disable_profiling,
+    enable_profiling,
+    profile_section,
+    profile_sections,
+    profile_summary,
+    profiling_enabled,
+    reset_profiles,
+    write_profiles,
+)
+from repro.obs.trace import NOOP_SPAN, Tracer, get_tracer, span
+
+__all__ = [
+    "HumanFormatter",
+    "JsonLinesFormatter",
+    "configure_logging",
+    "get_logger",
+    "resolve_level",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "exponential_buckets",
+    "get_registry",
+    "parse_prometheus",
+    "render_prometheus",
+    "reset_registry",
+    "write_metrics",
+    "disable_profiling",
+    "enable_profiling",
+    "profile_section",
+    "profile_sections",
+    "profile_summary",
+    "profiling_enabled",
+    "reset_profiles",
+    "write_profiles",
+    "NOOP_SPAN",
+    "Tracer",
+    "get_tracer",
+    "span",
+]

@@ -1,0 +1,161 @@
+"""Package-wide structured logging for the ``repro.*`` hierarchy.
+
+Every component logs through a child of the ``repro`` logger
+(``repro.service.engine``, ``repro.parallel.pool``, ...), obtained via
+:func:`get_logger`.  As a library, ``repro`` installs only a
+:class:`logging.NullHandler` at import time — nothing is printed until an
+application (the CLI, a benchmark driver, a test) calls
+:func:`configure_logging`, which attaches exactly one stream handler to
+the ``repro`` root with one of two formatters:
+
+* ``"human"`` — ``HH:MM:SS.mmm LEVEL logger message key=value ...``;
+* ``"json"``  — one JSON object per line (``ts``, ``level``, ``logger``,
+  ``msg`` plus any structured fields), machine-parseable for the
+  experiment-report pipelines.
+
+Structured fields ride on the stdlib's own ``extra=`` mechanism, so call
+sites stay plain ``logging`` calls::
+
+    log = get_logger("repro.service.engine")
+    log.debug("flush complete", extra={"epoch": 3, "batch": 17})
+
+Both formatters render the extras; no custom logger class is needed and
+third-party handlers keep working.
+
+Environment control: ``REPRO_LOG=level[:format]`` (e.g. ``REPRO_LOG=debug``
+or ``REPRO_LOG=info:json``) is read by :func:`configure_logging` when the
+caller passes no explicit level/format — the CLI's ``--log-level`` /
+``--log-format`` flags override it.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+import sys
+import time
+
+ENV_VAR = "REPRO_LOG"
+ROOT_LOGGER = "repro"
+LOG_FORMATS = ("human", "json")
+
+#: LogRecord attributes that are bookkeeping, not user-supplied fields.
+#: Anything else found on a record is a structured extra.
+_RESERVED = frozenset(
+    logging.makeLogRecord({}).__dict__
+) | {"message", "asctime", "taskName"}
+
+
+def get_logger(name: str = ROOT_LOGGER) -> logging.Logger:
+    """A logger in the ``repro.*`` hierarchy (prefix added if missing)."""
+    if name != ROOT_LOGGER and not name.startswith(ROOT_LOGGER + "."):
+        name = f"{ROOT_LOGGER}.{name}"
+    return logging.getLogger(name)
+
+
+def _extras(record: logging.LogRecord) -> dict:
+    return {
+        key: value
+        for key, value in record.__dict__.items()
+        if key not in _RESERVED and not key.startswith("_")
+    }
+
+
+class HumanFormatter(logging.Formatter):
+    """``HH:MM:SS.mmm LEVEL logger message key=value ...``"""
+
+    def format(self, record: logging.LogRecord) -> str:
+        stamp = time.strftime("%H:%M:%S", time.localtime(record.created))
+        millis = int(record.msecs)
+        head = (
+            f"{stamp}.{millis:03d} {record.levelname:<7}"
+            f" {record.name} {record.getMessage()}"
+        )
+        fields = _extras(record)
+        if fields:
+            head += " " + " ".join(
+                f"{key}={value}" for key, value in fields.items()
+            )
+        if record.exc_info:
+            head += "\n" + self.formatException(record.exc_info)
+        return head
+
+
+class JsonLinesFormatter(logging.Formatter):
+    """One JSON object per record; extras become top-level fields."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload: dict = {
+            "ts": record.created,
+            "level": record.levelname.lower(),
+            "logger": record.name,
+            "msg": record.getMessage(),
+        }
+        for key, value in _extras(record).items():
+            try:
+                json.dumps(value)
+            except TypeError:
+                value = repr(value)
+            payload.setdefault(key, value)
+        if record.exc_info:
+            payload["exc"] = self.formatException(record.exc_info)
+        return json.dumps(payload)
+
+
+def _parse_env() -> tuple[str | None, str | None]:
+    """``REPRO_LOG=level[:format]`` -> (level, format), Nones if unset."""
+    raw = os.environ.get(ENV_VAR, "").strip()
+    if not raw:
+        return None, None
+    level, _, fmt = raw.partition(":")
+    return level or None, fmt.strip().lower() or None
+
+
+def resolve_level(level: "str | int | None") -> int:
+    """A logging level from a name/number; WARNING when None."""
+    if level is None:
+        return logging.WARNING
+    if isinstance(level, int):
+        return level
+    numeric = logging.getLevelName(level.strip().upper())
+    if not isinstance(numeric, int):
+        raise ValueError(f"unknown log level {level!r}")
+    return numeric
+
+
+def configure_logging(
+    level: "str | int | None" = None,
+    fmt: str | None = None,
+    stream=None,
+) -> logging.Logger:
+    """Attach (or reconfigure) the single ``repro`` stream handler.
+
+    ``level``/``fmt`` default to the ``REPRO_LOG`` env var, then to
+    WARNING/human.  Idempotent: repeated calls replace the handler this
+    function installed instead of stacking duplicates, so tests and the
+    CLI may call it freely.  Returns the ``repro`` root logger.
+    """
+    env_level, env_fmt = _parse_env()
+    fmt = (fmt or env_fmt or "human").lower()
+    if fmt not in LOG_FORMATS:
+        raise ValueError(
+            f"unknown log format {fmt!r}; expected one of {LOG_FORMATS}"
+        )
+    root = logging.getLogger(ROOT_LOGGER)
+    root.setLevel(resolve_level(level if level is not None else env_level))
+    handler = logging.StreamHandler(stream or sys.stderr)
+    handler.set_name("repro-obs")
+    handler.setFormatter(
+        JsonLinesFormatter() if fmt == "json" else HumanFormatter()
+    )
+    for existing in list(root.handlers):
+        if existing.get_name() == "repro-obs":
+            root.removeHandler(existing)
+    root.addHandler(handler)
+    root.propagate = False
+    return root
+
+
+# Library default: silent until an application configures a handler.
+logging.getLogger(ROOT_LOGGER).addHandler(logging.NullHandler())

@@ -1,0 +1,517 @@
+"""Process-wide metrics: labelled counters/gauges/histograms + exporters.
+
+A :class:`MetricsRegistry` owns a namespace of metric *families*.  Each
+family has a name, a help string and a fixed tuple of label names;
+``family.labels(...)`` returns (creating on first use) the child series
+for one label-value combination, and a family with no labels is its own
+child.  Three instrument kinds, mirroring the Prometheus data model:
+
+* :class:`Counter`   — monotone ``inc``;
+* :class:`Gauge`     — ``set``/``inc``/``dec`` to any value;
+* :class:`Histogram` — ``observe`` into cumulative buckets (default
+  exponential, :func:`exponential_buckets`) plus ``_sum``/``_count``.
+
+Reads are *snapshots*: :meth:`MetricsRegistry.snapshot` returns one flat
+``{sample_key: value}`` dict whose keys are exactly the Prometheus sample
+syntax (``name{label="v"}``), and :meth:`MetricsRegistry.delta` subtracts
+a previous snapshot so callers get windowed rates (gauges pass through as
+their current value — a delta of a level is meaningless).  Exports:
+
+* ``to_json()`` / ``write_json(path)`` — the flat snapshot plus metadata;
+* ``render_prometheus()`` / ``write_prometheus(path)`` — text exposition
+  format (version 0.0.4) with ``# HELP``/``# TYPE`` headers;
+* module-level :func:`write_metrics` picks the format from the file
+  suffix (``.json`` vs ``.prom``/anything else) and can merge several
+  registries into one file (the service's private registry plus the
+  process-global one).
+
+Everything is thread-safe: each family guards its children dict and each
+child guards its own cells with one lock.  The process-global registry
+(:func:`get_registry`) is where process-wide components (CSR freezes,
+kernel phase totals, the shard pool) record; per-service metrics live in
+per-instance registries so concurrent services do not pollute each other.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import threading
+import time
+from bisect import bisect_left
+
+INF = float("inf")
+
+
+def exponential_buckets(
+    start: float = 1e-5, factor: float = 4.0, count: int = 10
+) -> tuple[float, ...]:
+    """``count`` exponentially growing upper bounds starting at ``start``.
+
+    The defaults (10us * 4^k, ten buckets) span 10us .. ~2.6s — wide
+    enough for both query latencies and flush repairs.  The implicit
+    ``+Inf`` bucket is appended by :class:`Histogram`, not here.
+    """
+    if start <= 0 or factor <= 1 or count < 1:
+        raise ValueError(
+            "exponential_buckets needs start > 0, factor > 1, count >= 1"
+        )
+    return tuple(start * factor**i for i in range(count))
+
+
+def _quote_label(value) -> str:
+    text = str(value)
+    return (
+        text.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def sample_key(name: str, labels: dict) -> str:
+    """The Prometheus sample syntax: ``name`` or ``name{a="x",b="y"}``."""
+    if not labels:
+        return name
+    inner = ",".join(
+        f'{key}="{_quote_label(value)}"' for key, value in labels.items()
+    )
+    return f"{name}{{{inner}}}"
+
+
+def format_value(value: float) -> str:
+    if value == INF:
+        return "+Inf"
+    if value == -INF:
+        return "-Inf"
+    if isinstance(value, float) and math.isnan(value):
+        return "NaN"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+class _Family:
+    """Shared family plumbing: label bookkeeping + child management."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str = "", labelnames: tuple = ()):
+        if not name or not name.replace("_", "a").replace(":", "a").isalnum():
+            raise ValueError(f"invalid metric name {name!r}")
+        self.name = name
+        self.help = help
+        self.labelnames = tuple(labelnames)
+        self._children: dict[tuple, "_Family"] = {}
+        self._lock = threading.Lock()
+
+    def labels(self, *values, **kv):
+        """The child series for one label-value combination."""
+        if kv:
+            if values:
+                raise ValueError("pass label values positionally OR by name")
+            try:
+                values = tuple(kv[name] for name in self.labelnames)
+            except KeyError as exc:
+                raise ValueError(
+                    f"metric {self.name} has labels {self.labelnames},"
+                    f" got {tuple(kv)}"
+                ) from exc
+            if len(kv) != len(self.labelnames):
+                raise ValueError(
+                    f"metric {self.name} has labels {self.labelnames},"
+                    f" got {tuple(kv)}"
+                )
+        values = tuple(str(v) for v in values)
+        if len(values) != len(self.labelnames):
+            raise ValueError(
+                f"metric {self.name} expects {len(self.labelnames)} label"
+                f" values {self.labelnames}, got {len(values)}"
+            )
+        if not self.labelnames:
+            return self  # a label-less family is its own (only) series
+        with self._lock:
+            child = self._children.get(values)
+            if child is None:
+                child = self._make_child(values)
+                self._children[values] = child
+            return child
+
+    def _make_child(self, values: tuple):
+        raise NotImplementedError
+
+    def _label_dict(self, values: tuple) -> dict:
+        return dict(zip(self.labelnames, values))
+
+    def _iter_children(self):
+        if not self.labelnames:
+            yield (), self
+        else:
+            with self._lock:
+                items = list(self._children.items())
+            yield from items
+
+    def samples(self):
+        """Yield ``(sample_key, value)`` pairs for every child series."""
+        for values, child in self._iter_children():
+            yield from child._samples(self._label_dict(values))
+
+
+class Counter(_Family):
+    """Monotonically increasing count."""
+
+    kind = "counter"
+
+    def __init__(self, name, help="", labelnames=()):
+        super().__init__(name, help, labelnames)
+        self._value = 0.0
+        self._fn = None
+        self._cell_lock = threading.Lock()
+
+    def _make_child(self, values):
+        return Counter(self.name, self.help)
+
+    def inc(self, amount: float = 1.0) -> None:
+        if self.labelnames:
+            raise ValueError(
+                f"metric {self.name} has labels {self.labelnames};"
+                " call .labels(...) first"
+            )
+        if amount < 0:
+            raise ValueError("counters only go up; use a Gauge")
+        with self._cell_lock:
+            self._value += amount
+
+    def set_function(self, fn) -> "Counter":
+        """Read the value from ``fn()`` at sample time instead of ``inc``.
+
+        Lets components that already keep their own cheap tallies (the
+        query cache's hit/miss ints, the scheduler's offered/coalesced
+        counts) export through the registry with **zero** hot-path cost —
+        the callback runs only when someone snapshots or scrapes.
+        """
+        if self.labelnames:
+            raise ValueError("set_function applies to a single series")
+        self._fn = fn
+        return self
+
+    @property
+    def value(self) -> float:
+        if self.labelnames:
+            with self._lock:
+                children = list(self._children.values())
+            return sum(child.value for child in children)
+        if self._fn is not None:
+            return float(self._fn())
+        with self._cell_lock:
+            return self._value
+
+    def _samples(self, labels: dict):
+        yield sample_key(self.name, labels), self.value
+
+
+class Gauge(_Family):
+    """A value that can go up and down (sizes, current epoch, pending)."""
+
+    kind = "gauge"
+
+    def __init__(self, name, help="", labelnames=()):
+        super().__init__(name, help, labelnames)
+        self._value = 0.0
+        self._fn = None
+        self._cell_lock = threading.Lock()
+
+    def _make_child(self, values):
+        return Gauge(self.name, self.help)
+
+    def set_function(self, fn) -> "Gauge":
+        """Read the level from ``fn()`` at sample time (see Counter)."""
+        if self.labelnames:
+            raise ValueError("set_function applies to a single series")
+        self._fn = fn
+        return self
+
+    def _check_bare(self):
+        if self.labelnames:
+            raise ValueError(
+                f"metric {self.name} has labels {self.labelnames};"
+                " call .labels(...) first"
+            )
+
+    def set(self, value: float) -> None:
+        self._check_bare()
+        with self._cell_lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._check_bare()
+        with self._cell_lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.inc(-amount)
+
+    @property
+    def value(self) -> float:
+        if self._fn is not None:
+            return float(self._fn())
+        with self._cell_lock:
+            return self._value
+
+    def _samples(self, labels: dict):
+        yield sample_key(self.name, labels), self.value
+
+
+class Histogram(_Family):
+    """Cumulative-bucket histogram (Prometheus semantics: ``le`` is an
+    inclusive upper bound; an implicit ``+Inf`` bucket catches the tail).
+    """
+
+    kind = "histogram"
+
+    def __init__(self, name, help="", labelnames=(), buckets=None):
+        super().__init__(name, help, labelnames)
+        bounds = tuple(buckets) if buckets is not None else exponential_buckets()
+        if list(bounds) != sorted(bounds) or len(set(bounds)) != len(bounds):
+            raise ValueError(f"bucket bounds must strictly increase: {bounds}")
+        if bounds and bounds[-1] == INF:
+            bounds = bounds[:-1]
+        self.bounds = bounds
+        self._counts = [0] * (len(bounds) + 1)  # last slot = +Inf
+        self._sum = 0.0
+        self._count = 0
+        self._cell_lock = threading.Lock()
+
+    def _make_child(self, values):
+        return Histogram(self.name, self.help, buckets=self.bounds)
+
+    def observe(self, value: float) -> None:
+        if self.labelnames:
+            raise ValueError(
+                f"metric {self.name} has labels {self.labelnames};"
+                " call .labels(...) first"
+            )
+        # First bucket whose inclusive upper bound holds the value:
+        # bisect_left returns the first index with bounds[i] >= value,
+        # i.e. the smallest bound satisfying value <= bound; past the
+        # last bound it returns len(bounds), the +Inf slot.
+        slot = bisect_left(self.bounds, value)
+        with self._cell_lock:
+            self._counts[slot] += 1
+            self._sum += value
+            self._count += 1
+
+    @property
+    def count(self) -> int:
+        with self._cell_lock:
+            return self._count
+
+    @property
+    def sum(self) -> float:
+        with self._cell_lock:
+            return self._sum
+
+    def bucket_counts(self) -> dict:
+        """Cumulative counts keyed by upper bound (ending at ``inf``)."""
+        with self._cell_lock:
+            raw = list(self._counts)
+        out, running = {}, 0
+        for bound, n in zip((*self.bounds, INF), raw):
+            running += n
+            out[bound] = running
+        return out
+
+    def _samples(self, labels: dict):
+        for bound, cumulative in self.bucket_counts().items():
+            yield (
+                sample_key(
+                    self.name + "_bucket",
+                    {**labels, "le": format_value(bound)},
+                ),
+                cumulative,
+            )
+        with self._cell_lock:
+            total, count = self._sum, self._count
+        yield sample_key(self.name + "_sum", labels), total
+        yield sample_key(self.name + "_count", labels), count
+
+
+class MetricsRegistry:
+    """A namespace of metric families with get-or-create registration."""
+
+    def __init__(self):
+        self._families: dict[str, _Family] = {}
+        self._lock = threading.Lock()
+        self.created_at = time.time()
+
+    def _register(self, cls, name, help, labelnames, **kwargs):
+        with self._lock:
+            family = self._families.get(name)
+            if family is None:
+                family = cls(name, help, tuple(labelnames), **kwargs)
+                self._families[name] = family
+                return family
+        if not isinstance(family, cls) or family.labelnames != tuple(
+            labelnames
+        ):
+            raise ValueError(
+                f"metric {name!r} already registered as {family.kind}"
+                f" with labels {family.labelnames}; requested"
+                f" {cls.kind} with labels {tuple(labelnames)}"
+            )
+        return family
+
+    def counter(self, name, help="", labelnames=()) -> Counter:
+        return self._register(Counter, name, help, labelnames)
+
+    def gauge(self, name, help="", labelnames=()) -> Gauge:
+        return self._register(Gauge, name, help, labelnames)
+
+    def histogram(
+        self, name, help="", labelnames=(), buckets=None
+    ) -> Histogram:
+        return self._register(
+            Histogram, name, help, labelnames, buckets=buckets
+        )
+
+    def families(self) -> list:
+        with self._lock:
+            return list(self._families.values())
+
+    # -- reads ----------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """One flat ``{prometheus_sample_key: value}`` dict."""
+        out: dict[str, float] = {}
+        for family in self.families():
+            for key, value in family.samples():
+                out[key] = value
+        return out
+
+    def delta(self, previous: dict) -> dict:
+        """Windowed read: current snapshot minus ``previous``.
+
+        Counter/histogram samples subtract (missing keys count as 0);
+        gauge samples pass through at their current level.
+        """
+        gauges = set()
+        for family in self.families():
+            if family.kind == "gauge":
+                for key, _ in family.samples():
+                    gauges.add(key)
+        out = {}
+        for key, value in self.snapshot().items():
+            if key in gauges:
+                out[key] = value
+            else:
+                out[key] = value - previous.get(key, 0)
+        return out
+
+    # -- exports --------------------------------------------------------
+
+    def to_json(self) -> dict:
+        return {
+            "exported_at": time.time(),
+            "uptime_s": time.time() - self.created_at,
+            "metrics": self.snapshot(),
+        }
+
+    def write_json(self, path) -> None:
+        with open(path, "w") as handle:
+            json.dump(self.to_json(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+    def render_prometheus(self) -> str:
+        return render_prometheus(self)
+
+    def write_prometheus(self, path) -> None:
+        with open(path, "w") as handle:
+            handle.write(self.render_prometheus())
+
+
+def render_prometheus(*registries: MetricsRegistry) -> str:
+    """Text exposition (0.0.4) for one or more registries, concatenated.
+
+    Callers merging registries are responsible for keeping family names
+    disjoint (the repo convention: ``repro_service_*`` per service,
+    ``repro_core_*``/``repro_pool_*`` process-global).
+    """
+    lines = []
+    seen: set[str] = set()
+    for registry in registries:
+        for family in registry.families():
+            if family.name in seen:
+                raise ValueError(
+                    f"duplicate metric family {family.name!r} across"
+                    " merged registries"
+                )
+            seen.add(family.name)
+            if family.help:
+                lines.append(f"# HELP {family.name} {family.help}")
+            lines.append(f"# TYPE {family.name} {family.kind}")
+            for key, value in family.samples():
+                lines.append(f"{key} {format_value(value)}")
+    return "\n".join(lines) + "\n"
+
+
+def parse_prometheus(text: str) -> dict:
+    """Parse exposition text back into ``{sample_key: value}``.
+
+    Used by the round-trip tests and the CI smoke validator; accepts
+    exactly what :func:`render_prometheus` emits (a useful subset of the
+    full grammar: comments, then ``key value`` lines).
+    """
+    out: dict[str, float] = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        key, _, raw = line.rpartition(" ")
+        if not key:
+            raise ValueError(f"unparseable sample line: {line!r}")
+        value = {"+Inf": INF, "-Inf": -INF}.get(raw)
+        out[key] = float(raw) if value is None else value
+    return out
+
+
+def write_metrics(path, *registries: MetricsRegistry) -> str:
+    """Write merged registries to ``path``; format from the suffix.
+
+    ``.json`` gets the flat-JSON export; anything else (``.prom``,
+    ``.txt``) gets Prometheus text.  Returns the format written.
+    """
+    text_path = str(path)
+    if text_path.endswith(".json"):
+        merged = {}
+        for registry in registries:
+            merged.update(registry.snapshot())
+        with open(path, "w") as handle:
+            json.dump(
+                {"exported_at": time.time(), "metrics": merged},
+                handle,
+                indent=2,
+                sort_keys=True,
+            )
+            handle.write("\n")
+        return "json"
+    with open(path, "w") as handle:
+        handle.write(render_prometheus(*registries))
+    return "prometheus"
+
+
+# ----------------------------------------------------------------------
+# process-global registry
+# ----------------------------------------------------------------------
+
+_global_registry = MetricsRegistry()
+_global_lock = threading.Lock()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide registry for cross-cutting components."""
+    return _global_registry
+
+
+def reset_registry() -> MetricsRegistry:
+    """Swap in a fresh global registry (tests); returns the new one."""
+    global _global_registry
+    with _global_lock:
+        _global_registry = MetricsRegistry()
+        return _global_registry

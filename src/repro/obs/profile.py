@@ -1,0 +1,134 @@
+"""Opt-in cProfile hooks around flush and kernel phases.
+
+Profiling is process-global and off by default; :func:`enable_profiling`
+turns it on (the CLI's ``--profile`` flag).  Instrumented sites wrap
+their hot section in ``with profile_section("flush"):`` — when enabled,
+samples accumulate into one :class:`cProfile.Profile` per section name
+across calls, so a load test's hundred flushes produce one aggregated
+profile instead of a hundred files.
+
+cProfile does not nest (enabling a profiler while another runs raises),
+so only the outermost instrumented section profiles; inner sections pass
+through silently.  This is the behaviour we want anyway: the flush
+profile already contains the kernel frames.
+
+:func:`write_profiles` dumps each section as a binary ``.prof`` (loadable
+with ``python -m pstats`` or snakeviz) plus a ``.txt`` of the top
+functions by cumulative time.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import os
+import pstats
+import threading
+from contextlib import contextmanager
+
+from repro.obs.log import get_logger
+
+_log = get_logger("repro.obs.profile")
+
+_lock = threading.Lock()
+_enabled = False
+_active = False  # a cProfile is currently running (no nesting)
+_profiles: dict[str, cProfile.Profile] = {}
+_calls: dict[str, int] = {}
+
+
+def profiling_enabled() -> bool:
+    return _enabled
+
+
+def enable_profiling() -> None:
+    global _enabled
+    _enabled = True
+
+
+def disable_profiling() -> None:
+    global _enabled
+    _enabled = False
+
+
+def reset_profiles() -> None:
+    global _active
+    with _lock:
+        _profiles.clear()
+        _calls.clear()
+        _active = False
+
+
+@contextmanager
+def profile_section(name: str):
+    """Accumulate cProfile samples for this section (no-op unless enabled).
+
+    Thread-safety: cProfile is not multi-thread-safe, so only one section
+    profiles at a time process-wide; concurrent or nested sections run
+    unprofiled rather than corrupting the sample stream.
+    """
+    global _active
+    if not _enabled:
+        yield
+        return
+    with _lock:
+        if _active:
+            profiler = None
+        else:
+            profiler = _profiles.get(name)
+            if profiler is None:
+                profiler = _profiles[name] = cProfile.Profile()
+            _active = True
+    if profiler is None:
+        yield
+        return
+    try:
+        profiler.enable()
+        try:
+            yield
+        finally:
+            profiler.disable()
+    finally:
+        with _lock:
+            _calls[name] = _calls.get(name, 0) + 1
+            _active = False
+
+
+def profile_sections() -> list:
+    """Names of every section that accumulated samples so far."""
+    with _lock:
+        return sorted(_profiles)
+
+
+def profile_summary(name: str, top: int = 15) -> str:
+    """Top functions by cumulative time for one section ('' if absent)."""
+    with _lock:
+        profiler = _profiles.get(name)
+        calls = _calls.get(name, 0)
+    if profiler is None:
+        return ""
+    buffer = io.StringIO()
+    stats = pstats.Stats(profiler, stream=buffer)
+    stats.sort_stats("cumulative").print_stats(top)
+    return f"# section {name!r} ({calls} calls)\n{buffer.getvalue()}"
+
+
+def write_profiles(directory: str) -> list:
+    """Dump every section's ``.prof`` + ``.txt`` into ``directory``."""
+    os.makedirs(directory, exist_ok=True)
+    written = []
+    with _lock:
+        names = list(_profiles)
+    for name in names:
+        base = os.path.join(directory, name.replace("/", "_"))
+        with _lock:
+            profiler = _profiles[name]
+        profiler.create_stats()
+        profiler.dump_stats(base + ".prof")
+        with open(base + ".txt", "w") as handle:
+            handle.write(profile_summary(name))
+        written.extend([base + ".prof", base + ".txt"])
+        _log.info(
+            "profile written", extra={"section": name, "path": base + ".prof"}
+        )
+    return written

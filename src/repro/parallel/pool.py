@@ -36,12 +36,17 @@ from contextlib import contextmanager
 from repro.core.labelling import HighwayCoverLabelling
 from repro.core.stats import ShardTiming
 from repro.errors import BatchError
+from repro.obs.log import get_logger
+from repro.obs.metrics import get_registry
+from repro.obs.trace import get_tracer
 from repro.parallel.snapshot import encode_graph, encode_state
 from repro.parallel.worker import (
     LandmarkOutcome,
     run_build_shard,
     run_update_shard,
 )
+
+_log = get_logger("repro.parallel.pool")
 
 
 def partition_landmarks(num_landmarks: int, num_shards: int) -> list[list[int]]:
@@ -221,31 +226,72 @@ class LandmarkShardPool:
         )
         if not shards:
             return [], 0.0, [], 0.0
-        snapshot = encode_state(graph, labelling_old)
-        oriented = list(oriented)
-        results = self._run_sharded(
-            _update_task, shards, snapshot, oriented, improved
-        )
-        merge_started = time.perf_counter()
-        outcomes: list[LandmarkOutcome | None] = [None] * num_landmarks
-        shard_timings: list[ShardTiming] = []
-        for s, result in enumerate(results):
-            labelling_new.labels[:, result.shard] = result.columns
-            labelling_new.highway[result.shard, :] = result.highway_rows
-            for i, outcome in zip(result.shard, result.outcomes):
-                outcomes[i] = outcome
-            shard_timings.append(
-                ShardTiming(
-                    shard=s,
-                    num_landmarks=len(result.shard),
-                    search_seconds=sum(o[1] for o in result.outcomes),
-                    repair_seconds=sum(o[2] for o in result.outcomes),
-                    wall_seconds=result.wall_seconds,
+        tracer = get_tracer()
+        with tracer.span(
+            "pool_update", shards=len(shards), landmarks=num_landmarks
+        ) as pool_span:
+            with tracer.span("encode_state"):
+                snapshot = encode_state(graph, labelling_old)
+            oriented = list(oriented)
+            dispatch_us = tracer.now_us() if tracer.enabled else 0
+            with tracer.span("shard_dispatch"):
+                results = self._run_sharded(
+                    _update_task, shards, snapshot, oriented, improved
                 )
-            )
-        merge_seconds = time.perf_counter() - merge_started
-        makespan = max(t.wall_seconds for t in shard_timings)
+            merge_started = time.perf_counter()
+            outcomes: list[LandmarkOutcome | None] = [None] * num_landmarks
+            shard_timings: list[ShardTiming] = []
+            with tracer.span("shard_merge"):
+                for s, result in enumerate(results):
+                    labelling_new.labels[:, result.shard] = result.columns
+                    labelling_new.highway[result.shard, :] = (
+                        result.highway_rows
+                    )
+                    for i, outcome in zip(result.shard, result.outcomes):
+                        outcomes[i] = outcome
+                    shard_timings.append(
+                        ShardTiming(
+                            shard=s,
+                            num_landmarks=len(result.shard),
+                            search_seconds=sum(
+                                o[1] for o in result.outcomes
+                            ),
+                            repair_seconds=sum(
+                                o[2] for o in result.outcomes
+                            ),
+                            wall_seconds=result.wall_seconds,
+                        )
+                    )
+            merge_seconds = time.perf_counter() - merge_started
+            makespan = max(t.wall_seconds for t in shard_timings)
+            if pool_span is not None:
+                _synthesize_shard_spans(
+                    tracer, pool_span.span_id, dispatch_us, shard_timings
+                )
+        registry = get_registry()
+        registry.counter(
+            "repro_pool_batches_total", "batches run on the shard pool"
+        ).inc()
+        registry.counter(
+            "repro_pool_shard_tasks_total", "shard tasks dispatched"
+        ).inc(len(shards))
+        registry.counter(
+            "repro_pool_merge_seconds_total",
+            "writer-side time scattering shard results",
+        ).inc(merge_seconds)
+        registry.counter(
+            "repro_pool_makespan_seconds_total",
+            "summed per-batch makespan (max shard wall)",
+        ).inc(makespan)
         self.batches_run += 1
+        _log.debug(
+            "pool batch merged",
+            extra={
+                "shards": len(shards),
+                "makespan_s": round(makespan, 6),
+                "merge_s": round(merge_seconds, 6),
+            },
+        )
         return list(outcomes), makespan, shard_timings, merge_seconds
 
     def build(self, graph, landmarks: tuple[int, ...]) -> HighwayCoverLabelling:
@@ -271,6 +317,50 @@ class LandmarkShardPool:
         return (
             f"LandmarkShardPool(num_shards={self.num_shards},"
             f" {state}, batches_run={self.batches_run})"
+        )
+
+
+def _synthesize_shard_spans(
+    tracer, parent_id: int, dispatch_us: int, shard_timings
+) -> None:
+    """Reconstruct worker-side spans from the ShardTiming each shard
+    reported.
+
+    Worker processes do not trace (the tracer is per-process), so the
+    writer rebuilds each shard's timeline under the dispatching span:
+    one ``shard`` span per worker task on its own ``shard-N`` track,
+    with ``search`` and ``repair`` children.  Phase placement is the
+    worker's actual order — snapshot decode first (the wall minus the
+    measured phases), then search, then repair.
+    """
+    for timing in shard_timings:
+        tid = f"shard-{timing.shard}"
+        wall_us = timing.wall_seconds * 1e6
+        search_us = timing.search_seconds * 1e6
+        repair_us = timing.repair_seconds * 1e6
+        shard_id = tracer.record_complete(
+            "shard",
+            dispatch_us,
+            wall_us,
+            parent_id=parent_id,
+            tid=tid,
+            shard=timing.shard,
+            landmarks=timing.num_landmarks,
+        )
+        decode_us = max(0.0, wall_us - search_us - repair_us)
+        tracer.record_complete(
+            "search",
+            dispatch_us + decode_us,
+            search_us,
+            parent_id=shard_id,
+            tid=tid,
+        )
+        tracer.record_complete(
+            "repair",
+            dispatch_us + decode_us + search_us,
+            repair_us,
+            parent_id=shard_id,
+            tid=tid,
         )
 
 

@@ -40,6 +40,9 @@ from collections import OrderedDict
 from typing import Iterable
 
 from repro.errors import WorkloadError
+from repro.obs.log import get_logger
+
+_log = get_logger("repro.service.cache")
 
 CACHE_MODES = ("epoch", "affected")
 
@@ -69,6 +72,38 @@ class QueryCache:
         self.invalidated = 0
         self.clears = 0
         self.stale_puts_dropped = 0
+
+    def bind_metrics(self, registry) -> None:
+        """Export this cache's tallies through a metrics registry.
+
+        Callback-backed families (:meth:`~repro.obs.metrics.Counter.
+        set_function`): the get/put hot path keeps its plain-int
+        bookkeeping and pays nothing; the registry reads the ints only
+        when snapshotted or scraped.
+        """
+        registry.counter(
+            "repro_cache_hits_total", "query cache hits"
+        ).set_function(lambda: self.hits)
+        registry.counter(
+            "repro_cache_misses_total", "query cache misses"
+        ).set_function(lambda: self.misses)
+        registry.counter(
+            "repro_cache_invalidated_total",
+            "entries evicted by epoch invalidation",
+        ).set_function(lambda: self.invalidated)
+        registry.counter(
+            "repro_cache_clears_total", "full cache clears"
+        ).set_function(lambda: self.clears)
+        registry.counter(
+            "repro_cache_stale_puts_total",
+            "puts dropped because their epoch was superseded",
+        ).set_function(lambda: self.stale_puts_dropped)
+        registry.gauge(
+            "repro_cache_size", "entries currently cached"
+        ).set_function(lambda: len(self))
+        registry.gauge(
+            "repro_cache_capacity", "configured cache capacity"
+        ).set_function(lambda: self.capacity)
 
     @staticmethod
     def _key(s: int, t: int) -> tuple[int, int]:
@@ -121,29 +156,36 @@ class QueryCache:
             if not self._entries:
                 return 0
             if affected_vertices is None:
-                return self._clear_locked()
-            if self.mode == "epoch":
+                dropped = self._clear_locked()
+            elif self.mode == "epoch":
                 if not affected_vertices:
                     return 0
-                return self._clear_locked()
-            affected = (
-                affected_vertices
-                if isinstance(affected_vertices, (set, frozenset))
-                else set(affected_vertices)
-            )
-            if not affected:
-                return 0
-            if len(affected) >= _CLEAR_RATIO * len(self._entries):
-                return self._clear_locked()
-            doomed = [
-                key
-                for key in self._entries
-                if key[0] in affected or key[1] in affected
-            ]
-            for key in doomed:
-                del self._entries[key]
-            self.invalidated += len(doomed)
-            return len(doomed)
+                dropped = self._clear_locked()
+            else:
+                affected = (
+                    affected_vertices
+                    if isinstance(affected_vertices, (set, frozenset))
+                    else set(affected_vertices)
+                )
+                if not affected:
+                    return 0
+                if len(affected) >= _CLEAR_RATIO * len(self._entries):
+                    dropped = self._clear_locked()
+                else:
+                    doomed = [
+                        key
+                        for key in self._entries
+                        if key[0] in affected or key[1] in affected
+                    ]
+                    for key in doomed:
+                        del self._entries[key]
+                    self.invalidated += len(doomed)
+                    dropped = len(doomed)
+        _log.debug(
+            "cache invalidated",
+            extra={"epoch": epoch, "dropped": dropped, "mode": self.mode},
+        )
+        return dropped
 
     def _clear_locked(self) -> int:
         dropped = len(self._entries)

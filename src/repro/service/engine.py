@@ -42,6 +42,9 @@ from repro.core.stats import UpdateStats
 from repro.errors import BatchError, CapabilityError, IndexStateError
 from repro.graph.batch import EdgeUpdate
 from repro.graph.dynamic_graph import DynamicGraph
+from repro.obs.log import get_logger
+from repro.obs.profile import profile_section
+from repro.obs.trace import span
 from repro.parallel.sharded import ShardedHighwayCoverIndex
 from repro.service.cache import QueryCache
 from repro.service.metrics import ServiceMetrics
@@ -50,6 +53,8 @@ from repro.service.scheduler import (
     FlushPolicy,
     FlushTrigger,
 )
+
+_log = get_logger("repro.service.engine")
 
 
 @dataclass(frozen=True)
@@ -92,7 +97,8 @@ class EpochStore:
                 self._current.epoch + 1, index, time.monotonic()
             )
             self._current = snapshot  # the pointer flip readers see
-            return snapshot
+        _log.debug("epoch published", extra={"epoch": snapshot.epoch})
+        return snapshot
 
 
 class DistanceService:
@@ -233,6 +239,21 @@ class DistanceService:
         self.scheduler = CoalescingScheduler(policy)
         self.cache = QueryCache(cache_capacity, cache_mode)
         self.metrics = ServiceMetrics()
+        # The cache and scheduler export their own tallies through the
+        # service registry (callback-backed: zero hot-path cost), so one
+        # --metrics-out file covers query/flush/cache/epoch/scheduler.
+        self.cache.bind_metrics(self.metrics.registry)
+        self.scheduler.bind_metrics(self.metrics.registry)
+        _log.info(
+            "service ready",
+            extra={
+                "writer": type(writer).__name__,
+                "vertices": self._vertex_count,
+                "parallel": parallel or "sequential",
+                "cache_mode": cache_mode,
+                "background": background,
+            },
+        )
         self._writer_lock = threading.Lock()
         self._building = threading.Event()
         self._closed = False
@@ -428,29 +449,37 @@ class DistanceService:
             started = time.perf_counter()
             self._building.set()
             try:
-                stats = self._writer.batch_update(
-                    batch,
-                    variant=self._variant,
-                    parallel=self._parallel,
-                    num_threads=self._num_threads,
-                    num_shards=self._num_shards,
-                )
-                with self._wakeup:
-                    # Republish the accept boundary's vertex count now
-                    # that the batch (and any growth it carried) is
-                    # fully applied — submitters validating concurrently
-                    # saw the old count, which growth keeps conservative.
-                    self._vertex_count = self._writer.graph.num_vertices
-                if stats.n_applied:
-                    # Invalidate BEFORE the pointer flip: a reader that
-                    # already holds the new snapshot must never get a hit
-                    # cached under the old epoch.  Readers still on the
-                    # old snapshot have their puts fenced off by the
-                    # epoch tag — conservative, never stale.
-                    next_epoch = self._epochs.epoch + 1
-                    self.cache.on_epoch(stats.affected_vertices, next_epoch)
-                    self._epochs.publish(self._freeze_snapshot())
-                    self.metrics.record_publish()
+                with profile_section("flush"), span(
+                    "flush", trigger=trigger.value, batch=len(batch)
+                ):
+                    with span("batch_update"):
+                        stats = self._writer.batch_update(
+                            batch,
+                            variant=self._variant,
+                            parallel=self._parallel,
+                            num_threads=self._num_threads,
+                            num_shards=self._num_shards,
+                        )
+                    with self._wakeup:
+                        # Republish the accept boundary's vertex count now
+                        # that the batch (and any growth it carried) is
+                        # fully applied — submitters validating concurrently
+                        # saw the old count, which growth keeps conservative.
+                        self._vertex_count = self._writer.graph.num_vertices
+                    if stats.n_applied:
+                        # Invalidate BEFORE the pointer flip: a reader that
+                        # already holds the new snapshot must never get a hit
+                        # cached under the old epoch.  Readers still on the
+                        # old snapshot have their puts fenced off by the
+                        # epoch tag — conservative, never stale.
+                        next_epoch = self._epochs.epoch + 1
+                        with span("invalidate_cache"):
+                            self.cache.on_epoch(
+                                stats.affected_vertices, next_epoch
+                            )
+                        with span("publish_epoch"):
+                            self._epochs.publish(self._freeze_snapshot())
+                        self.metrics.record_publish(next_epoch)
             except BaseException as exc:
                 # Anywhere this fails — mid-repair (graph mutated before
                 # the labelling is repaired), snapshotting, publishing —
@@ -460,14 +489,29 @@ class DistanceService:
                 # see the failure.
                 with self._wakeup:
                     self._writer_error = exc
+                _log.error(
+                    "flush failed; service poisoned",
+                    extra={"trigger": trigger.value, "batch": len(batch)},
+                    exc_info=True,
+                )
                 raise
             finally:
                 self._building.clear()
+            seconds = time.perf_counter() - started
             self.metrics.record_flush(
-                time.perf_counter() - started,
-                len(batch),
-                stats.n_applied,
-                trigger.value,
+                seconds, len(batch), stats.n_applied, trigger.value
+            )
+            _log.debug(
+                "flush complete",
+                extra={
+                    "trigger": trigger.value,
+                    "batch": len(batch),
+                    "applied": stats.n_applied,
+                    "epoch": self._epochs.epoch,
+                    "seconds": round(seconds, 6),
+                    "search_s": round(stats.search_seconds, 6),
+                    "repair_s": round(stats.repair_seconds, 6),
+                },
             )
             return stats
 

@@ -15,8 +15,23 @@ and :class:`ServiceMetrics` aggregates the counters every component of
   writer was already building epoch N+1, i.e. answers that were exact for
   the previous published topology but not for the in-flight one.
 
-All methods are thread-safe; recording is a few dict/list operations under
-a lock, cheap relative to a distance query.
+Since the observability PR, :class:`ServiceMetrics` is a facade over a
+:class:`~repro.obs.metrics.MetricsRegistry` — every count lives in a
+registry family (``repro_queries_total{cache=...}``,
+``repro_flush_latency_seconds``, ...), so the whole service exports as
+Prometheus text or flat JSON through the CLI's ``--metrics-out`` while
+the long-standing ``summary()`` / ``format_report()`` API keeps working
+unchanged.  Each ServiceMetrics owns a *private* registry by default so
+concurrent services (the test suite runs dozens per process) never
+pollute each other's counts; pass ``registry=`` to share one.
+
+Windowed reads: :meth:`interval_summary` returns the delta since its
+previous call — *current* qps/ups/hit-rate for a live stats line —
+computed from registry snapshots, while :meth:`summary` stays the
+lifetime aggregate.
+
+All methods are thread-safe; recording is a few dict/float operations
+under locks, cheap relative to a distance query.
 """
 
 from __future__ import annotations
@@ -26,6 +41,13 @@ import random
 import threading
 import time
 from typing import Sequence
+
+from repro.obs.metrics import MetricsRegistry
+
+#: Query latencies: 1us .. ~1s.  Flushes: 100us .. ~1.6min.
+QUERY_LATENCY_BUCKETS = tuple(1e-6 * 4**i for i in range(10))
+FLUSH_LATENCY_BUCKETS = tuple(1e-4 * 4**i for i in range(10))
+BATCH_SIZE_BUCKETS = tuple(float(2**i) for i in range(12))
 
 
 def percentile(samples: Sequence[float], q: float) -> float:
@@ -45,7 +67,15 @@ def percentile(samples: Sequence[float], q: float) -> float:
 
 
 class LatencyRecorder:
-    """Bounded reservoir of latency samples with percentile reads."""
+    """Bounded reservoir of latency samples with percentile reads.
+
+    Every read — including :meth:`max` and :meth:`summary` — takes the
+    recorder lock: ``_count``/``_max_seen``/``_total`` are multi-field
+    state updated together in :meth:`record`, and unlocked reads could
+    observe a count that includes a sample whose max/total update had
+    not landed yet (a torn read under free-threaded Python, and a stale
+    one even under the GIL).
+    """
 
     def __init__(self, max_samples: int = 8192, seed: int = 0):
         if max_samples < 1:
@@ -75,14 +105,16 @@ class LatencyRecorder:
 
     @property
     def count(self) -> int:
-        return self._count
+        with self._lock:
+            return self._count
 
     def mean(self) -> float:
         with self._lock:
             return self._total / self._count if self._count else 0.0
 
     def max(self) -> float:
-        return self._max_seen
+        with self._lock:
+            return self._max_seen
 
     def quantiles(self, qs: Sequence[float] = (50.0, 90.0, 99.0)) -> dict:
         with self._lock:
@@ -90,34 +122,99 @@ class LatencyRecorder:
         return {f"p{q:g}": percentile(frozen, q) for q in qs}
 
     def summary(self) -> dict:
+        # One lock acquisition for the scalar fields AND the sample
+        # freeze: count/mean/max and the percentiles all describe the
+        # same set of recorded samples.
+        with self._lock:
+            count = self._count
+            total = self._total
+            max_seen = self._max_seen
+            frozen = list(self._samples)
         out = {
-            "count": self._count,
-            "mean_s": self.mean(),
-            "max_s": self._max_seen,
+            "count": count,
+            "mean_s": total / count if count else 0.0,
+            "max_s": max_seen,
         }
-        out.update(self.quantiles())
+        for q in (50.0, 90.0, 99.0):
+            out[f"p{q:g}"] = percentile(frozen, q)
         return out
 
 
 class ServiceMetrics:
-    """Aggregated counters + latency recorders for one DistanceService."""
+    """Aggregated counters + latency recorders for one DistanceService.
 
-    def __init__(self, max_samples: int = 8192):
+    All counts live in ``self.registry`` (a private
+    :class:`~repro.obs.metrics.MetricsRegistry` unless one is passed in);
+    the attribute-style reads (``metrics.cache_hits`` etc.) are
+    properties over the registry so existing consumers keep working.
+    Recording methods take ``self._lock`` around the whole multi-metric
+    update, and :meth:`summary` takes it around the whole read, so a
+    report never shows e.g. a query counted in ``queries_served`` but
+    missing from the hit/miss split.
+    """
+
+    def __init__(
+        self, max_samples: int = 8192, registry: MetricsRegistry | None = None
+    ):
         self._lock = threading.Lock()
+        self.registry = registry if registry is not None else MetricsRegistry()
         self.query_latency = LatencyRecorder(max_samples, seed=1)
         self.flush_latency = LatencyRecorder(max_samples, seed=2)
-        self.queries_served = 0
-        self.cache_hits = 0
-        self.cache_misses = 0
-        self.stale_queries = 0
-        self.updates_submitted = 0
-        self.updates_coalesced = 0
-        self.updates_applied = 0
-        self.batches_flushed = 0
-        self.epochs_published = 0
-        self.flush_triggers: dict[str, int] = {}
-        self.largest_batch = 0
+        r = self.registry
+        self._queries = r.counter(
+            "repro_queries_total",
+            "queries served, split by cache outcome",
+            ("cache",),
+        )
+        self._query_hits = self._queries.labels(cache="hit")
+        self._query_misses = self._queries.labels(cache="miss")
+        self._stale = r.counter(
+            "repro_stale_queries_total",
+            "queries answered against epoch N while N+1 was being built",
+        )
+        self._query_seconds = r.histogram(
+            "repro_query_latency_seconds",
+            "client-observed query latency",
+            buckets=QUERY_LATENCY_BUCKETS,
+        )
+        self._submitted = r.counter(
+            "repro_updates_submitted_total",
+            "updates offered to the scheduler, split by coalescing",
+            ("coalesced",),
+        )
+        self._submitted_new = self._submitted.labels(coalesced="no")
+        self._submitted_coalesced = self._submitted.labels(coalesced="yes")
+        self._applied = r.counter(
+            "repro_updates_applied_total",
+            "updates applied to the writer oracle by flushes",
+        )
+        self._flushes = r.counter(
+            "repro_flushes_total", "flushed batches by trigger", ("trigger",)
+        )
+        self._flush_seconds = r.histogram(
+            "repro_flush_latency_seconds",
+            "drain + batch_update + publish wall time",
+            buckets=FLUSH_LATENCY_BUCKETS,
+        )
+        self._batch_sizes = r.histogram(
+            "repro_flush_batch_size",
+            "coalesced batch size per flush",
+            buckets=BATCH_SIZE_BUCKETS,
+        )
+        self._published = r.counter(
+            "repro_epochs_published_total",
+            "epoch snapshots made visible to readers",
+        )
+        self._epoch_gauge = r.gauge(
+            "repro_epoch", "most recently published epoch"
+        )
+        self._largest = r.gauge(
+            "repro_largest_batch", "largest coalesced batch flushed so far"
+        )
         self._started_at = time.perf_counter()
+        self._window_lock = threading.Lock()
+        self._window_snapshot: dict | None = None
+        self._window_at = self._started_at
 
     # -- recording hooks ------------------------------------------------
 
@@ -126,37 +223,87 @@ class ServiceMetrics:
     ) -> None:
         self.query_latency.record(seconds)
         with self._lock:
-            self.queries_served += 1
-            if cache_hit:
-                self.cache_hits += 1
-            else:
-                self.cache_misses += 1
+            (self._query_hits if cache_hit else self._query_misses).inc()
             if stale:
-                self.stale_queries += 1
+                self._stale.inc()
+            self._query_seconds.observe(seconds)
 
     def record_submit(self, coalesced: bool) -> None:
         with self._lock:
-            self.updates_submitted += 1
-            if coalesced:
-                self.updates_coalesced += 1
+            (
+                self._submitted_coalesced
+                if coalesced
+                else self._submitted_new
+            ).inc()
 
     def record_flush(
         self, seconds: float, batch_size: int, applied: int, trigger: str
     ) -> None:
         self.flush_latency.record(seconds)
         with self._lock:
-            self.batches_flushed += 1
-            self.updates_applied += applied
-            self.largest_batch = max(self.largest_batch, batch_size)
-            self.flush_triggers[trigger] = (
-                self.flush_triggers.get(trigger, 0) + 1
-            )
+            self._flushes.labels(trigger=trigger).inc()
+            self._applied.inc(applied)
+            self._flush_seconds.observe(seconds)
+            self._batch_sizes.observe(batch_size)
+            if batch_size > self._largest.value:
+                self._largest.set(batch_size)
 
-    def record_publish(self) -> None:
+    def record_publish(self, epoch: int | None = None) -> None:
         """A new epoch snapshot became visible to readers (a flush whose
         batch was fully invalid publishes nothing)."""
         with self._lock:
-            self.epochs_published += 1
+            self._published.inc()
+            if epoch is not None:
+                self._epoch_gauge.set(epoch)
+
+    # -- attribute-style reads (back-compat) ----------------------------
+
+    @property
+    def queries_served(self) -> int:
+        return int(self._queries.value)
+
+    @property
+    def cache_hits(self) -> int:
+        return int(self._query_hits.value)
+
+    @property
+    def cache_misses(self) -> int:
+        return int(self._query_misses.value)
+
+    @property
+    def stale_queries(self) -> int:
+        return int(self._stale.value)
+
+    @property
+    def updates_submitted(self) -> int:
+        return int(self._submitted.value)
+
+    @property
+    def updates_coalesced(self) -> int:
+        return int(self._submitted_coalesced.value)
+
+    @property
+    def updates_applied(self) -> int:
+        return int(self._applied.value)
+
+    @property
+    def batches_flushed(self) -> int:
+        return int(self._flushes.value)
+
+    @property
+    def epochs_published(self) -> int:
+        return int(self._published.value)
+
+    @property
+    def largest_batch(self) -> int:
+        return int(self._largest.value)
+
+    @property
+    def flush_triggers(self) -> dict:
+        return {
+            values[0]: int(child.value)
+            for values, child in self._flushes._iter_children()
+        }
 
     # -- reads ----------------------------------------------------------
 
@@ -166,6 +313,8 @@ class ServiceMetrics:
     def summary(self) -> dict:
         """One flat dict with everything a load-test report needs."""
         elapsed = max(self.elapsed(), 1e-9)
+        # The recording lock keeps this read consistent with in-flight
+        # record_* calls (each mutates several families at once).
         with self._lock:
             queries = self.queries_served
             hits = self.cache_hits
@@ -194,6 +343,63 @@ class ServiceMetrics:
         for key, value in self.flush_latency.summary().items():
             out[f"flush_{key}"] = value
         return out
+
+    def interval_summary(self) -> dict:
+        """Rates since the previous ``interval_summary`` call.
+
+        The first call covers everything since construction.  Drives the
+        CLI's periodic live stats line: lifetime averages hide a stall,
+        the last-interval delta shows it.
+        """
+        now = time.perf_counter()
+        with self._lock:
+            snapshot = self.registry.snapshot()
+        with self._window_lock:
+            previous = self._window_snapshot or {}
+            interval = max(now - self._window_at, 1e-9)
+            self._window_snapshot = snapshot
+            self._window_at = now
+
+        def delta(key: str) -> float:
+            return snapshot.get(key, 0) - previous.get(key, 0)
+
+        hits = delta('repro_queries_total{cache="hit"}')
+        misses = delta('repro_queries_total{cache="miss"}')
+        queries = hits + misses
+        submitted = delta(
+            'repro_updates_submitted_total{coalesced="no"}'
+        ) + delta('repro_updates_submitted_total{coalesced="yes"}')
+        flushes = sum(
+            delta(key)
+            for key in snapshot
+            if key.startswith("repro_flushes_total{")
+        )
+        flush_s = delta("repro_flush_latency_seconds_sum")
+        query_s = delta("repro_query_latency_seconds_sum")
+        return {
+            "interval_s": interval,
+            "queries": int(queries),
+            "query_throughput_qps": queries / interval,
+            "cache_hit_rate": hits / queries if queries else 0.0,
+            "updates": int(submitted),
+            "update_throughput_ups": submitted / interval,
+            "flushes": int(flushes),
+            "flush_seconds": flush_s,
+            "query_mean_s": query_s / queries if queries else 0.0,
+            "epoch": int(snapshot.get("repro_epoch", 0)),
+        }
+
+    def format_interval_line(self) -> str:
+        """One live stats line (current-window rates, not lifetime)."""
+        s = self.interval_summary()
+        return (
+            f"[{s['interval_s']:.1f}s] {s['query_throughput_qps']:.0f} q/s"
+            f" (hit {s['cache_hit_rate']:.0%},"
+            f" mean {s['query_mean_s'] * 1e6:.0f} us)"
+            f"  {s['update_throughput_ups']:.0f} u/s"
+            f"  {s['flushes']} flushes ({s['flush_seconds'] * 1e3:.1f} ms)"
+            f"  epoch {s['epoch']}"
+        )
 
     def format_report(self) -> str:
         """Human-readable multi-line report (CLI ``loadtest`` output)."""

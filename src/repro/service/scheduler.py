@@ -40,6 +40,9 @@ from typing import Callable
 
 from repro.errors import WorkloadError
 from repro.graph.batch import EdgeUpdate, fold_update
+from repro.obs.log import get_logger
+
+_log = get_logger("repro.service.scheduler")
 
 
 class FlushTrigger(enum.Enum):
@@ -90,6 +93,27 @@ class CoalescingScheduler:
         self.offered = 0
         self.coalesced = 0
         self.drained = 0
+        self.drains = 0
+
+    def bind_metrics(self, registry) -> None:
+        """Export buffer tallies through a registry (callback-backed, so
+        the offer/drain hot path pays nothing — see QueryCache)."""
+        registry.counter(
+            "repro_scheduler_offered_total", "updates offered to the buffer"
+        ).set_function(lambda: self.offered)
+        registry.counter(
+            "repro_scheduler_coalesced_total",
+            "offers absorbed by per-edge coalescing",
+        ).set_function(lambda: self.coalesced)
+        registry.counter(
+            "repro_scheduler_drained_total", "updates handed to the writer"
+        ).set_function(lambda: self.drained)
+        registry.counter(
+            "repro_scheduler_drains_total", "buffer drains (flush starts)"
+        ).set_function(lambda: self.drains)
+        registry.gauge(
+            "repro_scheduler_pending", "updates currently buffered"
+        ).set_function(lambda: len(self))
 
     # -- buffering ------------------------------------------------------
 
@@ -142,7 +166,13 @@ class CoalescingScheduler:
             self._pending.clear()
             self._oldest_at = None
             self.drained += len(batch)
-            return batch
+            self.drains += 1
+        if batch:
+            _log.debug(
+                "buffer drained",
+                extra={"batch": len(batch), "offered": self.offered},
+            )
+        return batch
 
     # -- introspection --------------------------------------------------
 

@@ -129,3 +129,73 @@ def test_loadtest_rejects_validate_with_background(capsys):
 def test_loadtest_clean_error_on_unknown_dataset(capsys):
     assert main(["loadtest", "--dataset", "nosuch", "--queries", "5"]) == 2
     assert "unknown dataset" in capsys.readouterr().err
+
+
+def test_loadtest_observability_exports(capsys, tmp_path):
+    """--metrics-out/--trace-out/--report-interval: the prom file must
+    parse and cover query/flush/cache/epoch families; the trace JSONL
+    must parse line-by-line with nested flush spans."""
+    import json
+
+    from repro.obs.metrics import parse_prometheus
+    from repro.obs.trace import get_tracer
+
+    metrics_path = tmp_path / "m.prom"
+    trace_path = tmp_path / "trace.jsonl"
+    try:
+        assert (
+            main(
+                LOADTEST_ARGS
+                + [
+                    "--metrics-out", str(metrics_path),
+                    "--trace-out", str(trace_path),
+                    "--report-interval", "0.05",
+                    "--log-level", "info",
+                ]
+            )
+            == 0
+        )
+    finally:
+        get_tracer().disable()
+        get_tracer().clear()
+    err = capsys.readouterr().err
+    assert str(metrics_path) in err
+    assert str(trace_path) in err
+
+    samples = parse_prometheus(metrics_path.read_text())
+    for family in (
+        'repro_queries_total{cache="miss"}',
+        "repro_epochs_published_total",
+        "repro_cache_misses_total",
+        "repro_scheduler_offered_total",
+        "repro_query_latency_seconds_count",
+    ):
+        assert family in samples, f"missing {family}"
+    assert any(k.startswith("repro_flushes_total{") for k in samples)
+
+    events = [
+        json.loads(line)
+        for line in trace_path.read_text().splitlines()
+    ]
+    assert events, "trace export is empty"
+    names = {e["name"] for e in events}
+    assert {"flush", "batch_update", "publish_epoch"} <= names
+    flushes = [e for e in events if e["name"] == "flush"]
+    children = [
+        e
+        for e in events
+        if any(
+            e["args"]["parent_id"] == f["args"]["span_id"] for f in flushes
+        )
+    ]
+    assert children, "flush spans have no nested children"
+
+
+def test_loadtest_metrics_out_json(tmp_path, capsys):
+    metrics_path = tmp_path / "m.json"
+    import json
+
+    assert main(LOADTEST_ARGS + ["--metrics-out", str(metrics_path)]) == 0
+    capsys.readouterr()
+    payload = json.loads(metrics_path.read_text())
+    assert 'repro_queries_total{cache="miss"}' in payload["metrics"]

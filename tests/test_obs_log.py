@@ -1,0 +1,160 @@
+"""Structured logging: hierarchy, formatters, REPRO_LOG; cProfile hooks."""
+
+import io
+import json
+import logging
+
+import pytest
+
+from repro.obs.log import (
+    ENV_VAR,
+    HumanFormatter,
+    JsonLinesFormatter,
+    configure_logging,
+    get_logger,
+    resolve_level,
+)
+from repro.obs.profile import (
+    disable_profiling,
+    enable_profiling,
+    profile_section,
+    profile_sections,
+    profile_summary,
+    profiling_enabled,
+    reset_profiles,
+    write_profiles,
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_logging():
+    yield
+    root = logging.getLogger("repro")
+    for handler in list(root.handlers):
+        if handler.get_name() == "repro-obs":
+            root.removeHandler(handler)
+    root.setLevel(logging.NOTSET)
+    root.propagate = True
+
+
+def _record(msg="hello", extra=None, exc_info=None):
+    logger = logging.getLogger("repro.test")
+    return logger.makeRecord(
+        "repro.test", logging.INFO, __file__, 1, msg, (), exc_info,
+        extra=extra,
+    )
+
+
+def test_get_logger_prefixes_into_hierarchy():
+    assert get_logger("service.engine").name == "repro.service.engine"
+    assert get_logger("repro.core").name == "repro.core"
+    assert get_logger().name == "repro"
+    child = get_logger("service.engine")
+    assert child.parent.name in ("repro.service", "repro")
+
+
+def test_resolve_level():
+    assert resolve_level(None) == logging.WARNING
+    assert resolve_level("debug") == logging.DEBUG
+    assert resolve_level("INFO") == logging.INFO
+    assert resolve_level(17) == 17
+    with pytest.raises(ValueError):
+        resolve_level("loud")
+
+
+def test_human_formatter_renders_extras():
+    line = HumanFormatter().format(_record(extra={"epoch": 3, "batch": 17}))
+    assert "repro.test" in line
+    assert "hello" in line
+    assert "epoch=3" in line and "batch=17" in line
+
+
+def test_json_formatter_parses_and_carries_extras():
+    line = JsonLinesFormatter().format(
+        _record(extra={"epoch": 3, "weird": object()})
+    )
+    payload = json.loads(line)
+    assert payload["level"] == "info"
+    assert payload["logger"] == "repro.test"
+    assert payload["msg"] == "hello"
+    assert payload["epoch"] == 3
+    assert payload["weird"].startswith("<object object")  # repr fallback
+
+
+def test_configure_logging_is_idempotent_and_writes_stream(monkeypatch):
+    monkeypatch.delenv(ENV_VAR, raising=False)
+    stream = io.StringIO()
+    root = configure_logging(level="info", stream=stream)
+    configure_logging(level="info", stream=stream)  # no handler stacking
+    named = [h for h in root.handlers if h.get_name() == "repro-obs"]
+    assert len(named) == 1
+    get_logger("test").info("ping", extra={"n": 1})
+    assert "ping" in stream.getvalue()
+    assert "n=1" in stream.getvalue()
+    assert not root.propagate
+
+
+def test_configure_logging_honours_env(monkeypatch):
+    monkeypatch.setenv(ENV_VAR, "debug:json")
+    stream = io.StringIO()
+    root = configure_logging(stream=stream)
+    assert root.level == logging.DEBUG
+    get_logger("test").debug("ping")
+    assert json.loads(stream.getvalue())["msg"] == "ping"
+
+
+def test_cli_flags_override_env(monkeypatch):
+    monkeypatch.setenv(ENV_VAR, "debug:json")
+    stream = io.StringIO()
+    root = configure_logging(level="error", fmt="human", stream=stream)
+    assert root.level == logging.ERROR
+    get_logger("test").error("bad")
+    with pytest.raises(json.JSONDecodeError):
+        json.loads(stream.getvalue())  # human format, not JSON
+
+
+def test_configure_logging_rejects_unknown_format():
+    with pytest.raises(ValueError):
+        configure_logging(fmt="xml")
+
+
+# -- cProfile hooks -----------------------------------------------------
+
+
+@pytest.fixture(autouse=True)
+def _clean_profiles():
+    reset_profiles()
+    disable_profiling()
+    yield
+    reset_profiles()
+    disable_profiling()
+
+
+def test_profile_section_noop_when_disabled():
+    assert not profiling_enabled()
+    with profile_section("flush"):
+        sum(range(100))
+    assert profile_sections() == []
+    assert profile_summary("flush") == ""
+
+
+def test_profile_section_accumulates_across_calls(tmp_path):
+    enable_profiling()
+    for _ in range(3):
+        with profile_section("flush"):
+            sorted(range(500), reverse=True)
+    assert profile_sections() == ["flush"]
+    summary = profile_summary("flush")
+    assert "section 'flush' (3 calls)" in summary
+    assert "cumulative" in summary
+    written = write_profiles(tmp_path)
+    assert any(str(p).endswith("flush.prof") for p in written)
+    assert any(str(p).endswith("flush.txt") for p in written)
+
+
+def test_nested_profile_sections_do_not_raise():
+    enable_profiling()
+    with profile_section("outer"):
+        with profile_section("inner"):  # cProfile can't nest; passes through
+            pass
+    assert profile_sections() == ["outer"]

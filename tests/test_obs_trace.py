@@ -1,0 +1,177 @@
+"""Span tracing: nesting, JSONL schema, ring bound, shard synthesis."""
+
+import json
+
+import pytest
+
+from repro import DistanceService, DynamicGraph, FlushPolicy
+from repro.obs.trace import NOOP_SPAN, Tracer, get_tracer, span
+
+
+@pytest.fixture
+def tracer():
+    t = Tracer(capacity=256)
+    t.enable()
+    return t
+
+
+def _by_id(events):
+    return {e["args"]["span_id"]: e for e in events}
+
+
+def test_disabled_tracer_is_zero_overhead_noop():
+    t = Tracer()
+    assert not t.enabled
+    # The disabled path returns one shared singleton: no allocation, no
+    # events, and entering yields None so callers can't record into it.
+    s1 = t.span("a", k=1)
+    s2 = t.span("b")
+    assert s1 is NOOP_SPAN and s2 is NOOP_SPAN
+    with s1 as inner:
+        assert inner is None
+    assert t.events() == []
+    assert t.record_complete("x", 0, 10) is None
+
+
+def test_module_level_span_uses_default_tracer():
+    default = get_tracer()
+    assert not default.enabled
+    assert span("anything") is NOOP_SPAN
+
+
+def test_nested_spans_carry_parent_ids(tracer):
+    with tracer.span("outer", batch=3) as outer:
+        with tracer.span("inner") as inner:
+            assert inner.parent_id == outer.span_id
+        with tracer.span("inner2"):
+            pass
+    events = tracer.events()
+    assert [e["name"] for e in events] == ["inner", "inner2", "outer"]
+    by_name = {e["name"]: e for e in events}
+    outer_id = by_name["outer"]["args"]["span_id"]
+    assert by_name["outer"]["args"]["parent_id"] is None
+    assert by_name["inner"]["args"]["parent_id"] == outer_id
+    assert by_name["inner2"]["args"]["parent_id"] == outer_id
+    assert by_name["outer"]["args"]["batch"] == 3
+
+
+def test_event_schema_is_chrome_complete_events(tracer):
+    with tracer.span("phase", shards=2):
+        pass
+    (event,) = tracer.events()
+    assert event["ph"] == "X"
+    assert event["cat"] == "repro"
+    assert isinstance(event["ts"], int) and isinstance(event["dur"], int)
+    assert event["dur"] >= 0
+    assert isinstance(event["pid"], int)
+    assert isinstance(event["tid"], str)
+    assert event["args"]["shards"] == 2
+
+
+def test_span_error_annotation_and_stack_unwind(tracer):
+    with pytest.raises(RuntimeError):
+        with tracer.span("outer"):
+            with tracer.span("boom"):
+                raise RuntimeError("nope")
+    events = {e["name"]: e for e in tracer.events()}
+    assert events["boom"]["args"]["error"] == "RuntimeError"
+    assert events["outer"]["args"]["error"] == "RuntimeError"
+    assert tracer.current_span_id() is None  # stack fully unwound
+
+
+def test_span_set_attaches_fields(tracer):
+    with tracer.span("flush") as s:
+        s.set(applied=9)
+    (event,) = tracer.events()
+    assert event["args"]["applied"] == 9
+
+
+def test_record_complete_synthesizes_on_named_track(tracer):
+    parent = tracer.record_complete("shard", 100, 50, tid="shard-3")
+    child = tracer.record_complete(
+        "search", 100, 20, parent_id=parent, tid="shard-3"
+    )
+    assert isinstance(parent, int) and child != parent
+    events = _by_id(tracer.events())
+    assert events[child]["args"]["parent_id"] == parent
+    assert events[child]["tid"] == "shard-3"
+    assert events[parent]["ts"] == 100 and events[parent]["dur"] == 50
+
+
+def test_ring_is_bounded_and_counts_drops():
+    t = Tracer(capacity=4).enable()
+    for i in range(10):
+        with t.span(f"s{i}"):
+            pass
+    events = t.events()
+    assert len(events) == 4
+    assert [e["name"] for e in events] == ["s6", "s7", "s8", "s9"]
+    assert t.dropped == 6
+    t.clear()
+    assert t.events() == [] and t.dropped == 0
+
+
+def test_export_jsonl_one_object_per_line(tracer, tmp_path):
+    with tracer.span("a"):
+        with tracer.span("b"):
+            pass
+    path = tmp_path / "trace.jsonl"
+    assert tracer.export_jsonl(path) == 2
+    lines = path.read_text().splitlines()
+    assert len(lines) == 2
+    events = [json.loads(line) for line in lines]
+    assert {e["name"] for e in events} == {"a", "b"}
+
+
+def test_processes_flush_nests_per_shard_spans(tmp_path):
+    """A processes-backend flush must produce the acceptance-criteria
+    shape: flush -> ... -> pool_update with per-shard tracks whose shard
+    spans nest search/repair children (synthesized from ShardTiming)."""
+    tracer = get_tracer()
+    tracer.enable()
+    tracer.clear()
+    try:
+        graph = DynamicGraph.from_edges([(i, i + 1) for i in range(30)])
+        service = DistanceService(
+            graph,
+            num_landmarks=4,
+            policy=FlushPolicy(max_batch=100, max_delay=None),
+            parallel="processes",
+            num_shards=2,
+        )
+        with service:
+            service.insert_edge(0, 29)
+            service.insert_edge(5, 25)
+            service.flush()
+        events = tracer.events()
+    finally:
+        tracer.disable()
+        tracer.clear()
+
+    by_id = _by_id(events)
+
+    def parent_name(event):
+        pid = event["args"]["parent_id"]
+        return by_id[pid]["name"] if pid in by_id else None
+
+    names = [e["name"] for e in events]
+    for expected in ("flush", "batch_update", "pool_update", "shard"):
+        assert expected in names, f"missing span {expected!r} in {names}"
+
+    shards = [e for e in events if e["name"] == "shard"]
+    assert len(shards) == 2
+    for shard in shards:
+        assert shard["tid"].startswith("shard-")
+        assert parent_name(shard) == "pool_update"
+        children = [
+            e
+            for e in events
+            if e["args"]["parent_id"] == shard["args"]["span_id"]
+        ]
+        assert {c["name"] for c in children} == {"search", "repair"}
+        for child in children:
+            assert child["tid"] == shard["tid"]
+    pool = next(e for e in events if e["name"] == "pool_update")
+    assert parent_name(pool) == "process_landmarks"
+    flush = next(e for e in events if e["name"] == "flush")
+    assert flush["args"]["parent_id"] is None

@@ -1,7 +1,11 @@
 """Percentiles, the latency reservoir, and the aggregated service report."""
 
+import threading
+import time
+
 import pytest
 
+from repro.obs.metrics import parse_prometheus
 from repro.service.metrics import (
     LatencyRecorder,
     ServiceMetrics,
@@ -109,3 +113,145 @@ def test_percentile_uses_ceil_nearest_rank():
     # round-half-even would give 2 here; nearest-rank demands 3.
     assert percentile([1.0, 2.0, 3.0, 4.0, 5.0], 50) == 3.0
     assert percentile([float(i) for i in range(1, 14)], 50) == 7.0
+
+
+def test_reservoir_stays_uniform_over_a_long_stream():
+    """Algorithm R: after n >> capacity records of a uniform ramp, every
+    decile of the kept set should be near the corresponding stream
+    decile (a biased reservoir would skew early or late)."""
+    recorder = LatencyRecorder(max_samples=512, seed=7)
+    n = 50_000
+    for i in range(n):
+        recorder.record(i / n)
+    qs = recorder.quantiles([10.0, 25.0, 50.0, 75.0, 90.0])
+    for q, value in (("p10", 0.1), ("p25", 0.25), ("p50", 0.5),
+                     ("p75", 0.75), ("p90", 0.9)):
+        assert qs[q] == pytest.approx(value, abs=0.08), (q, qs)
+
+
+def test_latency_recorder_concurrent_records_are_not_torn():
+    """count/total/max update atomically: after concurrent recording the
+    summary must be internally consistent (mean exact, max exact)."""
+    recorder = LatencyRecorder(max_samples=128)
+    per_thread, threads = 5_000, 4
+
+    def work(base):
+        for i in range(per_thread):
+            recorder.record(base + i * 1e-9)
+
+    workers = [
+        threading.Thread(target=work, args=(0.001 * (t + 1),))
+        for t in range(threads)
+    ]
+    for w in workers:
+        w.start()
+    for w in workers:
+        w.join()
+    summary = recorder.summary()
+    assert summary["count"] == per_thread * threads
+    expected_total = sum(
+        0.001 * (t + 1) + i * 1e-9
+        for t in range(threads)
+        for i in range(per_thread)
+    )
+    assert summary["mean_s"] == pytest.approx(
+        expected_total / (per_thread * threads)
+    )
+    assert summary["max_s"] == pytest.approx(
+        0.001 * threads + (per_thread - 1) * 1e-9
+    )
+
+
+def test_service_metrics_concurrent_recording_consistency():
+    """Hammer every record_* hook from several threads; lifetime counters
+    must add up exactly and the summary must not tear (e.g. a query in
+    queries_served missing from the hit/miss split)."""
+    metrics = ServiceMetrics()
+    per_thread, threads = 2_000, 4
+    stop = threading.Event()
+    tears = []
+
+    def reader():
+        while not stop.is_set():
+            s = metrics.summary()
+            if s["cache_hits"] + s["cache_misses"] != s["queries_served"]:
+                tears.append(s)
+            if s["updates_applied"] % 2 != 0:
+                tears.append(s)
+
+    def writer(tid):
+        for i in range(per_thread):
+            metrics.record_query(1e-6, cache_hit=i % 2 == 0, stale=False)
+            metrics.record_submit(coalesced=i % 4 == 0)
+            if i % 100 == 0:
+                metrics.record_flush(
+                    1e-3, batch_size=8, applied=2, trigger="size"
+                )
+                metrics.record_publish(epoch=i)
+
+    observer = threading.Thread(target=reader)
+    observer.start()
+    workers = [
+        threading.Thread(target=writer, args=(t,)) for t in range(threads)
+    ]
+    for w in workers:
+        w.start()
+    for w in workers:
+        w.join()
+    stop.set()
+    observer.join()
+
+    assert tears == []
+    total = per_thread * threads
+    assert metrics.queries_served == total
+    assert metrics.cache_hits == total // 2
+    assert metrics.updates_submitted == total
+    assert metrics.updates_coalesced == total // 4
+    assert metrics.batches_flushed == threads * (per_thread // 100)
+    assert metrics.updates_applied == 2 * threads * (per_thread // 100)
+    assert metrics.query_latency.count == total
+
+
+def test_service_metrics_exports_prometheus():
+    metrics = ServiceMetrics()
+    metrics.record_query(0.002, cache_hit=True, stale=False)
+    metrics.record_flush(0.05, batch_size=3, applied=3, trigger="age")
+    metrics.record_publish(epoch=2)
+    parsed = parse_prometheus(metrics.registry.render_prometheus())
+    assert parsed['repro_queries_total{cache="hit"}'] == 1
+    assert parsed['repro_flushes_total{trigger="age"}'] == 1
+    assert parsed["repro_epoch"] == 2
+    assert parsed["repro_flush_batch_size_sum"] == 3
+    # Histogram buckets are cumulative and end at +Inf.
+    assert parsed['repro_query_latency_seconds_bucket{le="+Inf"}'] == 1
+
+
+def test_interval_summary_windows_rates():
+    metrics = ServiceMetrics()
+    metrics.record_query(1e-4, cache_hit=False, stale=False)
+    metrics.record_submit(coalesced=False)
+    first = metrics.interval_summary()
+    assert first["queries"] == 1
+    assert first["updates"] == 1
+    assert first["query_throughput_qps"] > 0
+
+    # Nothing recorded since: the next window must read zero, even though
+    # the lifetime counters still hold the old totals.
+    time.sleep(0.01)
+    second = metrics.interval_summary()
+    assert second["queries"] == 0
+    assert second["updates"] == 0
+    assert second["query_throughput_qps"] == 0.0
+    assert metrics.queries_served == 1
+
+    metrics.record_query(2e-4, cache_hit=True, stale=False)
+    metrics.record_query(2e-4, cache_hit=True, stale=False)
+    metrics.record_flush(0.01, batch_size=4, applied=4, trigger="size")
+    metrics.record_publish(epoch=5)
+    third = metrics.interval_summary()
+    assert third["queries"] == 2
+    assert third["cache_hit_rate"] == 1.0
+    assert third["flushes"] == 1
+    assert third["flush_seconds"] == pytest.approx(0.01, rel=0.3)
+    assert third["epoch"] == 5
+    assert metrics.format_interval_line()  # renders without error
