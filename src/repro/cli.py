@@ -177,6 +177,34 @@ def _service_graph(args):
     return generators.erdos_renyi(int(n), float(p), seed=args.seed)
 
 
+def _adapt_graph_for_oracle(graph, oracle_name: str):
+    """Re-kind a generated undirected graph for the oracle's graph model.
+
+    Dataset loaders and generators produce :class:`DynamicGraph`; directed
+    and weighted oracles validate their input kind in ``open_oracle``, so
+    serve/loadtest convert here — each undirected edge becomes the arc
+    pair (directed) or a unit-weight edge (weighted)."""
+    from repro.api.registry import oracle_spec
+
+    caps = oracle_spec(oracle_name).capabilities
+    if caps.directed:
+        from repro.graph.digraph import DynamicDiGraph
+
+        out = DynamicDiGraph(graph.num_vertices)
+        for u, v in graph.edges():
+            out.add_edge(u, v)
+            out.add_edge(v, u)
+        return out
+    if caps.weighted:
+        from repro.graph.weighted_graph import WeightedDynamicGraph
+
+        out = WeightedDynamicGraph(graph.num_vertices)
+        for u, v in graph.edges():
+            out.set_weight(u, v, 1)
+        return out
+    return graph
+
+
 def _make_service(args, graph, background: bool):
     from repro.service import DistanceService, FlushPolicy
 
@@ -185,7 +213,7 @@ def _make_service(args, graph, background: bool):
         max_delay=args.flush_delay if args.flush_delay > 0 else None,
     )
     return DistanceService(
-        graph,
+        _adapt_graph_for_oracle(graph, args.oracle),
         oracle=args.oracle,
         num_landmarks=args.landmarks,
         variant=args.variant,

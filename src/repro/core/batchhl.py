@@ -339,6 +339,31 @@ def _apply_one_batch(
     return labelling_new, stats
 
 
+def changed_label_entries(
+    old_labels: np.ndarray,
+    new_column: np.ndarray,
+    landmark_idx: int,
+    affected,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Sparse change set of one landmark's repair: ``(vertices, values)``.
+
+    Exact, not approximate: both repair kernels write landmark
+    ``landmark_idx``'s column only at affected rows (Algorithm 4 settles
+    exactly the affected set; unaffected labels are unchanged by Lemma
+    5.15), so diffing ``new_column`` against the pre-repair matrix
+    restricted to ``affected`` recovers every rewritten cell in
+    O(affected) — this is what lets the processes backend ship change
+    sets instead of whole columns.
+    """
+    if not len(affected):
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty
+    members = np.asarray(affected, dtype=np.int64)
+    new_vals = new_column[members]
+    mask = new_vals != old_labels[members, landmark_idx]
+    return members[mask], new_vals[mask]
+
+
 def process_one_landmark(
     view,
     labelling_old: HighwayCoverLabelling,

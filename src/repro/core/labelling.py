@@ -26,7 +26,17 @@ from repro.errors import IndexStateError
 class HighwayCoverLabelling:
     """A (possibly directed one-sided) highway cover labelling."""
 
-    __slots__ = ("labels", "highway", "landmarks", "landmark_index", "is_landmark")
+    # __weakref__ lets the processes backend's shared-memory mirror hold
+    # an identity token for the labelling it is synchronized with,
+    # without keeping superseded matrices alive.
+    __slots__ = (
+        "labels",
+        "highway",
+        "landmarks",
+        "landmark_index",
+        "is_landmark",
+        "__weakref__",
+    )
 
     def __init__(
         self,

@@ -47,8 +47,7 @@ def load_index(path: str | Path):
             )
         num_vertices = int(archive["num_vertices"])
         graph = DynamicGraph(num_vertices)
-        for a, b in archive["edges"]:
-            graph.add_edge(int(a), int(b))
+        graph.add_edges_bulk(archive["edges"])
         labelling = HighwayCoverLabelling(
             archive["labels"].copy(),
             archive["highway"].copy(),

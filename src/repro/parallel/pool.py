@@ -1,17 +1,21 @@
 """Persistent landmark-sharded process pool.
 
 :class:`LandmarkShardPool` is the writer-side driver of the ``processes``
-backend: it partitions the landmark set into shards, ships one picklable
-task per shard to a pool of worker processes, and scatters the returned
-label columns / highway rows back into the target labelling.  The
-underlying :class:`~concurrent.futures.ProcessPoolExecutor` is created
-lazily on first use and **reused across batches** — worker startup (and,
-under spawn, interpreter + import cost) is paid once per pool, not once
-per batch, which is what makes the backend viable for the serving layer's
+backend.  It publishes (G', Γ) into the shared-memory blocks of its
+:class:`~repro.parallel.snapshot.SharedShardState`, ships each worker a
+tiny task header — the state meta, the oriented edge deltas, and the
+shard's landmark indices — and scatters the returned **sparse change
+sets** into both the target labelling and the shared blocks, so the next
+batch starts from already-synchronized state and the steady-state IPC
+payload is O(|batch| + |changed entries|), never O(V·R).  The underlying
+:class:`~concurrent.futures.ProcessPoolExecutor` is created lazily on
+first use and **reused across batches** — worker startup (and, under
+spawn, interpreter + import cost) is paid once per pool, not once per
+batch, which is what makes the backend viable for the serving layer's
 steady stream of small flushes.
 
 Shard-count guidance: one shard per physical core, capped by the landmark
-count.  More shards than cores only adds snapshot pickling; fewer leaves
+count.  More shards than cores only adds dispatch overhead; fewer leaves
 cores idle.  With the paper's default of 20 landmarks, 4–20 shards cover
 every sensible machine.
 
@@ -29,17 +33,18 @@ import os
 import sys
 import threading
 import time
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from contextlib import contextmanager
 
 from repro.core.labelling import HighwayCoverLabelling
 from repro.core.stats import ShardTiming
 from repro.errors import BatchError
+from repro.graph.csr import CSRGraph
 from repro.obs.log import get_logger
 from repro.obs.metrics import get_registry
 from repro.obs.trace import get_tracer
-from repro.parallel.snapshot import encode_graph, encode_state
+from repro.parallel.snapshot import SharedShardState, encode_graph
 from repro.parallel.worker import (
     LandmarkOutcome,
     run_build_shard,
@@ -144,6 +149,12 @@ class LandmarkShardPool:
         self._mp_context = mp_context
         self._executor: ProcessPoolExecutor | None = None
         self._lock = threading.Lock()
+        # Shared-memory (G', Γ) mirror, created on the first run_update.
+        # _state_lock serialises publish -> dispatch -> merge: the blocks
+        # are a single mirror, so two concurrent batches over them would
+        # corrupt each other's view of Γ.
+        self._state: SharedShardState | None = None
+        self._state_lock = threading.Lock()
         self.batches_run = 0
 
     # ------------------------------------------------------------------
@@ -168,7 +179,12 @@ class LandmarkShardPool:
             return self._executor
 
     def _discard_broken(self) -> None:
-        """Drop a broken executor so the next call starts a fresh one."""
+        """Drop a broken executor so the next call starts a fresh one.
+
+        The shared-memory state is deliberately kept: the blocks live in
+        the writer and are still valid; replacement workers simply find
+        an empty attach cache and re-map on their first task.
+        """
         with self._lock:
             if self._executor is not None:
                 self._executor.shutdown(wait=False, cancel_futures=True)
@@ -179,6 +195,10 @@ class LandmarkShardPool:
             if self._executor is not None:
                 self._executor.shutdown(wait=True)
                 self._executor = None
+        with self._state_lock:
+            if self._state is not None:
+                self._state.close()
+                self._state = None
 
     def __enter__(self) -> "LandmarkShardPool":
         return self
@@ -200,10 +220,35 @@ class LandmarkShardPool:
                 futures = [
                     executor.submit(task, *args, shard) for shard in shards
                 ]
-            return [future.result() for future in futures]
         except BrokenProcessPool:
+            # The pool died between batches (e.g. a worker was killed
+            # while idle) and submit refuses it; discard so a retry
+            # starts fresh workers.
             self._discard_broken()
             raise
+        results = []
+        for s, future in enumerate(futures):
+            try:
+                results.append(future.result())
+            except BrokenProcessPool:
+                # Propagate unwrapped: callers (and their retry logic)
+                # distinguish a dead pool from a failing task.  shutdown
+                # with cancel_futures reaps the outstanding siblings.
+                self._discard_broken()
+                raise
+            except Exception as exc:
+                # One shard task failed while the pool itself is healthy.
+                # Cancel the siblings, wait for the stragglers already
+                # running (their writes are worker-private, so letting
+                # them finish is safe), and surface which shard died.
+                for pending in futures:
+                    pending.cancel()
+                wait(futures)
+                raise BatchError(
+                    f"shard {s} (landmarks {shards[s]}) failed:"
+                    f" {exc.__class__.__name__}: {exc}"
+                ) from exc
+        return results
 
     def run_update(
         self,
@@ -215,10 +260,17 @@ class LandmarkShardPool:
     ) -> tuple[list[LandmarkOutcome], float, list[ShardTiming], float]:
         """Search + repair every landmark across the worker shards.
 
-        ``graph`` must already be G' and ``labelling_new`` a copy of
+        ``graph`` must already be G' (ideally the frozen
+        :class:`CSRGraph`) and ``labelling_new`` a copy of
         ``labelling_old`` (grown to G''s vertex count).  Returns the
         per-landmark outcomes in landmark order, the makespan (max shard
         wall), the per-shard timings, and the writer-side merge time.
+
+        Dispatch ships only the state meta, the oriented deltas and each
+        shard's landmark list; results come back as sparse change sets,
+        scattered into **both** ``labelling_new`` and the shared blocks —
+        after the merge the blocks hold Γ', so the next batch publishes
+        zero label bytes.
         """
         num_landmarks = labelling_old.num_landmarks
         shards = partition_landmarks(
@@ -226,27 +278,67 @@ class LandmarkShardPool:
         )
         if not shards:
             return [], 0.0, [], 0.0
+        csr = (
+            graph
+            if isinstance(graph, CSRGraph)
+            else CSRGraph.from_graph(graph)
+        )
+        with self._state_lock:
+            return self._run_update_locked(
+                csr, labelling_old, labelling_new, oriented, improved, shards
+            )
+
+    def _run_update_locked(
+        self, csr, labelling_old, labelling_new, oriented, improved, shards
+    ):
+        if self._state is None:
+            self._state = SharedShardState()
+        state = self._state
+        num_landmarks = labelling_old.num_landmarks
         tracer = get_tracer()
         with tracer.span(
             "pool_update", shards=len(shards), landmarks=num_landmarks
         ) as pool_span:
-            with tracer.span("encode_state"):
-                snapshot = encode_state(graph, labelling_old)
+            with tracer.span("publish_state"):
+                meta, sync_bytes = state.publish(csr, labelling_old)
             oriented = list(oriented)
+            # Per-shard request payload: the oriented deltas plus the
+            # shard's landmark indices (the meta header is a few dozen
+            # bytes).  3 int64 fields per oriented update.
+            shipped = len(shards) * 24 * len(oriented) + 8 * num_landmarks
             dispatch_us = tracer.now_us() if tracer.enabled else 0
             with tracer.span("shard_dispatch"):
                 results = self._run_sharded(
-                    _update_task, shards, snapshot, oriented, improved
+                    _update_task, shards, meta, oriented, improved
                 )
             merge_started = time.perf_counter()
             outcomes: list[LandmarkOutcome | None] = [None] * num_landmarks
             shard_timings: list[ShardTiming] = []
+            attaches = remaps = 0
+            # The blocks mirror labelling_old until every change set is
+            # in; a partially-scattered mirror must never pass for either
+            # labelling, so drop the sync token first and re-establish it
+            # only after the last scatter.
+            state.invalidate()
             with tracer.span("shard_merge"):
                 for s, result in enumerate(results):
-                    labelling_new.labels[:, result.shard] = result.columns
-                    labelling_new.highway[result.shard, :] = (
-                        result.highway_rows
-                    )
+                    shipped += result.payload_bytes
+                    attaches += result.attached
+                    remaps += result.remapped
+                    if result.label_rows.size:
+                        labelling_new.labels[
+                            result.label_rows, result.label_cols
+                        ] = result.label_vals
+                        state.labels[
+                            result.label_rows, result.label_cols
+                        ] = result.label_vals
+                    if result.highway_rows.size:
+                        labelling_new.highway[
+                            result.highway_rows, result.highway_cols
+                        ] = result.highway_vals
+                        state.highway[
+                            result.highway_rows, result.highway_cols
+                        ] = result.highway_vals
                     for i, outcome in zip(result.shard, result.outcomes):
                         outcomes[i] = outcome
                     shard_timings.append(
@@ -262,6 +354,7 @@ class LandmarkShardPool:
                             wall_seconds=result.wall_seconds,
                         )
                     )
+            state.mark_synced(labelling_new)
             merge_seconds = time.perf_counter() - merge_started
             makespan = max(t.wall_seconds for t in shard_timings)
             if pool_span is not None:
@@ -283,6 +376,28 @@ class LandmarkShardPool:
             "repro_pool_makespan_seconds_total",
             "summed per-batch makespan (max shard wall)",
         ).inc(makespan)
+        registry.counter(
+            "repro_pool_bytes_shipped_total",
+            "per-batch IPC payload: oriented deltas out, change sets back",
+        ).inc(shipped)
+        registry.counter(
+            "repro_pool_state_sync_bytes_total",
+            "label/highway bytes re-copied into shared memory on publish",
+        ).inc(sync_bytes)
+        if attaches:
+            registry.counter(
+                "repro_pool_worker_attach_total",
+                "worker first-time attachments to the shared state",
+            ).inc(attaches)
+        if remaps:
+            registry.counter(
+                "repro_pool_worker_remap_total",
+                "worker re-attachments after a generation bump",
+            ).inc(remaps)
+        registry.gauge(
+            "repro_pool_state_generation",
+            "current shared-memory state generation",
+        ).set(state.generation)
         self.batches_run += 1
         _log.debug(
             "pool batch merged",
@@ -290,6 +405,9 @@ class LandmarkShardPool:
                 "shards": len(shards),
                 "makespan_s": round(makespan, 6),
                 "merge_s": round(merge_seconds, 6),
+                "shipped_bytes": shipped,
+                "sync_bytes": sync_bytes,
+                "generation": state.generation,
             },
         )
         return list(outcomes), makespan, shard_timings, merge_seconds
@@ -364,9 +482,9 @@ def _synthesize_shard_spans(
         )
 
 
-def _update_task(snapshot, oriented, improved, shard):
+def _update_task(meta, oriented, improved, shard):
     """Positional adapter so the shard is the trailing argument."""
-    return run_update_shard(snapshot, shard, oriented, improved)
+    return run_update_shard(meta, shard, oriented, improved)
 
 
 def _build_task(indptr, indices, landmarks, shard):

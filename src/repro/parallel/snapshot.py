@@ -1,27 +1,291 @@
-"""Compact array-encoded state snapshots for cross-process shipping.
+"""Shared-memory shard state + compact snapshots for the processes backend.
 
 A worker process needs exactly two things to run batch search + repair for
-a set of landmarks: the *updated* graph G' and the *old* labelling Γ.  Both
-are encoded as a handful of dense numpy arrays — CSR adjacency for the
-graph (the same :class:`~repro.graph.csr.CSRGraph` arrays every in-process
-read path runs on), the native label/highway matrices for the labelling —
-so one shard task pickles in O(V + E + V·R) contiguous bytes instead of
-walking a million Python set objects.  Decoding on the worker side is a
-single ``tolist()`` pass per array.
+a set of landmarks: the *updated* graph G' and the *old* labelling Γ.
+The processes backend used to pickle both, per shard, per batch — an
+O(V + E + V·R) payload that erased the landmark-parallel speedup.  The
+replacement lives here:
 
-The snapshot is immutable by convention: the writer builds it once per
-batch (after ``apply_batch``, so the adjacency already describes G') and
-every shard task receives the same object.  Workers copy what they mutate.
+:class:`SharedShardState` owns four named ``multiprocessing.shared_memory``
+blocks — CSR ``indptr``/``indices`` for G' plus the label and highway
+matrices of Γ — sized with capacity headroom so vertex/edge growth within
+the headroom reuses the same blocks.  Workers attach by name in O(1) on
+first use and **stay attached across batches**; a monotonically increasing
+*generation* stamped into every block name tells a worker when the writer
+had to reallocate (growth beyond the headroom, or a changed landmark set)
+and its mapped views are stale.  Per batch the writer memcpys the frozen
+CSR into the blocks (topology changes every batch; a memcpy is cheap) and
+re-syncs the label/highway matrices **only when it cannot prove the blocks
+already hold them** — after a merge the pool scatters the returned change
+sets into the shared matrices too, so steady-state flushes publish zero
+label bytes.
+
+Lifecycle: the writer creating a block owns it.  ``close()`` unlinks every
+block (also registered via ``atexit`` as a safety net for pools that are
+never closed); workers only ever ``close()`` their attachment maps.
+Attaching processes deliberately *unregister* the segments from their own
+``resource_tracker`` — otherwise a worker exiting (or being killed and
+replaced) would unlink blocks it never owned.
+
+:class:`StateSnapshot` (the picklable fallback encoding) is retained for
+one-shot users such as parallel construction, where state reuse across
+calls buys nothing; workers wrap its CSR arrays directly.
 """
 
 from __future__ import annotations
 
+import atexit
+import itertools
+import os
+import weakref
 from dataclasses import dataclass
+from multiprocessing import shared_memory
 
 import numpy as np
 
 from repro.core.labelling import HighwayCoverLabelling
+from repro.errors import BatchError
 from repro.graph.csr import CSRGraph, CSRListView
+from repro.obs.log import get_logger
+
+_log = get_logger("repro.parallel.snapshot")
+
+#: Block fields, in a fixed order (names become shared-memory suffixes).
+STATE_FIELDS = ("indptr", "indices", "labels", "highway")
+
+#: Headroom multiplier on reallocation: sizes may grow this much again
+#: before the next generation bump.
+GROWTH_FACTOR = 1.5
+
+_ITEM = np.dtype(np.int64).itemsize
+_uid_counter = itertools.count()
+
+
+@dataclass(frozen=True)
+class ShardStateMeta:
+    """Per-batch task header: where the shared state lives and its shape.
+
+    This is the *entire* cross-process description of (G', Γ) — a worker
+    derives every array view from it.  Sizes travel here rather than in
+    block names because blocks are over-allocated: the same generation
+    serves many (V, E) combinations until the headroom runs out.
+    """
+
+    prefix: str
+    generation: int
+    num_vertices: int
+    num_arcs: int
+    landmarks: tuple[int, ...]
+
+    def block_name(self, field: str) -> str:
+        return f"{self.prefix}_{self.generation}_{field}"
+
+
+class SharedShardState:
+    """Writer-side owner of the shared-memory (G', Γ) mirror.
+
+    One instance per :class:`~repro.parallel.pool.LandmarkShardPool`; the
+    pool serialises :meth:`publish`/scatter/:meth:`mark_synced` under its
+    own lock, so this class does no locking of its own.
+    """
+
+    def __init__(self):
+        self._prefix = f"repro_pool_{os.getpid()}_{next(_uid_counter):x}"
+        self.generation = 0
+        self._blocks: dict[str, shared_memory.SharedMemory] = {}
+        self._capacity: dict[str, int] = {}
+        self._meta: ShardStateMeta | None = None
+        # Weakrefs identifying the labelling whose content the label and
+        # highway blocks currently mirror (see mark_synced).
+        self._sync_ref = None
+        self._sync_arrays: tuple | None = None
+        #: writer-side views over the blocks, sized to the current meta.
+        self.labels: np.ndarray | None = None
+        self.highway: np.ndarray | None = None
+        self.sync_bytes_total = 0
+        atexit.register(self.close)
+
+    # ------------------------------------------------------------------
+    # publish
+    # ------------------------------------------------------------------
+
+    def publish(
+        self, csr: CSRGraph, labelling: HighwayCoverLabelling
+    ) -> tuple[ShardStateMeta, int]:
+        """Expose (G', Γ) to the workers; returns ``(meta, synced_bytes)``.
+
+        The CSR arrays are copied every call (topology changes with every
+        batch).  The label/highway matrices are copied only when the sync
+        token does not prove the blocks already hold ``labelling`` —
+        after the first batch of a steady flush stream that is never.
+        ``synced_bytes`` counts the label/highway bytes actually copied,
+        the quantity the delta protocol exists to drive to zero.
+        """
+        num_vertices = labelling.num_vertices
+        if csr.num_vertices != num_vertices:
+            raise BatchError(
+                f"CSR covers {csr.num_vertices} vertices but the labelling"
+                f" has {num_vertices} rows"
+            )
+        landmarks = labelling.landmarks
+        num_landmarks = len(landmarks)
+        needed = {
+            "indptr": (num_vertices + 1) * _ITEM,
+            "indices": len(csr.indices) * _ITEM,
+            "labels": num_vertices * num_landmarks * _ITEM,
+            "highway": num_landmarks * num_landmarks * _ITEM,
+        }
+        meta = self._meta
+        realloc = (
+            not self._blocks
+            or any(needed[f] > self._capacity[f] for f in STATE_FIELDS)
+            or meta is None
+            or meta.landmarks != landmarks
+        )
+        if realloc:
+            self._reallocate(needed)
+        self._meta = meta = ShardStateMeta(
+            prefix=self._prefix,
+            generation=self.generation,
+            num_vertices=num_vertices,
+            num_arcs=len(csr.indices),
+            landmarks=landmarks,
+        )
+
+        self._view("indptr", (num_vertices + 1,))[:] = csr.indptr
+        self._view("indices", (len(csr.indices),))[:] = csr.indices
+        self.labels = self._view("labels", (num_vertices, num_landmarks))
+        self.highway = self._view("highway", (num_landmarks, num_landmarks))
+
+        synced = 0
+        if not self.is_synced_to(labelling):
+            self.labels[:] = labelling.labels
+            self.highway[:] = labelling.highway
+            synced = labelling.labels.nbytes + labelling.highway.nbytes
+            self.sync_bytes_total += synced
+            self.mark_synced(labelling)
+            _log.debug(
+                "shared state resynced",
+                extra={
+                    "generation": self.generation,
+                    "bytes": synced,
+                    "vertices": num_vertices,
+                },
+            )
+        return meta, synced
+
+    def _reallocate(self, needed: dict[str, int]) -> None:
+        """Bump the generation: fresh blocks with headroom, old ones
+        unlinked.
+
+        POSIX keeps an unlinked segment alive for processes still mapping
+        it, so workers holding views of the previous generation are
+        unaffected — they drop their maps when the next task's meta names
+        the new generation.  The pool guarantees no task is in flight
+        while this runs.
+        """
+        old = list(self._blocks.values())
+        self._blocks = {}
+        self.generation += 1
+        for field in STATE_FIELDS:
+            size = max(_ITEM, int(needed[field] * GROWTH_FACTOR))
+            name = f"{self._prefix}_{self.generation}_{field}"
+            block = shared_memory.SharedMemory(
+                name=name, create=True, size=size
+            )
+            self._blocks[field] = block
+            # The OS may round the mapping up; advertise what was asked
+            # for so growth accounting stays deterministic.
+            self._capacity[field] = size
+        for block in old:
+            block.close()
+            try:
+                block.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+        self._sync_ref = None
+        self._sync_arrays = None
+        _log.debug(
+            "shared state reallocated",
+            extra={"generation": self.generation, "prefix": self._prefix},
+        )
+
+    def _view(self, field: str, shape: tuple[int, ...]) -> np.ndarray:
+        return np.ndarray(
+            shape, dtype=np.int64, buffer=self._blocks[field].buf
+        )
+
+    # ------------------------------------------------------------------
+    # sync tracking
+    # ------------------------------------------------------------------
+
+    def mark_synced(self, labelling: HighwayCoverLabelling) -> None:
+        """Record that the blocks now hold exactly ``labelling``'s content.
+
+        Identity-based: the token holds weakrefs to the labelling *and*
+        its matrices, so any swap — ``grow()`` vstacking a new label
+        matrix, a sequential batch producing a fresh ``copy()`` — breaks
+        the token and forces a resync.  The one undetectable case is
+        in-place writes through the *same* arrays between batches (e.g. a
+        caller poking ``set_r_label`` directly); such callers must use
+        :meth:`invalidate`.
+        """
+        self._sync_ref = weakref.ref(labelling)
+        self._sync_arrays = (
+            weakref.ref(labelling.labels),
+            weakref.ref(labelling.highway),
+        )
+
+    def is_synced_to(self, labelling: HighwayCoverLabelling) -> bool:
+        if self._sync_ref is None or self._sync_arrays is None:
+            return False
+        ref_labels, ref_highway = self._sync_arrays
+        return (
+            self._sync_ref() is labelling
+            and ref_labels() is labelling.labels
+            and ref_highway() is labelling.highway
+        )
+
+    def invalidate(self) -> None:
+        """Force the next :meth:`publish` to re-copy the label matrices."""
+        self._sync_ref = None
+        self._sync_arrays = None
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Unlink every owned block (idempotent)."""
+        blocks, self._blocks = self._blocks, {}
+        for block in blocks.values():
+            block.close()
+            try:
+                block.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+        self.labels = None
+        self.highway = None
+        self._meta = None
+        self._sync_ref = None
+        self._sync_arrays = None
+        if blocks:
+            try:
+                atexit.unregister(self.close)
+            except Exception:  # pragma: no cover - interpreter teardown
+                pass
+
+    def __repr__(self) -> str:
+        state = "live" if self._blocks else "closed"
+        return (
+            f"SharedShardState(prefix={self._prefix!r},"
+            f" generation={self.generation}, {state})"
+        )
+
+
+# ----------------------------------------------------------------------
+# picklable fallback snapshot (one-shot users: parallel construction)
+# ----------------------------------------------------------------------
 
 
 @dataclass(frozen=True)
@@ -72,7 +336,7 @@ def encode_graph(graph) -> tuple[np.ndarray, np.ndarray]:
 
 
 def encode_state(graph, labelling: HighwayCoverLabelling) -> StateSnapshot:
-    """Snapshot (G', Γ) for shard tasks.
+    """Snapshot (G', Γ) for one-shot shard tasks.
 
     Call *after* the batch has been applied to ``graph`` and the labelling
     grown to the new vertex count — workers must see the updated topology

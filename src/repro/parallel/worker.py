@@ -4,9 +4,19 @@ Everything here is module-level and operates on picklable inputs only, so
 the tasks work under any multiprocessing start method (fork, spawn,
 forkserver).  A shard task owns a contiguous slice of the landmark set:
 labels for different landmarks are disjoint columns of the label matrix
-(Section 6 of the paper), so each worker repairs into a private copy of
-the labelling and ships back exactly the columns (and highway rows) its
-landmarks own.  The writer-side merge is a pure array scatter.
+(Section 6 of the paper), so each worker repairs into private scratch
+for exactly the columns its landmarks own and ships back a **sparse
+change set** — ``(vertex, landmark, distance)`` triples plus changed
+highway cells — instead of whole columns.
+
+State arrives through :class:`~repro.parallel.snapshot.ShardStateMeta`:
+the worker attaches the writer's shared-memory blocks once, caches the
+attachment (and the array views derived from it) at module level, and
+reuses it for every later batch.  A generation bump in the meta means the
+writer reallocated (vertex growth beyond the headroom, changed landmark
+set); the worker then drops its maps and re-attaches.  The attach cache
+also makes a replacement worker after a pool crash self-healing — its
+cache starts empty, so the first task it runs re-attaches.
 
 Highway symmetry across shards: landmark ``i``'s repair writes ``H[i, j]``
 (and mirrors ``H[j, i]`` locally).  The mirror write is discarded when the
@@ -21,37 +31,187 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
+from multiprocessing import shared_memory
 
 import numpy as np
 
 from repro.constants import INF
 from repro.core.batch_search import OrientedUpdate
-from repro.core.batchhl import process_one_landmark
+from repro.core.batchhl import changed_label_entries, process_one_landmark
 from repro.core.construction import landmark_column
+from repro.core.labelling import HighwayCoverLabelling
 from repro.graph.csr import CSRGraph
-from repro.parallel.snapshot import StateSnapshot
+from repro.parallel.snapshot import STATE_FIELDS, ShardStateMeta
 
 #: Per-landmark outcome, same shape process_landmarks reports:
 #: (n_affected, search_seconds, repair_seconds, cells_changed, affected).
 LandmarkOutcome = tuple[int, float, float, int, list[int]]
 
+_EMPTY = np.empty(0, dtype=np.int64)
+
+#: prefix -> (generation, {field: SharedMemory}); survives across tasks.
+_segments: dict[str, tuple[int, dict[str, shared_memory.SharedMemory]]] = {}
+#: prefix -> (meta key, indptr view, indices view, old-labelling wrapper).
+_views: dict[str, tuple] = {}
+
+
+def _attach_segments(
+    meta: ShardStateMeta,
+) -> tuple[dict[str, shared_memory.SharedMemory], int, int]:
+    """Attach (or re-attach) this process to the writer's blocks.
+
+    Returns ``(blocks, attached, remapped)`` where the counters say
+    whether this call had to map fresh blocks (first contact with the
+    prefix) or replace stale ones (generation bump).
+    """
+    entry = _segments.get(meta.prefix)
+    if entry is not None and entry[0] == meta.generation:
+        return entry[1], 0, 0
+    attached = remapped = 0
+    if entry is None:
+        attached = 1
+    else:
+        remapped = 1
+        for block in entry[1].values():
+            block.close()
+        _views.pop(meta.prefix, None)
+    blocks: dict[str, shared_memory.SharedMemory] = {}
+    for field in STATE_FIELDS:
+        # Attaching re-registers the name with the resource tracker, but
+        # multiprocessing passes the tracker fd to its children (fork,
+        # forkserver and POSIX spawn alike), so this lands in the SAME
+        # tracker the writer registered with: the duplicate collapses in
+        # its name set, and a dying worker cannot trigger an unlink of
+        # writer-owned blocks.  Unregistering here would instead cancel
+        # the writer's registration and break its leak safety net.
+        blocks[field] = shared_memory.SharedMemory(name=meta.block_name(field))
+    _segments[meta.prefix] = (meta.generation, blocks)
+    return blocks, attached, remapped
+
+
+def _attach_state(
+    meta: ShardStateMeta,
+) -> tuple[np.ndarray, np.ndarray, HighwayCoverLabelling, int, int]:
+    """Array views over the shared state described by ``meta``.
+
+    The views (and the ``HighwayCoverLabelling`` wrapper, whose
+    construction is O(V) for the landmark mask) are cached per prefix and
+    rebuilt only when the generation or the actual sizes change — blocks
+    are over-allocated, so V/E routinely change within one generation.
+    All views are read-only: workers copy what they mutate.
+    """
+    blocks, attached, remapped = _attach_segments(meta)
+    key = (meta.generation, meta.num_vertices, meta.num_arcs, meta.landmarks)
+    cached = _views.get(meta.prefix)
+    if cached is not None and cached[0] == key:
+        return cached[1], cached[2], cached[3], attached, remapped
+    n, arcs, r = meta.num_vertices, meta.num_arcs, len(meta.landmarks)
+    indptr = np.ndarray((n + 1,), np.int64, buffer=blocks["indptr"].buf)
+    indices = np.ndarray((arcs,), np.int64, buffer=blocks["indices"].buf)
+    labels = np.ndarray((n, r), np.int64, buffer=blocks["labels"].buf)
+    highway = np.ndarray((r, r), np.int64, buffer=blocks["highway"].buf)
+    for view in (indptr, indices, labels, highway):
+        view.flags.writeable = False
+    labelling = HighwayCoverLabelling(labels, highway, meta.landmarks)
+    _views[meta.prefix] = (key, indptr, indices, labelling)
+    return indptr, indices, labelling, attached, remapped
+
+
+class _ColumnStore:
+    """Quacks like the label matrix for the columns one shard owns.
+
+    The repair kernels address labels exclusively as
+    ``labels[rows, landmark_idx]`` with the landmark they are repairing —
+    a dict of private per-column scratch arrays serves those reads and
+    writes without copying the other R-1 columns.  A landmark outside the
+    shard raises ``KeyError``: no kernel write may ever escape the shard.
+    """
+
+    __slots__ = ("columns",)
+
+    def __init__(self):
+        self.columns: dict[int, np.ndarray] = {}
+
+    def __getitem__(self, key):
+        rows, col = key
+        return self.columns[col][rows]
+
+    def __setitem__(self, key, value):
+        rows, col = key
+        self.columns[col][rows] = value
+
+
+class _ShardScratch:
+    """Worker-private ``labelling_new`` restricted to one shard.
+
+    Duck-types the slice of :class:`HighwayCoverLabelling` the repair
+    kernels touch: label access through :class:`_ColumnStore` (columns
+    copied from the shared matrix on demand), a private highway copy
+    (repair reads earlier landmarks' refreshed rows within the shard, and
+    mirror writes must not escape the process), and the shared landmark
+    bookkeeping, which repair never mutates.
+    """
+
+    __slots__ = ("labels", "highway", "landmarks", "landmark_index")
+
+    def __init__(self, base: HighwayCoverLabelling, shard: list[int]):
+        self.labels = _ColumnStore()
+        for i in shard:
+            # Column of a C-order matrix: the copy also de-strides it.
+            self.labels.columns[i] = base.labels[:, i].copy()
+        self.highway = base.highway.copy()
+        self.landmarks = base.landmarks
+        self.landmark_index = base.landmark_index
+
+    def set_highway(self, i: int, j: int, distance: int) -> None:
+        self.highway[i, j] = distance
+
+    def set_highway_symmetric(self, i: int, j: int, distance: int) -> None:
+        self.highway[i, j] = distance
+        self.highway[j, i] = distance
+
 
 @dataclass
 class ShardResult:
-    """What one update shard ships back to the writer."""
+    """Sparse change set one update shard ships back to the writer.
+
+    ``label_rows``/``label_cols``/``label_vals`` are parallel arrays of
+    rewritten label cells (``labels[row, col] = val``); ``highway_*``
+    likewise for this shard's highway rows.  Payload is O(|changed|), not
+    O(V · |shard|).
+    """
 
     shard: list[int]
-    #: (V, len(shard)) — the repaired label columns, in ``shard`` order.
-    columns: np.ndarray
-    #: (len(shard), R) — the repaired highway rows, in ``shard`` order.
+    label_rows: np.ndarray
+    label_cols: np.ndarray
+    label_vals: np.ndarray
     highway_rows: np.ndarray
+    highway_cols: np.ndarray
+    highway_vals: np.ndarray
     outcomes: list[LandmarkOutcome]
-    #: total worker wall time for the shard (decode + search + repair).
+    #: total worker wall time for the shard (attach + search + repair).
     wall_seconds: float
+    #: 1 if this task mapped the shared blocks for the first time.
+    attached: int = 0
+    #: 1 if this task replaced stale maps after a generation bump.
+    remapped: int = 0
+
+    @property
+    def payload_bytes(self) -> int:
+        """Shipped result size: change arrays + affected lists."""
+        return (
+            self.label_rows.nbytes
+            + self.label_cols.nbytes
+            + self.label_vals.nbytes
+            + self.highway_rows.nbytes
+            + self.highway_cols.nbytes
+            + self.highway_vals.nbytes
+            + sum(8 * len(outcome[4]) for outcome in self.outcomes)
+        )
 
 
 def run_update_shard(
-    snapshot: StateSnapshot,
+    meta: ShardStateMeta,
     shard: list[int],
     oriented: list[OrientedUpdate],
     improved: bool,
@@ -59,33 +219,29 @@ def run_update_shard(
     """Batch search + repair for every landmark in ``shard``.
 
     Mirrors one iteration of the sequential per-landmark loop: old
-    distances are decoded from the snapshot labelling, the search runs over
-    the updated CSR graph, and repair writes into a worker-private copy of
-    the labelling.  Only this shard's columns/rows leave the process.
+    distances are decoded from the shared labelling, the search runs over
+    the shared CSR of G', and repair writes into per-column scratch.
+    Only the changed entries leave the process.
     """
     t0 = time.perf_counter()
-    # Wrap the snapshot arrays as a frozen CSR directly: the adaptive
-    # search/repair kernels advance numpy frontiers over them, and their
-    # Python phase expands the cached adjacency lists lazily (shared by
-    # every landmark in the shard) instead of paying an unconditional
-    # O(V + E) decode per task.
-    csr = CSRGraph(snapshot.indptr, snapshot.indices)
-    labelling_old = snapshot.decode_labelling()
-    # A full copy, not just this shard's columns: every landmark's
-    # distances_from() decode reads ALL label columns (Eq. 2 routes
-    # through other landmarks' entries), so repairs must never alias the
-    # matrix that later landmarks in this shard still read old values
-    # from.
-    labelling_new = labelling_old.copy()
+    indptr, indices, labelling_old, attached, remapped = _attach_state(meta)
+    # A fresh CSRGraph per task: its cached adjacency-list expansion must
+    # not outlive this batch — the writer rewrites the block contents in
+    # place between batches.  Wrapping is O(1); the arrays are shared.
+    csr = CSRGraph(indptr[: meta.num_vertices + 1], indices)
+    scratch = _ShardScratch(labelling_old, shard)
     is_landmark = labelling_old.is_landmark
 
     outcomes: list[LandmarkOutcome] = []
+    rows_chunks: list[np.ndarray] = []
+    cols_chunks: list[np.ndarray] = []
+    vals_chunks: list[np.ndarray] = []
     for i in shard:
         n_affected, search_s, repair_s, changed, affected, _ = (
             process_one_landmark(
                 csr,
                 labelling_old,
-                labelling_new,
+                scratch,
                 oriented,
                 improved,
                 is_landmark,
@@ -95,13 +251,31 @@ def run_update_shard(
             )
         )
         outcomes.append((n_affected, search_s, repair_s, changed, affected))
+        rows, vals = changed_label_entries(
+            labelling_old.labels, scratch.labels.columns[i], i, affected
+        )
+        if rows.size:
+            rows_chunks.append(rows)
+            cols_chunks.append(np.full(rows.size, i, dtype=np.int64))
+            vals_chunks.append(vals)
+
+    shard_arr = np.asarray(shard, dtype=np.int64)
+    old_rows = labelling_old.highway[shard_arr, :]
+    new_rows = scratch.highway[shard_arr, :]
+    h_r, h_c = np.nonzero(new_rows != old_rows)
 
     return ShardResult(
         shard=list(shard),
-        columns=labelling_new.labels[:, shard].copy(),
-        highway_rows=labelling_new.highway[shard, :].copy(),
+        label_rows=np.concatenate(rows_chunks) if rows_chunks else _EMPTY,
+        label_cols=np.concatenate(cols_chunks) if cols_chunks else _EMPTY,
+        label_vals=np.concatenate(vals_chunks) if vals_chunks else _EMPTY,
+        highway_rows=shard_arr[h_r],
+        highway_cols=h_c.astype(np.int64, copy=False),
+        highway_vals=new_rows[h_r, h_c],
         outcomes=outcomes,
         wall_seconds=time.perf_counter() - t0,
+        attached=attached,
+        remapped=remapped,
     )
 
 
@@ -129,7 +303,9 @@ def run_build_shard(
     reachable, not a landmark, flag False), so construction shards are
     fully independent given the graph and the landmark set.  The arrays
     are wrapped as a :class:`CSRGraph` directly — the vectorised BFS
-    kernel reads them without expanding Python adjacency lists.
+    kernel reads them without expanding Python adjacency lists.  Dense
+    columns are the right payload here: construction writes every cell
+    once, so there is no delta to ship.
     """
     t0 = time.perf_counter()
     graph = CSRGraph(indptr, indices)

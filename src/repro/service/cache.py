@@ -22,8 +22,11 @@ The interesting part is invalidation when an epoch flips.  Two modes:
   README's "Online serving" section, which links back here; keep the two
   in sync.)
 
-Keys are canonicalised ``(min(s,t), max(s,t))`` pairs — the serving layer
-fronts the undirected index, whose distances are symmetric.
+Keys are canonicalised ``(min(s,t), max(s,t))`` pairs when the fronted
+oracle's distances are symmetric (the undirected default).  A directed
+writer constructs the cache with ``symmetric=False`` and keys stay ordered
+``(s, t)`` — canonicalising there would alias ``d(s, t)`` with ``d(t, s)``
+and serve wrong answers.
 
 Writes are *epoch-tagged* to close a writer/reader race: a reader that
 computed its answer against epoch N might otherwise install it just after
@@ -55,7 +58,12 @@ _CLEAR_RATIO = 0.5
 class QueryCache:
     """Thread-safe LRU of (s, t) -> distance with epoch invalidation."""
 
-    def __init__(self, capacity: int = 4096, mode: str = "epoch"):
+    def __init__(
+        self,
+        capacity: int = 4096,
+        mode: str = "epoch",
+        symmetric: bool = True,
+    ):
         if capacity < 0:
             raise WorkloadError("cache capacity must be >= 0")
         if mode not in CACHE_MODES:
@@ -64,6 +72,7 @@ class QueryCache:
             )
         self.capacity = capacity
         self.mode = mode
+        self.symmetric = symmetric
         self._entries: OrderedDict[tuple[int, int], float] = OrderedDict()
         self._lock = threading.Lock()
         self._epoch = 0
@@ -105,9 +114,10 @@ class QueryCache:
             "repro_cache_capacity", "configured cache capacity"
         ).set_function(lambda: self.capacity)
 
-    @staticmethod
-    def _key(s: int, t: int) -> tuple[int, int]:
-        return (s, t) if s <= t else (t, s)
+    def _key(self, s: int, t: int) -> tuple[int, int]:
+        if self.symmetric:
+            return (s, t) if s <= t else (t, s)
+        return (s, t)
 
     # -- read/write -----------------------------------------------------
 

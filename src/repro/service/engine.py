@@ -41,10 +41,13 @@ from repro.core.batchhl import PARALLEL_MODES, Variant, resolve_variant
 from repro.core.stats import UpdateStats
 from repro.errors import BatchError, CapabilityError, IndexStateError
 from repro.graph.batch import EdgeUpdate
+from repro.graph.digraph import DynamicDiGraph
 from repro.graph.dynamic_graph import DynamicGraph
+from repro.graph.weighted_graph import WeightedDynamicGraph, WeightUpdate
 from repro.obs.log import get_logger
 from repro.obs.profile import profile_section
 from repro.obs.trace import span
+from repro.parallel.pool import LandmarkShardPool
 from repro.parallel.sharded import ShardedHighwayCoverIndex
 from repro.service.cache import QueryCache
 from repro.service.metrics import ServiceMetrics
@@ -109,11 +112,12 @@ class DistanceService:
     ``oracle`` (default ``"hcl"``) with ``oracle_config`` constructor
     options — or a prebuilt :class:`~repro.api.protocol.DistanceOracle`
     (taken over as the writer's live oracle — do not mutate it externally
-    afterwards).  The serving scheduler coalesces undirected
-    :class:`EdgeUpdate` streams, so directed/weighted oracles are rejected
-    with :class:`~repro.errors.CapabilityError`; a static oracle
-    (``dynamic=False``, e.g. ``"pll"``) is accepted and pays a full
-    rebuild per flush.
+    afterwards).  Epoch snapshots are oracle-agnostic: directed writers
+    coalesce per *arc* (``(u, v)`` and ``(v, u)`` stay distinct, and the
+    query cache keeps ordered keys), weighted writers receive each flushed
+    :class:`EdgeUpdate` as a unit-weight :class:`WeightUpdate` (insert =
+    set weight 1, delete = remove), and a static oracle (``dynamic=False``,
+    e.g. ``"pll"``) pays a full rebuild per flush.
 
     With ``background=True`` a daemon writer thread flushes whenever the
     policy's size or age trigger fires; otherwise flushes run inline on
@@ -157,7 +161,9 @@ class DistanceService:
         background: bool = False,
         max_vertex_growth: int | None = 1024,
     ):
-        if isinstance(source, DynamicGraph):
+        if isinstance(
+            source, (DynamicGraph, DynamicDiGraph, WeightedDynamicGraph)
+        ):
             spec = oracle_spec(oracle)
             config = dict(oracle_config or {})
             # The landmark knobs stay as first-class service options but
@@ -175,12 +181,9 @@ class DistanceService:
                 f" got {type(source).__name__}"
             )
         writer_caps = getattr(type(writer), "capabilities", Capabilities())
-        if writer_caps.directed or writer_caps.weighted:
-            raise CapabilityError(
-                "DistanceService coalesces undirected EdgeUpdate streams;"
-                f" a {writer_caps.describe()} oracle cannot serve here"
-            )
         self._writer = writer
+        self._directed = bool(writer_caps.directed)
+        self._weighted = bool(writer_caps.weighted)
         # Resolve eagerly: a typo'd variant or backend must fail at
         # construction, not poison the first flush.
         self._variant = resolve_variant(variant)
@@ -218,6 +221,16 @@ class DistanceService:
                 f" ({type(writer).__name__}) declares"
                 f" capabilities: {writer_caps.describe()}"
             )
+        if self._directed and (
+            parallel == "processes" or num_shards is not None
+        ):
+            # The directed index parallelises with threads/simulate only;
+            # fail at construction rather than poisoning the first flush.
+            raise CapabilityError(
+                "directed oracles do not support the processes backend"
+                f" (got parallel={parallel!r}, num_shards={num_shards!r});"
+                " use parallel='threads' or sequential flushes"
+            )
         if max_vertex_growth is not None and max_vertex_growth < 0:
             raise BatchError(
                 f"max_vertex_growth must be >= 0 or None,"
@@ -228,6 +241,17 @@ class DistanceService:
         self._parallel = parallel
         self._num_threads = num_threads
         self._num_shards = num_shards
+        # Own one persistent shard pool for the service's lifetime: its
+        # worker processes AND its shared-memory state survive across
+        # flushes, so steady-state flushes ship only deltas instead of
+        # re-publishing (V, R) matrices.  A ShardedHighwayCoverIndex
+        # writer already owns a pool; the default-pool fallback inside
+        # run_batch_update would also work but would outlive the service.
+        self._pool: LandmarkShardPool | None = None
+        if parallel == "processes" and not isinstance(
+            writer, ShardedHighwayCoverIndex
+        ):
+            self._pool = LandmarkShardPool(num_shards)
         # The accept boundary validates against this count, not against a
         # live read of the writer's graph: it is republished under
         # self._wakeup at the end of every flush, so a submit racing a
@@ -236,8 +260,10 @@ class DistanceService:
         # half-grown intermediate.
         self._vertex_count = writer.graph.num_vertices
         self._epochs = EpochStore(self._freeze_snapshot())
-        self.scheduler = CoalescingScheduler(policy)
-        self.cache = QueryCache(cache_capacity, cache_mode)
+        self.scheduler = CoalescingScheduler(policy, directed=self._directed)
+        self.cache = QueryCache(
+            cache_capacity, cache_mode, symmetric=not self._directed
+        )
         self.metrics = ServiceMetrics()
         # The cache and scheduler export their own tallies through the
         # service registry (callback-backed: zero hot-path cost), so one
@@ -453,12 +479,28 @@ class DistanceService:
                     "flush", trigger=trigger.value, batch=len(batch)
                 ):
                     with span("batch_update"):
-                        stats = self._writer.batch_update(
-                            batch,
+                        if self._weighted:
+                            # The weighted oracle speaks WeightUpdate:
+                            # an unweighted serving stream maps insert ->
+                            # set weight 1, delete -> remove.
+                            batch_out = [
+                                WeightUpdate(
+                                    u.u, u.v, None if u.is_delete else 1
+                                )
+                                for u in batch
+                            ]
+                        else:
+                            batch_out = batch
+                        kwargs = dict(
                             variant=self._variant,
                             parallel=self._parallel,
                             num_threads=self._num_threads,
                             num_shards=self._num_shards,
+                        )
+                        if self._pool is not None:
+                            kwargs["pool"] = self._pool
+                        stats = self._writer.batch_update(
+                            batch_out, **kwargs
                         )
                     with self._wakeup:
                         # Republish the accept boundary's vertex count now
@@ -553,12 +595,19 @@ class DistanceService:
             self._wakeup.notify_all()
         if self._thread is not None:
             self._thread.join()
-        if self._writer_error is not None:
-            raise IndexStateError(
-                "service writer failed"
-            ) from self._writer_error
-        if flush_pending:
-            self.flush(FlushTrigger.CLOSE)
+        try:
+            if self._writer_error is not None:
+                raise IndexStateError(
+                    "service writer failed"
+                ) from self._writer_error
+            if flush_pending:
+                self.flush(FlushTrigger.CLOSE)
+        finally:
+            # After the final drain: the owned pool's workers and shared-
+            # memory blocks are no longer needed (unlink happens here, not
+            # at interpreter exit).
+            if self._pool is not None:
+                self._pool.close()
 
     def __enter__(self) -> "DistanceService":
         return self

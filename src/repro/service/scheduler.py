@@ -84,9 +84,13 @@ class CoalescingScheduler:
         self,
         policy: FlushPolicy | None = None,
         clock: Callable[[], float] = time.monotonic,
+        directed: bool = False,
     ):
         self.policy = policy or FlushPolicy()
         self._clock = clock
+        # Directed buffers coalesce per arc: (u, v) and (v, u) are
+        # different edges and must not displace each other.
+        self._directed = directed
         self._pending: dict[tuple[int, int], EdgeUpdate] = {}
         self._oldest_at: float | None = None
         self._lock = threading.Lock()
@@ -124,7 +128,9 @@ class CoalescingScheduler:
         with self._lock:
             self.offered += 1
             was_empty = not self._pending
-            displaced = fold_update(self._pending, update)
+            displaced = fold_update(
+                self._pending, update, directed=self._directed
+            )
             if was_empty and self._pending:
                 self._oldest_at = self._clock()
             if displaced is not None:

@@ -17,6 +17,8 @@ from __future__ import annotations
 
 import os
 import random
+import time
+from concurrent.futures.process import BrokenProcessPool
 
 import pytest
 
@@ -165,6 +167,66 @@ def test_backends_bitwise_equal(seed, shard_pool):
     problems = reference.check_minimality()
     assert problems == [], f"{context}: {problems[:5]}"
     assert_queries_exact(reference, batch_rng, context)
+
+
+@pytest.mark.parametrize("seed", fuzz_seeds())
+def test_processes_remap_and_worker_death(seed, shard_pool):
+    """The shared-memory protocol under its two hard events.
+
+    A vertex-growing batch forces the writer to reallocate the shared
+    blocks (generation bump; attached workers re-map on their next
+    task), and a killed worker surfaces exactly one BrokenProcessPool,
+    after which replacement workers attach to the *same* blocks.  Both
+    events must leave processes bit-identical to sequential.
+    """
+    rng, graph = random_instance(seed + 30_000)
+    num_landmarks = rng.randint(3, 5)
+    reference = HighwayCoverIndex(graph.copy(), num_landmarks=num_landmarks)
+    subject = HighwayCoverIndex.from_parts(
+        graph.copy(), reference.labelling.copy()
+    )
+    batch_rng = random.Random(f"{seed}:remap")
+
+    def apply_both(updates, stage):
+        reference.batch_update(updates, parallel=None)
+        subject.batch_update(updates, parallel="processes", pool=shard_pool)
+        context = (
+            f"seed={seed} stage={stage}"
+            f" (reproduce: REPRO_FUZZ_SEEDS={seed})"
+        )
+        assert reference.labelling.equals(subject.labelling), (
+            f"{context}: "
+            + "; ".join(reference.labelling.diff(subject.labelling)[:5])
+        )
+
+    apply_both(random_fuzz_batch(reference.graph, batch_rng), "warm")
+    generation_before = shard_pool._state.generation
+    # Doubling the vertex count overflows the blocks' 1.5x headroom, so
+    # the writer *must* reallocate (small growth is absorbed in place).
+    n = reference.graph.num_vertices
+    hub = batch_rng.randrange(n)
+    growth = [EdgeUpdate.insert(hub, n + k) for k in range(n)]
+    apply_both(growth, "growth")
+    assert shard_pool._state.generation > generation_before, (
+        f"seed={seed}: vertex growth must reallocate the shared blocks"
+    )
+
+    victim = next(iter(shard_pool._executor._processes.values()))
+    victim.kill()
+    victim.join(timeout=10)
+    # The executor's manager thread flags the breakage asynchronously;
+    # submitting before it runs would let the surviving workers serve
+    # the whole batch and defer the BrokenProcessPool by one flush.
+    deadline = time.monotonic() + 10
+    while not shard_pool._executor._broken and time.monotonic() < deadline:
+        time.sleep(0.01)
+    assert shard_pool._executor._broken
+    updates = random_fuzz_batch(reference.graph, batch_rng)
+    with pytest.raises(BrokenProcessPool):
+        subject.batch_update(updates, parallel="processes", pool=shard_pool)
+    # The failed batch rolled its edge mutations back; the retry runs on
+    # a fresh executor whose workers attach to the surviving blocks.
+    apply_both(updates, "post-kill-retry")
 
 
 @pytest.mark.parametrize("seed", fuzz_seeds())

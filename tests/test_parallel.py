@@ -192,6 +192,48 @@ def test_failed_unit_update_rolls_back_all_subbatches(shard_pool):
     assert index.distance(n, 1) == float("inf")  # grown vertex, isolated
 
 
+def test_bytes_shipped_stays_delta_sized(shard_pool):
+    """Steady-state IPC is O(|batch| + |changed entries|), not O(V * R).
+
+    Alternating delete/re-insert of the same edge set returns the
+    labelling to the same two states (it is graph-determined), so the
+    per-batch shipped payload must repeat exactly and stay far below one
+    full state transfer, and the full-state sync bytes must stop growing
+    after the first publish — the merge scatters results into the shared
+    blocks, so later publishes copy no label bytes at all.
+    """
+    from repro.obs.metrics import get_registry
+
+    graph = generators.barabasi_albert(2000, 3, seed=7)
+    index = HighwayCoverIndex(graph, num_landmarks=6, seed=1)
+    full_state = (
+        index.labelling.labels.nbytes + index.labelling.highway.nbytes
+    )
+    edges = sorted(index.graph.edges())
+    mid = len(edges) // 2
+    targets = edges[mid : mid + 8]
+    shipped = get_registry().counter("repro_pool_bytes_shipped_total", "")
+    synced = get_registry().counter("repro_pool_state_sync_bytes_total", "")
+    deltas, sync_deltas = [], []
+    for round_no in range(6):
+        make = EdgeUpdate.delete if round_no % 2 == 0 else EdgeUpdate.insert
+        batch = [make(a, b) for a, b in targets]
+        shipped_before, synced_before = shipped.value, synced.value
+        index.batch_update(batch, parallel="processes", pool=shard_pool)
+        deltas.append(shipped.value - shipped_before)
+        sync_deltas.append(synced.value - synced_before)
+    assert max(deltas) < full_state / 4, (
+        f"per-batch payload {max(deltas)} is not delta-sized"
+        f" (full state = {full_state} bytes)"
+    )
+    # Rounds 2k/2k+1 revisit the exact states of rounds 0/1: identical
+    # change sets, identical payload.
+    assert deltas[2:] == deltas[: len(deltas) - 2], deltas
+    assert sync_deltas[1:] == [0.0] * (len(sync_deltas) - 1), (
+        f"shared blocks fell out of sync: {sync_deltas}"
+    )
+
+
 def test_sharded_index_rejects_per_batch_shard_override(shard_pool):
     graph = build_pair(14)
     index = ShardedHighwayCoverIndex(graph, num_landmarks=3, pool=shard_pool)
