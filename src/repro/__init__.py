@@ -32,11 +32,11 @@ from repro.api import (
 )
 from repro.constants import INF
 from repro.core.batchhl import Variant
-from repro.core.directed import DirectedHighwayCoverIndex
-from repro.core.index import HighwayCoverIndex
+from repro.core.directed import DirectedHighwayCoverIndex  # reprolint: disable=API001 -- public compatibility re-export
+from repro.core.index import HighwayCoverIndex  # reprolint: disable=API001 -- public compatibility re-export
 from repro.core.labelling import HighwayCoverLabelling
 from repro.core.stats import UpdateStats
-from repro.core.weighted import WeightedHighwayCoverIndex
+from repro.core.weighted import WeightedHighwayCoverIndex  # reprolint: disable=API001 -- public compatibility re-export
 from repro.errors import (
     BatchError,
     CapabilityError,
@@ -53,7 +53,7 @@ from repro.graph.digraph import DynamicDiGraph
 from repro.graph.dynamic_graph import DynamicGraph
 from repro.graph.weighted_graph import WeightedDynamicGraph, WeightUpdate
 from repro.parallel.pool import LandmarkShardPool
-from repro.parallel.sharded import ShardedHighwayCoverIndex
+from repro.parallel.sharded import ShardedHighwayCoverIndex  # reprolint: disable=API001 -- public compatibility re-export
 from repro.service.engine import DistanceService
 from repro.service.scheduler import FlushPolicy, FlushTrigger
 

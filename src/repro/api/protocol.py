@@ -26,12 +26,23 @@ from __future__ import annotations
 import copy
 import warnings
 from dataclasses import dataclass, fields
-from typing import TYPE_CHECKING, ClassVar, Iterable, Protocol, runtime_checkable
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    ClassVar,
+    Iterable,
+    Protocol,
+    runtime_checkable,
+)
 
 from repro.errors import CapabilityError, IndexStateError
 
 if TYPE_CHECKING:  # pragma: no cover
+    from pathlib import Path
+    from types import TracebackType
+
     from repro.core.stats import UpdateStats
+    from repro.graph.batch import Batch, EdgeUpdate
 
 
 @dataclass(frozen=True)
@@ -57,7 +68,7 @@ class Capabilities:
     def missing(self, required: Iterable[str]) -> list[str]:
         """The subset of ``required`` capability names this record lacks."""
         known = {f.name for f in fields(self)}
-        absent = []
+        absent: list[str] = []
         for name in required:
             if name not in known:
                 raise CapabilityError(
@@ -82,15 +93,19 @@ class DistanceOracle(Protocol):
 
     def distance(self, s: int, t: int) -> float: ...
 
-    def distances(self, pairs) -> list[float]: ...
+    def distances(
+        self, pairs: Iterable[tuple[int, int]]
+    ) -> list[float]: ...
 
-    def batch_update(self, updates, **options) -> "UpdateStats": ...
+    def batch_update(
+        self, updates: "Iterable[EdgeUpdate]", **options: Any
+    ) -> "UpdateStats": ...
 
     def snapshot(self) -> "DistanceOracle": ...
 
-    def serialize(self, path) -> None: ...
+    def serialize(self, path: "str | Path") -> None: ...
 
-    def stats(self) -> dict: ...
+    def stats(self) -> dict[str, Any]: ...
 
     def close(self) -> None: ...
 
@@ -106,12 +121,16 @@ class OracleBase:
     #: Overridden per subclass; the registry re-exports it on the spec.
     capabilities: ClassVar[Capabilities] = Capabilities()
 
+    #: The indexed graph; every concrete oracle assigns one (the kind
+    #: varies per backend, so the base leaves it dynamically typed).
+    graph: Any
+
     _closed: bool = False
 
     # -- uniform guards -------------------------------------------------
 
     @staticmethod
-    def _check_buildable(graph) -> None:
+    def _check_buildable(graph: Any) -> None:
         """Every oracle refuses an empty graph the same way."""
         if graph.num_vertices == 0:
             raise IndexStateError("cannot index an empty graph")
@@ -131,7 +150,11 @@ class OracleBase:
             )
 
     def _require_sequential(
-        self, parallel, num_threads, num_shards, pool
+        self,
+        parallel: str | None,
+        num_threads: int | None,
+        num_shards: int | None,
+        pool: object | None,
     ) -> None:
         """Reject parallel execution options on a sequential-only oracle."""
         if (
@@ -147,7 +170,7 @@ class OracleBase:
             )
 
     @staticmethod
-    def _fill_batch_stats(stats: "UpdateStats", batch) -> None:
+    def _fill_batch_stats(stats: "UpdateStats", batch: "Batch") -> None:
         """Record a normalised batch's counts and endpoint-affected set.
 
         ``affected_vertices`` gets at least the applied updates' endpoints
@@ -169,7 +192,7 @@ class OracleBase:
     #: small groups stay on the per-pair path.
     _sweep_threshold: ClassVar[int] = 32
 
-    def distances(self, pairs) -> list[float]:
+    def distances(self, pairs: Iterable[tuple[int, int]]) -> list[float]:
         """Batched queries: one distance per (s, t) pair, in order.
 
         Pairs are grouped by shared source: once a group reaches
@@ -178,16 +201,16 @@ class OracleBase:
         across the whole group — the batched read path the serving layer
         and the bench drivers rely on.
         """
-        pairs = list(pairs)
+        pair_list = list(pairs)
         by_source: dict[int, list[int]] = {}
-        for position, (s, _) in enumerate(pairs):
+        for position, (s, _) in enumerate(pair_list):
             by_source.setdefault(s, []).append(position)
-        results: list[float] = [0.0] * len(pairs)
+        results: list[float] = [0.0] * len(pair_list)
         for s, positions in by_source.items():
             values = None
             if len(positions) >= self._sweep_threshold:
                 values = self._distances_from_source(
-                    s, [pairs[i][1] for i in positions]
+                    s, [pair_list[i][1] for i in positions]
                 )
             if values is not None:
                 if len(values) != len(positions):
@@ -200,7 +223,7 @@ class OracleBase:
                     results[i] = value
             else:
                 for i in positions:
-                    results[i] = self.distance(*pairs[i])
+                    results[i] = self.distance(*pair_list[i])
         return results
 
     def _distances_from_source(
@@ -226,7 +249,7 @@ class OracleBase:
 
     # -- snapshots / persistence ----------------------------------------
 
-    def snapshot(self):
+    def snapshot(self) -> "OracleBase":
         """A frozen copy sharing no mutable state with this oracle.
 
         The default deep-copies the whole oracle — always correct, not
@@ -237,7 +260,7 @@ class OracleBase:
         clone._closed = False
         return clone
 
-    def serialize(self, path) -> None:
+    def serialize(self, path: "str | Path") -> None:
         """Persist the oracle; only where ``serializable`` is advertised."""
         raise CapabilityError(
             f"{type(self).__name__} does not support serialization"
@@ -246,10 +269,10 @@ class OracleBase:
 
     # -- introspection ---------------------------------------------------
 
-    def stats(self) -> dict:
+    def stats(self) -> dict[str, Any]:
         """Size/shape introspection, uniform across oracles."""
         graph = self.graph
-        info: dict = {
+        info: dict[str, Any] = {
             "oracle": type(self).__name__,
             "num_vertices": graph.num_vertices,
             "num_edges": graph.num_edges,
@@ -275,9 +298,14 @@ class OracleBase:
         """
         self._closed = True
 
-    def __enter__(self):
+    def __enter__(self) -> "OracleBase":
         self._ensure_open()
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> None:
+    def __exit__(
+        self,
+        exc_type: "type[BaseException] | None",
+        exc: "BaseException | None",
+        tb: "TracebackType | None",
+    ) -> None:
         self.close()

@@ -24,7 +24,7 @@ from __future__ import annotations
 import importlib
 import time
 from dataclasses import dataclass
-from typing import Callable
+from typing import Any, Callable
 
 from repro.api.protocol import Capabilities
 from repro.errors import (
@@ -143,7 +143,7 @@ def oracle_spec(name: str) -> OracleSpec:
     return spec
 
 
-def _graph_kind(graph) -> str:
+def _graph_kind(graph: Any) -> str:
     from repro.graph.digraph import DynamicDiGraph
     from repro.graph.dynamic_graph import DynamicGraph
     from repro.graph.weighted_graph import WeightedDynamicGraph
@@ -160,7 +160,13 @@ def _graph_kind(graph) -> str:
     )
 
 
-def open_oracle(name: str, graph, *, require: tuple[str, ...] = (), **config):
+def open_oracle(
+    name: str,
+    graph: Any,
+    *,
+    require: tuple[str, ...] = (),
+    **config: Any,
+) -> Any:
     """Build the oracle registered as ``name`` over ``graph``.
 
     ``require`` names capabilities the caller's workload depends on
@@ -216,7 +222,7 @@ def open_oracle(name: str, graph, *, require: tuple[str, ...] = (), **config):
     return oracle
 
 
-def load_oracle(name: str, path):
+def load_oracle(name: str, path: Any) -> Any:
     """Restore a serialized oracle; typed error where unsupported."""
     spec = oracle_spec(name)
     if spec.loader is None or not spec.capabilities.serializable:

@@ -8,6 +8,8 @@ O(E) in the worst case, which is the trade-off Figure 6 explores.
 
 from __future__ import annotations
 
+from typing import Any, Iterable
+
 from repro.api.protocol import Capabilities, OracleBase
 from repro.api.registry import register_oracle
 from repro.constants import INF, externalise
@@ -22,7 +24,7 @@ class BiBFSIndex(OracleBase):
 
     capabilities = Capabilities(dynamic=True)
 
-    def __init__(self, graph: DynamicGraph):
+    def __init__(self, graph: DynamicGraph) -> None:
         self._check_buildable(graph)
         self._graph = graph
 
@@ -41,12 +43,12 @@ class BiBFSIndex(OracleBase):
 
     def batch_update(
         self,
-        updates,
-        variant=None,
+        updates: Iterable[Any],
+        variant: Any = None,
         parallel: str | None = None,
         num_threads: int | None = None,
         num_shards: int | None = None,
-        pool=None,
+        pool: Any = None,
     ) -> UpdateStats:
         """Apply updates to the graph; nothing else to maintain.
 

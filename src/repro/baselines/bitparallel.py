@@ -17,11 +17,13 @@ the canonical 64 as the default for fidelity.
 
 from __future__ import annotations
 
+from typing import Any
+
 from repro.constants import INF
 
 
 def bit_parallel_bfs(
-    graph, root: int, selected: list[int]
+    graph: Any, root: int, selected: list[int]
 ) -> tuple[list[int], list[int], list[int]]:
     """Run one bit-parallel BFS; returns ``(dist, s_minus1, s_zero)``.
 

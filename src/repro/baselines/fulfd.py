@@ -23,6 +23,8 @@ marginally looser bounds).  ``rebuild_masks()`` restores refinement, and
 
 from __future__ import annotations
 
+from typing import Any, Iterable
+
 import time
 from collections import deque
 from heapq import heapify, heappop, heappush
@@ -51,7 +53,7 @@ class FulFDIndex(OracleBase):
         num_roots: int = 20,
         num_bp_neighbors: int = 64,
         bp_mode: str = "static",
-    ):
+    ) -> None:
         self._check_buildable(graph)
         if bp_mode not in ("static", "rebuild", "off"):
             raise IndexStateError(
@@ -226,12 +228,12 @@ class FulFDIndex(OracleBase):
 
     def batch_update(
         self,
-        updates,
-        variant=None,
+        updates: Iterable[Any],
+        variant: Any = None,
         parallel: str | None = None,
         num_threads: int | None = None,
         num_shards: int | None = None,
-        pool=None,
+        pool: Any = None,
     ) -> UpdateStats:
         """Unit-update loop: FulFD cannot exploit batches (by design).
 

@@ -9,6 +9,8 @@ batch-dynamic algorithms are designed to beat.
 
 from __future__ import annotations
 
+from typing import Any, Iterable
+
 import time
 
 from repro.api.protocol import Capabilities, OracleBase
@@ -25,7 +27,7 @@ class FullPLLIndex(OracleBase):
 
     capabilities = Capabilities(dynamic=True)
 
-    def __init__(self, graph: DynamicGraph, order: list[int] | None = None):
+    def __init__(self, graph: DynamicGraph, order: list[int] | None = None) -> None:
         self._pll = PrunedLandmarkLabelling(graph, order)
 
     @property
@@ -52,12 +54,12 @@ class FullPLLIndex(OracleBase):
 
     def batch_update(
         self,
-        updates,
-        variant=None,
+        updates: Iterable[Any],
+        variant: Any = None,
         parallel: str | None = None,
         num_threads: int | None = None,
         num_shards: int | None = None,
-        pool=None,
+        pool: Any = None,
     ) -> UpdateStats:
         """Unit-update loop: FulPLL cannot exploit batches (by design).
 

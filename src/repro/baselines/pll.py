@@ -13,6 +13,8 @@ scaling weakness Tables 3 and 4 of the paper exhibit.
 
 from __future__ import annotations
 
+from typing import Any, Iterable
+
 import time
 from collections import deque
 
@@ -31,7 +33,7 @@ class PrunedLandmarkLabelling(OracleBase):
     #: Honest declaration: updates are handled, but by full rebuild.
     capabilities = Capabilities(dynamic=False)
 
-    def __init__(self, graph: DynamicGraph, order: list[int] | None = None):
+    def __init__(self, graph: DynamicGraph, order: list[int] | None = None) -> None:
         self._check_buildable(graph)
         self._graph = graph
         n = graph.num_vertices
@@ -61,7 +63,7 @@ class PrunedLandmarkLabelling(OracleBase):
         start: int | None = None,
         start_dist: int = 0,
         rank_cutoff: bool = True,
-    ):
+    ) -> None:
         """Pruned BFS from ``hub``; optionally resumed at ``start``.
 
         Used at construction (start=None: begins at the hub itself), by
@@ -167,12 +169,12 @@ class PrunedLandmarkLabelling(OracleBase):
 
     def batch_update(
         self,
-        updates,
-        variant=None,
+        updates: Iterable[Any],
+        variant: Any = None,
         parallel: str | None = None,
         num_threads: int | None = None,
         num_shards: int | None = None,
-        pool=None,
+        pool: Any = None,
     ) -> UpdateStats:
         """Apply the batch to the graph and rebuild the labels from scratch.
 

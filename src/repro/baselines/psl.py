@@ -19,6 +19,8 @@ either way.  PSL handles static graphs only — after any update the paper
 
 from __future__ import annotations
 
+from typing import Any, Iterable
+
 import time
 
 from repro.api.protocol import Capabilities, OracleBase
@@ -35,7 +37,7 @@ class PSLIndex(OracleBase):
     #: Honest declaration: updates are handled, but by full rebuild.
     capabilities = Capabilities(dynamic=False)
 
-    def __init__(self, graph: DynamicGraph, order: list[int] | None = None):
+    def __init__(self, graph: DynamicGraph, order: list[int] | None = None) -> None:
         self._check_buildable(graph)
         self._graph = graph
         n = graph.num_vertices
@@ -113,12 +115,12 @@ class PSLIndex(OracleBase):
 
     def batch_update(
         self,
-        updates,
-        variant=None,
+        updates: Iterable[Any],
+        variant: Any = None,
         parallel: str | None = None,
         num_threads: int | None = None,
         num_shards: int | None = None,
-        pool=None,
+        pool: Any = None,
     ) -> UpdateStats:
         """Apply the batch to the graph and re-propagate from scratch.
 

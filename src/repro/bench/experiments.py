@@ -19,7 +19,8 @@ Replica-scale conventions (see DESIGN.md §2):
 
 from __future__ import annotations
 
-import time
+from typing import Any
+
 
 from repro.api import open_oracle
 from repro.bench.harness import (
@@ -64,14 +65,18 @@ PSL_VERTEX_CAP = 4400
 # ----------------------------------------------------------------------
 
 
-def _build_hcl(graph, num_landmarks: int):
+def _build_hcl(graph: Any, num_landmarks: int) -> Any:
     landmarks = select_landmarks(graph, min(num_landmarks, graph.num_vertices))
     return build_labelling(graph, landmarks)
 
 
 def _apply_batches(
-    graph, labelling, batches, variant, parallel=None
-):
+    graph: Any,
+    labelling: Any,
+    batches: Any,
+    variant: Any,
+    parallel: str | None = None,
+) -> tuple[Any, list[Any]]:
     """Apply batches sequentially; returns (labelling, per-batch stats)."""
     all_stats = []
     for batch in batches:
@@ -82,8 +87,13 @@ def _apply_batches(
     return labelling, all_stats
 
 
-def _dataset_batches(name: str, num_batches: int, batch_size: int, seed: int,
-                     setting: str = "fully-dynamic"):
+def _dataset_batches(
+    name: str,
+    num_batches: int,
+    batch_size: int,
+    seed: int,
+    setting: str = "fully-dynamic",
+) -> Any:
     """Prepared (graph, batches) for a dataset under an update setting.
 
     Temporal datasets replay their timestamped stream (the paper's protocol
@@ -538,7 +548,7 @@ def experiment_table6(
     return table
 
 
-def _directed_update_valid(digraph, update) -> bool:
+def _directed_update_valid(digraph: Any, update: Any) -> bool:
     """Orientation filter: deletions need the arc present, insertions absent."""
     present = digraph.has_edge(update.u, update.v)
     return present if update.is_delete else not present

@@ -4,19 +4,23 @@ from __future__ import annotations
 
 import os
 import time
-from typing import Callable
+from typing import Any, Callable, Sequence
 
 from repro.workloads.datasets import FULPLL_CAPABLE, PSL_CAPABLE
 
 
-def time_call(fn: Callable, *args, **kwargs) -> tuple[object, float]:
+def time_call(
+    fn: Callable[..., Any], *args: Any, **kwargs: Any
+) -> tuple[Any, float]:
     """Run ``fn`` and return ``(result, elapsed_seconds)``."""
     started = time.perf_counter()
     result = fn(*args, **kwargs)
     return result, time.perf_counter() - started
 
 
-def average_query_time(index, pairs) -> float:
+def average_query_time(
+    index: Any, pairs: Sequence[tuple[int, int]]
+) -> float:
     """Mean seconds per query over a pair sample."""
     started = time.perf_counter()
     for s, t in pairs:

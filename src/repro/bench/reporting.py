@@ -40,7 +40,7 @@ def format_value(value: Any) -> str:
 class ResultTable:
     """An ordered collection of result rows with aligned text rendering."""
 
-    def __init__(self, title: str, columns: list[str]):
+    def __init__(self, title: str, columns: list[str]) -> None:
         self.title = title
         self.columns = list(columns)
         self.rows: list[dict[str, Any]] = []

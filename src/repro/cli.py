@@ -15,7 +15,10 @@ Subcommands:
                     updates over stdin, batch-coalesced epochs underneath;
 * ``loadtest``    — drive a mixed query/update scenario through the
                     service and report throughput, latency percentiles
-                    and epoch staleness (optionally oracle-validated).
+                    and epoch staleness (optionally oracle-validated);
+* ``lint``        — the reprolint project-invariant static analysis
+                    suite (``tools/reprolint``; see README "Static
+                    analysis").
 
 ``serve``/``loadtest`` take ``--oracle NAME`` to pick the serving backend
 from the registry; all index construction goes through
@@ -28,9 +31,17 @@ import argparse
 import random
 import sys
 import threading
+from typing import TYPE_CHECKING
 
 from repro.bench import experiments
 from repro.workloads.datasets import PAPER_DATASETS
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.graph.digraph import DynamicDiGraph
+    from repro.graph.dynamic_graph import DynamicGraph
+    from repro.graph.weighted_graph import WeightedDynamicGraph
+    from repro.service.engine import DistanceService
+    from repro.service.metrics import ServiceMetrics
 
 EXPERIMENTS = {
     "fig2": experiments.experiment_fig2,
@@ -47,7 +58,7 @@ EXPERIMENTS = {
 }
 
 
-def _cmd_list(_args) -> int:
+def _cmd_list(_args: argparse.Namespace) -> int:
     header = (
         f"{'name':<14}{'kind':<8}{'replica |V|':>12}{'paper |V|':>12}"
         f"{'paper |E|':>12}  temporal"
@@ -63,7 +74,7 @@ def _cmd_list(_args) -> int:
     return 0
 
 
-def _cmd_oracles(_args) -> int:
+def _cmd_oracles(_args: argparse.Namespace) -> int:
     from repro.api import capability_rows
 
     header = (
@@ -84,7 +95,7 @@ def _cmd_oracles(_args) -> int:
     return 0
 
 
-def _cmd_run(args) -> int:
+def _cmd_run(args: argparse.Namespace) -> int:
     driver = EXPERIMENTS.get(args.experiment)
     if driver is None:
         print(
@@ -93,7 +104,7 @@ def _cmd_run(args) -> int:
             file=sys.stderr,
         )
         return 2
-    kwargs = {}
+    kwargs: dict[str, tuple[str, ...]] = {}
     if args.datasets:
         kwargs["datasets"] = tuple(args.datasets.split(","))
     table = driver(**kwargs)
@@ -104,7 +115,7 @@ def _cmd_run(args) -> int:
     return 0
 
 
-def _cmd_quickcheck(args) -> int:
+def _cmd_quickcheck(args: argparse.Namespace) -> int:
     from repro import EdgeUpdate, open_oracle
     from repro.constants import INF
     from repro.graph import generators
@@ -165,7 +176,7 @@ def _cmd_quickcheck(args) -> int:
     return 1 if failures else 0
 
 
-def _service_graph(args):
+def _service_graph(args: argparse.Namespace) -> "DynamicGraph":
     """Build the graph a service command operates on."""
     if args.dataset:
         from repro.workloads.datasets import load_dataset
@@ -177,7 +188,9 @@ def _service_graph(args):
     return generators.erdos_renyi(int(n), float(p), seed=args.seed)
 
 
-def _adapt_graph_for_oracle(graph, oracle_name: str):
+def _adapt_graph_for_oracle(
+    graph: "DynamicGraph", oracle_name: str
+) -> "DynamicGraph | DynamicDiGraph | WeightedDynamicGraph":
     """Re-kind a generated undirected graph for the oracle's graph model.
 
     Dataset loaders and generators produce :class:`DynamicGraph`; directed
@@ -205,7 +218,11 @@ def _adapt_graph_for_oracle(graph, oracle_name: str):
     return graph
 
 
-def _make_service(args, graph, background: bool):
+def _make_service(
+    args: argparse.Namespace,
+    graph: "DynamicGraph | DynamicDiGraph | WeightedDynamicGraph",
+    background: bool,
+) -> "DistanceService":
     from repro.service import DistanceService, FlushPolicy
 
     policy = FlushPolicy(
@@ -227,7 +244,7 @@ def _make_service(args, graph, background: bool):
     )
 
 
-def _setup_obs(args) -> None:
+def _setup_obs(args: argparse.Namespace) -> None:
     """Arm the observability sinks the flags asked for (before service
     construction, so startup logs and the first flush are captured)."""
     from repro.obs import configure_logging, enable_profiling, get_tracer
@@ -239,7 +256,9 @@ def _setup_obs(args) -> None:
         enable_profiling()
 
 
-def _finish_obs(args, service) -> None:
+def _finish_obs(
+    args: argparse.Namespace, service: "DistanceService"
+) -> None:
     """Drain every armed sink to its file; confirmations go to stderr so
     stdout stays the command's report/protocol stream."""
     from repro.obs import (
@@ -271,7 +290,7 @@ class _IntervalReporter:
     Writes to stderr: stdout carries the serve protocol / report tables.
     """
 
-    def __init__(self, metrics, interval: float):
+    def __init__(self, metrics: "ServiceMetrics", interval: float) -> None:
         self._metrics = metrics
         self._interval = interval
         self._stop = threading.Event()
@@ -283,19 +302,19 @@ class _IntervalReporter:
         while not self._stop.wait(self._interval):
             print(self._metrics.format_interval_line(), file=sys.stderr)
 
-    def __enter__(self):
+    def __enter__(self) -> "_IntervalReporter":
         if self._interval > 0:
             self._metrics.interval_summary()  # reset the window to now
             self._thread.start()
         return self
 
-    def __exit__(self, *exc):
+    def __exit__(self, *exc: object) -> None:
         self._stop.set()
         if self._thread.is_alive():
             self._thread.join(timeout=1.0)
 
 
-def _cmd_serve(args) -> int:
+def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.errors import ReproError
 
     _setup_obs(args)
@@ -346,7 +365,7 @@ def _cmd_serve(args) -> int:
     return 0
 
 
-def _cmd_loadtest(args) -> int:
+def _cmd_loadtest(args: argparse.Namespace) -> int:
     from repro.errors import ReproError
     from repro.service import ClosedLoopGenerator, mixed_scenario, replay
 
@@ -496,6 +515,47 @@ def _add_obs_options(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    """Run the reprolint static analysis suite over this checkout.
+
+    ``tools/reprolint`` ships in the repository, not the installed
+    package: the rules encode invariants of *this* source tree, so the
+    command locates the checkout (pyproject.toml with a
+    ``[tool.reprolint]`` table) by walking up from the working directory
+    and puts its ``tools/`` directory on the path.
+    """
+    from pathlib import Path
+
+    start = Path(args.root) if args.root else Path.cwd()
+    current = start.resolve()
+    root = None
+    for candidate in (current, *current.parents):
+        if (candidate / "pyproject.toml").is_file() and (
+            candidate / "tools" / "reprolint"
+        ).is_dir():
+            root = candidate
+            break
+    if root is None:
+        print(
+            "repro lint: no checkout with tools/reprolint found above"
+            f" {start}; run from the repository (or pass --root)",
+            file=sys.stderr,
+        )
+        return 2
+    tools_dir = str(root / "tools")
+    if tools_dir not in sys.path:
+        sys.path.insert(0, tools_dir)
+    from reprolint.__main__ import main as reprolint_main
+
+    forward = ["--root", str(root), "--format", args.format]
+    if args.only:
+        forward += ["--only", args.only]
+    if args.list_rules:
+        forward += ["--list-rules"]
+    forward += args.paths
+    return reprolint_main(forward)
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-bench",
@@ -555,6 +615,28 @@ def main(argv: list[str] | None = None) -> int:
         help="single-threaded replay; BFS-check every served answer",
     )
     loadtest.set_defaults(func=_cmd_loadtest)
+
+    lint = sub.add_parser(
+        "lint", help="run the reprolint project-invariant static analysis"
+    )
+    lint.add_argument(
+        "paths", nargs="*",
+        help="files/directories to lint (default: [tool.reprolint] paths)",
+    )
+    lint.add_argument(
+        "--format", choices=("human", "json"), default="human",
+    )
+    lint.add_argument(
+        "--root", default=None, help="checkout root (default: walk up)"
+    )
+    lint.add_argument(
+        "--only", default=None, help="comma-separated rule IDs to run"
+    )
+    lint.add_argument(
+        "--list-rules", action="store_true",
+        help="list rule IDs with summaries and exit",
+    )
+    lint.set_defaults(func=_cmd_lint)
 
     args = parser.parse_args(argv)
     return args.func(args)

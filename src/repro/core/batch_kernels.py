@@ -42,7 +42,7 @@ call time, so tests can force either phase globally.
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from typing import Any, Callable, Iterable, Sequence
 
 import numpy as np
 
@@ -60,7 +60,7 @@ SWITCH_WIDTH = 64
 _EMPTY = np.empty(0, dtype=np.int64)
 
 
-def _as_index_array(values) -> np.ndarray:
+def _as_index_array(values: Any) -> np.ndarray:
     return np.asarray(values, dtype=np.int64)
 
 
@@ -277,12 +277,12 @@ def batch_repair_adaptive(
     csr: CSRGraph,
     affected: Sequence[int],
     landmark_idx: int,
-    labelling_new,
+    labelling_new: Any,
     old_dist: np.ndarray,
     old_flag: np.ndarray,
     is_landmark: np.ndarray,
     symmetric_highway: bool = True,
-    highway_writer=None,
+    highway_writer: Callable[[int, int, int], None] | None = None,
     pred_csr: CSRGraph | None = None,
     switch_width: int | None = None,
 ) -> int:

@@ -23,7 +23,7 @@ loop.
 from __future__ import annotations
 
 import heapq
-from typing import Callable, Sequence
+from typing import Any, Callable, Sequence
 
 from repro.constants import INF
 from repro.core.labelling import HighwayCoverLabelling
@@ -31,7 +31,7 @@ from repro.core.lengths import FALSE_KEY, TRUE_KEY
 
 
 def batch_repair(
-    graph,
+    graph: Any,
     affected: Sequence[int],
     landmark_idx: int,
     labelling_new: HighwayCoverLabelling,
@@ -40,7 +40,7 @@ def batch_repair(
     is_landmark: Sequence[bool],
     symmetric_highway: bool = True,
     highway_writer: Callable[[int, int, int], None] | None = None,
-    pred_view=None,
+    pred_view: Any = None,
 ) -> int:
     """Repair the r-labels (and highway entries) of ``affected`` vertices.
 
@@ -116,15 +116,15 @@ def batch_repair(
 
 def _write_vertex(
     labelling_new: HighwayCoverLabelling,
-    labels,
-    landmark_index,
+    labels: Any,
+    landmark_index: Any,
     landmark_idx: int,
     v: int,
     d: int,
     f: int,
-    is_landmark,
+    is_landmark: Any,
     symmetric_highway: bool,
-    highway_writer,
+    highway_writer: Callable[[int, int, int], None] | None,
 ) -> int:
     """Apply the settled landmark distance ``(d, f)`` of ``v`` to Γ'."""
     changed = 0

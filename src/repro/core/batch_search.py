@@ -33,7 +33,7 @@ of Lemma 5.18).
 from __future__ import annotations
 
 import heapq
-from typing import Iterable, Sequence
+from typing import Any, Iterable, Sequence
 
 from repro.constants import INF
 from repro.core.lengths import FALSE_KEY, TRUE_KEY
@@ -42,7 +42,9 @@ from repro.core.lengths import FALSE_KEY, TRUE_KEY
 OrientedUpdate = tuple[int, int, bool]
 
 
-def orient_updates(batch, directed: bool = False) -> list[OrientedUpdate]:
+def orient_updates(
+    batch: Iterable[Any], directed: bool = False
+) -> list[OrientedUpdate]:
     """Expand a normalised batch into oriented updates for the search.
 
     Undirected edges yield both orientations (the anchor test selects the
@@ -57,7 +59,7 @@ def orient_updates(batch, directed: bool = False) -> list[OrientedUpdate]:
 
 
 def batch_search_basic(
-    graph,
+    graph: Any,
     oriented_updates: Iterable[OrientedUpdate],
     old_dist: Sequence[int],
 ) -> list[int]:
@@ -89,7 +91,7 @@ def batch_search_basic(
 
 
 def batch_search_improved(
-    graph,
+    graph: Any,
     oriented_updates: Iterable[OrientedUpdate],
     old_dist: Sequence[int],
     old_flag: Sequence[int],
@@ -141,7 +143,7 @@ def batch_search_improved(
 
 
 def affected_by_definition(
-    graph_old, graph_new, root: int, is_landmark
+    graph_old: Any, graph_new: Any, root: int, is_landmark: Any
 ) -> set[int]:
     """Brute-force LD-affected set (Definition 5.12, via Lemma 5.15).
 

@@ -30,6 +30,7 @@ from __future__ import annotations
 import enum
 import time
 from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Iterable
 
 import numpy as np
 
@@ -143,14 +144,14 @@ def variant_plan(batch: Batch, variant: Variant) -> list[tuple[Batch, bool]]:
 
 
 def run_batch_update(
-    graph,
+    graph: Any,
     labelling: HighwayCoverLabelling,
-    updates,
+    updates: Iterable[Any],
     variant: "Variant | str" = Variant.BHL_PLUS,
     parallel: str | None = None,
     num_threads: int | None = None,
     num_shards: int | None = None,
-    pool=None,
+    pool: Any = None,
 ) -> tuple[HighwayCoverLabelling, UpdateStats]:
     """Normalise, apply, and reflect ``updates`` into a new labelling.
 
@@ -219,13 +220,13 @@ def run_batch_update(
 
 
 def _apply_one_batch(
-    graph,
+    graph: Any,
     labelling: HighwayCoverLabelling,
     batch: Batch,
     improved: bool,
     parallel: str | None,
     num_threads: int | None,
-    pool=None,
+    pool: Any = None,
 ) -> tuple[HighwayCoverLabelling, UpdateStats]:
     """Apply one normalised (sub-)batch: mutate graph, search + repair.
 
@@ -343,7 +344,7 @@ def changed_label_entries(
     old_labels: np.ndarray,
     new_column: np.ndarray,
     landmark_idx: int,
-    affected,
+    affected: Iterable[int],
 ) -> tuple[np.ndarray, np.ndarray]:
     """Sparse change set of one landmark's repair: ``(vertices, values)``.
 
@@ -365,17 +366,17 @@ def changed_label_entries(
 
 
 def process_one_landmark(
-    view,
+    view: Any,
     labelling_old: HighwayCoverLabelling,
-    labelling_new: HighwayCoverLabelling,
-    oriented,
+    labelling_new: Any,
+    oriented: Any,
     improved: bool,
-    is_landmark,
+    is_landmark: Any,
     i: int,
     symmetric_highway: bool = True,
-    pred_view=None,
-    csr=None,
-    pred_csr=None,
+    pred_view: Any = None,
+    csr: Any = None,
+    pred_csr: Any = None,
 ) -> tuple[int, float, float, int, list[int], float]:
     """Search + repair for one landmark — the unit of landmark parallelism.
 
@@ -433,18 +434,18 @@ def process_one_landmark(
 
 
 def process_landmarks(
-    view,
+    view: Any,
     labelling_old: HighwayCoverLabelling,
     labelling_new: HighwayCoverLabelling,
-    oriented,
+    oriented: Any,
     improved: bool,
     symmetric_highway: bool,
     parallel: str | None,
     num_threads: int | None,
-    pred_view=None,
-    pool=None,
-    csr=None,
-    pred_csr=None,
+    pred_view: Any = None,
+    pool: Any = None,
+    csr: Any = None,
+    pred_csr: Any = None,
 ) -> tuple[
     list[tuple[int, float, float, int, list[int]]],
     float,

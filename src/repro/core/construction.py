@@ -10,6 +10,8 @@ O(|R| (V + E)) time and O(|R| V) space, matching Table 1.
 
 from __future__ import annotations
 
+from typing import Any
+
 import numpy as np
 
 from repro.constants import INF, NO_LABEL
@@ -20,7 +22,7 @@ from repro.graph.csr import landmark_lengths as csr_landmark_lengths
 
 
 def bfs_landmark_lengths(
-    graph, root: int, is_landmark: np.ndarray
+    graph: Any, root: int, is_landmark: np.ndarray
 ) -> tuple[np.ndarray, np.ndarray]:
     """Single-source landmark lengths :math:`d^L_G(root, \\cdot)`.
 
@@ -55,7 +57,7 @@ def bfs_landmark_lengths(
 
 
 def landmark_column(
-    graph, root: int, is_landmark: np.ndarray, landmark_list: list[int]
+    graph: Any, root: int, is_landmark: np.ndarray, landmark_list: list[int]
 ) -> tuple[np.ndarray, np.ndarray]:
     """One landmark's minimal label column and highway row.
 
@@ -75,11 +77,11 @@ def landmark_column(
 
 
 def build_labelling(
-    graph,
+    graph: Any,
     landmarks: tuple[int, ...],
     parallel: str | None = None,
     num_shards: int | None = None,
-    pool=None,
+    pool: Any = None,
 ) -> HighwayCoverLabelling:
     """Build the minimal highway cover labelling of ``graph`` over ``landmarks``.
 

@@ -20,6 +20,8 @@ over the landmark-sparsified digraph.
 
 from __future__ import annotations
 
+from typing import Any, Iterable
+
 import time
 
 import numpy as np
@@ -59,7 +61,7 @@ class DirectedHighwayCoverIndex(OracleBase):
         landmarks: tuple[int, ...] | None = None,
         selection: str = "degree",
         seed: int = 0,
-    ):
+    ) -> None:
         self._check_buildable(graph)
         self._graph = graph
         if landmarks is None:
@@ -178,12 +180,12 @@ class DirectedHighwayCoverIndex(OracleBase):
 
     def batch_update(
         self,
-        updates,
+        updates: Iterable[Any],
         variant: Variant | str = Variant.BHL_PLUS,
         parallel: str | None = None,
         num_threads: int | None = None,
         num_shards: int | None = None,
-        pool=None,
+        pool: Any = None,
     ) -> UpdateStats:
         """Apply directed edge updates to the graph and both labellings."""
         self._ensure_open()

@@ -19,6 +19,8 @@ the labelling so the two always describe the same topology.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING, Any, Iterable
+
 from repro.api.protocol import Capabilities, OracleBase
 from repro.api.registry import register_oracle
 from repro.constants import externalise
@@ -31,6 +33,9 @@ from repro.core.stats import UpdateStats
 from repro.graph.batch import EdgeUpdate
 from repro.graph.csr import CSRGraph, bfs_distances as csr_bfs_distances
 from repro.graph.dynamic_graph import DynamicGraph
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from pathlib import Path
 
 
 class HighwayCoverIndex(OracleBase):
@@ -47,7 +52,7 @@ class HighwayCoverIndex(OracleBase):
         landmarks: tuple[int, ...] | None = None,
         selection: str = "degree",
         seed: int = 0,
-    ):
+    ) -> None:
         self._check_buildable(graph)
         self._graph = graph
         if landmarks is None:
@@ -205,12 +210,12 @@ class HighwayCoverIndex(OracleBase):
 
     def batch_update(
         self,
-        updates,
+        updates: Iterable[EdgeUpdate],
         variant: Variant | str = Variant.BHL_PLUS,
         parallel: str | None = None,
         num_threads: int | None = None,
         num_shards: int | None = None,
-        pool=None,
+        pool: Any = None,
     ) -> UpdateStats:
         """Apply a batch of :class:`EdgeUpdate` to graph + labelling.
 
@@ -251,7 +256,9 @@ class HighwayCoverIndex(OracleBase):
         """Convenience wrapper: single edge deletion."""
         return self.batch_update([EdgeUpdate.delete(u, v)], variant=variant)
 
-    def attach_vertex(self, neighbors) -> tuple[int, UpdateStats]:
+    def attach_vertex(
+        self, neighbors: Iterable[int]
+    ) -> tuple[int, UpdateStats]:
         """Node insertion (§3): a new vertex plus its edges, as one batch."""
         vertex = self._graph.num_vertices
         stats = self.batch_update(
@@ -280,19 +287,19 @@ class HighwayCoverIndex(OracleBase):
     # maintenance / verification
     # ------------------------------------------------------------------
 
-    def save(self, path) -> None:
+    def save(self, path: "str | Path") -> None:
         """Persist graph + labelling to an ``.npz`` archive."""
         from repro.core.serialize import save_index
 
         save_index(self, path)
 
-    def serialize(self, path) -> None:
+    def serialize(self, path: "str | Path") -> None:
         """Protocol spelling of :meth:`save`."""
         self._ensure_open()
         self.save(path)
 
     @classmethod
-    def load(cls, path) -> "HighwayCoverIndex":
+    def load(cls, path: "str | Path") -> "HighwayCoverIndex":
         """Restore an index saved with :meth:`save` (no rebuild)."""
         from repro.core.serialize import load_index
 
@@ -320,7 +327,11 @@ class HighwayCoverIndex(OracleBase):
         )
 
 
-def _open_highway_cover(graph, labelling=None, **config):
+def _open_highway_cover(
+    graph: DynamicGraph,
+    labelling: HighwayCoverLabelling | None = None,
+    **config: Any,
+) -> "HighwayCoverIndex":
     """Factory: build fresh, or wrap an existing labelling without rebuild."""
     if labelling is not None:
         if config:

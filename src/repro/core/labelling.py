@@ -43,7 +43,7 @@ class HighwayCoverLabelling:
         labels: np.ndarray,
         highway: np.ndarray,
         landmarks: tuple[int, ...],
-    ):
+    ) -> None:
         if labels.shape[1] != len(landmarks):
             raise IndexStateError(
                 f"label matrix has {labels.shape[1]} columns for"

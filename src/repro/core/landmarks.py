@@ -8,6 +8,8 @@ the number of vertex pairs the highway covers.
 
 from __future__ import annotations
 
+from typing import Any
+
 import random
 
 from repro.errors import IndexStateError
@@ -15,7 +17,7 @@ from repro.utils.rng import make_rng
 
 
 def select_landmarks(
-    graph,
+    graph: Any,
     count: int,
     strategy: str = "degree",
     seed: int | random.Random | None = 0,

@@ -10,13 +10,13 @@ Cost: O(d · avg_degree) distance queries — no BFS over the whole graph.
 
 from __future__ import annotations
 
-from typing import Callable
+from typing import Any, Callable
 
 from repro.constants import INF
 
 
 def extract_shortest_path(
-    graph,
+    graph: Any,
     s: int,
     t: int,
     distance_fn: Callable[[int, int], int],

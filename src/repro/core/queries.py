@@ -15,6 +15,8 @@ highway cover property (Eq. 2) makes landmark-to-anything distances exact.
 
 from __future__ import annotations
 
+from typing import Any
+
 from repro.constants import INF
 from repro.core.labelling import HighwayCoverLabelling
 from repro.graph.csr import CSRGraph, bidirectional_distance
@@ -22,7 +24,7 @@ from repro.graph.traversal import bidirectional_bfs
 
 
 def query_distance(
-    graph,
+    graph: Any,
     labelling: HighwayCoverLabelling,
     s: int,
     t: int,

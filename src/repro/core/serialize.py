@@ -9,6 +9,8 @@ available as an integrity check after load.
 
 from __future__ import annotations
 
+from typing import Any, TYPE_CHECKING
+
 from pathlib import Path
 
 import numpy as np
@@ -17,10 +19,13 @@ from repro.core.labelling import HighwayCoverLabelling
 from repro.errors import IndexStateError
 from repro.graph.dynamic_graph import DynamicGraph
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.index import HighwayCoverIndex
+
 FORMAT_VERSION = 1
 
 
-def save_index(index, path: str | Path) -> None:
+def save_index(index: Any, path: str | Path) -> None:
     """Serialise a :class:`HighwayCoverIndex` to ``path`` (.npz)."""
     graph = index.graph
     edges = np.array(list(graph.edges()), dtype=np.int64).reshape(-1, 2)
@@ -35,7 +40,7 @@ def save_index(index, path: str | Path) -> None:
     )
 
 
-def load_index(path: str | Path):
+def load_index(path: str | Path) -> "HighwayCoverIndex":
     """Restore a :class:`HighwayCoverIndex` saved by :func:`save_index`."""
     from repro.core.index import HighwayCoverIndex
 

@@ -16,6 +16,8 @@ landmark-sparsified graph.
 
 from __future__ import annotations
 
+from typing import Any, Iterable
+
 import heapq
 import time
 
@@ -192,7 +194,7 @@ def weighted_batch_repair(
 
 
 def normalize_weight_updates(
-    updates, wgraph: WeightedDynamicGraph
+    updates: Iterable[WeightUpdate], wgraph: WeightedDynamicGraph
 ) -> list[WeightUpdate]:
     """Canonicalise weight updates: last write wins, no-ops dropped."""
     final: dict[tuple[int, int], WeightUpdate] = {}
@@ -229,7 +231,7 @@ class WeightedHighwayCoverIndex(OracleBase):
         landmarks: tuple[int, ...] | None = None,
         selection: str = "degree",
         seed: int = 0,
-    ):
+    ) -> None:
         self._check_buildable(graph)
         self._graph = graph
         if landmarks is None:
@@ -301,12 +303,12 @@ class WeightedHighwayCoverIndex(OracleBase):
 
     def batch_update(
         self,
-        updates,
-        variant=None,
+        updates: Iterable[Any],
+        variant: Any = None,
         parallel: str | None = None,
         num_threads: int | None = None,
         num_shards: int | None = None,
-        pool=None,
+        pool: Any = None,
     ) -> UpdateStats:
         """Apply a batch of :class:`WeightUpdate` (last write per edge wins).
 

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Iterable, Iterator, Sequence
+from typing import TYPE_CHECKING, Any, Iterable, Iterator, Sequence
 
 import numpy as np
 
@@ -55,7 +55,7 @@ class EdgeUpdate:
     v: int
     is_delete: bool = False
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if isinstance(self.u, UpdateKind) or isinstance(self.v, UpdateKind):
             raise BatchError(
                 "EdgeUpdate now takes (u, v, is_delete); the old"
@@ -110,7 +110,7 @@ class EdgeUpdate:
         """Order endpoints as ``(min, max)`` — for undirected graphs only."""
         if self.u <= self.v:
             return self
-        return EdgeUpdate(self.v, self.u, self.is_delete)
+        return EdgeUpdate(self.v, self.u, is_delete=self.is_delete)
 
 
 class Batch(Sequence[EdgeUpdate]):
@@ -118,7 +118,7 @@ class Batch(Sequence[EdgeUpdate]):
 
     __slots__ = ("_updates",)
 
-    def __init__(self, updates: Iterable[EdgeUpdate]):
+    def __init__(self, updates: Iterable[EdgeUpdate]) -> None:
         self._updates: tuple[EdgeUpdate, ...] = tuple(updates)
 
     def __len__(self) -> int:
@@ -127,7 +127,7 @@ class Batch(Sequence[EdgeUpdate]):
     def __iter__(self) -> Iterator[EdgeUpdate]:
         return iter(self._updates)
 
-    def __getitem__(self, index):
+    def __getitem__(self, index: Any) -> Any:
         return self._updates[index]
 
     @property

@@ -33,7 +33,7 @@ process boundaries.
 from __future__ import annotations
 
 import time
-from typing import Collection, Iterable
+from typing import Any, Collection, Iterable
 
 import numpy as np
 
@@ -57,7 +57,7 @@ class CSRListView:
 
     __slots__ = ("_adj",)
 
-    def __init__(self, adjacency: list[list[int]]):
+    def __init__(self, adjacency: list[list[int]]) -> None:
         self._adj = adjacency
 
     @property
@@ -83,7 +83,7 @@ class CSRGraph:
 
     __slots__ = ("indptr", "indices", "_lists", "_arange")
 
-    def __init__(self, indptr: np.ndarray, indices: np.ndarray):
+    def __init__(self, indptr: np.ndarray, indices: np.ndarray) -> None:
         if indptr.ndim != 1 or indices.ndim != 1:
             raise GraphError("CSR arrays must be one-dimensional")
         if len(indptr) == 0 or indptr[0] != 0 or int(indptr[-1]) != len(indices):
@@ -104,7 +104,7 @@ class CSRGraph:
     # ------------------------------------------------------------------
 
     @classmethod
-    def from_graph(cls, graph) -> "CSRGraph":
+    def from_graph(cls, graph: Any) -> "CSRGraph":
         """Encode any ``num_vertices``/``neighbors(v)`` provider.
 
         Works for :class:`DynamicGraph`, a digraph direction view, a
@@ -136,7 +136,7 @@ class CSRGraph:
         return cls(indptr, indices)
 
     @classmethod
-    def from_digraph(cls, digraph) -> "tuple[CSRGraph, CSRGraph]":
+    def from_digraph(cls, digraph: Any) -> "tuple[CSRGraph, CSRGraph]":
         """The (forward, backward) pair of a :class:`DynamicDiGraph`."""
         return cls.from_graph(digraph.out_view()), cls.from_graph(
             digraph.in_view()

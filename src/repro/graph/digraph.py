@@ -19,7 +19,7 @@ class _DirectionView:
 
     __slots__ = ("_graph", "_adj")
 
-    def __init__(self, graph: "DynamicDiGraph", adj: list[set[int]]):
+    def __init__(self, graph: "DynamicDiGraph", adj: list[set[int]]) -> None:
         self._graph = graph
         self._adj = adj
 
@@ -42,7 +42,7 @@ class DynamicDiGraph:
 
     __slots__ = ("_out", "_in", "_num_edges")
 
-    def __init__(self, num_vertices: int = 0):
+    def __init__(self, num_vertices: int = 0) -> None:
         if num_vertices < 0:
             raise GraphError("num_vertices must be non-negative")
         self._out: list[set[int]] = [set() for _ in range(num_vertices)]

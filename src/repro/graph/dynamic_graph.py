@@ -21,7 +21,7 @@ class DynamicGraph:
 
     __slots__ = ("_adj", "_num_edges")
 
-    def __init__(self, num_vertices: int = 0):
+    def __init__(self, num_vertices: int = 0) -> None:
         if num_vertices < 0:
             raise GraphError("num_vertices must be non-negative")
         self._adj: list[set[int]] = [set() for _ in range(num_vertices)]
@@ -106,7 +106,7 @@ class DynamicGraph:
         self._num_edges += 1
         return True
 
-    def add_edges_bulk(self, edges) -> int:
+    def add_edges_bulk(self, edges: Iterable[tuple[int, int]]) -> int:
         """Insert many edges at once; returns how many were new.
 
         The per-edge :meth:`add_edge` loop costs two Python-level set

@@ -10,14 +10,14 @@ from __future__ import annotations
 
 import heapq
 from collections import deque
-from typing import Collection, Iterable
+from typing import Any, Collection, Iterable
 
 import numpy as np
 
 from repro.constants import INF
 
 
-def bfs_distances(graph, source: int) -> np.ndarray:
+def bfs_distances(graph: Any, source: int) -> np.ndarray:
     """Full single-source BFS; returns an int64 array with INF sentinels."""
     dist = np.full(graph.num_vertices, INF, dtype=np.int64)
     dist[source] = 0
@@ -32,7 +32,7 @@ def bfs_distances(graph, source: int) -> np.ndarray:
     return dist
 
 
-def bfs_distances_multi(graph, sources: Iterable[int]) -> np.ndarray:
+def bfs_distances_multi(graph: Any, sources: Iterable[int]) -> np.ndarray:
     """Multi-source BFS (distance to the nearest source)."""
     dist = np.full(graph.num_vertices, INF, dtype=np.int64)
     queue = deque()
@@ -50,7 +50,7 @@ def bfs_distances_multi(graph, sources: Iterable[int]) -> np.ndarray:
     return dist
 
 
-def bfs_distance_pair(graph, source: int, target: int) -> int:
+def bfs_distance_pair(graph: Any, source: int, target: int) -> int:
     """Early-exit BFS distance between two vertices (INF if disconnected)."""
     if source == target:
         return 0
@@ -69,12 +69,12 @@ def bfs_distance_pair(graph, source: int, target: int) -> int:
 
 
 def bidirectional_bfs(
-    graph,
+    graph: Any,
     source: int,
     target: int,
     excluded: Collection[int] = (),
     bound: int = INF,
-    backward_graph=None,
+    backward_graph: Any | None = None,
 ) -> int:
     """Distance-bounded bidirectional BFS.
 
@@ -141,7 +141,7 @@ def bidirectional_bfs(
     return best
 
 
-def dijkstra_distances(wgraph, source: int) -> np.ndarray:
+def dijkstra_distances(wgraph: Any, source: int) -> np.ndarray:
     """Single-source Dijkstra on a :class:`WeightedDynamicGraph`."""
     dist = np.full(wgraph.num_vertices, INF, dtype=np.int64)
     dist[source] = 0
@@ -158,7 +158,7 @@ def dijkstra_distances(wgraph, source: int) -> np.ndarray:
     return dist
 
 
-def dijkstra_distance_pair(wgraph, source: int, target: int) -> int:
+def dijkstra_distance_pair(wgraph: Any, source: int, target: int) -> int:
     """Early-exit Dijkstra between two vertices."""
     if source == target:
         return 0
@@ -178,7 +178,7 @@ def dijkstra_distance_pair(wgraph, source: int, target: int) -> int:
     return INF
 
 
-def connected_components(graph) -> list[list[int]]:
+def connected_components(graph: Any) -> list[list[int]]:
     """All connected components (lists of vertices), largest first."""
     seen = np.zeros(graph.num_vertices, dtype=bool)
     components: list[list[int]] = []
@@ -200,7 +200,7 @@ def connected_components(graph) -> list[list[int]]:
     return components
 
 
-def eccentricity_lower_bound(graph, source: int) -> int:
+def eccentricity_lower_bound(graph: Any, source: int) -> int:
     """Largest finite BFS distance from ``source`` (0 on isolated vertices)."""
     dist = bfs_distances(graph, source)
     finite = dist[dist < INF]

@@ -37,7 +37,7 @@ class WeightedDynamicGraph:
 
     __slots__ = ("_adj", "_num_edges")
 
-    def __init__(self, num_vertices: int = 0):
+    def __init__(self, num_vertices: int = 0) -> None:
         if num_vertices < 0:
             raise GraphError("num_vertices must be non-negative")
         self._adj: list[dict[int, int]] = [{} for _ in range(num_vertices)]

@@ -30,6 +30,8 @@ caller passes no explicit level/format — the CLI's ``--log-level`` /
 
 from __future__ import annotations
 
+from typing import Any
+
 import json
 import logging
 import os
@@ -127,7 +129,7 @@ def resolve_level(level: "str | int | None") -> int:
 def configure_logging(
     level: "str | int | None" = None,
     fmt: str | None = None,
-    stream=None,
+    stream: Any = None,
 ) -> logging.Logger:
     """Attach (or reconfigure) the single ``repro`` stream handler.
 

@@ -39,6 +39,10 @@ import math
 import threading
 import time
 from bisect import bisect_left
+from pathlib import Path
+from typing import Any, Callable, Iterator, Sequence, TypeVar, cast
+
+F = TypeVar("F", bound="_Family")
 
 INF = float("inf")
 
@@ -59,14 +63,14 @@ def exponential_buckets(
     return tuple(start * factor**i for i in range(count))
 
 
-def _quote_label(value) -> str:
+def _quote_label(value: object) -> str:
     text = str(value)
     return (
         text.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
     )
 
 
-def sample_key(name: str, labels: dict) -> str:
+def sample_key(name: str, labels: dict[str, object]) -> str:
     """The Prometheus sample syntax: ``name`` or ``name{a="x",b="y"}``."""
     if not labels:
         return name
@@ -93,16 +97,18 @@ class _Family:
 
     kind = "untyped"
 
-    def __init__(self, name: str, help: str = "", labelnames: tuple = ()):
+    def __init__(
+        self, name: str, help: str = "", labelnames: Sequence[str] = ()
+    ) -> None:
         if not name or not name.replace("_", "a").replace(":", "a").isalnum():
             raise ValueError(f"invalid metric name {name!r}")
         self.name = name
         self.help = help
         self.labelnames = tuple(labelnames)
-        self._children: dict[tuple, "_Family"] = {}
+        self._children: dict[tuple[str, ...], "_Family"] = {}
         self._lock = threading.Lock()
 
-    def labels(self, *values, **kv):
+    def labels(self: F, *values: object, **kv: object) -> F:
         """The child series for one label-value combination."""
         if kv:
             if values:
@@ -132,15 +138,20 @@ class _Family:
             if child is None:
                 child = self._make_child(values)
                 self._children[values] = child
-            return child
+            return cast(F, child)
 
-    def _make_child(self, values: tuple):
+    def _make_child(self, values: tuple[str, ...]) -> "_Family":
         raise NotImplementedError
 
-    def _label_dict(self, values: tuple) -> dict:
+    def _samples(self, labels: dict[str, str]) -> Iterator[tuple[str, float]]:
+        raise NotImplementedError
+
+    def _label_dict(self, values: tuple[str, ...]) -> dict[str, str]:
         return dict(zip(self.labelnames, values))
 
-    def _iter_children(self):
+    def _iter_children(
+        self,
+    ) -> Iterator[tuple[tuple[str, ...], "_Family"]]:
         if not self.labelnames:
             yield (), self
         else:
@@ -148,7 +159,7 @@ class _Family:
                 items = list(self._children.items())
             yield from items
 
-    def samples(self):
+    def samples(self) -> Iterator[tuple[str, float]]:
         """Yield ``(sample_key, value)`` pairs for every child series."""
         for values, child in self._iter_children():
             yield from child._samples(self._label_dict(values))
@@ -159,13 +170,15 @@ class Counter(_Family):
 
     kind = "counter"
 
-    def __init__(self, name, help="", labelnames=()):
+    def __init__(
+        self, name: str, help: str = "", labelnames: Sequence[str] = ()
+    ) -> None:
         super().__init__(name, help, labelnames)
         self._value = 0.0
-        self._fn = None
+        self._fn: Callable[[], float] | None = None
         self._cell_lock = threading.Lock()
 
-    def _make_child(self, values):
+    def _make_child(self, values: tuple[str, ...]) -> "Counter":
         return Counter(self.name, self.help)
 
     def inc(self, amount: float = 1.0) -> None:
@@ -179,7 +192,7 @@ class Counter(_Family):
         with self._cell_lock:
             self._value += amount
 
-    def set_function(self, fn) -> "Counter":
+    def set_function(self, fn: Callable[[], float]) -> "Counter":
         """Read the value from ``fn()`` at sample time instead of ``inc``.
 
         Lets components that already keep their own cheap tallies (the
@@ -203,7 +216,7 @@ class Counter(_Family):
         with self._cell_lock:
             return self._value
 
-    def _samples(self, labels: dict):
+    def _samples(self, labels: dict[str, str]) -> Iterator[tuple[str, float]]:
         yield sample_key(self.name, labels), self.value
 
 
@@ -212,23 +225,25 @@ class Gauge(_Family):
 
     kind = "gauge"
 
-    def __init__(self, name, help="", labelnames=()):
+    def __init__(
+        self, name: str, help: str = "", labelnames: Sequence[str] = ()
+    ) -> None:
         super().__init__(name, help, labelnames)
         self._value = 0.0
-        self._fn = None
+        self._fn: Callable[[], float] | None = None
         self._cell_lock = threading.Lock()
 
-    def _make_child(self, values):
+    def _make_child(self, values: tuple[str, ...]) -> "Gauge":
         return Gauge(self.name, self.help)
 
-    def set_function(self, fn) -> "Gauge":
+    def set_function(self, fn: Callable[[], float]) -> "Gauge":
         """Read the level from ``fn()`` at sample time (see Counter)."""
         if self.labelnames:
             raise ValueError("set_function applies to a single series")
         self._fn = fn
         return self
 
-    def _check_bare(self):
+    def _check_bare(self) -> None:
         if self.labelnames:
             raise ValueError(
                 f"metric {self.name} has labels {self.labelnames};"
@@ -255,7 +270,7 @@ class Gauge(_Family):
         with self._cell_lock:
             return self._value
 
-    def _samples(self, labels: dict):
+    def _samples(self, labels: dict[str, str]) -> Iterator[tuple[str, float]]:
         yield sample_key(self.name, labels), self.value
 
 
@@ -266,7 +281,13 @@ class Histogram(_Family):
 
     kind = "histogram"
 
-    def __init__(self, name, help="", labelnames=(), buckets=None):
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        labelnames: Sequence[str] = (),
+        buckets: Sequence[float] | None = None,
+    ) -> None:
         super().__init__(name, help, labelnames)
         bounds = tuple(buckets) if buckets is not None else exponential_buckets()
         if list(bounds) != sorted(bounds) or len(set(bounds)) != len(bounds):
@@ -279,7 +300,7 @@ class Histogram(_Family):
         self._count = 0
         self._cell_lock = threading.Lock()
 
-    def _make_child(self, values):
+    def _make_child(self, values: tuple[str, ...]) -> "Histogram":
         return Histogram(self.name, self.help, buckets=self.bounds)
 
     def observe(self, value: float) -> None:
@@ -308,17 +329,18 @@ class Histogram(_Family):
         with self._cell_lock:
             return self._sum
 
-    def bucket_counts(self) -> dict:
+    def bucket_counts(self) -> dict[float, int]:
         """Cumulative counts keyed by upper bound (ending at ``inf``)."""
         with self._cell_lock:
             raw = list(self._counts)
-        out, running = {}, 0
+        out: dict[float, int] = {}
+        running = 0
         for bound, n in zip((*self.bounds, INF), raw):
             running += n
             out[bound] = running
         return out
 
-    def _samples(self, labels: dict):
+    def _samples(self, labels: dict[str, str]) -> Iterator[tuple[str, float]]:
         for bound, cumulative in self.bucket_counts().items():
             yield (
                 sample_key(
@@ -336,12 +358,19 @@ class Histogram(_Family):
 class MetricsRegistry:
     """A namespace of metric families with get-or-create registration."""
 
-    def __init__(self):
+    def __init__(self) -> None:
         self._families: dict[str, _Family] = {}
         self._lock = threading.Lock()
         self.created_at = time.time()
 
-    def _register(self, cls, name, help, labelnames, **kwargs):
+    def _register(
+        self,
+        cls: type[F],
+        name: str,
+        help: str,
+        labelnames: Sequence[str],
+        **kwargs: Any,
+    ) -> F:
         with self._lock:
             family = self._families.get(name)
             if family is None:
@@ -358,26 +387,34 @@ class MetricsRegistry:
             )
         return family
 
-    def counter(self, name, help="", labelnames=()) -> Counter:
+    def counter(
+        self, name: str, help: str = "", labelnames: Sequence[str] = ()
+    ) -> Counter:
         return self._register(Counter, name, help, labelnames)
 
-    def gauge(self, name, help="", labelnames=()) -> Gauge:
+    def gauge(
+        self, name: str, help: str = "", labelnames: Sequence[str] = ()
+    ) -> Gauge:
         return self._register(Gauge, name, help, labelnames)
 
     def histogram(
-        self, name, help="", labelnames=(), buckets=None
+        self,
+        name: str,
+        help: str = "",
+        labelnames: Sequence[str] = (),
+        buckets: Sequence[float] | None = None,
     ) -> Histogram:
         return self._register(
             Histogram, name, help, labelnames, buckets=buckets
         )
 
-    def families(self) -> list:
+    def families(self) -> list[_Family]:
         with self._lock:
             return list(self._families.values())
 
     # -- reads ----------------------------------------------------------
 
-    def snapshot(self) -> dict:
+    def snapshot(self) -> dict[str, float]:
         """One flat ``{prometheus_sample_key: value}`` dict."""
         out: dict[str, float] = {}
         for family in self.families():
@@ -385,18 +422,18 @@ class MetricsRegistry:
                 out[key] = value
         return out
 
-    def delta(self, previous: dict) -> dict:
+    def delta(self, previous: dict[str, float]) -> dict[str, float]:
         """Windowed read: current snapshot minus ``previous``.
 
         Counter/histogram samples subtract (missing keys count as 0);
         gauge samples pass through at their current level.
         """
-        gauges = set()
+        gauges: set[str] = set()
         for family in self.families():
             if family.kind == "gauge":
                 for key, _ in family.samples():
                     gauges.add(key)
-        out = {}
+        out: dict[str, float] = {}
         for key, value in self.snapshot().items():
             if key in gauges:
                 out[key] = value
@@ -406,14 +443,14 @@ class MetricsRegistry:
 
     # -- exports --------------------------------------------------------
 
-    def to_json(self) -> dict:
+    def to_json(self) -> dict[str, Any]:
         return {
             "exported_at": time.time(),
             "uptime_s": time.time() - self.created_at,
             "metrics": self.snapshot(),
         }
 
-    def write_json(self, path) -> None:
+    def write_json(self, path: str | Path) -> None:
         with open(path, "w") as handle:
             json.dump(self.to_json(), handle, indent=2, sort_keys=True)
             handle.write("\n")
@@ -421,7 +458,7 @@ class MetricsRegistry:
     def render_prometheus(self) -> str:
         return render_prometheus(self)
 
-    def write_prometheus(self, path) -> None:
+    def write_prometheus(self, path: str | Path) -> None:
         with open(path, "w") as handle:
             handle.write(self.render_prometheus())
 
@@ -433,7 +470,7 @@ def render_prometheus(*registries: MetricsRegistry) -> str:
     disjoint (the repo convention: ``repro_service_*`` per service,
     ``repro_core_*``/``repro_pool_*`` process-global).
     """
-    lines = []
+    lines: list[str] = []
     seen: set[str] = set()
     for registry in registries:
         for family in registry.families():
@@ -451,7 +488,7 @@ def render_prometheus(*registries: MetricsRegistry) -> str:
     return "\n".join(lines) + "\n"
 
 
-def parse_prometheus(text: str) -> dict:
+def parse_prometheus(text: str) -> dict[str, float]:
     """Parse exposition text back into ``{sample_key: value}``.
 
     Used by the round-trip tests and the CI smoke validator; accepts
@@ -471,7 +508,7 @@ def parse_prometheus(text: str) -> dict:
     return out
 
 
-def write_metrics(path, *registries: MetricsRegistry) -> str:
+def write_metrics(path: str | Path, *registries: MetricsRegistry) -> str:
     """Write merged registries to ``path``; format from the suffix.
 
     ``.json`` gets the flat-JSON export; anything else (``.prom``,
@@ -479,7 +516,7 @@ def write_metrics(path, *registries: MetricsRegistry) -> str:
     """
     text_path = str(path)
     if text_path.endswith(".json"):
-        merged = {}
+        merged: dict[str, float] = {}
         for registry in registries:
             merged.update(registry.snapshot())
         with open(path, "w") as handle:

@@ -19,6 +19,8 @@ functions by cumulative time.
 
 from __future__ import annotations
 
+from typing import Iterator
+
 import cProfile
 import io
 import os
@@ -60,7 +62,7 @@ def reset_profiles() -> None:
 
 
 @contextmanager
-def profile_section(name: str):
+def profile_section(name: str) -> Iterator[None]:
     """Accumulate cProfile samples for this section (no-op unless enabled).
 
     Thread-safety: cProfile is not multi-thread-safe, so only one section

@@ -39,6 +39,9 @@ import os
 import threading
 import time
 from collections import deque
+from pathlib import Path
+from types import TracebackType
+from typing import Any
 
 
 class _NoopSpan:
@@ -46,10 +49,15 @@ class _NoopSpan:
 
     __slots__ = ()
 
-    def __enter__(self):
+    def __enter__(self) -> None:
         return None
 
-    def __exit__(self, exc_type, exc, tb):
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> bool:
         return False
 
 
@@ -61,12 +69,18 @@ class _Span:
 
     __slots__ = ("tracer", "name", "args", "span_id", "parent_id", "start_us")
 
-    def __init__(self, tracer, name, args):
+    span_id: int
+    parent_id: int | None
+    start_us: int
+
+    def __init__(
+        self, tracer: "Tracer", name: str, args: dict[str, Any]
+    ) -> None:
         self.tracer = tracer
         self.name = name
         self.args = args
 
-    def __enter__(self):
+    def __enter__(self) -> "_Span":
         tracer = self.tracer
         stack = tracer._stack()
         self.parent_id = stack[-1] if stack else None
@@ -75,7 +89,12 @@ class _Span:
         self.start_us = tracer._now_us()
         return self
 
-    def __exit__(self, exc_type, exc, tb):
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> bool:
         tracer = self.tracer
         end_us = tracer._now_us()
         stack = tracer._stack()
@@ -102,7 +121,7 @@ class _Span:
         )
         return False
 
-    def set(self, **fields) -> None:
+    def set(self, **fields: Any) -> None:
         """Attach extra fields to the span before it closes."""
         self.args.update(fields)
 
@@ -110,10 +129,10 @@ class _Span:
 class Tracer:
     """Bounded ring of trace events with nested-span recording."""
 
-    def __init__(self, capacity: int = 65536):
+    def __init__(self, capacity: int = 65536) -> None:
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
-        self._events: deque = deque(maxlen=capacity)
+        self._events: deque[dict[str, Any]] = deque(maxlen=capacity)
         self._enabled = False
         self._lock = threading.Lock()
         self._ids = 0
@@ -145,8 +164,8 @@ class Tracer:
 
     # -- internals -------------------------------------------------------
 
-    def _stack(self) -> list:
-        stack = getattr(self._local, "stack", None)
+    def _stack(self) -> list[int]:
+        stack: list[int] | None = getattr(self._local, "stack", None)
         if stack is None:
             stack = self._local.stack = []
         return stack
@@ -159,7 +178,7 @@ class Tracer:
     def _now_us(self) -> int:
         return int((time.perf_counter() - self._epoch) * 1e6)
 
-    def _append(self, event: dict) -> None:
+    def _append(self, event: dict[str, Any]) -> None:
         with self._lock:
             if len(self._events) == self._events.maxlen:
                 self.dropped += 1
@@ -168,7 +187,7 @@ class Tracer:
 
     # -- recording -------------------------------------------------------
 
-    def span(self, name: str, **args):
+    def span(self, name: str, **args: Any) -> "_Span | _NoopSpan":
         """Context manager timing a nested span (no-op when disabled)."""
         if not self._enabled:
             return NOOP_SPAN
@@ -185,7 +204,7 @@ class Tracer:
         dur_us: float,
         parent_id: "int | None" = None,
         tid: "str | None" = None,
-        **args,
+        **args: Any,
     ) -> "int | None":
         """Record an already-timed span (synthesized shard phases).
 
@@ -219,11 +238,11 @@ class Tracer:
 
     # -- reads / export ---------------------------------------------------
 
-    def events(self) -> list:
+    def events(self) -> list[dict[str, Any]]:
         with self._lock:
             return list(self._events)
 
-    def export_jsonl(self, path) -> int:
+    def export_jsonl(self, path: str | Path) -> int:
         """Write one trace-event JSON object per line; returns the count."""
         events = self.events()
         with open(path, "w") as handle:
@@ -246,7 +265,7 @@ def get_tracer() -> Tracer:
     return _tracer
 
 
-def span(name: str, **args):
+def span(name: str, **args: Any) -> "_Span | _NoopSpan":
     """``with span("flush", batch=n):`` on the default tracer."""
     if not _tracer._enabled:
         return NOOP_SPAN

@@ -36,6 +36,9 @@ import time
 from concurrent.futures import ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from contextlib import contextmanager
+from multiprocessing.context import BaseContext
+from types import TracebackType
+from typing import TYPE_CHECKING, Any, Iterable, Iterator, cast
 
 from repro.core.labelling import HighwayCoverLabelling
 from repro.core.stats import ShardTiming
@@ -45,11 +48,19 @@ from repro.obs.log import get_logger
 from repro.obs.metrics import get_registry
 from repro.obs.trace import get_tracer
 from repro.parallel.snapshot import SharedShardState, encode_graph
+from repro.parallel.snapshot import ShardStateMeta
 from repro.parallel.worker import (
+    BuildShardResult,
     LandmarkOutcome,
+    ShardResult,
     run_build_shard,
     run_update_shard,
 )
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.batch_search import OrientedUpdate
+    from repro.graph.dynamic_graph import DynamicGraph
+    from repro.obs.trace import Tracer
 
 _log = get_logger("repro.parallel.pool")
 
@@ -81,7 +92,7 @@ def default_num_shards(num_landmarks: int) -> int:
 
 
 @contextmanager
-def _importable_main():
+def _importable_main() -> Iterator[None]:
     """Neutralise a ``__main__`` that spawned workers cannot re-import.
 
     Under spawn/forkserver, multiprocessing re-runs the driver's
@@ -112,7 +123,7 @@ def _importable_main():
         main.__file__ = main_file
 
 
-def _default_mp_context():
+def _default_mp_context() -> BaseContext:
     """A fork-safe start method: forkserver where available, else spawn.
 
     The pool is routinely started lazily from a multithreaded writer (the
@@ -140,8 +151,8 @@ class LandmarkShardPool:
         self,
         num_shards: int | None = None,
         max_workers: int | None = None,
-        mp_context=None,
-    ):
+        mp_context: BaseContext | None = None,
+    ) -> None:
         if num_shards is not None and num_shards <= 0:
             raise BatchError(f"num_shards must be positive, got {num_shards}")
         self.num_shards = num_shards
@@ -203,14 +214,21 @@ class LandmarkShardPool:
     def __enter__(self) -> "LandmarkShardPool":
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> None:
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> None:
         self.close()
 
     # ------------------------------------------------------------------
     # work
     # ------------------------------------------------------------------
 
-    def _run_sharded(self, task, shards: list[list[int]], *args) -> list:
+    def _run_sharded(
+        self, task: Any, shards: list[list[int]], *args: Any
+    ) -> list[Any]:
         executor = self._ensure_executor()
         try:
             # Workers spawn lazily inside submit(): keep the main-module
@@ -226,7 +244,7 @@ class LandmarkShardPool:
             # starts fresh workers.
             self._discard_broken()
             raise
-        results = []
+        results: list[Any] = []
         for s, future in enumerate(futures):
             try:
                 results.append(future.result())
@@ -252,10 +270,10 @@ class LandmarkShardPool:
 
     def run_update(
         self,
-        graph,
+        graph: "CSRGraph | DynamicGraph",
         labelling_old: HighwayCoverLabelling,
         labelling_new: HighwayCoverLabelling,
-        oriented,
+        oriented: "Iterable[OrientedUpdate]",
         improved: bool,
     ) -> tuple[list[LandmarkOutcome], float, list[ShardTiming], float]:
         """Search + repair every landmark across the worker shards.
@@ -289,8 +307,14 @@ class LandmarkShardPool:
             )
 
     def _run_update_locked(
-        self, csr, labelling_old, labelling_new, oriented, improved, shards
-    ):
+        self,
+        csr: CSRGraph,
+        labelling_old: HighwayCoverLabelling,
+        labelling_new: HighwayCoverLabelling,
+        oriented: "Iterable[OrientedUpdate]",
+        improved: bool,
+        shards: list[list[int]],
+    ) -> tuple[list[LandmarkOutcome], float, list[ShardTiming], float]:
         if self._state is None:
             self._state = SharedShardState()
         state = self._state
@@ -320,6 +344,7 @@ class LandmarkShardPool:
             # labelling, so drop the sync token first and re-establish it
             # only after the last scatter.
             state.invalidate()
+            assert state.labels is not None and state.highway is not None
             with tracer.span("shard_merge"):
                 for s, result in enumerate(results):
                     shipped += result.payload_bytes
@@ -410,9 +435,12 @@ class LandmarkShardPool:
                 "generation": state.generation,
             },
         )
-        return list(outcomes), makespan, shard_timings, merge_seconds
+        done = cast("list[LandmarkOutcome]", list(outcomes))
+        return done, makespan, shard_timings, merge_seconds
 
-    def build(self, graph, landmarks: tuple[int, ...]) -> HighwayCoverLabelling:
+    def build(
+        self, graph: "DynamicGraph", landmarks: tuple[int, ...]
+    ) -> HighwayCoverLabelling:
         """Parallel static construction: one BFS tree per worker task."""
         landmarks = tuple(landmarks)
         shards = partition_landmarks(
@@ -439,7 +467,10 @@ class LandmarkShardPool:
 
 
 def _synthesize_shard_spans(
-    tracer, parent_id: int, dispatch_us: int, shard_timings
+    tracer: "Tracer",
+    parent_id: int,
+    dispatch_us: int,
+    shard_timings: list[ShardTiming],
 ) -> None:
     """Reconstruct worker-side spans from the ShardTiming each shard
     reported.
@@ -482,12 +513,22 @@ def _synthesize_shard_spans(
         )
 
 
-def _update_task(meta, oriented, improved, shard):
+def _update_task(
+    meta: ShardStateMeta,
+    oriented: "list[OrientedUpdate]",
+    improved: bool,
+    shard: list[int],
+) -> ShardResult:
     """Positional adapter so the shard is the trailing argument."""
     return run_update_shard(meta, shard, oriented, improved)
 
 
-def _build_task(indptr, indices, landmarks, shard):
+def _build_task(
+    indptr: Any,
+    indices: Any,
+    landmarks: tuple[int, ...],
+    shard: list[int],
+) -> BuildShardResult:
     return run_build_shard(indptr, indices, landmarks, shard)
 
 

@@ -20,6 +20,8 @@ only ``batch_update`` and construction fan out.
 
 from __future__ import annotations
 
+from typing import Any, Iterable
+
 from repro.api.protocol import Capabilities, OracleBase
 from repro.api.registry import register_oracle
 from repro.core.batchhl import Variant
@@ -51,7 +53,7 @@ class ShardedHighwayCoverIndex(HighwayCoverIndex):
         seed: int = 0,
         num_shards: int | None = None,
         pool: LandmarkShardPool | None = None,
-    ):
+    ) -> None:
         self._pool = pool if pool is not None else LandmarkShardPool(num_shards)
         self._owns_pool = pool is None
         super().__init__(
@@ -101,7 +103,7 @@ class ShardedHighwayCoverIndex(HighwayCoverIndex):
 
     def batch_update(
         self,
-        updates,
+        updates: Iterable[Any],
         variant: Variant | str = Variant.BHL_PLUS,
         parallel: str | None = "processes",
         num_threads: int | None = None,

@@ -23,9 +23,12 @@ label bytes.
 Lifecycle: the writer creating a block owns it.  ``close()`` unlinks every
 block (also registered via ``atexit`` as a safety net for pools that are
 never closed); workers only ever ``close()`` their attachment maps.
-Attaching processes deliberately *unregister* the segments from their own
-``resource_tracker`` — otherwise a worker exiting (or being killed and
-replaced) would unlink blocks it never owned.
+Attaching workers never touch ``resource_tracker``: fork/forkserver
+children (and POSIX spawn children) share the *writer's* tracker process,
+so a worker-side ``unregister`` would cancel the writer's registration
+and leak the segment on abnormal exit.  Registration bookkeeping belongs
+to the owning :class:`SharedShardState` alone — reprolint's SHM001 rule
+enforces exactly this.
 
 :class:`StateSnapshot` (the picklable fallback encoding) is retained for
 one-shot users such as parallel construction, where state reuse across
@@ -33,6 +36,8 @@ calls buys nothing; workers wrap its CSR arrays directly.
 """
 
 from __future__ import annotations
+
+from typing import Any
 
 import atexit
 import itertools
@@ -89,7 +94,7 @@ class SharedShardState:
     own lock, so this class does no locking of its own.
     """
 
-    def __init__(self):
+    def __init__(self) -> None:
         self._prefix = f"repro_pool_{os.getpid()}_{next(_uid_counter):x}"
         self.generation = 0
         self._blocks: dict[str, shared_memory.SharedMemory] = {}
@@ -322,7 +327,7 @@ class StateSnapshot:
         return HighwayCoverLabelling(self.labels, self.highway, self.landmarks)
 
 
-def encode_graph(graph) -> tuple[np.ndarray, np.ndarray]:
+def encode_graph(graph: Any) -> tuple[np.ndarray, np.ndarray]:
     """CSR-encode a graph (delegates to :meth:`CSRGraph.from_graph`).
 
     A :class:`CSRGraph` passes its arrays through unchanged — callers
@@ -335,7 +340,9 @@ def encode_graph(graph) -> tuple[np.ndarray, np.ndarray]:
     return csr.indptr, csr.indices
 
 
-def encode_state(graph, labelling: HighwayCoverLabelling) -> StateSnapshot:
+def encode_state(
+    graph: Any, labelling: HighwayCoverLabelling
+) -> StateSnapshot:
     """Snapshot (G', Γ) for one-shot shard tasks.
 
     Call *after* the batch has been applied to ``graph`` and the labelling

@@ -32,6 +32,7 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass
 from multiprocessing import shared_memory
+from typing import Any
 
 import numpy as np
 
@@ -52,7 +53,7 @@ _EMPTY = np.empty(0, dtype=np.int64)
 #: prefix -> (generation, {field: SharedMemory}); survives across tasks.
 _segments: dict[str, tuple[int, dict[str, shared_memory.SharedMemory]]] = {}
 #: prefix -> (meta key, indptr view, indices view, old-labelling wrapper).
-_views: dict[str, tuple] = {}
+_views: dict[str, tuple[Any, ...]] = {}
 
 
 def _attach_segments(
@@ -129,14 +130,14 @@ class _ColumnStore:
 
     __slots__ = ("columns",)
 
-    def __init__(self):
+    def __init__(self) -> None:
         self.columns: dict[int, np.ndarray] = {}
 
-    def __getitem__(self, key):
+    def __getitem__(self, key: tuple[Any, int]) -> Any:
         rows, col = key
         return self.columns[col][rows]
 
-    def __setitem__(self, key, value):
+    def __setitem__(self, key: tuple[Any, int], value: Any) -> None:
         rows, col = key
         self.columns[col][rows] = value
 
@@ -154,7 +155,7 @@ class _ShardScratch:
 
     __slots__ = ("labels", "highway", "landmarks", "landmark_index")
 
-    def __init__(self, base: HighwayCoverLabelling, shard: list[int]):
+    def __init__(self, base: HighwayCoverLabelling, shard: list[int]) -> None:
         self.labels = _ColumnStore()
         for i in shard:
             # Column of a C-order matrix: the copy also de-strides it.

@@ -40,10 +40,13 @@ from __future__ import annotations
 
 import threading
 from collections import OrderedDict
-from typing import Iterable
+from typing import TYPE_CHECKING, Iterable
 
 from repro.errors import WorkloadError
 from repro.obs.log import get_logger
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.metrics import MetricsRegistry
 
 _log = get_logger("repro.service.cache")
 
@@ -63,7 +66,7 @@ class QueryCache:
         capacity: int = 4096,
         mode: str = "epoch",
         symmetric: bool = True,
-    ):
+    ) -> None:
         if capacity < 0:
             raise WorkloadError("cache capacity must be >= 0")
         if mode not in CACHE_MODES:
@@ -73,16 +76,16 @@ class QueryCache:
         self.capacity = capacity
         self.mode = mode
         self.symmetric = symmetric
-        self._entries: OrderedDict[tuple[int, int], float] = OrderedDict()
+        self._entries: OrderedDict[tuple[int, int], float] = OrderedDict()  # guarded-by: _lock
         self._lock = threading.Lock()
-        self._epoch = 0
+        self._epoch = 0  # guarded-by: _lock
         self.hits = 0
         self.misses = 0
         self.invalidated = 0
         self.clears = 0
         self.stale_puts_dropped = 0
 
-    def bind_metrics(self, registry) -> None:
+    def bind_metrics(self, registry: "MetricsRegistry") -> None:
         """Export this cache's tallies through a metrics registry.
 
         Callback-backed families (:meth:`~repro.obs.metrics.Counter.

@@ -34,6 +34,8 @@ from __future__ import annotations
 import threading
 import time
 from dataclasses import dataclass
+from types import TracebackType
+from typing import Iterable
 
 from repro.api.protocol import Capabilities, DistanceOracle
 from repro.api.registry import open_oracle, oracle_spec
@@ -48,7 +50,6 @@ from repro.obs.log import get_logger
 from repro.obs.profile import profile_section
 from repro.obs.trace import span
 from repro.parallel.pool import LandmarkShardPool
-from repro.parallel.sharded import ShardedHighwayCoverIndex
 from repro.service.cache import QueryCache
 from repro.service.metrics import ServiceMetrics
 from repro.service.scheduler import (
@@ -83,7 +84,7 @@ class EpochStore:
     pay no synchronisation.  ``publish`` is writer-side only.
     """
 
-    def __init__(self, index: DistanceOracle):
+    def __init__(self, index: DistanceOracle) -> None:
         self._lock = threading.Lock()
         self._current = EpochSnapshot(0, index, time.monotonic())
 
@@ -160,7 +161,7 @@ class DistanceService:
         num_shards: int | None = None,
         background: bool = False,
         max_vertex_growth: int | None = 1024,
-    ):
+    ) -> None:
         if isinstance(
             source, (DynamicGraph, DynamicDiGraph, WeightedDynamicGraph)
         ):
@@ -191,20 +192,19 @@ class DistanceService:
             raise BatchError(
                 f"parallel must be one of {PARALLEL_MODES}, got {parallel!r}"
             )
-        if isinstance(writer, ShardedHighwayCoverIndex):
-            # The writer owns its pool: a conflicting shard count must
-            # fail here, a matching/absent one defers to the pool, and an
-            # unspecified backend follows the writer onto its pool (a
-            # sharded writer that silently flushed sequentially would
-            # defeat the point of passing one in).
-            if (
-                num_shards is not None
-                and num_shards != writer.effective_num_shards
-            ):
+        # A pool-owning writer (the sharded index — detected through its
+        # advertised shard-count surface, not a concrete import; the
+        # service layer speaks DistanceOracle only, per API001): a
+        # conflicting shard count must fail here, a matching/absent one
+        # defers to the pool, and an unspecified backend follows the
+        # writer onto its pool (a sharded writer that silently flushed
+        # sequentially would defeat the point of passing one in).
+        writer_shards = getattr(writer, "effective_num_shards", None)
+        if writer_shards is not None:
+            if num_shards is not None and num_shards != writer_shards:
                 raise BatchError(
                     f"num_shards={num_shards} conflicts with the writer's"
-                    f" own pool (effective"
-                    f" num_shards={writer.effective_num_shards})"
+                    f" own pool (effective num_shards={writer_shards})"
                 )
             num_shards = None
             if parallel is None:
@@ -248,9 +248,7 @@ class DistanceService:
         # writer already owns a pool; the default-pool fallback inside
         # run_batch_update would also work but would outlive the service.
         self._pool: LandmarkShardPool | None = None
-        if parallel == "processes" and not isinstance(
-            writer, ShardedHighwayCoverIndex
-        ):
+        if parallel == "processes" and writer_shards is None:
             self._pool = LandmarkShardPool(num_shards)
         # The accept boundary validates against this count, not against a
         # live read of the writer's graph: it is republished under
@@ -258,7 +256,7 @@ class DistanceService:
         # flush that grows the graph sees either the old count (merely
         # conservative — growth is monotone) or the new one, never a
         # half-grown intermediate.
-        self._vertex_count = writer.graph.num_vertices
+        self._vertex_count = writer.graph.num_vertices  # guarded-by: _wakeup
         self._epochs = EpochStore(self._freeze_snapshot())
         self.scheduler = CoalescingScheduler(policy, directed=self._directed)
         self.cache = QueryCache(
@@ -282,8 +280,8 @@ class DistanceService:
         )
         self._writer_lock = threading.Lock()
         self._building = threading.Event()
-        self._closed = False
-        self._writer_error: BaseException | None = None
+        self._closed = False  # guarded-by: _wakeup
+        self._writer_error: BaseException | None = None  # guarded-by: _wakeup
         self._wakeup = threading.Condition()
         self._thread: threading.Thread | None = None
         if background:
@@ -425,7 +423,7 @@ class DistanceService:
             if trigger is not None:
                 self.flush(trigger)
 
-    def submit_many(self, updates) -> None:
+    def submit_many(self, updates: Iterable[EdgeUpdate]) -> None:
         """Buffer a sequence of updates under one lock acquisition.
 
         All-or-nothing at the accept boundary: every update is validated
@@ -595,11 +593,16 @@ class DistanceService:
             self._wakeup.notify_all()
         if self._thread is not None:
             self._thread.join()
+        # Re-read the parked error under the lock: a foreground flush on
+        # another thread may have poisoned the service between our
+        # closed-flag write and this point.
+        with self._wakeup:
+            writer_error = self._writer_error
         try:
-            if self._writer_error is not None:
+            if writer_error is not None:
                 raise IndexStateError(
                     "service writer failed"
-                ) from self._writer_error
+                ) from writer_error
             if flush_pending:
                 self.flush(FlushTrigger.CLOSE)
         finally:
@@ -612,7 +615,12 @@ class DistanceService:
     def __enter__(self) -> "DistanceService":
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> None:
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> None:
         self.close()
 
     def __repr__(self) -> str:
@@ -621,5 +629,5 @@ class DistanceService:
             f"DistanceService(epoch={snapshot.epoch},"
             f" |V|={snapshot.index.graph.num_vertices},"
             f" pending={self.pending_updates},"
-            f" closed={self._closed})"
+            f" closed={self._closed})"  # reprolint: disable=LOCK001 -- repr is informational; a torn read cannot corrupt state
         )

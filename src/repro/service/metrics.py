@@ -77,7 +77,7 @@ class LatencyRecorder:
     one even under the GIL).
     """
 
-    def __init__(self, max_samples: int = 8192, seed: int = 0):
+    def __init__(self, max_samples: int = 8192, seed: int = 0) -> None:
         if max_samples < 1:
             raise ValueError("max_samples must be >= 1")
         self._max = max_samples
@@ -155,7 +155,7 @@ class ServiceMetrics:
 
     def __init__(
         self, max_samples: int = 8192, registry: MetricsRegistry | None = None
-    ):
+    ) -> None:
         self._lock = threading.Lock()
         self.registry = registry if registry is not None else MetricsRegistry()
         self.query_latency = LatencyRecorder(max_samples, seed=1)

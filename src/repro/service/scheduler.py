@@ -36,11 +36,14 @@ import enum
 import threading
 import time
 from dataclasses import dataclass
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
 from repro.errors import WorkloadError
 from repro.graph.batch import EdgeUpdate, fold_update
 from repro.obs.log import get_logger
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.metrics import MetricsRegistry
 
 _log = get_logger("repro.service.scheduler")
 
@@ -66,7 +69,7 @@ class FlushPolicy:
     max_batch: int | None = 512
     max_delay: float | None = 0.05
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.max_batch is None and self.max_delay is None:
             raise WorkloadError(
                 "FlushPolicy needs at least one of max_batch/max_delay"
@@ -85,21 +88,21 @@ class CoalescingScheduler:
         policy: FlushPolicy | None = None,
         clock: Callable[[], float] = time.monotonic,
         directed: bool = False,
-    ):
+    ) -> None:
         self.policy = policy or FlushPolicy()
         self._clock = clock
         # Directed buffers coalesce per arc: (u, v) and (v, u) are
         # different edges and must not displace each other.
         self._directed = directed
-        self._pending: dict[tuple[int, int], EdgeUpdate] = {}
-        self._oldest_at: float | None = None
+        self._pending: dict[tuple[int, int], EdgeUpdate] = {}  # guarded-by: _lock
+        self._oldest_at: float | None = None  # guarded-by: _lock
         self._lock = threading.Lock()
         self.offered = 0
         self.coalesced = 0
         self.drained = 0
         self.drains = 0
 
-    def bind_metrics(self, registry) -> None:
+    def bind_metrics(self, registry: "MetricsRegistry") -> None:
         """Export buffer tallies through a registry (callback-backed, so
         the offer/drain hot path pays nothing — see QueryCache)."""
         registry.counter(

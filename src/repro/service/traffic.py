@@ -24,6 +24,8 @@ their epoch.
 
 from __future__ import annotations
 
+from typing import Any, Iterable
+
 import threading
 import time
 from dataclasses import dataclass, field
@@ -53,7 +55,7 @@ class Op:
     def is_query(self) -> bool:
         return self.query is not None
 
-    def apply(self, service: DistanceService):
+    def apply(self, service: DistanceService) -> float | None:
         """Execute against a service; returns the distance for queries."""
         if self.query is not None:
             return service.distance(*self.query)
@@ -132,8 +134,8 @@ def query_only_scenario(
 
 
 def replay(
-    service: DistanceService, ops, validate: bool = False
-) -> dict:
+    service: DistanceService, ops: Iterable[Op], validate: bool = False
+) -> dict[str, Any]:
     """Run ops on the calling thread; optionally oracle-check each answer.
 
     Validation BFS-checks every answer against the graph owned by the
@@ -173,12 +175,14 @@ def replay(
 class ClosedLoopGenerator:
     """N client threads draining a shared op stream back-to-back."""
 
-    def __init__(self, num_clients: int = 4):
+    def __init__(self, num_clients: int = 4) -> None:
         if num_clients < 1:
             raise ValueError("num_clients must be >= 1")
         self.num_clients = num_clients
 
-    def run(self, service: DistanceService, ops) -> dict:
+    def run(
+        self, service: DistanceService, ops: Iterable[Op]
+    ) -> dict[str, Any]:
         stream = iter(list(ops))
         lock = threading.Lock()
         counts = {"queries": 0, "updates": 0}
@@ -233,13 +237,15 @@ class OpenLoopGenerator:
     percentiles instead of silently stretching the schedule.
     """
 
-    def __init__(self, rate_per_s: float, seed: int = 0):
+    def __init__(self, rate_per_s: float, seed: int = 0) -> None:
         if rate_per_s <= 0:
             raise ValueError("rate_per_s must be positive")
         self.rate = rate_per_s
         self._rng = make_rng(seed)
 
-    def run(self, service: DistanceService, ops) -> dict:
+    def run(
+        self, service: DistanceService, ops: Iterable[Op]
+    ) -> dict[str, Any]:
         response = LatencyRecorder(seed=3)
         scheduled = time.monotonic()
         counts = {"queries": 0, "updates": 0}

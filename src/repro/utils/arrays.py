@@ -9,6 +9,8 @@ valid only if its stamp matches the current epoch.
 
 from __future__ import annotations
 
+from typing import Iterator
+
 import numpy as np
 
 from repro.constants import INF
@@ -31,7 +33,7 @@ class StampedDistances:
 
     __slots__ = ("_values", "_stamps", "_epoch")
 
-    def __init__(self, size: int):
+    def __init__(self, size: int) -> None:
         self._values = np.full(size, INF, dtype=np.int64)
         self._stamps = np.zeros(size, dtype=np.int64)
         self._epoch = 1
@@ -64,7 +66,7 @@ class StampedDistances:
             vertex
         ] < INF
 
-    def items(self):
+    def items(self) -> Iterator[tuple[int, int]]:
         """Yield ``(vertex, distance)`` pairs set in the current epoch."""
         (set_idx,) = np.nonzero(self._stamps == self._epoch)
         for vertex in set_idx:

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import time
+from types import TracebackType
 
 
 class Timer:
@@ -20,7 +21,7 @@ class Timer:
 
     __slots__ = ("elapsed", "_started_at")
 
-    def __init__(self):
+    def __init__(self) -> None:
         self.elapsed: float = 0.0
         self._started_at: float | None = None
 
@@ -28,7 +29,12 @@ class Timer:
         self._started_at = time.perf_counter()
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> None:
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> None:
         assert self._started_at is not None
         self.elapsed += time.perf_counter() - self._started_at
         self._started_at = None

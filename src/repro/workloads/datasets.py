@@ -55,15 +55,15 @@ class DatasetSpec:
 
 
 def _spec(
-    name,
-    kind,
-    generator,
-    num_vertices,
-    attach,
-    triad_p=0.0,
-    seed=0,
-    temporal=False,
-    paper=(0, 0, 0.0, 0),
+    name: str,
+    kind: str,
+    generator: str,
+    num_vertices: int,
+    attach: int,
+    triad_p: float = 0.0,
+    seed: int = 0,
+    temporal: bool = False,
+    paper: tuple[float, float, float, float] = (0, 0, 0.0, 0),
 ) -> DatasetSpec:
     return DatasetSpec(
         name=name,

@@ -8,13 +8,14 @@ replica harness does the same with a scaled-down sample.
 from __future__ import annotations
 
 import random
+from typing import Any
 
 from repro.errors import WorkloadError
 from repro.utils.rng import make_rng
 
 
 def sample_query_pairs(
-    graph,
+    graph: Any,
     count: int,
     seed: int | random.Random = 0,
     distinct_endpoints: bool = True,
@@ -35,7 +36,7 @@ def sample_query_pairs(
 
 
 def sample_skewed_query_pairs(
-    graph,
+    graph: Any,
     count: int,
     seed: int | random.Random = 0,
     skew: float = 1.0,

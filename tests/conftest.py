@@ -3,8 +3,16 @@
 from __future__ import annotations
 
 import random
+import sys
+from pathlib import Path
 
 import pytest
+
+# The reprolint static-analysis suite ships in tools/, not src/ — its
+# tests import it directly from the checkout.
+_TOOLS_DIR = str(Path(__file__).resolve().parent.parent / "tools")
+if _TOOLS_DIR not in sys.path:
+    sys.path.insert(0, _TOOLS_DIR)
 
 from repro.constants import INF
 from repro.graph import generators

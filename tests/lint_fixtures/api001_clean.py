@@ -1,0 +1,13 @@
+"""API001 clean twin: construction through the factory, types via
+TYPE_CHECKING (annotation-only imports never construct anything)."""
+
+from typing import TYPE_CHECKING
+
+from repro import open_oracle
+
+if TYPE_CHECKING:
+    from repro.core.index import HighwayCoverIndex
+
+
+def build(graph):
+    return open_oracle("hcl", graph, num_landmarks=4)

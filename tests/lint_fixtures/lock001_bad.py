@@ -1,0 +1,28 @@
+"""LOCK001 fixture: the PR 5 accept-decision race, reconstructed.
+
+``submit`` validates against ``self._vertex_count`` *outside*
+``self._wakeup`` — exactly the stale-count race the serving layer shipped
+with: a concurrent flush could republish the count between the read and
+the buffer insert.
+"""
+
+import threading
+
+
+class RacyService:
+    def __init__(self):
+        self._wakeup = threading.Condition()
+        self._vertex_count = 0  # guarded-by: _wakeup
+        self._closed = False  # guarded-by: _wakeup
+        self._buffer = []
+
+    def submit(self, u, v):
+        if self._closed:  # line 20: LOCK001 (read outside the lock)
+            raise RuntimeError("closed")
+        if max(u, v) >= self._vertex_count:  # line 22: LOCK001
+            raise ValueError("out of range")
+        with self._wakeup:
+            self._buffer.append((u, v))
+
+    def grow(self, count):
+        self._vertex_count = count  # line 28: LOCK001 (unlocked write)

@@ -1,0 +1,31 @@
+"""LOCK001 clean twin: every guarded access under the lock.
+
+The whole accept decision runs inside ``with self._wakeup:`` (the PR 5
+fix), reads in helpers follow the ``*_locked`` caller-holds-the-lock
+convention, and ``__init__`` construction is exempt by definition.
+"""
+
+import threading
+
+
+class LockedService:
+    def __init__(self):
+        self._wakeup = threading.Condition()
+        self._vertex_count = 0  # guarded-by: _wakeup
+        self._closed = False  # guarded-by: _wakeup
+        self._buffer = []
+
+    def _check_accepting_locked(self):
+        if self._closed:
+            raise RuntimeError("closed")
+
+    def submit(self, u, v):
+        with self._wakeup:
+            self._check_accepting_locked()
+            if max(u, v) >= self._vertex_count:
+                raise ValueError("out of range")
+            self._buffer.append((u, v))
+
+    def grow(self, count):
+        with self._wakeup:
+            self._vertex_count = count

@@ -1,0 +1,11 @@
+"""NP001 fixture: kernel-path numpy constructors with default dtypes."""
+
+import numpy as np
+
+
+def build(n, rows):
+    indptr = np.zeros(n + 1)  # line 7: NP001 (float64, not an int64 CSR)
+    scratch = np.empty(n)  # line 8: NP001
+    ids = np.array(rows)  # line 9: NP001 (platform int)
+    dist = np.full(n, -1)  # line 10: NP001
+    return indptr, scratch, ids, dist

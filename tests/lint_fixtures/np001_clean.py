@@ -1,0 +1,12 @@
+"""NP001 clean twin: every constructor states its dtype."""
+
+import numpy as np
+
+
+def build(n, rows):
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    scratch = np.empty(n, dtype=np.float64)
+    ids = np.array(rows, np.int64)  # positional dtype also counts
+    dist = np.full(n, -1, dtype=np.int64)
+    via_other_module = np.arange(n)  # not a checked constructor
+    return indptr, scratch, ids, dist, via_other_module

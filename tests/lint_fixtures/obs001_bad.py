@@ -1,0 +1,16 @@
+"""OBS001 fixture: off-hierarchy loggers + double-registered family."""
+
+import logging
+
+from repro.obs.log import get_logger
+
+log_a = logging.getLogger("batchhl.worker")  # line 7: OBS001
+log_b = get_logger("myapp.service")  # line 8: OBS001
+
+
+def bind(registry):
+    registry.counter("repro_fixture_dup_total", "first site is fine")
+
+
+def bind_again(registry):
+    registry.counter("repro_fixture_dup_total", "dup")  # line 16: OBS001

@@ -1,0 +1,15 @@
+"""OBS001 clean twin: repro.* loggers, one registration site per family."""
+
+import logging
+
+from repro.obs.log import get_logger
+
+log_a = logging.getLogger(__name__)
+log_b = get_logger("repro.fixture")
+log_c = logging.getLogger("repro")
+
+
+def bind(registry):
+    registry.counter("repro_fixture_unique_total", "one site")
+    registry.gauge("repro_fixture_level", "one site")
+    registry.histogram("repro_fixture_seconds", "one site")

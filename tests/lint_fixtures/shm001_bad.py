@@ -1,0 +1,22 @@
+"""SHM001 fixture: the PR 7 worker-side unregister, reconstructed.
+
+The attaching worker unregisters a segment it does not own — with a
+shared resource tracker this cancels the *writer's* registration — and
+the module creates an owned segment with no ``close()``/``unlink()``
+teardown path at all.
+"""
+
+from multiprocessing import resource_tracker, shared_memory
+
+
+def make_block(size):
+    return shared_memory.SharedMemory(create=True, size=size)  # line 13
+
+
+class AttachingWorker:
+    def attach(self, name):
+        shm = shared_memory.SharedMemory(name=name)
+        # "don't unlink blocks we never owned" — the plausible-but-wrong
+        # fix PR 7 removed:
+        resource_tracker.unregister(shm._name, "shared_memory")  # line 21
+        return shm

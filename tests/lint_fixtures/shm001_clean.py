@@ -1,0 +1,30 @@
+"""SHM001 clean twin: owner-managed lifecycle.
+
+The creating class owns teardown (``close()`` + ``unlink()``), workers
+attach and ``close()`` only, and registration bookkeeping stays inside
+the owner class ``SharedShardState``.
+"""
+
+from multiprocessing import resource_tracker, shared_memory
+
+
+class SharedShardState:
+    def __init__(self, size):
+        self._shm = shared_memory.SharedMemory(create=True, size=size)
+
+    def adopt(self, name):
+        # The owner may rearrange registration for blocks it owns.
+        resource_tracker.register(name, "shared_memory")
+        resource_tracker.unregister(name, "shared_memory")
+
+    def close(self):
+        self._shm.close()
+        self._shm.unlink()
+
+
+class AttachingWorker:
+    def attach(self, name):
+        return shared_memory.SharedMemory(name=name)
+
+    def detach(self, shm):
+        shm.close()  # attachments close; only the owner unlinks

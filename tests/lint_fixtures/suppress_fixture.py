@@ -1,0 +1,10 @@
+"""Suppression-syntax fixture: same violation, three suppression shapes."""
+
+import numpy as np
+
+
+def build(n):
+    a = np.zeros(n)  # reprolint: disable=NP001 -- fixture demonstrates suppression
+    b = np.zeros(n)  # reprolint: disable=all
+    c = np.zeros(n)  # reprolint: disable=UPD001 -- wrong rule: stays active
+    return a, b, c

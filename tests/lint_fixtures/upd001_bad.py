@@ -1,0 +1,20 @@
+"""UPD001 fixture: the PR 4 EdgeUpdate field-order bug class.
+
+A non-literal third positional argument is exactly the call shape that
+silently corrupted vertex-growing inserts when the field order was
+``(kind, u, v)`` — the flag landed in an endpoint slot without a peep.
+"""
+
+from repro.graph.batch import EdgeUpdate
+
+
+def replay(u, v, flag):
+    return EdgeUpdate(u, v, flag)  # line 12: UPD001
+
+
+def replay_expr(u, v, rng):
+    return EdgeUpdate(u, v, rng.random() < 0.5)  # line 16: UPD001
+
+
+def replay_attr(other):
+    return EdgeUpdate(other.v, other.u, other.is_delete)  # line 20: UPD001

@@ -1,0 +1,12 @@
+"""UPD001 clean twin: the delete flag is unmistakable at every site."""
+
+from repro.graph.batch import EdgeUpdate
+
+
+def build(u, v, flag):
+    literal_true = EdgeUpdate(3, 7, True)
+    literal_false = EdgeUpdate(3, 7, False)
+    keyword = EdgeUpdate(u, v, is_delete=flag)
+    defaulted = EdgeUpdate(u, v)
+    named = EdgeUpdate.delete(u, v)
+    return literal_true, literal_false, keyword, defaulted, named

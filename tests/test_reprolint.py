@@ -1,0 +1,320 @@
+"""reprolint: every rule catches its fixture (including the three
+historical-bug reconstructions), clean twins stay clean, suppressions
+work, and the real tree self-checks clean.
+
+Fixture sources live in ``tests/lint_fixtures/`` — excluded from project
+scans via ``[tool.reprolint] exclude`` so the deliberate violations never
+fail the self-check.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from reprolint import lint_project
+from reprolint.engine import run_rules
+from reprolint.rules import ALL_RULES, make_rules
+from reprolint.rules.api001 import FactoryOnlyRule
+from reprolint.rules.lock001 import GuardedByRule
+from reprolint.rules.np001 import ExplicitDtypeRule
+from reprolint.rules.obs001 import ObservabilityRule
+from reprolint.rules.shm001 import SharedMemoryRule
+from reprolint.rules.upd001 import EdgeUpdateFlagRule
+
+FIXTURES = Path(__file__).resolve().parent / "lint_fixtures"
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def run_fixture(name, rule, options=None):
+    rule.configure(options or {})
+    return run_rules(FIXTURES, [FIXTURES / name], [rule])
+
+
+def hits(result):
+    """(rule, line) pairs of active findings, sorted."""
+    return sorted((f.rule, f.line) for f in result.active)
+
+
+# ---------------------------------------------------------------------------
+# LOCK001 — the PR 5 unlocked-_wakeup accept decision
+# ---------------------------------------------------------------------------
+
+
+def test_lock001_catches_unlocked_guarded_access():
+    result = run_fixture("lock001_bad.py", GuardedByRule())
+    assert hits(result) == [
+        ("LOCK001", 20),  # self._closed read outside the lock
+        ("LOCK001", 22),  # the stale vertex-count validation (PR 5 bug)
+        ("LOCK001", 28),  # unlocked write
+    ]
+    for finding in result.active:
+        assert "_wakeup" in finding.message
+        assert finding.hint
+
+
+def test_lock001_clean_twin():
+    result = run_fixture("lock001_clean.py", GuardedByRule())
+    assert hits(result) == []
+
+
+# ---------------------------------------------------------------------------
+# SHM001 — the PR 7 worker-side resource_tracker.unregister
+# ---------------------------------------------------------------------------
+
+
+def test_shm001_catches_leak_and_worker_unregister():
+    result = run_fixture("shm001_bad.py", SharedMemoryRule())
+    assert hits(result) == [
+        ("SHM001", 13),  # create=True with no close()/unlink() path
+        ("SHM001", 21),  # attaching worker unregisters (PR 7 bug)
+    ]
+    unregister = [f for f in result.active if f.line == 21][0]
+    assert "cancels the writer's registration" in unregister.message
+
+
+def test_shm001_clean_twin():
+    result = run_fixture("shm001_clean.py", SharedMemoryRule())
+    assert hits(result) == []
+
+
+# ---------------------------------------------------------------------------
+# UPD001 — the PR 4 EdgeUpdate field-order bug class
+# ---------------------------------------------------------------------------
+
+
+def test_upd001_catches_positional_flag():
+    result = run_fixture("upd001_bad.py", EdgeUpdateFlagRule())
+    assert hits(result) == [
+        ("UPD001", 12),
+        ("UPD001", 16),
+        ("UPD001", 20),
+    ]
+
+
+def test_upd001_clean_twin():
+    result = run_fixture("upd001_clean.py", EdgeUpdateFlagRule())
+    assert hits(result) == []
+
+
+# ---------------------------------------------------------------------------
+# API001 — concrete oracles behind the factory
+# ---------------------------------------------------------------------------
+
+
+def test_api001_catches_concrete_imports():
+    result = run_fixture("api001_bad.py", FactoryOnlyRule())
+    assert hits(result) == [
+        ("API001", 3),
+        ("API001", 4),
+        ("API001", 5),
+        ("API001", 6),
+    ]
+
+
+def test_api001_clean_twin_allows_type_checking_imports():
+    result = run_fixture("api001_clean.py", FactoryOnlyRule())
+    assert hits(result) == []
+
+
+def test_api001_allowed_paths_exempt_whole_files():
+    rule = FactoryOnlyRule()
+    rule.configure({"allowed_paths": ["api001_"]})
+    result = run_rules(FIXTURES, [FIXTURES / "api001_bad.py"], [rule])
+    assert hits(result) == []
+
+
+# ---------------------------------------------------------------------------
+# NP001 — explicit dtypes on kernel paths
+# ---------------------------------------------------------------------------
+
+
+def test_np001_catches_default_dtypes():
+    result = run_fixture("np001_bad.py", ExplicitDtypeRule(), {"paths": [""]})
+    assert hits(result) == [
+        ("NP001", 7),
+        ("NP001", 8),
+        ("NP001", 9),
+        ("NP001", 10),
+    ]
+
+
+def test_np001_clean_twin_accepts_keyword_and_positional_dtype():
+    result = run_fixture(
+        "np001_clean.py", ExplicitDtypeRule(), {"paths": [""]}
+    )
+    assert hits(result) == []
+
+
+def test_np001_only_applies_on_configured_paths():
+    result = run_fixture(
+        "np001_bad.py", ExplicitDtypeRule(), {"paths": ["src/repro/"]}
+    )
+    assert hits(result) == []
+
+
+# ---------------------------------------------------------------------------
+# OBS001 — logger hierarchy + register-once families
+# ---------------------------------------------------------------------------
+
+
+def test_obs001_catches_off_hierarchy_loggers_and_duplicate_family():
+    result = run_fixture("obs001_bad.py", ObservabilityRule())
+    assert hits(result) == [
+        ("OBS001", 7),  # logging.getLogger("batchhl.worker")
+        ("OBS001", 8),  # get_logger("myapp.service")
+        ("OBS001", 16),  # second registration site of the same family
+    ]
+    dup = [f for f in result.active if f.line == 16][0]
+    assert "obs001_bad.py:12" in dup.message  # cites the original site
+
+
+def test_obs001_clean_twin():
+    result = run_fixture("obs001_clean.py", ObservabilityRule())
+    assert hits(result) == []
+
+
+# ---------------------------------------------------------------------------
+# engine: suppressions, output formats, discovery
+# ---------------------------------------------------------------------------
+
+
+def test_inline_suppressions_cover_only_named_rules():
+    result = run_fixture(
+        "suppress_fixture.py", ExplicitDtypeRule(), {"paths": [""]}
+    )
+    assert hits(result) == [("NP001", 9)]  # the wrong-rule suppression
+    suppressed = {f.line: f for f in result.suppressed}
+    assert set(suppressed) == {7, 8}
+    assert (
+        suppressed[7].suppress_reason == "fixture demonstrates suppression"
+    )
+    assert suppressed[8].suppress_reason == ""  # disable=all, reasonless
+
+
+def test_json_output_shape():
+    rule = ExplicitDtypeRule()
+    rule.configure({"paths": [""]})
+    result = run_rules(FIXTURES, [FIXTURES / "np001_bad.py"], [rule])
+    payload = json.loads(result.to_json())
+    assert payload["tool"] == "reprolint"
+    assert payload["files_checked"] == 1
+    assert [f["line"] for f in payload["findings"]] == [7, 8, 9, 10]
+    first = payload["findings"][0]
+    assert first["rule"] == "NP001"
+    assert first["path"] == "np001_bad.py"
+    assert first["hint"]
+
+
+def test_human_output_has_location_and_summary():
+    rule = ExplicitDtypeRule()
+    rule.configure({"paths": [""]})
+    result = run_rules(FIXTURES, [FIXTURES / "np001_bad.py"], [rule])
+    text = result.format_human()
+    assert "np001_bad.py:7:" in text
+    assert "4 findings" in text
+
+
+def test_rule_ids_are_unique_and_documented():
+    ids = [rule.id for rule in ALL_RULES]
+    assert len(ids) == len(set(ids))
+    for rule_cls in ALL_RULES:
+        assert rule_cls.summary
+        assert (rule_cls.__module__ or "").startswith("reprolint.rules")
+
+
+def test_make_rules_only_filter():
+    rules = make_rules(only=frozenset({"NP001", "UPD001"}))
+    assert sorted(rule.id for rule in rules) == ["NP001", "UPD001"]
+
+
+# ---------------------------------------------------------------------------
+# self-check: the real tree is clean (or explicitly suppressed)
+# ---------------------------------------------------------------------------
+
+
+def test_repro_tree_self_check_is_clean():
+    result = lint_project(REPO_ROOT)
+    assert result.errors == []
+    assert result.files_checked > 50  # src/repro + tools + benches
+    offending = [f.format_human() for f in result.active]
+    assert offending == [], "\n".join(offending)
+    # The known, documented suppressions stay visible — every one carries
+    # a reason.
+    for finding in result.suppressed:
+        assert finding.suppress_reason, finding.format_human()
+
+
+def test_lint_cli_subcommand_json_roundtrip():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", "lint", "--format", "json"],
+        cwd=REPO_ROOT,
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    payload = json.loads(proc.stdout)
+    assert payload["findings"] == []
+    assert payload["files_checked"] > 50
+
+
+def test_lint_cli_list_rules():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", "lint", "--list-rules"],
+        cwd=REPO_ROOT,
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=60,
+    )
+    assert proc.returncode == 0
+    for rule_cls in ALL_RULES:
+        assert rule_cls.id in proc.stdout
+
+
+# ---------------------------------------------------------------------------
+# optional external gates (run when the tools are installed, e.g. in CI)
+# ---------------------------------------------------------------------------
+
+
+def _have(module: str) -> bool:
+    try:
+        __import__(module)
+        return True
+    except ImportError:
+        return False
+
+
+@pytest.mark.skipif(not _have("mypy"), reason="mypy not installed")
+def test_mypy_strict_gate():
+    proc = subprocess.run(
+        [sys.executable, "-m", "mypy", "--strict", "src/repro"],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+
+
+@pytest.mark.skipif(not _have("ruff"), reason="ruff not installed")
+def test_ruff_gate():
+    proc = subprocess.run(
+        [sys.executable, "-m", "ruff", "check", "."],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr

@@ -1,0 +1,54 @@
+"""reprolint — project-invariant static analysis for the BatchHL repro.
+
+An AST-based lint engine whose rules encode invariants this codebase has
+already paid for in bugs (see each rule's module docstring for the
+history).  Run it as ``repro lint`` (the CLI subcommand), or directly::
+
+    PYTHONPATH=src:tools python -m reprolint [paths...] --format json
+
+Rules ship in :mod:`reprolint.rules`; configuration lives in the
+project's ``pyproject.toml`` under ``[tool.reprolint]``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from reprolint.config import LintConfig, find_project_root, load_config
+from reprolint.engine import (
+    Finding,
+    LintResult,
+    ModuleContext,
+    Rule,
+    discover_files,
+    run_rules,
+)
+from reprolint.rules import ALL_RULES, make_rules
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ALL_RULES",
+    "Finding",
+    "LintConfig",
+    "LintResult",
+    "ModuleContext",
+    "Rule",
+    "discover_files",
+    "find_project_root",
+    "lint_project",
+    "load_config",
+    "make_rules",
+    "run_rules",
+]
+
+
+def lint_project(
+    root: Path,
+    paths: list[str] | None = None,
+    only: frozenset[str] | None = None,
+) -> LintResult:
+    """Lint ``root`` with its pyproject config; the one-call entry point."""
+    config = load_config(root)
+    files = discover_files(root, paths or config.paths, config.exclude)
+    return run_rules(root, files, make_rules(config.rule_options, only))

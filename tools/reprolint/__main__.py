@@ -1,0 +1,84 @@
+"""``python -m reprolint`` — standalone entry point.
+
+The ``repro lint`` CLI subcommand wraps the same :func:`main`; this
+module exists so the linter also runs without the repro package on the
+path (e.g. pre-commit hooks).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+
+def main(argv: list[str] | None = None) -> int:
+    from reprolint import (
+        ALL_RULES,
+        find_project_root,
+        lint_project,
+    )
+
+    parser = argparse.ArgumentParser(
+        prog="reprolint",
+        description="project-invariant static analysis for the repro stack",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files/directories to lint (default: [tool.reprolint] paths)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("human", "json"),
+        default="human",
+        help="output format (default: human)",
+    )
+    parser.add_argument(
+        "--root",
+        type=Path,
+        default=None,
+        help="project root (default: walk up to pyproject.toml)",
+    )
+    parser.add_argument(
+        "--only",
+        default=None,
+        help="comma-separated rule IDs to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list rule IDs with summaries and exit",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule_cls in ALL_RULES:
+            print(f"{rule_cls.id}  {rule_cls.summary}")
+        return 0
+
+    root = args.root or find_project_root()
+    if root is None:
+        print(
+            "reprolint: no pyproject.toml found above the working"
+            " directory; pass --root",
+            file=sys.stderr,
+        )
+        return 2
+    only = (
+        frozenset(part.strip() for part in args.only.split(",") if part.strip())
+        if args.only
+        else None
+    )
+    result = lint_project(root.resolve(), args.paths or None, only)
+    if args.format == "json":
+        print(result.to_json())
+    else:
+        print(result.format_human())
+    if result.errors:
+        return 2
+    return 1 if result.active else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,36 @@
+"""Rule registry: every shipped rule, keyed by ID."""
+
+from __future__ import annotations
+
+from reprolint.engine import Rule
+from reprolint.rules.api001 import FactoryOnlyRule
+from reprolint.rules.lock001 import GuardedByRule
+from reprolint.rules.np001 import ExplicitDtypeRule
+from reprolint.rules.obs001 import ObservabilityRule
+from reprolint.rules.shm001 import SharedMemoryRule
+from reprolint.rules.upd001 import EdgeUpdateFlagRule
+
+ALL_RULES: tuple[type[Rule], ...] = (
+    GuardedByRule,
+    SharedMemoryRule,
+    FactoryOnlyRule,
+    ExplicitDtypeRule,
+    EdgeUpdateFlagRule,
+    ObservabilityRule,
+)
+
+
+def make_rules(
+    rule_options: dict[str, dict[str, object]] | None = None,
+    only: frozenset[str] | None = None,
+) -> list[Rule]:
+    """Instantiate and configure the rule set (optionally a subset)."""
+    rules: list[Rule] = []
+    options = rule_options or {}
+    for rule_cls in ALL_RULES:
+        rule = rule_cls()
+        if only is not None and rule.id not in only:
+            continue
+        rule.configure(options.get(rule.id, {}))
+        rules.append(rule)
+    return rules

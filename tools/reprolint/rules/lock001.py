@@ -1,0 +1,114 @@
+"""LOCK001 — guarded attributes must be accessed under their lock.
+
+Historical bug (PR 5): ``DistanceService.submit`` made its accept
+decision against a vertex count read *outside* ``self._wakeup``, racing a
+concurrent flush that grew the graph — the validation could pass against
+a stale count.  The fix moved the whole accept decision under the lock;
+this rule keeps it (and every invariant like it) machine-checked.
+
+Declaration: annotate the attribute's assignment with a comment::
+
+    self._vertex_count = n  # guarded-by: _wakeup
+
+Every later ``self._vertex_count`` read or write inside the class must
+then sit lexically inside ``with self._wakeup:`` — or inside a method
+whose name ends with ``_locked`` (the caller-holds-the-lock convention)
+or ``__init__`` (construction happens-before any sharing).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator
+
+from reprolint.engine import Finding, ModuleContext, Rule
+
+
+class GuardedByRule(Rule):
+    id = "LOCK001"
+    summary = (
+        "attributes declared '# guarded-by: <lock>' may only be touched"
+        " under 'with self.<lock>:' or in a *_locked method"
+    )
+
+    #: Methods where lock-free access is part of the convention.
+    _exempt_methods = ("__init__",)
+
+    def check_module(self, ctx: ModuleContext) -> Iterable[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ClassDef):
+                yield from self._check_class(ctx, node)
+
+    def _guard_map(
+        self, ctx: ModuleContext, cls: ast.ClassDef
+    ) -> dict[str, tuple[str, int]]:
+        """attr -> (lock, declaration line) from guarded-by annotations."""
+        guards: dict[str, tuple[str, int]] = {}
+        for node in ast.walk(cls):
+            targets: list[ast.expr] = []
+            if isinstance(node, ast.Assign):
+                targets = node.targets
+            elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+                targets = [node.target]
+            else:
+                continue
+            if ctx.enclosing_class(node) is not cls:
+                continue  # a nested class's assignment, not ours
+            lock = ctx.guard_for_line(
+                node.lineno, getattr(node, "end_lineno", None)
+            )
+            if lock is None:
+                continue
+            for target in targets:
+                if (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                ):
+                    guards[target.attr] = (lock, node.lineno)
+        return guards
+
+    def _check_class(
+        self, ctx: ModuleContext, cls: ast.ClassDef
+    ) -> Iterator[Finding]:
+        guards = self._guard_map(ctx, cls)
+        if not guards:
+            return
+        for node in ast.walk(cls):
+            if not (
+                isinstance(node, ast.Attribute)
+                and isinstance(node.value, ast.Name)
+                and node.value.id == "self"
+                and node.attr in guards
+            ):
+                continue
+            if ctx.enclosing_class(node) is not cls:
+                continue
+            lock, decl_line = guards[node.attr]
+            method = ctx.enclosing_method(node, cls)
+            if method is None:
+                continue  # class-body expression, e.g. a default
+            if (
+                method.name in self._exempt_methods
+                or method.name.endswith("_locked")
+            ):
+                continue
+            if lock in ctx.held_locks(node):
+                continue
+            access = (
+                "written"
+                if isinstance(node.ctx, (ast.Store, ast.Del))
+                else "read"
+            )
+            yield self.finding(
+                ctx,
+                node,
+                f"'self.{node.attr}' (guarded by 'self.{lock}', declared"
+                f" line {decl_line}) is {access} in '{method.name}' outside"
+                f" 'with self.{lock}:'",
+                hint=(
+                    f"wrap the access in 'with self.{lock}:', move it into"
+                    " a '*_locked' method, or suppress with a reason if the"
+                    " race is benign"
+                ),
+            )

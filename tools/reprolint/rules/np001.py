@@ -1,0 +1,73 @@
+"""NP001 — numpy constructors on kernel paths need an explicit dtype.
+
+The CSR kernels (PRs 4/5) and the shared-memory shard state (PR 7) all
+assume ``int64`` arrays: block sizes are computed from
+``np.dtype(np.int64).itemsize`` and workers reinterpret raw bytes.  A
+``np.zeros(n)`` on those paths silently produces ``float64`` — wrong
+width for the shm layout, silent float promotion in distance kernels —
+and numpy's platform-dependent default int (32-bit on Windows) makes
+``np.array([...])`` a portability bug.  On the configured kernel paths
+every ``np.array`` / ``np.zeros`` / ``np.empty`` / ``np.full`` call must
+therefore pass ``dtype`` explicitly.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from reprolint.engine import Finding, ModuleContext, Rule
+
+#: constructor -> index of the positional parameter that is ``dtype``.
+_CONSTRUCTORS = {"array": 1, "zeros": 1, "empty": 1, "full": 2}
+
+_DEFAULT_PATHS = (
+    "src/repro/graph/",
+    "src/repro/core/",
+    "src/repro/parallel/",
+)
+
+
+class ExplicitDtypeRule(Rule):
+    id = "NP001"
+    summary = (
+        "np.array/zeros/empty/full on kernel paths must pass an explicit"
+        " dtype"
+    )
+
+    def __init__(self) -> None:
+        self.paths = _DEFAULT_PATHS
+
+    def configure(self, options: dict[str, object]) -> None:
+        paths = options.get("paths")
+        if isinstance(paths, list):
+            self.paths = tuple(str(p) for p in paths)
+
+    def check_module(self, ctx: ModuleContext) -> Iterable[Finding]:
+        if not any(ctx.relpath.startswith(p) for p in self.paths):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not (
+                isinstance(func, ast.Attribute)
+                and isinstance(func.value, ast.Name)
+                and func.value.id in ("np", "numpy")
+                and func.attr in _CONSTRUCTORS
+            ):
+                continue
+            if any(kw.arg == "dtype" for kw in node.keywords):
+                continue
+            if len(node.args) > _CONSTRUCTORS[func.attr]:
+                continue  # dtype passed positionally
+            yield self.finding(
+                ctx,
+                node,
+                f"np.{func.attr}(...) without an explicit dtype on a"
+                " kernel path — the default (float64 / platform int)"
+                " breaks the int64 CSR and shared-memory layout"
+                " assumptions",
+                hint="pass dtype=np.int64 (or the intended dtype)"
+                " explicitly",
+            )

@@ -1,0 +1,120 @@
+"""OBS001 — observability naming discipline.
+
+PR 6's telemetry contract: every logger lives under the ``repro.*``
+hierarchy (so ``REPRO_LOG`` level routing and the JSON formatter apply
+uniformly), and each metric *family* is registered at exactly one call
+site (the registry's merged render enforces disjoint families across
+registries at runtime — two modules registering the same family name is
+either a copy-paste error or a future runtime ``ValueError``).
+
+Two checks:
+
+* ``get_logger("...")`` / ``logging.getLogger("...")`` with a string
+  literal must name ``repro`` or ``repro.<something>``; ``__name__`` is
+  accepted (the package root makes it ``repro.*``);
+* a metric family name literal passed to ``.counter(...)`` /
+  ``.gauge(...)`` / ``.histogram(...)`` may appear at only one
+  registration site project-wide (reported in the finalize pass so the
+  duplicate can cite the original).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator
+
+from reprolint.engine import Finding, ModuleContext, Rule
+
+_REGISTER_METHODS = ("counter", "gauge", "histogram")
+
+
+class ObservabilityRule(Rule):
+    id = "OBS001"
+    summary = (
+        "loggers live under repro.*; metric families are registered once"
+    )
+
+    def __init__(self) -> None:
+        self.logger_prefix = "repro"
+        # family name -> list of (relpath, line, col)
+        self._families: dict[str, list[tuple[str, int, int]]] = {}
+
+    def configure(self, options: dict[str, object]) -> None:
+        prefix = options.get("logger_prefix")
+        if isinstance(prefix, str) and prefix:
+            self.logger_prefix = prefix
+
+    def check_module(self, ctx: ModuleContext) -> Iterable[Finding]:
+        yield from self._check_loggers(ctx)
+        self._collect_families(ctx)
+
+    def _check_loggers(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            is_get_logger = (
+                isinstance(func, ast.Name) and func.id == "get_logger"
+            ) or (
+                isinstance(func, ast.Attribute) and func.attr == "getLogger"
+            )
+            if not is_get_logger or not node.args:
+                continue
+            arg = node.args[0]
+            if not isinstance(arg, ast.Constant) or not isinstance(
+                arg.value, str
+            ):
+                continue  # __name__ / computed names are fine
+            name = arg.value
+            prefix = self.logger_prefix
+            if name == prefix or name.startswith(prefix + "."):
+                continue
+            yield self.finding(
+                ctx,
+                node,
+                f"logger {name!r} is outside the {prefix}.* hierarchy —"
+                " REPRO_LOG level/format routing will not reach it",
+                hint=f"name it {prefix}.<module> (or pass __name__)",
+            )
+
+    def _collect_families(self, ctx: ModuleContext) -> None:
+        for node in ast.walk(ctx.tree):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in _REGISTER_METHODS
+                and node.args
+            ):
+                continue
+            first = node.args[0]
+            if not isinstance(first, ast.Constant) or not isinstance(
+                first.value, str
+            ):
+                continue
+            self._families.setdefault(first.value, []).append(
+                (ctx.relpath, node.lineno, node.col_offset)
+            )
+
+    def finalize(self) -> Iterable[Finding]:
+        for name, sites in sorted(self._families.items()):
+            if len(sites) < 2:
+                continue
+            sites = sorted(sites)
+            origin = sites[0]
+            for relpath, line, col in sites[1:]:
+                yield self.finding(
+                    relpath,
+                    None,
+                    f"metric family {name!r} is already registered at"
+                    f" {origin[0]}:{origin[1]} — the merged exporter"
+                    " rejects duplicate families across registries",
+                    hint=(
+                        "register the family once and share it (the"
+                        " registry's counter/gauge/histogram are"
+                        " get-or-create within one registry, but duplicate"
+                        " names across modules collide in merged exports)"
+                    ),
+                    line=line,
+                    col=col,
+                )
+        self._families.clear()

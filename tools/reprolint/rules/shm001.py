@@ -1,0 +1,144 @@
+"""SHM001 — shared-memory lifecycle discipline.
+
+Historical bug (PR 7): attaching worker processes called
+``resource_tracker.unregister`` on segments they did not own.  Workers
+spawned via fork/forkserver (and POSIX spawn children) *share the
+writer's tracker process*, so a worker-side unregister cancelled the
+writer's registration and the blocks leaked on abnormal exit.  The fix:
+workers never unregister — only the owning ``SharedShardState`` manages
+registration, and ``close()`` + ``unlink()`` run on the owner.
+
+Two checks:
+
+* every module calling ``SharedMemory(create=True)`` must also contain
+  ``.close()`` and ``.unlink()`` calls — an owner without a teardown path
+  leaks named segments past interpreter exit;
+* ``resource_tracker.unregister`` may only be called inside an owner
+  class (``SharedShardState`` by default; configurable via
+  ``owner-classes``).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator
+
+from reprolint.engine import Finding, ModuleContext, Rule
+
+
+def _is_shared_memory_create(node: ast.Call) -> bool:
+    func = node.func
+    name = (
+        func.id
+        if isinstance(func, ast.Name)
+        else func.attr if isinstance(func, ast.Attribute) else None
+    )
+    if name != "SharedMemory":
+        return False
+    return any(
+        kw.arg == "create"
+        and isinstance(kw.value, ast.Constant)
+        and kw.value.value is True
+        for kw in node.keywords
+    )
+
+
+def _is_unregister_call(ctx: ModuleContext, node: ast.Call) -> bool:
+    func = node.func
+    if isinstance(func, ast.Attribute) and func.attr == "unregister":
+        value = func.value
+        tail = (
+            value.id
+            if isinstance(value, ast.Name)
+            else value.attr if isinstance(value, ast.Attribute) else None
+        )
+        return tail == "resource_tracker"
+    if isinstance(func, ast.Name) and func.id == "unregister":
+        # ``from multiprocessing.resource_tracker import unregister``
+        for stmt in ast.walk(ctx.tree):
+            if (
+                isinstance(stmt, ast.ImportFrom)
+                and stmt.module == "multiprocessing.resource_tracker"
+                and any(alias.name == "unregister" for alias in stmt.names)
+            ):
+                return True
+    return False
+
+
+class SharedMemoryRule(Rule):
+    id = "SHM001"
+    summary = (
+        "SharedMemory(create=True) needs a close()+unlink() path;"
+        " resource_tracker.unregister only inside the owner class"
+    )
+
+    def __init__(self) -> None:
+        self.owner_classes = frozenset({"SharedShardState"})
+
+    def configure(self, options: dict[str, object]) -> None:
+        owners = options.get("owner_classes")
+        if isinstance(owners, list):
+            self.owner_classes = frozenset(str(name) for name in owners)
+
+    def check_module(self, ctx: ModuleContext) -> Iterable[Finding]:
+        yield from self._check_creates(ctx)
+        yield from self._check_unregisters(ctx)
+
+    def _check_creates(self, ctx: ModuleContext) -> Iterator[Finding]:
+        creates = [
+            node
+            for node in ast.walk(ctx.tree)
+            if isinstance(node, ast.Call) and _is_shared_memory_create(node)
+        ]
+        if not creates:
+            return
+        method_calls = {
+            node.func.attr
+            for node in ast.walk(ctx.tree)
+            if isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+        }
+        missing = [
+            name for name in ("close", "unlink") if name not in method_calls
+        ]
+        if not missing:
+            return
+        for node in creates:
+            yield self.finding(
+                ctx,
+                node,
+                "SharedMemory(create=True) without a matching"
+                f" {' + '.join(f'{m}()' for m in missing)} call in this"
+                " module — owned segments must be torn down by their"
+                " creator",
+                hint=(
+                    "give the owning object a close() that calls"
+                    " shm.close() and shm.unlink() (and register an atexit"
+                    " safety net); workers that merely attach call close()"
+                    " only"
+                ),
+            )
+
+    def _check_unregisters(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not (
+                isinstance(node, ast.Call)
+                and _is_unregister_call(ctx, node)
+            ):
+                continue
+            cls = ctx.enclosing_class(node)
+            if cls is not None and cls.name in self.owner_classes:
+                continue
+            owner = ", ".join(sorted(self.owner_classes))
+            yield self.finding(
+                ctx,
+                node,
+                "resource_tracker.unregister outside the owning class"
+                f" ({owner}): attaching processes share the writer's"
+                " tracker, so a worker-side unregister cancels the"
+                " writer's registration and leaks the segment",
+                hint=(
+                    "workers never unregister — attach and close() only;"
+                    " registration bookkeeping belongs to the block owner"
+                ),
+            )

@@ -1,0 +1,62 @@
+"""UPD001 — ``EdgeUpdate``'s delete flag must be unmistakable.
+
+Historical bug (PR 4): the original positional field order
+``(kind, u, v)`` let ``EdgeUpdate(3, 7, False)`` type-check as
+``u=3, v=7 → kind=3?`` — in practice the call put the delete flag into
+``v`` and silently dropped vertex-growing inserts while polluting
+``UpdateStats.affected_vertices`` with a bool.  The redesign moved to
+``(u, v, is_delete)`` with construction-time validation, but a non-literal
+third positional argument (``EdgeUpdate(u, v, flag_var)``) still reads
+ambiguously at every call site and survives a future field reorder only
+by luck.
+
+The rule: a third argument to ``EdgeUpdate`` must be either the
+``is_delete=`` keyword or a literal ``True``/``False``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from reprolint.engine import Finding, ModuleContext, Rule
+
+
+class EdgeUpdateFlagRule(Rule):
+    id = "UPD001"
+    summary = (
+        "EdgeUpdate's third argument must be is_delete= or a literal bool"
+    )
+
+    def check_module(self, ctx: ModuleContext) -> Iterable[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            name = (
+                func.id
+                if isinstance(func, ast.Name)
+                else func.attr if isinstance(func, ast.Attribute) else None
+            )
+            if name != "EdgeUpdate":
+                continue
+            if any(kw.arg == "is_delete" for kw in node.keywords):
+                continue
+            if len(node.args) < 3:
+                continue  # defaults to insert; unambiguous
+            third = node.args[2]
+            if isinstance(third, ast.Constant) and isinstance(
+                third.value, bool
+            ):
+                continue
+            yield self.finding(
+                ctx,
+                node,
+                "EdgeUpdate(...) passes a non-literal delete flag"
+                " positionally — the PR 4 field-order bug class",
+                hint=(
+                    "write EdgeUpdate(u, v, is_delete=<expr>) (or"
+                    " EdgeUpdate.insert/.delete) so the flag cannot be"
+                    " mistaken for an endpoint"
+                ),
+            )
