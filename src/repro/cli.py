@@ -552,6 +552,16 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         forward += ["--only", args.only]
     if args.list_rules:
         forward += ["--list-rules"]
+    if args.explain:
+        forward += ["--explain", args.explain]
+    if args.strict:
+        forward += ["--strict"]
+    if args.no_baseline:
+        forward += ["--no-baseline"]
+    if args.update_baseline:
+        forward += ["--update-baseline"]
+    if args.sarif_out:
+        forward += ["--sarif-out", args.sarif_out]
     forward += args.paths
     return reprolint_main(forward)
 
@@ -624,13 +634,34 @@ def main(argv: list[str] | None = None) -> int:
         help="files/directories to lint (default: [tool.reprolint] paths)",
     )
     lint.add_argument(
-        "--format", choices=("human", "json"), default="human",
+        "--format", choices=("human", "json", "sarif"), default="human",
+    )
+    lint.add_argument(
+        "--sarif-out", default=None, metavar="PATH",
+        help="also write a SARIF 2.1.0 log to PATH",
     )
     lint.add_argument(
         "--root", default=None, help="checkout root (default: walk up)"
     )
     lint.add_argument(
         "--only", default=None, help="comma-separated rule IDs to run"
+    )
+    lint.add_argument(
+        "--strict", action="store_true",
+        help="also fail on stale baseline entries",
+    )
+    lint.add_argument(
+        "--no-baseline", action="store_true",
+        help="ignore the checked-in baseline; report every finding",
+    )
+    lint.add_argument(
+        "--update-baseline", action="store_true",
+        help="rewrite the baseline from this run (new entries need a"
+        " human-written justification before CI passes)",
+    )
+    lint.add_argument(
+        "--explain", default=None, metavar="RULE",
+        help="print a rule's rationale and fix recipe, then exit",
     )
     lint.add_argument(
         "--list-rules", action="store_true",

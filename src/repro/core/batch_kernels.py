@@ -72,9 +72,9 @@ def _as_index_array(values: Any) -> np.ndarray:
 def batch_search_adaptive(
     csr: CSRGraph,
     oriented_updates: Iterable[OrientedUpdate],
-    old_dist: np.ndarray,
-    old_flag: np.ndarray | None,
-    is_landmark: np.ndarray | None,
+    old_dist: np.ndarray,  # shape: (V,) int64
+    old_flag: np.ndarray | None,  # shape: (V,) int64
+    is_landmark: np.ndarray | None,  # shape: (V,) bool
     improved: bool,
     switch_width: int | None = None,
 ) -> list[int]:
@@ -278,9 +278,9 @@ def batch_repair_adaptive(
     affected: Sequence[int],
     landmark_idx: int,
     labelling_new: Any,
-    old_dist: np.ndarray,
-    old_flag: np.ndarray,
-    is_landmark: np.ndarray,
+    old_dist: np.ndarray,  # shape: (V,) int64
+    old_flag: np.ndarray,  # shape: (V,) int64
+    is_landmark: np.ndarray,  # shape: (V,) bool
     symmetric_highway: bool = True,
     highway_writer: Callable[[int, int, int], None] | None = None,
     pred_csr: CSRGraph | None = None,
@@ -324,7 +324,7 @@ def batch_repair_adaptive(
 
     n = csr.num_vertices
     members = _as_index_array(affected)
-    in_affected = np.zeros(n, dtype=bool)
+    in_affected = np.zeros(n, dtype=bool)  # shape: (V,) bool
     in_affected[members] = True
 
     # -- boundary-bound initialisation from non-affected predecessors --
@@ -337,7 +337,7 @@ def batch_repair_adaptive(
     keys = 2 * (old_dist[preds] + 1) + np.where(
         is_landmark[owners], TRUE_KEY, old_flag[preds]
     )
-    bound = np.full(n, _INF_KEY, dtype=np.int64)
+    bound = np.full(n, _INF_KEY, dtype=np.int64)  # shape: (V,) int64
     np.minimum.at(bound, owners, keys)
 
     member_keys = bound[members]
@@ -351,9 +351,9 @@ def batch_repair_adaptive(
     ends = np.append(starts[1:], len(init_d))
 
     # -- level-synchronous relaxation restricted to the affected set ---
-    settled = np.zeros(n, dtype=bool)
-    new_dist = np.full(n, INF, dtype=np.int64)
-    new_flag = np.full(n, FALSE_KEY, dtype=np.int64)
+    settled = np.zeros(n, dtype=bool)  # shape: (V,) bool
+    new_dist = np.full(n, INF, dtype=np.int64)  # shape: (V,) int64
+    new_flag = np.full(n, FALSE_KEY, dtype=np.int64)  # shape: (V,) int64
     f_lo, f_hi = csr.indptr[:-1], csr.indptr[1:]
     f_indices, f_iota = csr.indices, csr._iota()
     front_v, front_f = _EMPTY, _EMPTY

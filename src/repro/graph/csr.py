@@ -114,7 +114,7 @@ class CSRGraph:
         """
         t0 = time.perf_counter()
         n = graph.num_vertices
-        indptr = np.zeros(n + 1, dtype=np.int64)
+        indptr = np.zeros(n + 1, dtype=np.int64)  # shape: (V+1,) int64
         chunks: list[list[int]] = []
         total = 0
         for v in range(n):
@@ -238,7 +238,7 @@ def bfs_distances(csr: CSRGraph, source: int) -> np.ndarray:
 
 def bfs_distances_multi(csr: CSRGraph, sources: Iterable[int]) -> np.ndarray:
     """Multi-source BFS (distance to the nearest source)."""
-    dist = np.full(csr.num_vertices, INF, dtype=np.int64)
+    dist = np.full(csr.num_vertices, INF, dtype=np.int64)  # shape: (V,) int64
     seeds = np.unique(np.fromiter(sources, dtype=np.int64))
     if not seeds.size:
         return dist
@@ -277,10 +277,10 @@ def landmark_lengths(
     level's arc list instead of a Python predecessor loop.
     """
     n = csr.num_vertices
-    dist = np.full(n, INF, dtype=np.int64)
-    flag = np.zeros(n, dtype=bool)
+    dist = np.full(n, INF, dtype=np.int64)  # shape: (V,) int64
+    flag = np.zeros(n, dtype=bool)  # shape: (V,) bool
     dist[root] = 0
-    frontier = np.array([root], dtype=np.int64)
+    frontier = np.array([root], dtype=np.int64)  # shape: (*,) int64
     indptr, indices = csr.indptr, csr.indices
     level = 0
     while frontier.size:
@@ -406,8 +406,8 @@ def bidirectional_distance(
 
     # -- vector phase: convert state, then numpy frontier sweeps ------
     n = csr.num_vertices
-    arr_fwd = np.full(n, -1, dtype=np.int64)
-    arr_bwd = np.full(n, -1, dtype=np.int64)
+    arr_fwd = np.full(n, -1, dtype=np.int64)  # shape: (V,) int64
+    arr_bwd = np.full(n, -1, dtype=np.int64)  # shape: (V,) int64
     if excluded:
         barred = np.fromiter(excluded, dtype=np.int64, count=len(excluded))
         barred = barred[barred < n]

@@ -105,7 +105,7 @@ class _Family:
         self.name = name
         self.help = help
         self.labelnames = tuple(labelnames)
-        self._children: dict[tuple[str, ...], "_Family"] = {}
+        self._children: dict[tuple[str, ...], "_Family"] = {}  # guarded-by: _lock
         self._lock = threading.Lock()
 
     def labels(self: F, *values: object, **kv: object) -> F:
@@ -174,7 +174,7 @@ class Counter(_Family):
         self, name: str, help: str = "", labelnames: Sequence[str] = ()
     ) -> None:
         super().__init__(name, help, labelnames)
-        self._value = 0.0
+        self._value = 0.0  # guarded-by: _cell_lock
         self._fn: Callable[[], float] | None = None
         self._cell_lock = threading.Lock()
 
@@ -229,7 +229,7 @@ class Gauge(_Family):
         self, name: str, help: str = "", labelnames: Sequence[str] = ()
     ) -> None:
         super().__init__(name, help, labelnames)
-        self._value = 0.0
+        self._value = 0.0  # guarded-by: _cell_lock
         self._fn: Callable[[], float] | None = None
         self._cell_lock = threading.Lock()
 

@@ -253,7 +253,7 @@ class Tracer:
     def __repr__(self) -> str:
         return (
             f"Tracer(enabled={self._enabled}, events={len(self._events)},"
-            f" dropped={self.dropped})"
+            f" dropped={self.dropped})"  # reprolint: disable=CONC003 -- repr is informational; a torn read cannot corrupt state
         )
 
 

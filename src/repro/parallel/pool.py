@@ -158,7 +158,7 @@ class LandmarkShardPool:
         self.num_shards = num_shards
         self._max_workers = max_workers
         self._mp_context = mp_context
-        self._executor: ProcessPoolExecutor | None = None
+        self._executor: ProcessPoolExecutor | None = None  # guarded-by: _lock
         self._lock = threading.Lock()
         # Shared-memory (G', Γ) mirror, created on the first run_update.
         # _state_lock serialises publish -> dispatch -> merge: the blocks
@@ -166,7 +166,7 @@ class LandmarkShardPool:
         # corrupt each other's view of Γ.
         self._state: SharedShardState | None = None
         self._state_lock = threading.Lock()
-        self.batches_run = 0
+        self.batches_run = 0  # guarded-by: _state_lock
 
     # ------------------------------------------------------------------
     # executor lifecycle
@@ -202,10 +202,15 @@ class LandmarkShardPool:
                 self._executor = None
 
     def close(self) -> None:
+        # Detach the executor under the lock, join it outside: shutdown
+        # waits for in-flight shard tasks, which can take seconds, and
+        # holding _lock across it would stall every concurrent
+        # _ensure_executor/_discard_broken (and any metrics scrape that
+        # touches the pool) behind a batch we are only tearing down.
         with self._lock:
-            if self._executor is not None:
-                self._executor.shutdown(wait=True)
-                self._executor = None
+            executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown(wait=True)
         with self._state_lock:
             if self._state is not None:
                 self._state.close()
@@ -459,10 +464,10 @@ class LandmarkShardPool:
         return labelling
 
     def __repr__(self) -> str:
-        state = "live" if self._executor is not None else "idle"
+        state = "live" if self._executor is not None else "idle"  # reprolint: disable=LOCK001,CONC003 -- repr is informational; a torn read cannot corrupt state
         return (
             f"LandmarkShardPool(num_shards={self.num_shards},"
-            f" {state}, batches_run={self.batches_run})"
+            f" {state}, batches_run={self.batches_run})"  # reprolint: disable=LOCK001,CONC003 -- repr is informational; a torn read cannot corrupt state
         )
 
 

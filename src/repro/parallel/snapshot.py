@@ -105,8 +105,8 @@ class SharedShardState:
         self._sync_ref = None
         self._sync_arrays: tuple | None = None
         #: writer-side views over the blocks, sized to the current meta.
-        self.labels: np.ndarray | None = None
-        self.highway: np.ndarray | None = None
+        self.labels: np.ndarray | None = None  # shape: (V, R) int64
+        self.highway: np.ndarray | None = None  # shape: (R, R) int64
         self.sync_bytes_total = 0
         atexit.register(self.close)
 
@@ -303,10 +303,10 @@ class StateSnapshot:
     :class:`~repro.core.labelling.HighwayCoverLabelling` storage exactly.
     """
 
-    indptr: np.ndarray
-    indices: np.ndarray
-    labels: np.ndarray
-    highway: np.ndarray
+    indptr: np.ndarray  # shape: (V+1,) int64
+    indices: np.ndarray  # shape: (E,) int64
+    labels: np.ndarray  # shape: (V, R) int64
+    highway: np.ndarray  # shape: (R, R) int64
     landmarks: tuple[int, ...]
 
     @property

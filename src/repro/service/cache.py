@@ -79,11 +79,27 @@ class QueryCache:
         self._entries: OrderedDict[tuple[int, int], float] = OrderedDict()  # guarded-by: _lock
         self._lock = threading.Lock()
         self._epoch = 0  # guarded-by: _lock
-        self.hits = 0
-        self.misses = 0
-        self.invalidated = 0
-        self.clears = 0
-        self.stale_puts_dropped = 0
+        self.hits = 0  # guarded-by: _lock
+        self.misses = 0  # guarded-by: _lock
+        self.invalidated = 0  # guarded-by: _lock
+        self.clears = 0  # guarded-by: _lock
+        self.stale_puts_dropped = 0  # guarded-by: _lock
+
+    def counts(self) -> dict[str, int]:
+        """Locked snapshot of the tally counters.
+
+        Metrics callbacks, ``hit_rate``, ``__repr__`` and tests read
+        through this so every counter access happens under ``_lock``;
+        get/put keep their plain-int bookkeeping on the hot path.
+        """
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "invalidated": self.invalidated,
+                "clears": self.clears,
+                "stale_puts_dropped": self.stale_puts_dropped,
+            }
 
     def bind_metrics(self, registry: "MetricsRegistry") -> None:
         """Export this cache's tallies through a metrics registry.
@@ -95,21 +111,21 @@ class QueryCache:
         """
         registry.counter(
             "repro_cache_hits_total", "query cache hits"
-        ).set_function(lambda: self.hits)
+        ).set_function(lambda: self.counts()["hits"])
         registry.counter(
             "repro_cache_misses_total", "query cache misses"
-        ).set_function(lambda: self.misses)
+        ).set_function(lambda: self.counts()["misses"])
         registry.counter(
             "repro_cache_invalidated_total",
             "entries evicted by epoch invalidation",
-        ).set_function(lambda: self.invalidated)
+        ).set_function(lambda: self.counts()["invalidated"])
         registry.counter(
             "repro_cache_clears_total", "full cache clears"
-        ).set_function(lambda: self.clears)
+        ).set_function(lambda: self.counts()["clears"])
         registry.counter(
             "repro_cache_stale_puts_total",
             "puts dropped because their epoch was superseded",
-        ).set_function(lambda: self.stale_puts_dropped)
+        ).set_function(lambda: self.counts()["stale_puts_dropped"])
         registry.gauge(
             "repro_cache_size", "entries currently cached"
         ).set_function(lambda: len(self))
@@ -126,7 +142,10 @@ class QueryCache:
 
     def get(self, s: int, t: int) -> float | None:
         if self.capacity == 0:
-            self.misses += 1
+            # Still under the lock: two threads missing concurrently on a
+            # disabled cache otherwise lose increments to the data race.
+            with self._lock:
+                self.misses += 1
             return None
         key = self._key(s, t)
         with self._lock:
@@ -219,11 +238,14 @@ class QueryCache:
 
     @property
     def hit_rate(self) -> float:
-        total = self.hits + self.misses
-        return self.hits / total if total else 0.0
+        counts = self.counts()
+        total = counts["hits"] + counts["misses"]
+        return counts["hits"] / total if total else 0.0
 
     def __repr__(self) -> str:
+        counts = self.counts()
         return (
             f"QueryCache(mode={self.mode!r}, size={len(self)}/"
-            f"{self.capacity}, hits={self.hits}, misses={self.misses})"
+            f"{self.capacity}, hits={counts['hits']},"
+            f" misses={counts['misses']})"
         )

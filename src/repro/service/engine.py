@@ -60,6 +60,11 @@ from repro.service.scheduler import (
 
 _log = get_logger("repro.service.engine")
 
+#: Upper bound (seconds) on the writer thread's condition wait.  A lost
+#: notify then costs at most one cap interval of flush latency instead of
+#: hanging the loop; see _writer_loop.
+_WRITER_WAIT_CAP = 0.5
+
 
 @dataclass(frozen=True)
 class EpochSnapshot:
@@ -86,14 +91,14 @@ class EpochStore:
 
     def __init__(self, index: DistanceOracle) -> None:
         self._lock = threading.Lock()
-        self._current = EpochSnapshot(0, index, time.monotonic())
+        self._current = EpochSnapshot(0, index, time.monotonic())  # guarded-by: _lock
 
     def current(self) -> EpochSnapshot:
-        return self._current
+        return self._current  # reprolint: disable=LOCK001 -- lock-free by contract: readers take the whole immutable snapshot through one atomic reference read
 
     @property
     def epoch(self) -> int:
-        return self._current.epoch
+        return self._current.epoch  # reprolint: disable=LOCK001 -- same atomic reference read as current()
 
     def publish(self, index: DistanceOracle) -> EpochSnapshot:
         with self._lock:
@@ -567,8 +572,16 @@ class DistanceService:
                 trigger = self.scheduler.due()
                 if trigger is None:
                     # Sleep until a submit notifies us or the age budget
-                    # of the oldest buffered update runs out.
-                    self._wakeup.wait(self.scheduler.time_until_due())
+                    # of the oldest buffered update runs out.  The wait is
+                    # always bounded: with an empty buffer time_until_due()
+                    # is None, and an uncapped wait would hang the writer
+                    # forever if a notify were ever lost (e.g. a submit
+                    # racing close()); re-checking the predicate every
+                    # _WRITER_WAIT_CAP seconds costs nothing measurable.
+                    timeout = self.scheduler.time_until_due()
+                    if timeout is None or timeout > _WRITER_WAIT_CAP:
+                        timeout = _WRITER_WAIT_CAP
+                    self._wakeup.wait(timeout)
                     continue
             try:
                 self.flush(trigger)

@@ -97,27 +97,42 @@ class CoalescingScheduler:
         self._pending: dict[tuple[int, int], EdgeUpdate] = {}  # guarded-by: _lock
         self._oldest_at: float | None = None  # guarded-by: _lock
         self._lock = threading.Lock()
-        self.offered = 0
-        self.coalesced = 0
-        self.drained = 0
-        self.drains = 0
+        self.offered = 0  # guarded-by: _lock
+        self.coalesced = 0  # guarded-by: _lock
+        self.drained = 0  # guarded-by: _lock
+        self.drains = 0  # guarded-by: _lock
+
+    def counts(self) -> dict[str, int]:
+        """Locked snapshot of the tally counters.
+
+        Metrics callbacks, ``__repr__`` and tests read through this so
+        every access to the counters happens under ``_lock``; the
+        offer/drain hot path keeps its plain-int bookkeeping.
+        """
+        with self._lock:
+            return {
+                "offered": self.offered,
+                "coalesced": self.coalesced,
+                "drained": self.drained,
+                "drains": self.drains,
+            }
 
     def bind_metrics(self, registry: "MetricsRegistry") -> None:
         """Export buffer tallies through a registry (callback-backed, so
         the offer/drain hot path pays nothing — see QueryCache)."""
         registry.counter(
             "repro_scheduler_offered_total", "updates offered to the buffer"
-        ).set_function(lambda: self.offered)
+        ).set_function(lambda: self.counts()["offered"])
         registry.counter(
             "repro_scheduler_coalesced_total",
             "offers absorbed by per-edge coalescing",
-        ).set_function(lambda: self.coalesced)
+        ).set_function(lambda: self.counts()["coalesced"])
         registry.counter(
             "repro_scheduler_drained_total", "updates handed to the writer"
-        ).set_function(lambda: self.drained)
+        ).set_function(lambda: self.counts()["drained"])
         registry.counter(
             "repro_scheduler_drains_total", "buffer drains (flush starts)"
-        ).set_function(lambda: self.drains)
+        ).set_function(lambda: self.counts()["drains"])
         registry.gauge(
             "repro_scheduler_pending", "updates currently buffered"
         ).set_function(lambda: len(self))
@@ -176,10 +191,11 @@ class CoalescingScheduler:
             self._oldest_at = None
             self.drained += len(batch)
             self.drains += 1
+            offered = self.offered
         if batch:
             _log.debug(
                 "buffer drained",
-                extra={"batch": len(batch), "offered": self.offered},
+                extra={"batch": len(batch), "offered": offered},
             )
         return batch
 
@@ -198,7 +214,8 @@ class CoalescingScheduler:
             return self._clock() - self._oldest_at
 
     def __repr__(self) -> str:
+        counts = self.counts()
         return (
             f"CoalescingScheduler(pending={len(self)},"
-            f" offered={self.offered}, coalesced={self.coalesced})"
+            f" offered={counts['offered']}, coalesced={counts['coalesced']})"
         )

@@ -1,0 +1,17 @@
+"""ARR001 fixture: contracts violated at constructors and call sites."""
+
+import numpy as np
+
+
+def build(n, r):
+    dist = np.zeros((n, r))  # shape: (V, R) int64
+    flags = np.zeros(n, dtype=np.bool_)  # shape: (V, R) bool
+    labels = np.zeros((n, r), dtype=np.int64)  # shape: (R, V) int64
+    return kernel(labels, flags) + dist.sum()
+
+
+def kernel(
+    labels,  # shape: (V, R) int64
+    flags,  # shape: (V,) bool
+):
+    return labels.sum() + flags.sum()

@@ -1,0 +1,17 @@
+"""ARR001 clean twin: contracts that agree, wildcards for variable dims."""
+
+import numpy as np
+
+
+def build(n, r):
+    dist = np.zeros((n, r), dtype=np.int64)  # shape: (V, R) int64
+    flags = np.zeros(n, dtype=np.bool_)  # shape: (V,) bool
+    frontier = np.arange(n, dtype=np.int64)  # shape: (*,) int64
+    return kernel(dist, flags) + frontier.sum()
+
+
+def kernel(
+    labels,  # shape: (V, R) int64
+    flags,  # shape: (V,) bool
+):
+    return labels.sum() + flags.sum()

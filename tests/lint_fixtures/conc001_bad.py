@@ -1,0 +1,41 @@
+"""CONC001 fixture: seeded two-lock deadlock plus a self-deadlock.
+
+``flush`` takes ``_a`` then reaches ``_b`` through ``_publish``;
+``drain`` nests ``_a`` under ``_b`` — opposite orders, a cycle.
+"""
+
+import threading
+
+
+class Deadlock:
+    def __init__(self):
+        self._a = threading.Lock()
+        self._b = threading.Lock()
+        self.items = []
+
+    def flush(self):
+        with self._a:
+            self._publish()
+
+    def _publish(self):
+        with self._b:
+            self.items.clear()
+
+    def drain(self):
+        with self._b:
+            with self._a:
+                self.items.pop()
+
+
+class SelfDeadlock:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.count = 0
+
+    def bump(self):
+        with self._lock:
+            self._helper()
+
+    def _helper(self):
+        with self._lock:
+            self.count += 1

@@ -1,0 +1,37 @@
+"""CONC001 clean twin: one global order, reentrant re-acquisition."""
+
+import threading
+
+
+class Ordered:
+    def __init__(self):
+        self._a = threading.Lock()
+        self._b = threading.Lock()
+        self.items = []
+
+    def flush(self):
+        with self._a:
+            self._publish()
+
+    def _publish(self):
+        with self._b:
+            self.items.clear()
+
+    def drain(self):
+        with self._a:
+            with self._b:
+                self.items.pop()
+
+
+class Reentrant:
+    def __init__(self):
+        self._lock = threading.RLock()
+        self.count = 0
+
+    def bump(self):
+        with self._lock:
+            self._helper()
+
+    def _helper(self):
+        with self._lock:
+            self.count += 1

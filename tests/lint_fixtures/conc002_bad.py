@@ -1,0 +1,48 @@
+"""CONC002 fixture: blocking calls under a lock — direct, transitive,
+and through the *_locked inherited-lock convention.
+"""
+
+import queue
+import threading
+import time
+
+
+class Blocking:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._jobs = queue.Queue()
+        self.done = 0
+
+    def wait_direct(self, fut):
+        with self._lock:
+            fut.result()
+
+    def sleep_under_lock(self):
+        with self._lock:
+            time.sleep(0.5)
+
+    def queue_get(self):
+        with self._lock:
+            return self._jobs.get()
+
+    def flush(self, fut):
+        with self._lock:
+            self._drain(fut)
+
+    def drain_unlocked(self, fut):
+        self._drain(fut)
+
+    def _drain(self, fut):
+        fut.result()
+
+    def bump_locked(self):
+        self.done += 1
+        time.sleep(0.1)
+
+    def caller_one(self):
+        with self._lock:
+            self.bump_locked()
+
+    def caller_two(self):
+        with self._lock:
+            self.bump_locked()

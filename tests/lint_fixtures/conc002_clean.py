@@ -1,0 +1,32 @@
+"""CONC002 clean twin: blocking work bounded or moved off-lock."""
+
+import queue
+import threading
+import time
+
+
+class Bounded:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._jobs = queue.Queue()
+        self.done = 0
+
+    def wait_outside(self, fut):
+        with self._lock:
+            self.done += 1
+        return fut.result()
+
+    def bounded_get(self):
+        with self._lock:
+            return self._jobs.get(timeout=0.5)
+
+    def bounded_wait(self, cond):
+        with self._lock:
+            cond.wait(0.5)
+
+    def sleep_unlocked(self):
+        time.sleep(0.1)
+
+    def shutdown_nowait(self, pool):
+        with self._lock:
+            pool.shutdown(wait=False)

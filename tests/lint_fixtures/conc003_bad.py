@@ -1,0 +1,43 @@
+"""CONC003 fixture: a field written under a lock, accessed bare elsewhere.
+
+``Ambiguous`` shows the deliberate silence: a field guarded by two
+different locks in two methods is a design smell, not a missed
+annotation, and the pass refuses to guess.
+"""
+
+import threading
+
+
+class Counter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    def record(self):
+        with self._lock:
+            self.hits += 1
+
+    def snapshot(self):
+        return self.hits
+
+    def reset(self):
+        self.hits = 0
+
+
+class Ambiguous:
+    def __init__(self):
+        self._a = threading.Lock()
+        self._b = threading.Lock()
+        self.total = 0
+
+    def add(self):
+        with self._a:
+            self.total += 1
+
+    def sub(self):
+        with self._b:
+            self.total -= 1
+
+    def peek(self):
+        return self.total

@@ -1,0 +1,26 @@
+"""CONC003 clean twin: declared guards, *_locked helpers, locked reads."""
+
+import threading
+
+
+class Counter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.hits = 0  # guarded-by: _lock
+        self.flushes = 0
+
+    def record(self):
+        with self._lock:
+            self.hits += 1
+            self.flushes += 1
+
+    def snapshot(self):
+        with self._lock:
+            return (self.hits, self.flushes)
+
+    def _bump_locked(self):
+        self.flushes += 1
+
+    def flush(self):
+        with self._lock:
+            self._bump_locked()

@@ -405,3 +405,27 @@ def test_importable_main_guard_strips_only_bogus_mains(monkeypatch):
     fake.__file__ = __file__  # a real on-disk file: left alone
     with _importable_main():
         assert fake.__file__ == __file__
+
+
+def test_pool_close_joins_executor_outside_the_lock():
+    """Regression: close() used to call executor.shutdown(wait=True)
+    while holding ``_lock``, stalling every concurrent
+    _ensure_executor/_discard_broken (and metrics scrapes) behind a
+    teardown that joins in-flight shard tasks."""
+    from repro.parallel.pool import LandmarkShardPool
+
+    pool = LandmarkShardPool(num_shards=2)
+    observed = {}
+
+    class FakeExecutor:
+        def shutdown(self, wait=True, **kwargs):
+            got_lock = pool._lock.acquire(timeout=1.0)
+            if got_lock:
+                pool._lock.release()
+            observed["lock_free_during_shutdown"] = got_lock
+            observed["wait"] = wait
+
+    pool._executor = FakeExecutor()
+    pool.close()
+    assert observed == {"lock_free_during_shutdown": True, "wait": True}
+    assert pool._executor is None

@@ -18,7 +18,19 @@ from pathlib import Path
 import pytest
 
 from reprolint import lint_project
+from reprolint.baseline import (
+    UNJUSTIFIED,
+    apply_baseline,
+    fingerprint,
+    load_baseline,
+    write_baseline,
+)
 from reprolint.engine import run_rules
+from reprolint.findings import Finding
+from reprolint.passes.arr001 import ArrayContractRule
+from reprolint.passes.conc001 import LockOrderRule
+from reprolint.passes.conc002 import BlockingUnderLockRule
+from reprolint.passes.conc003 import GuardedByInferenceRule
 from reprolint.rules import ALL_RULES, make_rules
 from reprolint.rules.api001 import FactoryOnlyRule
 from reprolint.rules.lock001 import GuardedByRule
@@ -180,6 +192,326 @@ def test_obs001_clean_twin():
 
 
 # ---------------------------------------------------------------------------
+# CONC001 — lock-order cycles with a witness path per edge
+# ---------------------------------------------------------------------------
+
+
+def test_conc001_catches_seeded_deadlock_with_both_paths():
+    result = run_fixture("conc001_bad.py", LockOrderRule())
+    assert hits(result) == [
+        ("CONC001", 18),  # the cycle, anchored at flush's held-call
+        ("CONC001", 37),  # self-deadlock through _helper
+    ]
+    cycle = [f for f in result.active if f.line == 18][0]
+    # Both acquisition orders of the 2-cycle are named, each with its
+    # concrete file:line witness chain.
+    assert "'Deadlock._a' then 'Deadlock._b'" in cycle.message
+    assert "'Deadlock._b' then 'Deadlock._a'" in cycle.message
+    assert "conc001_bad.py:18" in cycle.message  # path 1: via _publish()
+    assert "conc001_bad.py:21" in cycle.message
+    assert "conc001_bad.py:25" in cycle.message  # path 2: lexical nesting
+    assert "conc001_bad.py:26" in cycle.message
+    self_dl = [f for f in result.active if f.line == 37][0]
+    assert "non-reentrant lock 'SelfDeadlock._lock'" in self_dl.message
+    assert "conc001_bad.py:40" in self_dl.message
+
+
+def test_conc001_clean_twin_order_and_reentrancy():
+    # Same shapes as the bad twin, but one global order and an RLock
+    # for the re-acquisition — neither may fire.
+    result = run_fixture("conc001_clean.py", LockOrderRule())
+    assert hits(result) == []
+
+
+# ---------------------------------------------------------------------------
+# CONC002 — blocking calls under a lock, direct and transitive
+# ---------------------------------------------------------------------------
+
+
+def test_conc002_catches_direct_transitive_and_inherited():
+    result = run_fixture("conc002_bad.py", BlockingUnderLockRule())
+    assert hits(result) == [
+        ("CONC002", 18),  # fut.result() under the lock
+        ("CONC002", 22),  # time.sleep under the lock
+        ("CONC002", 26),  # queue.get() without timeout
+        ("CONC002", 30),  # transitive: flush -> _drain -> result()
+        ("CONC002", 40),  # sleep in the *_locked helper
+    ]
+    transitive = [f for f in result.active if f.line == 30][0]
+    assert "reaches blocking Future.result()" in transitive.message
+    assert "conc002_bad.py:36" in transitive.message  # names the sink
+    inherited = [f for f in result.active if f.line == 40][0]
+    assert "held by every caller" in inherited.message
+
+
+def test_conc002_allowlist_disables_matcher_families():
+    rule = BlockingUnderLockRule()
+    result = run_fixture("conc002_bad.py", rule, {"allow": ["sleep"]})
+    assert [line for _, line in hits(result)] == [18, 26, 30]
+
+
+def test_conc002_clean_twin_bounded_or_off_lock():
+    result = run_fixture("conc002_clean.py", BlockingUnderLockRule())
+    assert hits(result) == []
+
+
+# ---------------------------------------------------------------------------
+# CONC003 — guarded-by inference
+# ---------------------------------------------------------------------------
+
+
+def test_conc003_infers_guard_and_flags_bare_accesses():
+    result = run_fixture("conc003_bad.py", GuardedByInferenceRule())
+    # Counter.hits: locked write in record -> bare read + bare write
+    # flagged.  Ambiguous.total (two different locks) is skipped: the
+    # pass refuses to guess.  Counter.misses (init-only) is config, not
+    # shared state.
+    assert hits(result) == [
+        ("CONC003", 22),  # snapshot reads bare
+        ("CONC003", 25),  # reset writes bare
+    ]
+    read = [f for f in result.active if f.line == 22][0]
+    assert "'self.hits' is written under 'Counter._lock'" in read.message
+    assert "# guarded-by: _lock" in read.message
+
+
+def test_conc003_clean_twin_declared_locked_and_inherited():
+    result = run_fixture("conc003_clean.py", GuardedByInferenceRule())
+    assert hits(result) == []
+
+
+def test_conc003_respects_inline_suppressions(tmp_path):
+    # Program-pass findings route through the same per-file suppression
+    # machinery as single-file rules.
+    src = FIXTURES.joinpath("conc003_bad.py").read_text(encoding="utf-8")
+    src = src.replace(
+        "        return self.hits",
+        "        return self.hits  # reprolint: disable=CONC003 -- torn"
+        " read is benign",
+    )
+    target = tmp_path / "conc003_suppressed.py"
+    target.write_text(src, encoding="utf-8")
+    rule = GuardedByInferenceRule()
+    rule.configure({})
+    result = run_rules(tmp_path, [target], [rule])
+    assert hits(result) == [("CONC003", 25)]
+    assert [f.line for f in result.suppressed] == [22]
+    assert result.suppressed[0].suppress_reason == "torn read is benign"
+
+
+# ---------------------------------------------------------------------------
+# ARR001 — shape/dtype contracts
+# ---------------------------------------------------------------------------
+
+
+def test_arr001_catches_constructor_and_call_violations():
+    result = run_fixture("arr001_bad.py", ArrayContractRule(), {"paths": [""]})
+    assert hits(result) == [
+        ("ARR001", 7),  # zeros defaults to float64, contract says int64
+        ("ARR001", 8),  # rank-1 constructor, rank-2 contract
+        ("ARR001", 10),  # (R, V) passed where (V, R) declared
+        ("ARR001", 10),  # rank-2 flags passed to rank-1 parameter
+    ]
+    messages = sorted(f.message for f in result.active if f.line == 10)
+    assert "dim mismatch ('R' vs 'V')" in messages[1]
+    assert "rank mismatch (2 vs 1)" in messages[0]
+
+
+def test_arr001_clean_twin_and_wildcards():
+    result = run_fixture(
+        "arr001_clean.py", ArrayContractRule(), {"paths": [""]}
+    )
+    assert hits(result) == []
+
+
+def test_arr001_only_applies_on_configured_paths():
+    result = run_fixture(
+        "arr001_bad.py", ArrayContractRule(), {"paths": ["src/repro/"]}
+    )
+    assert hits(result) == []
+
+
+# ---------------------------------------------------------------------------
+# baseline: fingerprints, add/expire round-trip
+# ---------------------------------------------------------------------------
+
+
+def _finding(message, line=10, rule="CONC002", path="src/x.py"):
+    return Finding(
+        path=path, line=line, col=0, rule=rule, message=message, hint=""
+    )
+
+
+def test_fingerprint_survives_line_drift_inside_messages():
+    a = _finding("call path via src/x.py:120 while holding 'P._lock'")
+    b = _finding(
+        "call path via src/x.py:355 while holding 'P._lock'", line=99
+    )
+    assert fingerprint(a) == fingerprint(b)
+    # ...but a different rule, file, or wording is a different identity.
+    assert fingerprint(a) != fingerprint(
+        _finding("call path via src/x.py:120 while holding 'P._other'")
+    )
+    assert fingerprint(a) != fingerprint(a.__class__(
+        path="src/y.py", line=10, col=0, rule="CONC002",
+        message=a.message, hint="",
+    ))
+
+
+def test_baseline_round_trip_add_then_expire(tmp_path):
+    baseline_path = tmp_path / "baseline.json"
+    found = [_finding("blocking under 'P._lock'")]
+    # 1. A new finding lands in the baseline stamped UNJUSTIFIED.
+    count = write_baseline(baseline_path, found)
+    assert count == 1
+    raw = json.loads(baseline_path.read_text(encoding="utf-8"))
+    assert raw["entries"][0]["justification"] == UNJUSTIFIED
+    # 2. A human writes the reason; apply_baseline marks the finding.
+    raw["entries"][0]["justification"] = "the lock serialises this"
+    baseline_path.write_text(json.dumps(raw), encoding="utf-8")
+    baseline = load_baseline(baseline_path)
+    applied = apply_baseline(list(found), baseline)
+    assert applied[0].baselined
+    assert applied[0].baseline_reason == "the lock serialises this"
+    # 3. Rewriting with the finding still present keeps the reason.
+    write_baseline(baseline_path, found, baseline)
+    again = load_baseline(baseline_path)
+    assert [e["justification"] for e in again.entries.values()] == [
+        "the lock serialises this"
+    ]
+    # 4. The finding is fixed: the entry is stale and expires on rewrite.
+    gone = load_baseline(baseline_path)
+    apply_baseline([], gone)
+    assert [e["rule"] for e in gone.stale] == ["CONC002"]
+    assert write_baseline(baseline_path, [], gone) == 0
+    assert json.loads(baseline_path.read_text(encoding="utf-8"))[
+        "entries"
+    ] == []
+
+
+def test_cli_baseline_gates_new_findings_only(tmp_path):
+    # End-to-end through the standalone CLI: seed a project with one
+    # violation, baseline it, verify clean exit, then check --strict
+    # flags the entry as stale once the violation is fixed.
+    from reprolint.__main__ import main
+
+    (tmp_path / "pyproject.toml").write_text(
+        '[tool.reprolint]\npaths = ["."]\nbaseline = "baseline.json"\n',
+        encoding="utf-8",
+    )
+    bad = FIXTURES.joinpath("conc003_bad.py").read_text(encoding="utf-8")
+    (tmp_path / "racy.py").write_text(bad, encoding="utf-8")
+    root = ["--root", str(tmp_path), "--only", "CONC003"]
+    assert main(root) == 1  # findings, no baseline yet
+    assert main([*root, "--update-baseline"]) == 0
+    assert main(root) == 0  # baselined -> clean
+    assert main([*root, "--no-baseline"]) == 1  # still visible on demand
+    clean = FIXTURES.joinpath("conc003_clean.py").read_text(encoding="utf-8")
+    (tmp_path / "racy.py").write_text(clean, encoding="utf-8")
+    assert main(root) == 0  # stale entries don't fail a plain run...
+    assert main([*root, "--strict"]) == 1  # ...but --strict expires them
+    assert main([*root, "--update-baseline"]) == 0
+    assert main([*root, "--strict"]) == 0
+
+
+# ---------------------------------------------------------------------------
+# SARIF 2.1.0 output
+# ---------------------------------------------------------------------------
+
+
+def test_sarif_structure_and_suppressions():
+    import reprolint
+    from reprolint.sarif import format_sarif
+
+    rule = GuardedByInferenceRule()
+    rule.configure({})
+    result = run_rules(FIXTURES, [FIXTURES / "conc003_bad.py"], [rule])
+    log = json.loads(format_sarif(result, [rule], reprolint.__version__))
+    assert log["version"] == "2.1.0"
+    assert log["$schema"].endswith("sarif-schema-2.1.0.json")
+    (run,) = log["runs"]
+    driver = run["tool"]["driver"]
+    assert driver["name"] == "reprolint"
+    (descriptor,) = driver["rules"]
+    assert descriptor["id"] == "CONC003"
+    assert descriptor["fullDescription"]["text"]  # the rationale
+    assert descriptor["help"]["text"]  # the fix recipe
+    assert [r["ruleId"] for r in run["results"]] == ["CONC003", "CONC003"]
+    first = run["results"][0]
+    assert first["level"] == "warning"
+    location = first["locations"][0]["physicalLocation"]
+    assert location["artifactLocation"]["uri"] == "conc003_bad.py"
+    assert location["region"]["startLine"] == 22
+    assert location["region"]["startColumn"] >= 1  # SARIF is 1-based
+    (invocation,) = run["invocations"]
+    assert invocation["executionSuccessful"] is True
+
+
+def test_sarif_marks_baselined_findings_as_external_suppressions():
+    import reprolint
+    from reprolint.sarif import format_sarif
+
+    finding = _finding("accepted by design")
+    baselined = Finding(
+        path=finding.path,
+        line=finding.line,
+        col=finding.col,
+        rule=finding.rule,
+        message=finding.message,
+        hint="",
+        baselined=True,
+        baseline_reason="the lock serialises exactly this",
+    )
+    result = run_rules(FIXTURES, [], [])
+    result.findings = [baselined]
+    log = json.loads(format_sarif(result, [], reprolint.__version__))
+    (entry,) = log["runs"][0]["results"][0]["suppressions"]
+    assert entry["kind"] == "external"
+    assert entry["justification"] == "the lock serialises exactly this"
+
+
+def test_cli_sarif_out_writes_log_file(tmp_path):
+    from reprolint.__main__ import main
+
+    (tmp_path / "pyproject.toml").write_text(
+        '[tool.reprolint]\npaths = ["."]\n', encoding="utf-8"
+    )
+    (tmp_path / "ok.py").write_text("x = 1\n", encoding="utf-8")
+    out = tmp_path / "artifacts" / "reprolint.sarif"
+    assert (
+        main(["--root", str(tmp_path), "--sarif-out", str(out)]) == 0
+    )
+    log = json.loads(out.read_text(encoding="utf-8"))
+    assert log["version"] == "2.1.0"
+    assert log["runs"][0]["results"] == []
+
+
+# ---------------------------------------------------------------------------
+# --explain
+# ---------------------------------------------------------------------------
+
+
+def test_explain_prints_rationale_and_recipe(capsys):
+    from reprolint.__main__ import main
+
+    assert main(["--explain", "conc001"]) == 0  # case-insensitive
+    out = capsys.readouterr().out
+    assert "CONC001" in out
+    assert "Why this rule exists:" in out
+    assert "How to fix a finding:" in out
+    assert "deadlock" in out
+
+
+def test_explain_unknown_rule_exits_2(capsys):
+    from reprolint.__main__ import main
+
+    assert main(["--explain", "NOPE999"]) == 2
+    err = capsys.readouterr().err
+    assert "unknown rule" in err
+    assert "CONC001" in err  # lists the known IDs
+
+
+# ---------------------------------------------------------------------------
 # engine: suppressions, output formats, discovery
 # ---------------------------------------------------------------------------
 
@@ -225,7 +557,9 @@ def test_rule_ids_are_unique_and_documented():
     assert len(ids) == len(set(ids))
     for rule_cls in ALL_RULES:
         assert rule_cls.summary
-        assert (rule_cls.__module__ or "").startswith("reprolint.rules")
+        assert (rule_cls.__module__ or "").startswith(
+            ("reprolint.rules", "reprolint.passes")
+        )
 
 
 def test_make_rules_only_filter():
@@ -248,6 +582,36 @@ def test_repro_tree_self_check_is_clean():
     # a reason.
     for finding in result.suppressed:
         assert finding.suppress_reason, finding.format_human()
+    # Baselined findings likewise carry their (human-written) reason.
+    for finding in result.baselined:
+        assert finding.baseline_reason, finding.format_human()
+
+
+def test_repro_baseline_is_justified_and_not_stale():
+    baseline = load_baseline(REPO_ROOT / "tools" / "reprolint" / "baseline.json")
+    assert baseline.entries, "expected the by-design pool entries"
+    for entry in baseline.entries.values():
+        assert entry["justification"], entry
+        assert UNJUSTIFIED not in entry["justification"], entry
+    result = lint_project(REPO_ROOT, use_baseline=False)
+    live = {fingerprint(f) for f in result.findings if not f.suppressed}
+    stale = [fp for fp in baseline.entries if fp not in live]
+    assert stale == [], f"stale baseline entries: {stale}"
+
+
+def test_lint_cli_strict_self_check_is_clean():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", "lint", "--strict"],
+        cwd=REPO_ROOT,
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "0 findings" in proc.stdout
 
 
 def test_lint_cli_subcommand_json_roundtrip():

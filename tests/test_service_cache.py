@@ -125,3 +125,29 @@ def test_affected_mode_eviction_uses_real_batch_endpoints():
     cache.on_epoch(stats.affected_vertices, epoch=1)
     assert cache.get(0, 1) == 1.0
     assert cache.get(2, 3) is None
+
+
+def test_zero_capacity_still_tallies_misses():
+    """Regression: the capacity==0 fast path used to bump ``misses``
+    outside ``_lock`` — the one unlocked counter write in the class."""
+    cache = QueryCache(capacity=0)
+    assert cache.get(1, 2) is None
+    assert cache.get(3, 4) is None
+    counts = cache.counts()
+    assert counts["misses"] == 2
+    assert counts["hits"] == 0
+    assert cache.hit_rate == 0.0
+
+
+def test_counts_snapshot_matches_counter_attributes():
+    cache = QueryCache(capacity=4)
+    cache.put(0, 1, 1.0)
+    cache.get(0, 1)
+    cache.get(5, 6)
+    assert cache.counts() == {
+        "hits": cache.hits,
+        "misses": cache.misses,
+        "invalidated": cache.invalidated,
+        "clears": cache.clears,
+        "stale_puts_dropped": cache.stale_puts_dropped,
+    }

@@ -134,3 +134,18 @@ def test_self_loops_never_reach_the_buffer():
     assert len(sched) == 0
     assert sched.due() is None
     assert sched.coalesced == 1
+
+
+def test_counts_snapshot_matches_counter_attributes():
+    sched = CoalescingScheduler(FlushPolicy(max_batch=10, max_delay=None))
+    sched.offer(EdgeUpdate.insert(0, 1))
+    sched.offer(EdgeUpdate.insert(0, 1))  # coalesces
+    sched.drain()
+    assert sched.counts() == {
+        "offered": sched.offered,
+        "coalesced": sched.coalesced,
+        "drained": sched.drained,
+        "drains": sched.drains,
+    }
+    assert sched.counts()["offered"] == 2
+    assert sched.counts()["drains"] == 1

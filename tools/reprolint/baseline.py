@@ -1,0 +1,166 @@
+"""Finding baseline: gate CI on *new* findings, not on history.
+
+Whole-program rules land on a codebase with pre-existing, deliberate
+violations — the shard pool's ``_state_lock`` exists precisely to hold a
+lock across the batch futures it serialises.  Rewriting those designs to
+silence the linter would be backwards; ignoring the rules wholesale
+would let new violations in.  The baseline records each accepted
+finding **with a mandatory justification**, CI fails on anything not in
+it, and ``--strict`` additionally fails on stale entries so the file can
+only shrink as real fixes land.
+
+Format (``tools/reprolint/baseline.json``, checked in)::
+
+    {
+      "version": 1,
+      "entries": [
+        {
+          "fingerprint": "6f0c...",
+          "rule": "CONC002",
+          "path": "src/repro/parallel/pool.py",
+          "message": "call path from ... while holding ...",
+          "justification": "_state_lock exists to serialise batches; ..."
+        }
+      ]
+    }
+
+Fingerprints hash ``rule | path | message-with-digits-collapsed`` so
+entries survive line drift from unrelated edits; moving the code to a
+different file or changing what the finding says invalidates the entry,
+which is the point.  ``repro lint --update-baseline`` regenerates the
+file, preserving justifications of surviving entries and stamping new
+ones ``UNJUSTIFIED`` — the self-check test refuses a baseline containing
+that marker, so a human must write the reason before CI goes green.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from reprolint.findings import Finding
+
+UNJUSTIFIED = "UNJUSTIFIED: replace with why this finding is accepted"
+
+_DIGITS = re.compile(r"\d+")
+
+
+def fingerprint(finding: Finding) -> str:
+    """Stable identity of a finding across line drift.
+
+    Digits are collapsed so line/col references inside messages (witness
+    chains embed ``file.py:123`` frames) don't churn the hash when code
+    above them moves.
+    """
+    normalized = _DIGITS.sub("#", finding.message)
+    payload = f"{finding.rule}|{finding.path}|{normalized}"
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
+@dataclass
+class Baseline:
+    path: Path
+    #: fingerprint -> entry dict (rule, path, message, justification)
+    entries: dict[str, dict[str, str]] = field(default_factory=dict)
+    #: fingerprints that matched at least one finding this run
+    matched: set[str] = field(default_factory=set)
+
+    @property
+    def stale(self) -> list[dict[str, str]]:
+        """Entries whose finding no longer exists — expire them."""
+        return [
+            entry
+            for fp, entry in sorted(self.entries.items())
+            if fp not in self.matched
+        ]
+
+    def justification_for(self, finding: Finding) -> str | None:
+        """The entry's justification when ``finding`` is baselined."""
+        entry = self.entries.get(fingerprint(finding))
+        if entry is None:
+            return None
+        return entry.get("justification", "")
+
+
+def load_baseline(path: Path) -> Baseline:
+    baseline = Baseline(path=path)
+    if not path.is_file():
+        return baseline
+    data = json.loads(path.read_text(encoding="utf-8"))
+    for entry in data.get("entries", []):
+        fp = entry.get("fingerprint")
+        if isinstance(fp, str):
+            baseline.entries[fp] = {
+                "rule": str(entry.get("rule", "")),
+                "path": str(entry.get("path", "")),
+                "message": str(entry.get("message", "")),
+                "justification": str(entry.get("justification", "")),
+            }
+    return baseline
+
+
+def apply_baseline(findings: list[Finding], baseline: Baseline) -> list[Finding]:
+    """Mark matching findings baselined; record matches for staleness."""
+    out: list[Finding] = []
+    for finding in findings:
+        if finding.suppressed:
+            out.append(finding)
+            continue
+        fp = fingerprint(finding)
+        entry = baseline.entries.get(fp)
+        if entry is None:
+            out.append(finding)
+            continue
+        baseline.matched.add(fp)
+        out.append(
+            Finding(
+                path=finding.path,
+                line=finding.line,
+                col=finding.col,
+                rule=finding.rule,
+                message=finding.message,
+                hint=finding.hint,
+                baselined=True,
+                baseline_reason=entry.get("justification", ""),
+            )
+        )
+    return out
+
+
+def write_baseline(
+    path: Path, findings: list[Finding], previous: Baseline | None = None
+) -> int:
+    """Write a fresh baseline from the given findings.
+
+    Suppressed findings stay out (the in-source suppression already
+    carries the reason).  Justifications of surviving entries are kept;
+    new entries get the :data:`UNJUSTIFIED` marker, which the self-check
+    test rejects, forcing a human-written reason before CI passes.
+    Returns the number of entries written.
+    """
+    old = previous.entries if previous is not None else {}
+    entries = []
+    seen: set[str] = set()
+    for finding in sorted(findings):
+        if finding.suppressed:
+            continue
+        fp = fingerprint(finding)
+        if fp in seen:
+            continue
+        seen.add(fp)
+        kept = old.get(fp, {}).get("justification", "")
+        entries.append(
+            {
+                "fingerprint": fp,
+                "rule": finding.rule,
+                "path": finding.path,
+                "message": finding.message,
+                "justification": kept or UNJUSTIFIED,
+            }
+        )
+    payload = {"version": 1, "entries": entries}
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    return len(entries)

@@ -29,6 +29,14 @@ class LintConfig:
     paths: list[str] = field(default_factory=lambda: ["src", "tools"])
     exclude: list[str] = field(default_factory=list)
     rule_options: dict[str, dict[str, object]] = field(default_factory=dict)
+    #: root-relative path of the findings baseline (None disables it).
+    baseline: str | None = None
+
+    @property
+    def baseline_path(self) -> Path | None:
+        if self.baseline is None:
+            return None
+        return self.root / self.baseline
 
 
 def _normalise(table: dict[str, object]) -> dict[str, object]:
@@ -60,6 +68,9 @@ def load_config(root: Path) -> LintConfig:
     exclude = table.get("exclude")
     if isinstance(exclude, list):
         config.exclude = [str(p) for p in exclude]
+    baseline = table.get("baseline")
+    if isinstance(baseline, str):
+        config.baseline = baseline
     rules = table.get("rules", {})
     if isinstance(rules, dict):
         config.rule_options = {

@@ -189,12 +189,22 @@ class Rule:
 
     ``check_module`` runs once per file; ``finalize`` runs once per
     project after every module pass, for rules whose invariant spans
-    modules.  Either may yield :class:`Finding` objects (the engine fills
-    in suppression state afterwards).
+    modules; ``check_program`` runs once per project with the
+    whole-program :class:`~reprolint.program.ProgramModel` (symbol
+    table, lock inventory, call graph) — the model is only built when
+    at least one enabled rule overrides it.  Any of the three may yield
+    :class:`Finding` objects (the engine fills in suppression state
+    afterwards).
+
+    ``rationale`` and ``fix_recipe`` back ``repro lint --explain``:
+    the first says which historical bug class the rule encodes, the
+    second how to fix a finding.
     """
 
     id: str = "RULE000"
     summary: str = ""
+    rationale: str = ""
+    fix_recipe: str = ""
 
     def configure(self, options: dict[str, object]) -> None:
         """Apply this rule's ``[tool.reprolint.<id>]`` table (optional)."""
@@ -203,6 +213,10 @@ class Rule:
         return ()
 
     def finalize(self) -> Iterable[Finding]:
+        return ()
+
+    def check_program(self, program: "object") -> Iterable[Finding]:
+        """Whole-program pass; ``program`` is a ProgramModel."""
         return ()
 
     def finding(
@@ -240,11 +254,17 @@ class LintResult:
 
     @property
     def active(self) -> list[Finding]:
-        return [f for f in self.findings if not f.suppressed]
+        return [
+            f for f in self.findings if not f.suppressed and not f.baselined
+        ]
 
     @property
     def suppressed(self) -> list[Finding]:
         return [f for f in self.findings if f.suppressed]
+
+    @property
+    def baselined(self) -> list[Finding]:
+        return [f for f in self.findings if f.baselined]
 
     def to_json(self) -> str:
         return json.dumps(
@@ -254,6 +274,7 @@ class LintResult:
                 "errors": self.errors,
                 "findings": [f.to_dict() for f in self.active],
                 "suppressed": [f.to_dict() for f in self.suppressed],
+                "baselined": [f.to_dict() for f in self.baselined],
             },
             indent=2,
         )
@@ -261,12 +282,14 @@ class LintResult:
     def format_human(self) -> str:
         lines = [f.format_human() for f in self.active]
         lines.extend(f.format_human() for f in self.suppressed)
+        lines.extend(f.format_human() for f in self.baselined)
         lines.extend(f"error: {err}" for err in self.errors)
         n = len(self.active)
         lines.append(
             f"reprolint: {self.files_checked} files,"
             f" {n} finding{'s' if n != 1 else ''}"
-            f" ({len(self.suppressed)} suppressed)"
+            f" ({len(self.suppressed)} suppressed,"
+            f" {len(self.baselined)} baselined)"
         )
         return "\n".join(lines)
 
@@ -324,6 +347,16 @@ def run_rules(
     for rule in rules:
         for finding in rule.finalize():
             raw.append((finding, by_path.get(finding.path)))
+    if any(
+        type(rule).check_program is not Rule.check_program for rule in rules
+    ):
+        # Imported here: program.py needs ModuleContext from this module.
+        from reprolint.program import ProgramModel
+
+        program = ProgramModel(contexts)
+        for rule in rules:
+            for finding in rule.check_program(program):
+                raw.append((finding, by_path.get(finding.path)))
     for finding, ctx in raw:
         if ctx is not None:
             supp = ctx.suppressions.get(finding.line)

@@ -27,12 +27,17 @@ class Finding:
     hint: str = field(compare=False, default="")
     suppressed: bool = field(compare=False, default=False)
     suppress_reason: str = field(compare=False, default="")
+    baselined: bool = field(compare=False, default=False)
+    baseline_reason: str = field(compare=False, default="")
 
     def format_human(self) -> str:
         text = f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
         if self.suppressed:
             reason = self.suppress_reason or "no reason given"
             text += f"  [suppressed: {reason}]"
+        elif self.baselined:
+            reason = self.baseline_reason or "no justification recorded"
+            text += f"  [baselined: {reason}]"
         elif self.hint:
             text += f"\n    hint: {self.hint}"
         return text

@@ -1,0 +1,24 @@
+"""Whole-program passes: rules that need the cross-module ProgramModel.
+
+Unlike :mod:`reprolint.rules` (one file at a time), every pass here
+receives the :class:`~reprolint.program.ProgramModel` — symbol table,
+lock inventory, approximate call graph — built once per run.  Passes are
+still :class:`~reprolint.engine.Rule` subclasses (same configuration,
+suppression and output machinery); they simply implement
+``check_program`` instead of ``check_module``.
+"""
+
+from __future__ import annotations
+
+from reprolint.engine import Rule
+from reprolint.passes.arr001 import ArrayContractRule
+from reprolint.passes.conc001 import LockOrderRule
+from reprolint.passes.conc002 import BlockingUnderLockRule
+from reprolint.passes.conc003 import GuardedByInferenceRule
+
+PROGRAM_PASSES: tuple[type[Rule], ...] = (
+    LockOrderRule,
+    BlockingUnderLockRule,
+    GuardedByInferenceRule,
+    ArrayContractRule,
+)

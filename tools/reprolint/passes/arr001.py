@@ -1,0 +1,433 @@
+"""ARR001 — lightweight shape/dtype contracts checked across call sites.
+
+The numpy kernels pass flat arrays between modules: CSR ``indptr``/
+``indices`` built in ``graph/``, distance and hub-label buffers shaped
+``(V, R)`` flowing through ``core/batch_kernels`` into
+``parallel/snapshot``.  Their shapes and dtypes are a contract that
+nothing checks — a transposed ``(R, V)`` buffer or an ``int32`` index
+array handed to an ``int64`` kernel fails deep inside a worker, or
+worse, silently computes garbage through a reinterpreting view.
+
+The contract syntax is one trailing comment::
+
+    dist = np.full((n, len(roots)), INF, dtype=np.float64)  # shape: (V, R) float64
+
+    def batch_update(
+        indptr,   # shape: (V+1,) int64
+        indices,  # shape: (E,) int64
+    ):
+
+Dims are symbols (``V``, ``R``, ``E``, ``V+1``) or integers; ``*``
+matches anything.  The pass checks two things, both locally auditable:
+
+* **constructor consistency** — an annotated assignment whose value is a
+  numpy constructor (``zeros``/``ones``/``empty``/``full``/``arange``/
+  ``array``) with a statically visible rank or ``dtype=`` must agree
+  with its own contract;
+* **call boundaries** — when an annotated variable is passed to a
+  parameter that carries its own contract (resolved through the
+  program call graph), ranks must match, symbolic dims must match by
+  name (catching transpositions like passing ``(R, V)`` where ``(V, R)``
+  is declared), and dtypes must match when both sides declare one.
+
+Only paths configured in ``[tool.reprolint.rules.ARR001] paths`` are
+checked (default: the kernel packages ``graph/``, ``core/``,
+``parallel/``) so service-layer code is free to stay unannotated.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from typing import Iterable
+
+from reprolint.engine import Finding, ModuleContext, Rule
+from reprolint.program import MethodInfo, ProgramModel
+
+_CONTRACT_RE = re.compile(
+    r"#\s*shape:\s*\((?P<dims>[^)]*)\)\s*(?P<dtype>[A-Za-z0-9_.]+)?"
+)
+
+#: numpy constructors whose result rank/dtype is statically visible.
+_CONSTRUCTORS = {
+    "zeros",
+    "ones",
+    "empty",
+    "full",
+    "array",
+    "asarray",
+    "arange",
+    "zeros_like",
+    "empty_like",
+    "ones_like",
+    "full_like",
+}
+
+#: constructors that default to float64 when no dtype= is given.
+_FLOAT_DEFAULT = {"zeros", "ones", "empty", "full"}
+
+_DTYPE_ALIASES = {
+    "float": "float64",
+    "int": "int64",
+    "bool_": "bool",
+    "double": "float64",
+}
+
+
+@dataclass(frozen=True)
+class Contract:
+    """One parsed ``# shape: (dims) dtype`` annotation."""
+
+    dims: tuple[str, ...]
+    dtype: str | None
+    line: int
+
+    @property
+    def rank(self) -> int:
+        return len(self.dims)
+
+    def render(self) -> str:
+        body = f"({', '.join(self.dims)})"
+        return f"{body} {self.dtype}" if self.dtype else body
+
+
+def _parse_contract(comment: str, line: int) -> Contract | None:
+    match = _CONTRACT_RE.search(comment)
+    if match is None:
+        return None
+    raw = match.group("dims").strip()
+    dims = tuple(
+        part.strip() for part in raw.split(",") if part.strip()
+    ) if raw else ()
+    dtype = match.group("dtype")
+    return Contract(dims=dims, dtype=_norm_dtype(dtype), line=line)
+
+
+def _norm_dtype(name: str | None) -> str | None:
+    if name is None:
+        return None
+    tail = name.rsplit(".", 1)[-1]
+    return _DTYPE_ALIASES.get(tail, tail)
+
+
+def _contract_for_span(
+    ctx: ModuleContext, lineno: int, end_lineno: int | None
+) -> Contract | None:
+    for line in range(lineno, (end_lineno or lineno) + 1):
+        comment = ctx.comments.get(line)
+        if comment is None:
+            continue
+        contract = _parse_contract(comment, line)
+        if contract is not None:
+            return contract
+    return None
+
+
+class ArrayContractRule(Rule):
+    id = "ARR001"
+    summary = (
+        "'# shape: (dims) dtype' contracts must hold at constructors and"
+        " across kernel call boundaries"
+    )
+    rationale = (
+        "Kernel arrays cross module boundaries as bare ndarrays: CSR"
+        " offsets from graph/ into core/batch_kernels, (V, R) distance"
+        " buffers into parallel/snapshot.  A transposed buffer or an"
+        " int32 array handed to an int64 kernel fails deep inside a"
+        " worker — or silently computes garbage.  ARR001 makes the"
+        " intended shape/dtype a one-comment contract and checks it"
+        " where mistakes happen: at the constructor and at every"
+        " resolved call site that crosses a function boundary."
+    )
+    fix_recipe = (
+        "Make the code and the contract agree: fix the constructor's"
+        " dtype=/shape argument, transpose or rebuild the array being"
+        " passed, or correct the stale comment.  Use '*' for a dim that"
+        " is genuinely variable.  Annotate both sides of a kernel call"
+        " (the argument's assignment and the callee's parameter) to get"
+        " the cross-boundary check."
+    )
+
+    def __init__(self) -> None:
+        self.paths: tuple[str, ...] = (
+            "src/repro/graph/",
+            "src/repro/core/",
+            "src/repro/parallel/",
+        )
+
+    def configure(self, options: dict[str, object]) -> None:
+        paths = options.get("paths")
+        if isinstance(paths, list):
+            self.paths = tuple(str(p) for p in paths)
+
+    def _gated(self, ctx: ModuleContext) -> bool:
+        return any(ctx.relpath.startswith(prefix) for prefix in self.paths)
+
+    # ------------------------------------------------------------------
+
+    def check_program(self, program: ProgramModel) -> Iterable[Finding]:
+        findings: list[Finding] = []
+        # Pass 1: per-function parameter contracts + local-variable
+        # contracts (with constructor checks as we collect them).
+        params: dict[str, list[tuple[str, Contract | None]]] = {}
+        local: dict[str, dict[str, Contract]] = {}
+        for method in program.iter_methods():
+            if not self._gated(method.ctx):
+                continue
+            params[method.qualname] = self._param_contracts(method)
+            local[method.qualname] = self._local_contracts(
+                method, findings
+            )
+        # Pass 2: call boundaries through the resolved call graph.
+        for method in program.iter_methods():
+            if not self._gated(method.ctx):
+                continue
+            mine = local.get(method.qualname, {})
+            if not mine:
+                continue
+            for callee, site in method.calls:
+                callee_params = params.get(callee)
+                if not callee_params:
+                    continue
+                self._check_call(
+                    method, site.node, mine, callee, callee_params, findings
+                )
+        findings.sort()
+        return findings
+
+    # ------------------------------------------------------------------
+    # collection
+    # ------------------------------------------------------------------
+
+    def _param_contracts(
+        self, method: MethodInfo
+    ) -> list[tuple[str, Contract | None]]:
+        """Positional parameters (minus self) with their contracts.
+
+        A contract comment binds to the parameter on its line; when
+        several parameters share a line the binding is ambiguous and all
+        of them stay unannotated (one-param-per-line is the idiom the
+        syntax is designed for).
+        """
+        args = list(method.node.args.posonlyargs) + list(method.node.args.args)
+        if method.cls is not None and args and args[0].arg == "self":
+            args = args[1:]
+        per_line: dict[int, int] = {}
+        for arg in args:
+            per_line[arg.lineno] = per_line.get(arg.lineno, 0) + 1
+        out: list[tuple[str, Contract | None]] = []
+        for arg in args:
+            contract = None
+            if per_line[arg.lineno] == 1:
+                comment = method.ctx.comments.get(arg.lineno)
+                if comment is not None:
+                    contract = _parse_contract(comment, arg.lineno)
+            out.append((arg.arg, contract))
+        return out
+
+    def _local_contracts(
+        self, method: MethodInfo, findings: list[Finding]
+    ) -> dict[str, Contract]:
+        """Annotated single-target assignments, constructor-checked."""
+        contracts: dict[str, Contract] = {}
+        for node in ast.walk(method.node):
+            if isinstance(node, ast.Assign):
+                if len(node.targets) != 1 or not isinstance(
+                    node.targets[0], ast.Name
+                ):
+                    continue
+                name, value = node.targets[0].id, node.value
+            elif isinstance(node, ast.AnnAssign):
+                if node.value is None or not isinstance(
+                    node.target, ast.Name
+                ):
+                    continue
+                name, value = node.target.id, node.value
+            else:
+                continue
+            contract = _contract_for_span(
+                method.ctx, node.lineno, getattr(node, "end_lineno", None)
+            )
+            if contract is None:
+                continue
+            contracts[name] = contract
+            self._check_constructor(method, name, value, contract, findings)
+        # Parameters are in scope as locals too.
+        for pname, contract in self._param_contracts(method):
+            if contract is not None:
+                contracts.setdefault(pname, contract)
+        return contracts
+
+    # ------------------------------------------------------------------
+    # checks
+    # ------------------------------------------------------------------
+
+    def _check_constructor(
+        self,
+        method: MethodInfo,
+        name: str,
+        value: ast.expr,
+        contract: Contract,
+        findings: list[Finding],
+    ) -> None:
+        if not isinstance(value, ast.Call):
+            return
+        func = value.func
+        ctor = (
+            func.attr
+            if isinstance(func, ast.Attribute)
+            else func.id if isinstance(func, ast.Name) else None
+        )
+        if ctor not in _CONSTRUCTORS:
+            return
+        # dtype: explicit kwarg, or the float64 default of zeros/ones/...
+        dtype = None
+        for kw in value.keywords:
+            if kw.arg == "dtype":
+                dtype = _dtype_of_expr(kw.value)
+        if dtype is None and ctor in _FLOAT_DEFAULT:
+            dtype = "float64"
+        if (
+            contract.dtype is not None
+            and dtype is not None
+            and contract.dtype != dtype
+        ):
+            findings.append(
+                self.finding(
+                    method.ctx,
+                    value,
+                    f"'{name}' declares '# shape: {contract.render()}'"
+                    f" but np.{ctor}(...) creates dtype {dtype} — pass"
+                    f" dtype or fix the contract",
+                    hint=(
+                        "the contract and the constructor must agree;"
+                        " a wrong dtype reinterprets or silently casts"
+                        " in the kernels downstream"
+                    ),
+                )
+            )
+        rank = _ctor_rank(ctor, value)
+        if rank is not None and rank != contract.rank:
+            findings.append(
+                self.finding(
+                    method.ctx,
+                    value,
+                    f"'{name}' declares rank-{contract.rank} contract"
+                    f" '# shape: {contract.render()}' but np.{ctor}(...)"
+                    f" creates a rank-{rank} array",
+                    hint="fix the shape argument or the contract",
+                )
+            )
+
+    def _check_call(
+        self,
+        method: MethodInfo,
+        call: ast.Call,
+        local: dict[str, Contract],
+        callee: str,
+        callee_params: list[tuple[str, Contract | None]],
+        findings: list[Finding],
+    ) -> None:
+        pairs: list[tuple[str, Contract, str, Contract]] = []
+        by_name = {pname: c for pname, c in callee_params}
+        for index, arg in enumerate(call.args):
+            if index >= len(callee_params):
+                break
+            pname, pcontract = callee_params[index]
+            self._pair(arg, pname, pcontract, local, pairs)
+        for kw in call.keywords:
+            if kw.arg is None or kw.arg not in by_name:
+                continue
+            self._pair(kw.value, kw.arg, by_name[kw.arg], local, pairs)
+        short = callee.rsplit(".", 1)[-1]
+        for aname, acontract, pname, pcontract in pairs:
+            problem = _mismatch(acontract, pcontract)
+            if problem is None:
+                continue
+            findings.append(
+                self.finding(
+                    method.ctx,
+                    call,
+                    f"'{aname}' with contract '{acontract.render()}'"
+                    f" passed to parameter '{pname}' of {short}()"
+                    f" declared '{pcontract.render()}' — {problem}",
+                    hint=(
+                        "transpose/rebuild the argument or fix whichever"
+                        " contract is stale; use '*' for a genuinely"
+                        " variable dim"
+                    ),
+                )
+            )
+
+    @staticmethod
+    def _pair(
+        arg: ast.expr,
+        pname: str,
+        pcontract: Contract | None,
+        local: dict[str, Contract],
+        pairs: list[tuple[str, Contract, str, Contract]],
+    ) -> None:
+        if pcontract is None or not isinstance(arg, ast.Name):
+            return
+        acontract = local.get(arg.id)
+        if acontract is not None:
+            pairs.append((arg.id, acontract, pname, pcontract))
+
+
+def _mismatch(a: Contract, b: Contract) -> str | None:
+    """Human description of the first contract disagreement, or None."""
+    if a.rank != b.rank:
+        return f"rank mismatch ({a.rank} vs {b.rank})"
+    for da, db in zip(a.dims, b.dims):
+        if "*" in (da, db) or "?" in (da, db):
+            continue
+        if da.isdigit() != db.isdigit():
+            continue  # symbol vs literal: not comparable statically
+        if da != db:
+            return f"dim mismatch ('{da}' vs '{db}')"
+    if a.dtype is not None and b.dtype is not None and a.dtype != b.dtype:
+        return f"dtype mismatch ({a.dtype} vs {b.dtype})"
+    return None
+
+
+def _dtype_of_expr(expr: ast.expr) -> str | None:
+    """``np.int64`` / ``"int64"`` / ``int64`` -> ``"int64"``."""
+    if isinstance(expr, ast.Attribute):
+        return _norm_dtype(expr.attr)
+    if isinstance(expr, ast.Name):
+        return _norm_dtype(expr.id)
+    if isinstance(expr, ast.Constant) and isinstance(expr.value, str):
+        return _norm_dtype(expr.value)
+    return None
+
+
+def _ctor_rank(ctor: str, call: ast.Call) -> int | None:
+    """Statically visible result rank of a numpy constructor call."""
+    if ctor == "arange":
+        return 1
+    if ctor not in ("zeros", "ones", "empty", "full"):
+        return None  # array/asarray/_like: rank needs the input's shape
+    if not call.args:
+        for kw in call.keywords:
+            if kw.arg == "shape":
+                return _shape_rank(kw.value)
+        return None
+    return _shape_rank(call.args[0])
+
+
+def _shape_rank(expr: ast.expr) -> int | None:
+    if isinstance(expr, (ast.Tuple, ast.List)):
+        if any(isinstance(e, ast.Starred) for e in expr.elts):
+            return None
+        return len(expr.elts)
+    if isinstance(expr, (ast.Constant, ast.Name)):
+        # A bare int or variable is a 1-D length; a variable *could* be a
+        # tuple, but in the kernels it never is — and a false positive
+        # here is cheap to silence by writing the tuple literally.
+        if isinstance(expr, ast.Constant) and not isinstance(
+            expr.value, int
+        ):
+            return None
+        return 1
+    return None

@@ -1,0 +1,263 @@
+"""CONC001 — lock-acquisition-order cycles are potential deadlocks.
+
+The serving rewrite multiplies the lock surface: the writer engine holds
+``_writer_lock`` across a flush that re-enters ``_wakeup``, the shard
+pool nests ``_state_lock`` over its executor ``_lock``, and the ROADMAP's
+replicated-readers tier will add more.  Two locks acquired in opposite
+orders on two threads deadlock; nothing in a per-file rule can see that
+the opposite order lives three calls away in another module.
+
+This pass builds the **lock-acquisition-order graph** over every lock in
+the program's inventory: an edge ``L -> M`` means some execution path
+acquires ``M`` while already holding ``L`` — either a lexically nested
+``with``, or a method call chain (followed through the approximate call
+graph) that reaches a ``with M:``.  Every edge keeps its first concrete
+witness path (file:line frames from the outer acquisition through each
+call site to the inner acquisition).  Any cycle in the graph is reported
+once, with one witness path per edge, so the report names *both*
+acquisition orders of a 2-cycle.  A self-edge on a non-reentrant lock
+(``threading.Lock`` re-acquired through a helper) is a guaranteed
+single-thread deadlock and is reported the same way.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from reprolint.engine import Finding, Rule
+from reprolint.program import LockId, MethodInfo, ProgramModel
+
+#: One witness frame: (relpath, line, human description).
+Frame = tuple[str, int, str]
+
+
+class LockOrderRule(Rule):
+    id = "CONC001"
+    summary = (
+        "lock-acquisition-order cycles across the call graph are"
+        " potential deadlocks"
+    )
+    rationale = (
+        "Two threads acquiring the same pair of locks in opposite orders"
+        " deadlock.  The orders are rarely visible in one file: the flush"
+        " path holds the writer lock and calls into the shard pool, which"
+        " takes its own state and executor locks.  CONC001 builds the"
+        " whole-program lock-order graph (lexical 'with' nesting plus"
+        " acquisitions reached through the approximate call graph) and"
+        " reports every cycle with a concrete witness path per edge."
+    )
+    fix_recipe = (
+        "Pick one global acquisition order and restructure the later"
+        " acquisition: release the outer lock first, move the inner"
+        " acquisition out of the locked region, or merge the two locks."
+        "  If the cycle is provably unreachable (e.g. the two paths are"
+        " serialised by a third lock), suppress with a reason at the"
+        " reported outer acquisition."
+    )
+
+    #: Bounded witness-chain length (frames), just to keep messages sane.
+    _max_frames = 8
+
+    def check_program(self, program: ProgramModel) -> Iterable[Finding]:
+        edges = self._build_edges(program)
+        seen_cycles: set[frozenset[LockId]] = set()
+        findings: list[Finding] = []
+        # Self-deadlocks: a non-reentrant lock re-acquired under itself.
+        for (src, dst), witness in sorted(
+            edges.items(), key=lambda kv: (str(kv[0][0]), str(kv[0][1]))
+        ):
+            if src != dst:
+                continue
+            cls = program.classes.get(src.cls)
+            reentrant = bool(cls and cls.locks.get(src.attr, False))
+            if reentrant:
+                continue
+            path, line, _ = witness[0]
+            findings.append(
+                self.finding(
+                    path,
+                    None,
+                    f"non-reentrant lock '{src}' is re-acquired while"
+                    f" already held — a single thread self-deadlocks here;"
+                    f" path: {_render(witness)}",
+                    hint=(
+                        "hoist the inner acquisition out of the locked"
+                        " region or make the caller pass control through a"
+                        " *_locked method"
+                    ),
+                    line=line,
+                )
+            )
+        # Multi-lock cycles.
+        for cycle in _find_cycles(edges):
+            key = frozenset(cycle)
+            if key in seen_cycles:
+                continue
+            seen_cycles.add(key)
+            parts = []
+            for i, lock in enumerate(cycle):
+                nxt = cycle[(i + 1) % len(cycle)]
+                witness = edges[(lock, nxt)]
+                parts.append(
+                    f"'{lock}' then '{nxt}' via {_render(witness)}"
+                )
+            first_witness = edges[(cycle[0], cycle[1 % len(cycle)])]
+            path, line, _ = first_witness[0]
+            order = " -> ".join(f"'{lock}'" for lock in (*cycle, cycle[0]))
+            findings.append(
+                self.finding(
+                    path,
+                    None,
+                    f"lock-order cycle {order}: "
+                    + "; ".join(parts)
+                    + " — two threads taking these paths concurrently"
+                    " deadlock",
+                    hint=(
+                        "pick one global acquisition order; move the"
+                        " second acquisition outside the first lock's"
+                        " region on one of the paths"
+                    ),
+                    line=line,
+                )
+            )
+        return findings
+
+    # ------------------------------------------------------------------
+
+    def _build_edges(
+        self, program: ProgramModel
+    ) -> dict[tuple[LockId, LockId], list[Frame]]:
+        # Per-method summary: locks acquired anywhere within the method
+        # (directly or through resolved calls), with a witness chain.
+        summary: dict[str, dict[LockId, list[Frame]]] = {}
+        for method in program.iter_methods():
+            direct: dict[LockId, list[Frame]] = {}
+            for span in method.with_locks:
+                direct.setdefault(
+                    span.lock,
+                    [
+                        (
+                            method.ctx.relpath,
+                            span.line,
+                            f"{_short(method)} acquires '{span.lock}'",
+                        )
+                    ],
+                )
+            summary[method.qualname] = direct
+        # Fixed point: propagate callee acquisitions to callers.
+        for _ in range(len(summary) + 1):
+            changed = False
+            for method in program.iter_methods():
+                mine = summary[method.qualname]
+                for callee, site in method.calls:
+                    theirs = summary.get(callee)
+                    if not theirs:
+                        continue
+                    for lock, chain in theirs.items():
+                        if lock in mine:
+                            continue
+                        frame: Frame = (
+                            method.ctx.relpath,
+                            site.line,
+                            f"{_short(method)} calls"
+                            f" {callee.rsplit('.', 1)[-1]}()",
+                        )
+                        mine[lock] = ([frame] + chain)[: self._max_frames]
+                        changed = True
+            if not changed:
+                break
+        edges: dict[tuple[LockId, LockId], list[Frame]] = {}
+
+        def add_edge(src: LockId, src_frame: Frame, dst: LockId, chain: list[Frame]) -> None:
+            key = (src, dst)
+            if key not in edges:
+                edges[key] = ([src_frame] + chain)[: self._max_frames]
+
+        for method in program.iter_methods():
+            # Lexically nested withs.
+            for span in method.with_locks:
+                src_frame: Frame = (
+                    method.ctx.relpath,
+                    span.line,
+                    f"{_short(method)} acquires '{span.lock}'",
+                )
+                for inner, line in span.inner_locks:
+                    add_edge(
+                        span.lock,
+                        src_frame,
+                        inner,
+                        [
+                            (
+                                method.ctx.relpath,
+                                line,
+                                f"{_short(method)} acquires '{inner}'",
+                            )
+                        ],
+                    )
+            # Acquisitions reached through calls made while holding locks.
+            for callee, site in method.calls:
+                if not site.held:
+                    continue
+                theirs = summary.get(callee)
+                if not theirs:
+                    continue
+                call_frame: Frame = (
+                    method.ctx.relpath,
+                    site.line,
+                    f"{_short(method)} calls {callee.rsplit('.', 1)[-1]}()",
+                )
+                for held in site.held:
+                    held_frame: Frame = (
+                        method.ctx.relpath,
+                        site.line,
+                        f"{_short(method)} holds '{held}'",
+                    )
+                    for lock, chain in theirs.items():
+                        add_edge(held, held_frame, lock, [call_frame] + chain)
+        return edges
+
+
+def _short(method: MethodInfo) -> str:
+    if method.cls is not None:
+        return f"{method.cls.name}.{method.name}"
+    return method.name
+
+
+def _render(witness: list[Frame]) -> str:
+    return " -> ".join(f"{path}:{line} ({desc})" for path, line, desc in witness)
+
+
+def _find_cycles(
+    edges: dict[tuple[LockId, LockId], list[Frame]]
+) -> list[list[LockId]]:
+    """Every elementary cycle, via SCC + in-component DFS (small graphs).
+
+    Lock graphs here have a handful of nodes; a simple bounded DFS per
+    strongly connected component is plenty and keeps the output ordered
+    deterministically.
+    """
+    graph: dict[LockId, list[LockId]] = {}
+    for src, dst in edges:
+        if src != dst:  # self-edges are reported separately
+            graph.setdefault(src, []).append(dst)
+    for dsts in graph.values():
+        dsts.sort(key=str)
+    cycles: list[list[LockId]] = []
+    seen: set[frozenset[LockId]] = set()
+    nodes = sorted(graph, key=str)
+
+    def dfs(start: LockId, node: LockId, path: list[LockId]) -> None:
+        for nxt in graph.get(node, []):
+            if nxt == start and len(path) >= 2:
+                key = frozenset(path)
+                if key not in seen:
+                    seen.add(key)
+                    cycles.append(list(path))
+            elif nxt not in path and str(nxt) > str(start) and len(path) < 6:
+                path.append(nxt)
+                dfs(start, nxt, path)
+                path.pop()
+
+    for node in nodes:
+        dfs(node, node, [node])
+    return cycles

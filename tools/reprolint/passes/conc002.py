@@ -1,0 +1,360 @@
+"""CONC002 — blocking calls while holding a lock.
+
+A lock held across a blocking call turns every other thread that needs
+the lock into a hostage of the slow operation: readers stall behind a
+flush waiting on worker futures, a metrics scrape stalls behind an
+executor shutdown joining its workers.  The PR 7 rewrite paid this
+exact cost (shared-memory publishes serialised under ``_state_lock``);
+the ROADMAP's async front door multiplies the exposure.
+
+The pass flags calls that can block **unboundedly** made while a lock
+from the program's inventory is held — lexically, via the ``*_locked``
+inherited-lock convention, or transitively through the approximate call
+graph (the witness chain names every hop).  Matchers, each individually
+disableable through ``[tool.reprolint.rules.CONC002] allow``:
+
+* ``result``      — ``Future.result()`` (any receiver);
+* ``join``        — ``x.join()`` with no arguments (``", ".join(parts)``
+  never matches: it always has one);
+* ``wait``        — ``x.wait()`` with no timeout (a positional argument
+  is assumed to be a timeout unless it is the constant ``None``), and
+  bare ``wait(...)`` (``concurrent.futures.wait``) without ``timeout=``;
+* ``shutdown``    — executor ``shutdown()`` without ``wait=False``;
+* ``queue``       — ``get``/``put`` on attributes assigned a
+  ``queue.Queue``-family constructor, without ``timeout=``/``block=False``;
+* ``sleep``       — ``time.sleep``;
+* ``subprocess``  — ``subprocess.run/call/check_call/check_output/Popen``;
+* ``shm-attach``  — ``SharedMemory(...)`` attach (no ``create=True``).
+
+``extra-dotted`` / ``extra-methods`` add project-specific matchers.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from reprolint.engine import Finding, Rule
+from reprolint.program import LockId, MethodInfo, ProgramModel
+
+_QUEUE_CONSTRUCTORS = {
+    "Queue",
+    "SimpleQueue",
+    "LifoQueue",
+    "PriorityQueue",
+    "JoinableQueue",
+}
+
+_DEFAULT_DOTTED = {
+    "time.sleep": "sleep",
+    "subprocess.run": "subprocess",
+    "subprocess.call": "subprocess",
+    "subprocess.check_call": "subprocess",
+    "subprocess.check_output": "subprocess",
+    "subprocess.Popen": "subprocess",
+}
+
+
+class BlockingUnderLockRule(Rule):
+    id = "CONC002"
+    summary = (
+        "unbounded blocking calls (Future.result, bare wait, join,"
+        " queue ops, sleep, subprocess, shm attach) must not run under a"
+        " lock"
+    )
+    rationale = (
+        "A lock held across an unbounded blocking call propagates the"
+        " stall to every thread that needs the lock — the flush path"
+        " waiting on shard futures under the pool state lock makes a"
+        " concurrent close() or metrics scrape wait out the whole batch."
+        "  The pass tracks held locks lexically, through the *_locked"
+        " caller-holds-it convention, and transitively through the call"
+        " graph, so a blocking call three frames below the 'with' still"
+        " surfaces with its full path."
+    )
+    fix_recipe = (
+        "Move the blocking call outside the locked region (grab what you"
+        " need under the lock, release, then block), bound the wait with"
+        " a timeout and re-check the predicate in a loop, or — when the"
+        " lock exists precisely to serialise the blocking operation —"
+        " add a baseline entry justifying it."
+    )
+
+    def __init__(self) -> None:
+        self.allow: frozenset[str] = frozenset()
+        self.extra_dotted: dict[str, str] = {}
+        self.extra_methods: frozenset[str] = frozenset()
+
+    def configure(self, options: dict[str, object]) -> None:
+        allow = options.get("allow")
+        if isinstance(allow, list):
+            self.allow = frozenset(str(a) for a in allow)
+        extra_dotted = options.get("extra_dotted")
+        if isinstance(extra_dotted, list):
+            self.extra_dotted = {str(d): str(d) for d in extra_dotted}
+        extra_methods = options.get("extra_methods")
+        if isinstance(extra_methods, list):
+            self.extra_methods = frozenset(str(m) for m in extra_methods)
+
+    # ------------------------------------------------------------------
+
+    def check_program(self, program: ProgramModel) -> Iterable[Finding]:
+        # Direct findings: a blocking call with a lock held at the site.
+        findings: list[Finding] = []
+        reported: set[tuple[str, int, LockId]] = set()
+        # Per-method blocking sites (held or not) for transitive reports.
+        blocking: dict[str, list[tuple[ast.Call, str]]] = {}
+        for method in program.iter_methods():
+            queue_attrs = _queue_attrs(method)
+            sites: list[tuple[ast.Call, str]] = []
+            for call, held in method.call_nodes:
+                desc = self._match(call, queue_attrs)
+                if desc is None:
+                    continue
+                sites.append((call, desc))
+                held_all = held | method.inherited
+                for lock in sorted(held_all, key=str):
+                    key = (method.ctx.relpath, call.lineno, lock)
+                    if key in reported:
+                        continue
+                    reported.add(key)
+                    how = (
+                        "held by every caller"
+                        if lock in method.inherited and lock not in held
+                        else "held here"
+                    )
+                    findings.append(
+                        self.finding(
+                            method.ctx,
+                            call,
+                            f"blocking call {desc} while holding"
+                            f" '{lock}' ({how}) in {_short(method)}",
+                            hint=self._hint(desc),
+                        )
+                    )
+            blocking[method.qualname] = sites
+        # Transitive: a call made under a lock reaching a blocking site.
+        reach = self._reachable(program, blocking)
+        for method in program.iter_methods():
+            for callee, site in method.calls:
+                held_all = site.held | method.inherited
+                if not held_all:
+                    continue
+                for desc, chain, sink in reach.get(callee, []):
+                    for lock in sorted(held_all, key=str):
+                        key = (sink[0], sink[1], lock)
+                        if key in reported:
+                            continue
+                        reported.add(key)
+                        path = " -> ".join(
+                            [f"{method.ctx.relpath}:{site.line}", *chain]
+                        )
+                        findings.append(
+                            self.finding(
+                                method.ctx,
+                                None,
+                                f"call path from {_short(method)} reaches"
+                                f" blocking {desc} at {sink[0]}:{sink[1]}"
+                                f" while holding '{lock}' (path: {path})",
+                                hint=self._hint(desc),
+                                line=site.line,
+                                col=site.col,
+                            )
+                        )
+        findings.sort()
+        return findings
+
+    def _reachable(
+        self,
+        program: ProgramModel,
+        blocking: dict[str, list[tuple[ast.Call, str]]],
+    ) -> dict[str, list[tuple[str, list[str], tuple[str, int]]]]:
+        """method -> [(desc, frame chain, (sink path, sink line))]."""
+        reach: dict[str, list[tuple[str, list[str], tuple[str, int]]]] = {}
+        for method in program.iter_methods():
+            entries = []
+            for call, desc in blocking[method.qualname]:
+                entries.append(
+                    (
+                        desc,
+                        [f"{method.ctx.relpath}:{call.lineno}"],
+                        (method.ctx.relpath, call.lineno),
+                    )
+                )
+            reach[method.qualname] = entries
+        for _ in range(len(reach) + 1):
+            changed = False
+            for method in program.iter_methods():
+                mine = reach[method.qualname]
+                sinks = {entry[2] for entry in mine}
+                for callee, site in method.calls:
+                    for desc, chain, sink in reach.get(callee, []):
+                        if sink in sinks or len(chain) >= 6:
+                            continue
+                        mine.append(
+                            (
+                                desc,
+                                [f"{method.ctx.relpath}:{site.line}", *chain],
+                                sink,
+                            )
+                        )
+                        sinks.add(sink)
+                        changed = True
+            if not changed:
+                break
+        return reach
+
+    # ------------------------------------------------------------------
+    # matchers
+    # ------------------------------------------------------------------
+
+    def _match(
+        self, call: ast.Call, queue_attrs: frozenset[str]
+    ) -> str | None:
+        """A human description when ``call`` can block unboundedly."""
+        func = call.func
+        dotted = _dotted_name(func)
+        if dotted is not None:
+            family = _DEFAULT_DOTTED.get(dotted) or self.extra_dotted.get(
+                dotted
+            )
+            if family is not None and family not in self.allow:
+                return f"{dotted}(...)"
+            tail = dotted.rsplit(".", 1)[-1]
+            if (
+                tail == "SharedMemory"
+                and "shm-attach" not in self.allow
+                and not _has_kwarg_true(call, "create")
+            ):
+                return "SharedMemory(...) attach"
+        if isinstance(func, ast.Name):
+            if func.id == "SharedMemory" and "shm-attach" not in self.allow:
+                if not _has_kwarg_true(call, "create"):
+                    return "SharedMemory(...) attach"
+            if (
+                func.id == "wait"
+                and "wait" not in self.allow
+                and not _has_kwarg(call, "timeout")
+            ):
+                return "wait(...) without timeout"
+            if func.id in self.extra_methods:
+                return f"{func.id}(...)"
+            return None
+        if not isinstance(func, ast.Attribute):
+            return None
+        name = func.attr
+        if name in self.extra_methods:
+            return f".{name}(...)"
+        if name == "result" and "result" not in self.allow:
+            return "Future.result()"
+        if name == "join" and "join" not in self.allow:
+            if not call.args and not call.keywords:
+                return ".join() without timeout"
+            return None
+        if name == "wait" and "wait" not in self.allow:
+            if _has_kwarg(call, "timeout"):
+                return None
+            if not call.args:
+                return ".wait() without timeout"
+            first = call.args[0]
+            if isinstance(first, ast.Constant) and first.value is None:
+                return ".wait(None)"
+            return None  # a positional argument is assumed to be a timeout
+        if name == "shutdown" and "shutdown" not in self.allow:
+            for kw in call.keywords:
+                if kw.arg == "wait":
+                    if (
+                        isinstance(kw.value, ast.Constant)
+                        and kw.value.value is False
+                    ):
+                        return None
+                    break
+            return ".shutdown(wait=True)"
+        if name in ("get", "put") and "queue" not in self.allow:
+            recv = func.value
+            if (
+                isinstance(recv, ast.Attribute)
+                and isinstance(recv.value, ast.Name)
+                and recv.value.id == "self"
+                and recv.attr in queue_attrs
+            ):
+                if _has_kwarg(call, "timeout"):
+                    return None
+                for kw in call.keywords:
+                    if (
+                        kw.arg == "block"
+                        and isinstance(kw.value, ast.Constant)
+                        and kw.value.value is False
+                    ):
+                        return None
+                return f"queue.{name}() without timeout"
+        return None
+
+    def _hint(self, desc: str) -> str:
+        if "wait" in desc:
+            return (
+                "bound the wait with a timeout and re-check the predicate"
+                " in a loop — a lost notify must not hang the holder"
+            )
+        return (
+            "move the blocking call outside the locked region, or add a"
+            " baseline entry if the lock exists to serialise exactly this"
+        )
+
+
+def _short(method: MethodInfo) -> str:
+    if method.cls is not None:
+        return f"{method.cls.name}.{method.name}"
+    return method.name
+
+
+def _queue_attrs(method: MethodInfo) -> frozenset[str]:
+    """Attributes of the method's class assigned a queue constructor."""
+    if method.cls is None:
+        return frozenset()
+    attrs: set[str] = set()
+    for node in ast.walk(method.cls.node):
+        if not isinstance(node, ast.Assign) or not isinstance(
+            node.value, ast.Call
+        ):
+            continue
+        ctor = node.value.func
+        name = None
+        if isinstance(ctor, ast.Name):
+            name = ctor.id
+        elif isinstance(ctor, ast.Attribute):
+            name = ctor.attr
+        if name not in _QUEUE_CONSTRUCTORS:
+            continue
+        for target in node.targets:
+            if (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+            ):
+                attrs.add(target.attr)
+    return frozenset(attrs)
+
+
+def _dotted_name(func: ast.expr) -> str | None:
+    """``a.b.c`` for simple attribute chains rooted at a Name."""
+    parts: list[str] = []
+    node = func
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _has_kwarg(call: ast.Call, name: str) -> bool:
+    return any(kw.arg == name for kw in call.keywords)
+
+
+def _has_kwarg_true(call: ast.Call, name: str) -> bool:
+    for kw in call.keywords:
+        if kw.arg == name:
+            return isinstance(kw.value, ast.Constant) and bool(kw.value.value)
+    return False

@@ -1,0 +1,135 @@
+"""CONC003 — guarded-by inference: locked writes imply a lock protocol.
+
+LOCK001 enforces ``# guarded-by:`` annotations that someone remembered
+to write.  The PR 5 stale-vertex-count race existed precisely because
+nobody had written one: ``_vertex_count`` was updated under ``_wakeup``
+in the flush path and read bare at the accept boundary, and no rule
+could object.  This pass closes the gap by *inferring* the protocol from
+the code: a field that some method writes while holding a lock is
+evidently meant to be protected by that lock, so a bare access of the
+same field anywhere else in the class is either a race or a missing
+annotation.
+
+Inference, per class field:
+
+* collect every ``self.<field>`` access with the locks held at it
+  (lexical ``with`` nesting plus the inherited set of ``*_locked``-style
+  helpers whose every caller holds the lock);
+* a field qualifies when at least one **write outside ``__init__``**
+  happens under a lock — fields only assigned during construction are
+  configuration, not shared state;
+* the candidate guard is the intersection of the lock sets over all
+  locked writes (an ambiguous field guarded by different locks in
+  different methods is skipped: that is a design smell, not a missed
+  annotation, and flagging it would be guesswork);
+* every access (read or write) outside ``__init__``/``__del__`` and
+  outside ``*_locked`` methods that does **not** hold the candidate
+  guard is reported.
+
+Fields that already carry a ``# guarded-by:`` declaration belong to
+LOCK001 and are skipped here.  The fix the hint recommends makes the
+protocol explicit: annotate the assignment with ``# guarded-by:
+<lock>`` — upgrading the field from inferred to declared-and-enforced —
+then wrap or justify the bare accesses.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from reprolint.engine import Finding, Rule
+from reprolint.program import ClassInfo, ProgramModel
+
+
+class GuardedByInferenceRule(Rule):
+    id = "CONC003"
+    summary = (
+        "a field written under a lock in one method must not be accessed"
+        " bare in another — annotate '# guarded-by:' and enforce it"
+    )
+    rationale = (
+        "The PR 5 stale-vertex-count race was a field updated under"
+        " _wakeup in the flush path and read without it at the accept"
+        " boundary; no annotation existed, so the declared-only LOCK001"
+        " could not see it.  CONC003 infers the lock protocol from"
+        " locked writes and reports every bare access, turning LOCK001"
+        " from declared-only into inferred-and-enforced."
+    )
+    fix_recipe = (
+        "Add '# guarded-by: <lock>' to the field's assignment (LOCK001"
+        " then enforces it forever), and fix each bare access: wrap it in"
+        " 'with self.<lock>:', move it into a *_locked method, or — for"
+        " deliberately racy reads like repr()/metrics callbacks —"
+        " suppress with a reason stating why the torn read is benign."
+    )
+
+    def check_program(self, program: ProgramModel) -> Iterable[Finding]:
+        findings: list[Finding] = []
+        for qualname in sorted(program.classes):
+            findings.extend(self._check_class(program, program.classes[qualname]))
+        return findings
+
+    def _check_class(
+        self, program: ProgramModel, info: ClassInfo
+    ) -> Iterable[Finding]:
+        # field -> list of (method, access)
+        by_field: dict[str, list] = {}
+        for method in info.methods.values():
+            for access in method.accesses:
+                by_field.setdefault(access.attr, []).append((method, access))
+        for attr in sorted(by_field):
+            if attr in info.declared_guarded:
+                continue  # LOCK001's territory
+            accesses = by_field[attr]
+            locked_writes = [
+                (method, access)
+                for method, access in accesses
+                if access.is_write
+                and method.name != "__init__"
+                and program.held_at(method, access)
+            ]
+            if not locked_writes:
+                continue
+            guard_sets = [
+                program.held_at(method, access)
+                for method, access in locked_writes
+            ]
+            common = frozenset.intersection(*guard_sets)
+            # Only locks of this class can be annotated as guards here.
+            common = frozenset(
+                lock for lock in common if lock.cls == info.qualname
+            )
+            if len(common) != 1:
+                continue  # no guard, or ambiguous — do not guess
+            (guard,) = common
+            writer_names = sorted(
+                {method.name for method, _ in locked_writes}
+            )
+            for method, access in sorted(
+                accesses, key=lambda pair: (pair[1].line, pair[1].col)
+            ):
+                if method.name in ("__init__", "__del__"):
+                    continue
+                if method.name.endswith("_locked"):
+                    continue  # caller-holds-the-lock convention
+                if guard in program.held_at(method, access):
+                    continue
+                kind = "written" if access.is_write else "read"
+                yield self.finding(
+                    info.ctx,
+                    None,
+                    f"'self.{attr}' is written under '{guard}' in"
+                    f" {', '.join(writer_names)} but {kind} without it in"
+                    f" '{method.name}' — annotate the field"
+                    f" '# guarded-by: {guard.attr}' and lock (or justify)"
+                    " this access",
+                    hint=(
+                        f"declare '# guarded-by: {guard.attr}' on the"
+                        " assignment, then wrap this access in"
+                        f" 'with self.{guard.attr}:' or suppress with the"
+                        " reason the torn read is benign"
+                    ),
+                    line=access.line,
+                    col=access.col,
+                )
+        return ()

@@ -1,0 +1,525 @@
+"""Whole-program model: symbol table, lock inventory, approximate call graph.
+
+The single-file rules in :mod:`reprolint.rules` see one
+:class:`~reprolint.engine.ModuleContext` at a time; every correctness
+incident in this repo's history, though, has been a *cross-module protocol
+bug* (the PR 5 stale-vertex-count race, the PR 7 shared-tracker
+unregister).  The passes in :mod:`reprolint.passes` therefore run over one
+:class:`ProgramModel` built from every parsed module at once:
+
+* a **symbol table** — every class with its methods, plus module-level
+  functions, keyed by qualified name (``repro.parallel.pool.LandmarkShardPool``);
+* a per-class **lock inventory** — ``self.X = threading.Lock()`` /
+  ``RLock()`` / ``Condition()`` assignments, with reentrancy recorded
+  (Condition wraps an RLock; re-entering it is legal);
+* per-class **attribute types** — ``self.pool = LandmarkShardPool(...)``
+  in any method gives ``pool -> LandmarkShardPool`` so calls through the
+  attribute resolve across classes;
+* an approximate **call graph** — ``self.m()``, ``self.attr.m()`` (through
+  the attribute-type map) and bare/module-local function calls, each edge
+  remembering the call site and the lexical lock set held there;
+* per-method **acquisition and access facts** — every ``with self.X:``
+  span, every blocking-candidate call, every ``self.attr`` read/write,
+  each annotated with the locks lexically held at that point.
+
+Everything is deliberately *approximate*: no aliasing, no inheritance
+resolution, no flow sensitivity beyond lexical ``with`` nesting.  The
+passes compensate by reporting with full witness chains so a human can
+audit each finding in seconds, and by erring toward silence when a
+receiver's type is unknown.
+
+One refinement closes the repo's main idiom gap: methods named
+``*_locked`` are called with their lock already held (the LOCK001
+convention).  The model computes each method's **inherited lock set** —
+the intersection of the lexical lock sets at all of its call sites,
+propagated to a fixed point — so ``batches_run += 1`` inside
+``_run_update_locked`` counts as a write under ``_state_lock`` even
+though no ``with`` statement is lexically visible there.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from reprolint.engine import ModuleContext
+
+#: ``threading`` constructors that create a mutual-exclusion object.
+#: Maps constructor name -> reentrant?  (Condition's default inner lock is
+#: an RLock, so re-entering it from the owning thread is legal.)
+LOCK_CONSTRUCTORS: dict[str, bool] = {
+    "Lock": False,
+    "RLock": True,
+    "Condition": True,
+    "Semaphore": False,
+    "BoundedSemaphore": False,
+}
+
+
+@dataclass(frozen=True)
+class LockId:
+    """One lock, identified by owning class + attribute name.
+
+    ``str()`` renders the short form used in findings:
+    ``LandmarkShardPool._state_lock``.
+    """
+
+    cls: str  # qualified class name (module.Class)
+    attr: str
+
+    def __str__(self) -> str:
+        return f"{self.cls.rsplit('.', 1)[-1]}.{self.attr}"
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """One resolved call edge origin."""
+
+    node: ast.Call
+    line: int
+    col: int
+    held: frozenset[LockId]  # locks lexically held at the call
+
+
+@dataclass
+class AttrAccess:
+    """One ``self.<attr>`` touch inside a method."""
+
+    attr: str
+    line: int
+    col: int
+    is_write: bool
+    held: frozenset[LockId]  # lexical locks only; inherited added later
+
+
+@dataclass
+class WithLock:
+    """One ``with self.X:`` span and what happens inside it."""
+
+    lock: LockId
+    line: int
+    col: int
+    #: Locks directly acquired by nested ``with`` inside this span.
+    inner_locks: list[tuple[LockId, int]] = field(default_factory=list)
+
+
+@dataclass
+class MethodInfo:
+    """One function or method with its concurrency-relevant facts."""
+
+    qualname: str  # module.Class.method or module.function
+    cls: "ClassInfo | None"
+    node: ast.FunctionDef | ast.AsyncFunctionDef
+    ctx: ModuleContext
+    with_locks: list[WithLock] = field(default_factory=list)
+    accesses: list[AttrAccess] = field(default_factory=list)
+    #: (callee qualname, site) — resolved edges only.
+    calls: list[tuple[str, CallSite]] = field(default_factory=list)
+    #: raw blocking-candidate call nodes with lexical held sets; the
+    #: CONC002 pass interprets them against its configured matchers.
+    call_nodes: list[tuple[ast.Call, frozenset[LockId]]] = field(
+        default_factory=list
+    )
+    #: Locks guaranteed held on entry (computed fixed point over callers;
+    #: empty for methods never called inside a lock).
+    inherited: frozenset[LockId] = frozenset()
+
+    @property
+    def name(self) -> str:
+        return self.node.name
+
+
+@dataclass
+class ClassInfo:
+    """One class: methods, locks, attribute types, guarded declarations."""
+
+    qualname: str  # module.Class
+    node: ast.ClassDef
+    ctx: ModuleContext
+    methods: dict[str, MethodInfo] = field(default_factory=dict)
+    #: lock attr -> reentrant?
+    locks: dict[str, bool] = field(default_factory=dict)
+    #: self attr -> qualified class name (from ``self.x = Class(...)``).
+    attr_types: dict[str, str] = field(default_factory=dict)
+    #: attrs already carrying a ``# guarded-by:`` declaration.
+    declared_guarded: dict[str, str] = field(default_factory=dict)
+
+    @property
+    def name(self) -> str:
+        return self.node.name
+
+    def lock_id(self, attr: str) -> LockId:
+        return LockId(self.qualname, attr)
+
+
+class ProgramModel:
+    """All modules parsed once, cross-referenced for the program passes."""
+
+    def __init__(self, contexts: Iterable[ModuleContext]) -> None:
+        self.contexts = list(contexts)
+        #: module.Class -> ClassInfo
+        self.classes: dict[str, ClassInfo] = {}
+        #: qualname -> MethodInfo (methods AND module-level functions)
+        self.functions: dict[str, MethodInfo] = {}
+        #: bare class name -> qualnames (for resolving Class(...) calls)
+        self._class_names: dict[str, list[str]] = {}
+        #: per-module import alias map: local name -> imported qualname
+        self._imports: dict[str, dict[str, str]] = {}
+        for ctx in self.contexts:
+            self._collect_module(ctx)
+        # Register every function/method before visiting any body: calls
+        # resolve by qualname lookup, so a forward reference (module
+        # function defined after its caller, class in a later file) must
+        # already be in the table when the caller's body is analysed.
+        for ctx in self.contexts:
+            self._register_module(ctx)
+        for ctx in self.contexts:
+            self._visit_module(ctx)
+        self._propagate_inherited()
+
+    # ------------------------------------------------------------------
+    # collection (first pass: names only)
+    # ------------------------------------------------------------------
+
+    def _collect_module(self, ctx: ModuleContext) -> None:
+        imports: dict[str, str] = {}
+        self._imports[ctx.module_name] = imports
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ImportFrom) and node.module:
+                for alias in node.names:
+                    imports[alias.asname or alias.name] = (
+                        f"{node.module}.{alias.name}"
+                    )
+            elif isinstance(node, ast.ClassDef):
+                if ctx.enclosing_class(node) is not None:
+                    continue  # nested classes stay out of the model
+                qualname = f"{ctx.module_name}.{node.name}"
+                info = ClassInfo(qualname=qualname, node=node, ctx=ctx)
+                self.classes[qualname] = info
+                self._class_names.setdefault(node.name, []).append(qualname)
+
+    # ------------------------------------------------------------------
+    # analysis (second pass: facts per method)
+    # ------------------------------------------------------------------
+
+    def _register_module(self, ctx: ModuleContext) -> None:
+        for node in ctx.tree.body:
+            if isinstance(node, ast.ClassDef):
+                info = self.classes.get(f"{ctx.module_name}.{node.name}")
+                if info is not None:
+                    self._register_class(ctx, info)
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qualname = f"{ctx.module_name}.{node.name}"
+                method = MethodInfo(
+                    qualname=qualname, cls=None, node=node, ctx=ctx
+                )
+                self.functions[qualname] = method
+
+    def _visit_module(self, ctx: ModuleContext) -> None:
+        for node in ctx.tree.body:
+            if isinstance(node, ast.ClassDef):
+                info = self.classes.get(f"{ctx.module_name}.{node.name}")
+                if info is not None:
+                    for method in info.methods.values():
+                        _MethodVisitor(self, info, method).run()
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                method = self.functions.get(f"{ctx.module_name}.{node.name}")
+                if method is not None and method.node is node:
+                    _MethodVisitor(self, None, method).run()
+
+    def _register_class(self, ctx: ModuleContext, info: ClassInfo) -> None:
+        # Lock inventory + attribute types first: method analysis needs
+        # both to classify ``with`` targets and resolve attribute calls.
+        for node in ast.walk(info.node):
+            if isinstance(node, ast.Assign):
+                targets, value = node.targets, node.value
+            elif isinstance(node, ast.AnnAssign):
+                targets, value = [node.target], node.value
+            else:
+                continue
+            for target in targets:
+                if not (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                ):
+                    continue
+                kind = _lock_constructor(value) if value is not None else None
+                if kind is not None:
+                    info.locks[target.attr] = LOCK_CONSTRUCTORS[kind]
+                    continue
+                cls_name = (
+                    _constructed_class(value) if value is not None else None
+                )
+                if cls_name is not None:
+                    resolved = self._resolve_class(
+                        cls_name, ctx.module_name
+                    )
+                    if resolved is not None:
+                        info.attr_types[target.attr] = resolved
+                guard = ctx.guard_for_line(
+                    node.lineno, getattr(node, "end_lineno", None)
+                )
+                if guard is not None:
+                    info.declared_guarded[target.attr] = guard
+        for stmt in info.node.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                method = MethodInfo(
+                    qualname=f"{info.qualname}.{stmt.name}",
+                    cls=info,
+                    node=stmt,
+                    ctx=ctx,
+                )
+                info.methods[stmt.name] = method
+                self.functions[method.qualname] = method
+
+    def _resolve_class(
+        self, name: str, from_module: str
+    ) -> str | None:
+        """Qualified class name for a bare constructor name."""
+        local = f"{from_module}.{name}"
+        if local in self.classes:
+            return local
+        imported = self._imports.get(from_module, {}).get(name)
+        if imported is not None and imported in self.classes:
+            return imported
+        candidates = self._class_names.get(name, [])
+        if len(candidates) == 1:
+            return candidates[0]
+        return None
+
+    def resolve_callee(
+        self, info: ClassInfo | None, ctx: ModuleContext, call: ast.Call
+    ) -> str | None:
+        """Qualified name of the method/function a call resolves to.
+
+        Handles ``self.m()``, ``self.attr.m()`` (through the attribute
+        type map), ``name()`` for module-local or program-imported
+        functions.  Unknown receivers resolve to None — the passes stay
+        silent rather than guess.
+        """
+        func = call.func
+        if isinstance(func, ast.Attribute):
+            base = func.value
+            if isinstance(base, ast.Name) and base.id == "self":
+                if info is not None and func.attr in info.methods:
+                    return f"{info.qualname}.{func.attr}"
+                return None
+            if (
+                isinstance(base, ast.Attribute)
+                and isinstance(base.value, ast.Name)
+                and base.value.id == "self"
+                and info is not None
+            ):
+                target_cls = info.attr_types.get(base.attr)
+                if target_cls is not None:
+                    target = self.classes.get(target_cls)
+                    if target is not None and func.attr in target.methods:
+                        return f"{target_cls}.{func.attr}"
+                return None
+            return None
+        if isinstance(func, ast.Name):
+            local = f"{ctx.module_name}.{func.id}"
+            if local in self.functions:
+                return local
+            imported = self._imports.get(ctx.module_name, {}).get(func.id)
+            if imported is not None and imported in self.functions:
+                return imported
+        return None
+
+    # ------------------------------------------------------------------
+    # inherited lock sets (*_locked convention, any helper really)
+    # ------------------------------------------------------------------
+
+    def _propagate_inherited(self) -> None:
+        """Fixed point: a method called only with lock L held inherits L.
+
+        The inherited set is the intersection over all call sites of
+        (lexical held set at the site ∪ caller's own inherited set); a
+        method with no resolved callers inherits nothing.  Intersection
+        keeps the analysis sound-ish for CONC003: a lock is attributed
+        only when *every* caller provably holds it.
+        """
+        callers: dict[str, list[tuple[MethodInfo, CallSite]]] = {}
+        for method in self.functions.values():
+            for callee, site in method.calls:
+                callers.setdefault(callee, []).append((method, site))
+        for _ in range(len(self.functions) + 1):
+            changed = False
+            for qualname, sites in callers.items():
+                callee = self.functions.get(qualname)
+                if callee is None:
+                    continue
+                inherited: frozenset[LockId] | None = None
+                for caller, site in sites:
+                    held = site.held | caller.inherited
+                    inherited = (
+                        held if inherited is None else inherited & held
+                    )
+                inherited = inherited or frozenset()
+                if inherited != callee.inherited:
+                    callee.inherited = inherited
+                    changed = True
+            if not changed:
+                break
+
+    # ------------------------------------------------------------------
+    # queries used by several passes
+    # ------------------------------------------------------------------
+
+    def iter_methods(self) -> Iterator[MethodInfo]:
+        yield from self.functions.values()
+
+    def held_at(self, method: MethodInfo, access: AttrAccess) -> frozenset[LockId]:
+        """Locks held at an access: lexical plus inherited."""
+        return access.held | method.inherited
+
+
+class _MethodVisitor(ast.NodeVisitor):
+    """Collect with-lock spans, accesses, calls for one method.
+
+    ``info`` is None for module-level functions: they have no ``self``,
+    so no lock spans or attribute accesses register, but their calls
+    still feed the call graph (the numpy kernels are module functions —
+    ARR001's cross-boundary checks depend on these edges).
+    """
+
+    def __init__(
+        self, model: ProgramModel, info: ClassInfo | None, method: MethodInfo
+    ) -> None:
+        self.model = model
+        self.info = info
+        self.method = method
+        self.held: list[LockId] = []
+        self.with_stack: list[WithLock] = []
+
+    def run(self) -> None:
+        for stmt in self.method.node.body:
+            self.visit(stmt)
+
+    # Nested defs (closures, callbacks) run at an unknown time with an
+    # unknown lock context; analyse their bodies with an EMPTY held set so
+    # a `lambda: self.hits` registered as a metrics callback counts as a
+    # bare read even when bind-time code holds a lock.
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._visit_nested(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._visit_nested(node)
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        self._visit_nested(node)
+
+    def _visit_nested(self, node: ast.AST) -> None:
+        saved_held, self.held = self.held, []
+        saved_stack, self.with_stack = self.with_stack, []
+        body = getattr(node, "body", [])
+        for stmt in body if isinstance(body, list) else [body]:
+            self.visit(stmt)
+        self.held = saved_held
+        self.with_stack = saved_stack
+
+    def visit_With(self, node: ast.With) -> None:
+        self._visit_with(node)
+
+    def visit_AsyncWith(self, node: ast.AsyncWith) -> None:
+        self._visit_with(node)
+
+    def _visit_with(self, node: ast.With | ast.AsyncWith) -> None:
+        acquired: list[WithLock] = []
+        for item in node.items:
+            lock = self._lock_of(item.context_expr)
+            if lock is None:
+                continue
+            span = WithLock(lock=lock, line=node.lineno, col=node.col_offset)
+            # Record the ordered edge for every lock already held.
+            for outer in self.with_stack:
+                outer.inner_locks.append((lock, node.lineno))
+            acquired.append(span)
+            self.method.with_locks.append(span)
+            self.held.append(lock)
+            self.with_stack.append(span)
+        for item in node.items:
+            self.visit(item.context_expr)
+        for stmt in node.body:
+            self.visit(stmt)
+        for _ in acquired:
+            self.held.pop()
+            self.with_stack.pop()
+
+    def _lock_of(self, expr: ast.expr) -> LockId | None:
+        """``self.X`` where X is in the class lock inventory."""
+        if (
+            self.info is not None
+            and isinstance(expr, ast.Attribute)
+            and isinstance(expr.value, ast.Name)
+            and expr.value.id == "self"
+            and expr.attr in self.info.locks
+        ):
+            return self.info.lock_id(expr.attr)
+        return None
+
+    def visit_Call(self, node: ast.Call) -> None:
+        held = frozenset(self.held)
+        self.method.call_nodes.append((node, held))
+        callee = self.model.resolve_callee(self.info, self.method.ctx, node)
+        if callee is not None:
+            self.method.calls.append(
+                (
+                    callee,
+                    CallSite(
+                        node=node,
+                        line=node.lineno,
+                        col=node.col_offset,
+                        held=held,
+                    ),
+                )
+            )
+        self.generic_visit(node)
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        if (
+            self.info is not None
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"
+            and node.attr not in self.info.locks
+        ):
+            self.method.accesses.append(
+                AttrAccess(
+                    attr=node.attr,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    is_write=isinstance(node.ctx, (ast.Store, ast.Del)),
+                    held=frozenset(self.held),
+                )
+            )
+        self.generic_visit(node)
+
+
+def _lock_constructor(expr: ast.expr) -> str | None:
+    """``threading.Lock()`` / ``Lock()`` -> ``"Lock"``, else None."""
+    if not isinstance(expr, ast.Call):
+        return None
+    func = expr.func
+    name = None
+    if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
+        if func.value.id in ("threading", "mp", "multiprocessing"):
+            name = func.attr
+    elif isinstance(func, ast.Name):
+        name = func.id
+    if name in LOCK_CONSTRUCTORS:
+        return name
+    return None
+
+
+def _constructed_class(expr: ast.expr) -> str | None:
+    """``SomeClass(...)`` (or ``mod.SomeClass(...)``) -> ``"SomeClass"``."""
+    if not isinstance(expr, ast.Call):
+        return None
+    func = expr.func
+    if isinstance(func, ast.Name) and func.id[:1].isupper():
+        return func.id
+    if isinstance(func, ast.Attribute) and func.attr[:1].isupper():
+        return func.attr
+    return None

@@ -1,8 +1,14 @@
-"""Rule registry: every shipped rule, keyed by ID."""
+"""Rule registry: every shipped rule, keyed by ID.
+
+Single-file rules live here; whole-program passes live in
+:mod:`reprolint.passes` and are merged into :data:`ALL_RULES` so the
+CLI, configuration and ``--only`` filtering treat both kinds uniformly.
+"""
 
 from __future__ import annotations
 
 from reprolint.engine import Rule
+from reprolint.passes import PROGRAM_PASSES
 from reprolint.rules.api001 import FactoryOnlyRule
 from reprolint.rules.lock001 import GuardedByRule
 from reprolint.rules.np001 import ExplicitDtypeRule
@@ -10,7 +16,7 @@ from reprolint.rules.obs001 import ObservabilityRule
 from reprolint.rules.shm001 import SharedMemoryRule
 from reprolint.rules.upd001 import EdgeUpdateFlagRule
 
-ALL_RULES: tuple[type[Rule], ...] = (
+MODULE_RULES: tuple[type[Rule], ...] = (
     GuardedByRule,
     SharedMemoryRule,
     FactoryOnlyRule,
@@ -18,6 +24,8 @@ ALL_RULES: tuple[type[Rule], ...] = (
     EdgeUpdateFlagRule,
     ObservabilityRule,
 )
+
+ALL_RULES: tuple[type[Rule], ...] = MODULE_RULES + PROGRAM_PASSES
 
 
 def make_rules(

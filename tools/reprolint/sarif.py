@@ -1,0 +1,134 @@
+"""SARIF 2.1.0 output so findings land in code-review UIs.
+
+One static schema, emitted by hand — the format is a stable OASIS
+standard and the subset reprolint needs (tool metadata, rule metadata,
+result locations, suppressions) is small enough that a dependency-free
+writer beats a library the container doesn't ship.
+
+Mapping choices:
+
+* every reprolint finding is ``level: "warning"`` — the exit code, not
+  the SARIF level, gates CI;
+* in-source ``# reprolint: disable=`` suppressions become SARIF
+  ``suppressions[].kind = "inSource"``; baseline entries become
+  ``kind = "external"`` with the justification in the suppression —
+  viewers show both as struck-through instead of hiding them;
+* rule ``rationale``/``fix_recipe`` land in ``fullDescription`` and
+  ``help`` so the review UI can show the why and the fix inline.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable
+
+from reprolint.engine import LintResult, Rule
+from reprolint.findings import Finding
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+
+def _rule_descriptor(rule: Rule) -> dict[str, object]:
+    descriptor: dict[str, object] = {
+        "id": rule.id,
+        "shortDescription": {"text": rule.summary},
+    }
+    if rule.rationale:
+        descriptor["fullDescription"] = {"text": rule.rationale}
+    if rule.fix_recipe:
+        descriptor["help"] = {"text": rule.fix_recipe}
+    return descriptor
+
+
+def _location(finding: Finding) -> dict[str, object]:
+    return {
+        "physicalLocation": {
+            "artifactLocation": {
+                "uri": finding.path,
+                "uriBaseId": "SRCROOT",
+            },
+            "region": {
+                "startLine": max(finding.line, 1),
+                # SARIF columns are 1-based; ast's are 0-based.
+                "startColumn": finding.col + 1,
+            },
+        }
+    }
+
+
+def _result(finding: Finding) -> dict[str, object]:
+    text = finding.message
+    if finding.hint and not (finding.suppressed or finding.baselined):
+        text = f"{text} (hint: {finding.hint})"
+    result: dict[str, object] = {
+        "ruleId": finding.rule,
+        "level": "warning",
+        "message": {"text": text},
+        "locations": [_location(finding)],
+    }
+    if finding.suppressed:
+        result["suppressions"] = [
+            {
+                "kind": "inSource",
+                "justification": finding.suppress_reason,
+            }
+        ]
+    elif finding.baselined:
+        result["suppressions"] = [
+            {
+                "kind": "external",
+                "justification": finding.baseline_reason,
+            }
+        ]
+    return result
+
+
+def to_sarif(
+    result: LintResult, rules: Iterable[Rule], version: str
+) -> dict[str, object]:
+    """The SARIF log as a plain dict (``json.dumps``-ready)."""
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "reprolint",
+                        "informationUri": (
+                            "https://example.invalid/reprolint"
+                        ),
+                        "version": version,
+                        "rules": [_rule_descriptor(r) for r in rules],
+                    }
+                },
+                "columnKind": "utf16CodeUnits",
+                "originalUriBaseIds": {
+                    "SRCROOT": {"uri": "file:///./"}
+                },
+                "results": [_result(f) for f in result.findings],
+                "invocations": [
+                    {
+                        "executionSuccessful": not result.errors,
+                        "toolExecutionNotifications": [
+                            {
+                                "level": "error",
+                                "message": {"text": err},
+                            }
+                            for err in result.errors
+                        ],
+                    }
+                ],
+            }
+        ],
+    }
+
+
+def format_sarif(
+    result: LintResult, rules: Iterable[Rule], version: str
+) -> str:
+    return json.dumps(to_sarif(result, rules, version), indent=2)
