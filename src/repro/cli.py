@@ -562,6 +562,14 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         forward += ["--update-baseline"]
     if args.sarif_out:
         forward += ["--sarif-out", args.sarif_out]
+    if args.stats:
+        forward += ["--stats"]
+    if args.changed_only:
+        forward += ["--changed-only"]
+    if args.changed_base:
+        forward += ["--changed-base", args.changed_base]
+    if args.no_cache:
+        forward += ["--no-cache"]
     forward += args.paths
     return reprolint_main(forward)
 
@@ -658,6 +666,24 @@ def main(argv: list[str] | None = None) -> int:
         "--update-baseline", action="store_true",
         help="rewrite the baseline from this run (new entries need a"
         " human-written justification before CI passes)",
+    )
+    lint.add_argument(
+        "--stats", action="store_true",
+        help="print per-pass timings and incremental-cache counters",
+    )
+    lint.add_argument(
+        "--changed-only", action="store_true",
+        help="lint only git-changed files plus their reverse-dependency"
+        " closure",
+    )
+    lint.add_argument(
+        "--changed-base", default=None, metavar="REF",
+        help="with --changed-only, also diff against REF (e.g."
+        " origin/main)",
+    )
+    lint.add_argument(
+        "--no-cache", action="store_true",
+        help="bypass the on-disk incremental cache (.reprolint_cache/)",
     )
     lint.add_argument(
         "--explain", default=None, metavar="RULE",

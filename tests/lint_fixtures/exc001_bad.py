@@ -1,0 +1,29 @@
+"""EXC001 fixtures: handlers that swallow the watched failure signals.
+
+Expected findings at the `except` lines 10, 18 and 28.
+"""
+
+
+def drop_oserror(load):
+    try:
+        return load()
+    except OSError:
+        pass
+    return None
+
+
+def partial_log(submit, log, retriable):
+    try:
+        submit()
+    except BatchError:
+        if retriable:
+            log.warning("retrying submit")
+        else:
+            pass
+
+
+def count_everything(work, counters):
+    try:
+        work()
+    except Exception:
+        counters["failed"] = counters.get("failed", 0) + 1

@@ -1,0 +1,39 @@
+"""EXC001 clean twins: every path re-raises, converts, or logs."""
+
+
+def reraise(load):
+    try:
+        return load()
+    except OSError:
+        raise
+
+
+def convert(submit, exc_cls):
+    try:
+        submit()
+    except OSError as exc:
+        raise exc_cls("submit failed") from exc
+
+
+def log_and_continue(work, log):
+    try:
+        work()
+    except BatchError:
+        log.exception("batch failed; continuing with stale epoch")
+
+
+def branch_both_handle(work, log, fatal):
+    try:
+        work()
+    except IndexStateError:
+        if fatal:
+            raise
+        log.warning("recovered from transient index state")
+
+
+def unwatched_exception(parse):
+    try:
+        return parse("x")
+    except ValueError:
+        pass
+    return None

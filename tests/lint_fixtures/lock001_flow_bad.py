@@ -1,0 +1,35 @@
+"""LOCK001 flow-sensitive fixtures: lexically-inside-a-with is not
+the question — what matters is whether the lock is held on *every*
+path into the access.
+
+Expected findings: line 22 (read after early release), line 29
+(else branch of a conditional acquire), line 34 (join of a locked and
+an unlocked path).
+"""
+
+import threading
+
+
+class Service:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._count = 0  # guarded-by: _lock
+
+    def early_release(self):
+        self._lock.acquire()
+        self._count += 1
+        self._lock.release()
+        return self._count
+
+    def conditional(self):
+        if self._lock.acquire(blocking=False):
+            self._count += 1
+            self._lock.release()
+        else:
+            self._count -= 1
+
+    def join_path(self, flag):
+        if flag:
+            self._lock.acquire()
+        self._count += 1
+        self._lock.release()

@@ -1,0 +1,32 @@
+"""LOCK001 flow-sensitive clean twins: manual acquire/release pairs,
+conditional acquires used correctly, and *_locked conventions."""
+
+import threading
+
+
+class Service:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._count = 0  # guarded-by: _lock
+
+    def manual_pair(self):
+        self._lock.acquire()
+        try:
+            self._count += 1
+            return self._count
+        finally:
+            self._lock.release()
+
+    def with_block(self):
+        with self._lock:
+            self._count += 1
+
+    def try_acquire(self):
+        if self._lock.acquire(blocking=False):
+            try:
+                self._count += 1
+            finally:
+                self._lock.release()
+
+    def _bump_locked(self):
+        self._count += 1

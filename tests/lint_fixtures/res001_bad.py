@@ -1,0 +1,30 @@
+"""RES001 fixtures: resources that leak on some CFG path.
+
+Expected findings (tests assert the exact lines):
+line 13 — SharedMemory leaked when validate() raises;
+line 19 — file handle leaked on the early-return branch;
+line 28 — lock leaked when _rebuild() raises (exception-path leak).
+"""
+
+from multiprocessing.shared_memory import SharedMemory
+
+
+def leaky_attach(name, validate):
+    shm = SharedMemory(name=name)
+    validate(shm.buf)
+    shm.close()
+
+
+def early_return(path, flag):
+    handle = open(path)
+    if flag:
+        return None
+    handle.close()
+    return None
+
+
+class ShardPool:
+    def refresh(self):
+        self._state_lock.acquire()
+        self._rebuild()
+        self._state_lock.release()

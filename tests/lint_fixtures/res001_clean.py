@@ -1,0 +1,36 @@
+"""RES001 clean twins: every path releases, or ownership escapes."""
+
+from multiprocessing.shared_memory import SharedMemory
+
+
+def try_finally(name, validate):
+    shm = SharedMemory(name=name)
+    try:
+        validate(shm.buf)
+    finally:
+        shm.close()
+
+
+def with_block(path, consume):
+    with open(path) as handle:
+        consume(handle.read())
+
+
+class Registry:
+    def adopt(self, name):
+        shm = SharedMemory(name=name)
+        self._blocks[name] = shm
+        return None
+
+    def handoff(self, path):
+        handle = open(path)
+        return handle
+
+
+class ShardPool:
+    def refresh(self):
+        self._state_lock.acquire()
+        try:
+            self._rebuild()
+        finally:
+            self._state_lock.release()

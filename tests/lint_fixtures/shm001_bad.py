@@ -1,9 +1,9 @@
 """SHM001 fixture: the PR 7 worker-side unregister, reconstructed.
 
 The attaching worker unregisters a segment it does not own — with a
-shared resource tracker this cancels the *writer's* registration — and
-the module creates an owned segment with no ``close()``/``unlink()``
-teardown path at all.
+shared resource tracker this cancels the *writer's* registration.
+(The old "create without close()/unlink()" module check was retired for
+RES001's path-sensitive analysis; ``make_block`` hands ownership out.)
 """
 
 from multiprocessing import resource_tracker, shared_memory

@@ -1,0 +1,163 @@
+"""The incremental cache (.reprolint_cache/) and --changed-only.
+
+Runs the real CLI (``reprolint.__main__.main``) against generated
+temp projects: a warm full-tree run must come from the run-level cache
+and beat the cold run by >=3x (asserted via --stats timings), a
+one-file edit must flip the run to partial reuse, and --changed-only
+must shrink the analysed set to the changed file's dependency cone.
+"""
+
+from __future__ import annotations
+
+import json
+import shutil
+import subprocess
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from reprolint.__main__ import main
+
+N_MODULES = 30
+
+_MODULE = '''\
+"""Generated module {i} for the cache tests."""
+
+
+def build_{i}(values):
+    total = 0
+    for value in values:
+        total += value * {i}
+    return total
+
+
+def fold_{i}(pairs):
+    out = {{}}
+    for key, value in pairs:
+        out[key] = out.get(key, 0) + value
+    return out
+
+
+def describe_{i}(name):
+    return "mod{i}:" + name
+'''
+
+
+def make_project(root: Path, n: int = N_MODULES) -> None:
+    (root / "pyproject.toml").write_text(
+        textwrap.dedent(
+            """
+            [project]
+            name = "cachetest"
+            version = "0.0.0"
+
+            [tool.reprolint]
+            paths = ["src"]
+            """
+        ),
+        encoding="utf-8",
+    )
+    pkg = root / "src" / "repro"
+    pkg.mkdir(parents=True)
+    for i in range(n):
+        (pkg / f"mod_{i}.py").write_text(_MODULE.format(i=i), encoding="utf-8")
+
+
+def run_json(root: Path, *extra: str) -> int:
+    argv = ["--root", str(root), "--format", "json", "--stats", *extra]
+    rc = main(argv)
+    assert rc in (0, 1)
+    return rc
+
+
+def run_stats(capsys, root: Path, *extra: str) -> dict:
+    run_json(root, *extra)
+    return json.loads(capsys.readouterr().out)
+
+
+def test_warm_cache_is_at_least_3x_faster_than_cold(tmp_path, capsys):
+    make_project(tmp_path)
+    cold = run_stats(capsys, tmp_path)["stats"]
+    assert cold["cache"] == "cold"
+    assert cold["files_analyzed"] == N_MODULES
+    assert cold["files_from_cache"] == 0
+    assert (tmp_path / ".reprolint_cache" / "files.json").is_file()
+
+    warm = run_stats(capsys, tmp_path)["stats"]
+    assert warm["cache"] == "warm"
+    assert warm["fully_cached"] is True
+    assert warm["files_from_cache"] == N_MODULES
+    assert warm["parse_seconds"] == 0.0  # the warm path never parses
+    assert warm["total_seconds"] <= cold["total_seconds"] / 3
+
+
+def test_one_file_edit_flips_to_partial_reuse(tmp_path, capsys):
+    make_project(tmp_path)
+    run_stats(capsys, tmp_path)
+    target = tmp_path / "src" / "repro" / "mod_0.py"
+    target.write_text(
+        target.read_text(encoding="utf-8") + "\nEXTRA = 1\n", encoding="utf-8"
+    )
+    partial = run_stats(capsys, tmp_path)["stats"]
+    assert partial["cache"] == "partial"
+    assert partial["files_analyzed"] == N_MODULES
+    # every unchanged file's per-file findings came from the cache
+    assert partial["files_from_cache"] == N_MODULES - 1
+
+
+def test_no_cache_flag_bypasses_the_cache(tmp_path, capsys):
+    make_project(tmp_path, n=3)
+    run_stats(capsys, tmp_path)
+    off = run_stats(capsys, tmp_path, "--no-cache")["stats"]
+    assert off["cache"] == "off"
+    assert off["files_from_cache"] == 0
+
+
+def test_engine_change_invalidates_findings_reuse(tmp_path, capsys):
+    # Same tree, different rule selection: the engine fingerprint must
+    # differ, so nothing is served from the other configuration's cache.
+    make_project(tmp_path, n=3)
+    run_stats(capsys, tmp_path, "--only", "NP001")
+    again = run_stats(capsys, tmp_path, "--only", "MUT001")["stats"]
+    assert again["cache"] == "cold"
+
+
+@pytest.mark.skipif(shutil.which("git") is None, reason="git not available")
+def test_changed_only_analyzes_the_dependency_cone(tmp_path, capsys):
+    (tmp_path / "pyproject.toml").write_text(
+        "[tool.reprolint]\npaths = [\"src\"]\n", encoding="utf-8"
+    )
+    pkg = tmp_path / "src" / "repro"
+    pkg.mkdir(parents=True)
+    (pkg / "a.py").write_text("VALUE = 1\n", encoding="utf-8")
+    (pkg / "b.py").write_text(
+        "import repro.a\n\nDOUBLE = repro.a.VALUE * 2\n", encoding="utf-8"
+    )
+    (pkg / "c.py").write_text("import os\n\nSEP = os.sep\n", encoding="utf-8")
+
+    def git(*args: str) -> None:
+        subprocess.run(
+            ["git", "-c", "user.email=t@example.com", "-c", "user.name=t", *args],
+            cwd=tmp_path,
+            check=True,
+            capture_output=True,
+        )
+
+    git("init", "-q")
+    git("add", "-A")
+    git("commit", "-q", "-m", "seed")
+
+    # Touch a.py only: the cone is a.py plus its importer b.py — c.py
+    # stays out.
+    (pkg / "a.py").write_text("VALUE = 2\n", encoding="utf-8")
+    run_json(tmp_path, "--changed-only")
+    data = json.loads(capsys.readouterr().out)
+    assert data["files_checked"] == 2
+
+    # With a clean tree the cone is empty: nothing is analysed.
+    git("add", "-A")
+    git("commit", "-q", "-m", "bump")
+    run_json(tmp_path, "--changed-only")
+    data = json.loads(capsys.readouterr().out)
+    assert data["files_checked"] == 0

@@ -1,0 +1,213 @@
+"""CFG builder and dataflow solver: exact edge sets on small functions
+(the labels are ``L<lineno>``/``H<lineno>``/``W<lineno>`` plus the
+synthetic entry/exit/raise nodes) and solver convergence on loops.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from reprolint.cfg import build_body_cfg, build_cfg
+from reprolint.dataflow import render_witness, solve, witness_path
+from reprolint.lockset import statement_locksets
+
+
+def cfg_of(source: str):
+    tree = ast.parse(source)
+    func = tree.body[0]
+    assert isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef))
+    return build_cfg(func)
+
+
+# ---------------------------------------------------------------------------
+# exact edge sets
+# ---------------------------------------------------------------------------
+
+
+def test_if_else_edges():
+    cfg = cfg_of(
+        "def f(c, a, b):\n"  # line 1
+        "    if c:\n"  # 2
+        "        x = a\n"  # 3
+        "    else:\n"  # 4
+        "        x = b\n"  # 5
+        "    return x\n"  # 6
+    )
+    assert cfg.edge_labels() == {
+        ("entry", "L2", "normal"),
+        ("L2", "L3", "true"),
+        ("L2", "L5", "false"),
+        ("L3", "L6", "normal"),
+        ("L5", "L6", "normal"),
+        ("L6", "exit", "return"),
+    }
+
+
+def test_while_break_edges():
+    cfg = cfg_of(
+        "def g(n):\n"  # 1
+        "    while n:\n"  # 2
+        "        n = step(n)\n"  # 3 (call: may raise)
+        "        if n < 0:\n"  # 4
+        "            break\n"  # 5
+        "    return n\n"  # 6
+    )
+    assert cfg.edge_labels() == {
+        ("entry", "L2", "normal"),
+        ("L2", "L3", "true"),
+        ("L2", "L6", "false"),
+        ("L3", "raise", "exc"),
+        ("L3", "L4", "normal"),
+        ("L4", "L5", "true"),
+        ("L4", "L2", "back"),
+        ("L5", "L6", "break"),
+        ("L6", "exit", "return"),
+    }
+
+
+def test_try_except_finally_edges():
+    cfg = cfg_of(
+        "def h(op, log):\n"  # 1
+        "    try:\n"  # 2
+        "        op()\n"  # 3
+        "    except OSError:\n"  # 4 -> H4
+        "        log.warning('x')\n"  # 5
+        "    finally:\n"  # 6
+        "        cleanup()\n"  # 7
+        "    return None\n"  # 8
+    )
+    assert cfg.edge_labels() == {
+        ("entry", "L3", "normal"),
+        # op() may raise: to the handler, and (OSError is no catch-all)
+        # onward through the finally.
+        ("L3", "H4", "exc"),
+        ("L3", "L7", "normal"),
+        ("L3", "L7", "exc"),
+        ("H4", "L5", "normal"),
+        ("L5", "L7", "normal"),
+        ("L5", "L7", "exc"),  # log.warning itself may raise
+        ("L7", "raise", "exc"),  # finally re-dispatches the exception
+        ("L7", "L8", "normal"),
+        ("L8", "exit", "return"),
+    }
+
+
+def test_with_block_edges():
+    cfg = cfg_of(
+        "def k(lock, work):\n"  # 1
+        "    with lock:\n"  # 2 -> L2, synthetic W2
+        "        work()\n"  # 3
+        "    return 1\n"  # 4
+    )
+    assert cfg.edge_labels() == {
+        ("entry", "L2", "normal"),
+        ("L2", "L3", "normal"),
+        # the with-exit (__exit__) runs on the normal AND the exceptional
+        # way out of the body — that is what makes `with` leak-free.
+        ("L3", "W2", "normal"),
+        ("L3", "W2", "exc"),
+        ("W2", "raise", "exc"),
+        ("W2", "L4", "normal"),
+        ("L4", "exit", "return"),
+    }
+
+
+def test_raise_and_unreachable_code():
+    cfg = cfg_of(
+        "def r(flag):\n"  # 1
+        "    if flag:\n"  # 2
+        "        raise ValueError('no')\n"  # 3
+        "    return 0\n"  # 4
+    )
+    assert cfg.edge_labels() == {
+        ("entry", "L2", "normal"),
+        ("L2", "L3", "true"),
+        ("L3", "raise", "exc"),
+        ("L2", "L4", "false"),
+        ("L4", "exit", "return"),
+    }
+
+
+def test_body_fragment_routes_continue_to_exit():
+    # A handler body analysed as its own fragment: `continue` leaves the
+    # fragment (the loop lives outside it), i.e. completes like a return.
+    body = ast.parse("log.warning('x')\ncontinue\n", mode="exec").body
+    cfg = build_body_cfg(body)
+    assert ("L2", "exit", "continue") in cfg.edge_labels()
+
+
+# ---------------------------------------------------------------------------
+# the solver
+# ---------------------------------------------------------------------------
+
+
+class _ReachingLines:
+    """Union analysis: the set of line numbers on some path to a node.
+    On a loop this needs more than one sweep to converge, which is what
+    the convergence test exercises."""
+
+    def initial(self):
+        return frozenset()
+
+    def join(self, a, b):
+        return a | b
+
+    def transfer(self, node, state):
+        return state | {node.lineno} if node.stmt is not None else state
+
+    def transfer_edge(self, edge, node, state):
+        return state
+
+
+def test_solver_converges_on_loop():
+    cfg = cfg_of(
+        "def loop(n):\n"  # 1
+        "    total = 0\n"  # 2
+        "    while n:\n"  # 3
+        "        total = total + n\n"  # 4
+        "        n = n - 1\n"  # 5
+        "    return total\n"  # 6
+    )
+    solution = solve(cfg, _ReachingLines())
+    header = next(n for n in cfg.iter_stmt_nodes() if n.lineno == 3)
+    # The back edge feeds the body lines (and the header's own, carried
+    # around the loop) into the header: the fixpoint includes them,
+    # which a single forward sweep would miss.
+    assert solution.in_states[header.idx] == frozenset({2, 3, 4, 5})
+    assert solution.in_states[cfg.exit] == frozenset({2, 3, 4, 5, 6})
+
+
+def test_lockset_fixpoint_on_loop():
+    source = (
+        "lock.acquire()\n"  # 1
+        "while pending():\n"  # 2
+        "    step()\n"  # 3
+        "lock.release()\n"  # 4
+    )
+    body = ast.parse(source).body
+    locksets = statement_locksets(body, lambda e: e.id if isinstance(e, ast.Name) else None)
+    # Held at the loop header and through the body on every iteration.
+    assert locksets.before(body[1]) == frozenset({"lock"})
+    assert locksets.before(body[1].body[0]) == frozenset({"lock"})
+    assert locksets.before(body[2]) == frozenset({"lock"})
+
+
+def test_witness_path_renders_lines():
+    cfg = cfg_of(
+        "def w(go):\n"  # 1
+        "    x = start()\n"  # 2
+        "    finish(x)\n"  # 3
+    )
+    solution = solve(cfg, _ReachingLines())
+    start = next(n for n in cfg.iter_stmt_nodes() if n.lineno == 2)
+    path = witness_path(
+        cfg,
+        solution,
+        start.idx,
+        frozenset({cfg.raise_exit}),
+        lambda state: True,
+    )
+    assert path is not None
+    rendered = render_witness(path, "pkg/mod.py")
+    assert rendered.startswith("pkg/mod.py:2")
+    assert rendered.endswith("exception leaves the function")

@@ -28,11 +28,13 @@ from reprolint.engine import (
     ModuleContext,
     Rule,
     discover_files,
+    rule_is_per_file,
     run_rules,
 )
 from reprolint.rules import ALL_RULES, MODULE_RULES, make_rules
+from reprolint.stats import RunStats
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "ALL_RULES",
@@ -43,6 +45,7 @@ __all__ = [
     "MODULE_RULES",
     "ModuleContext",
     "Rule",
+    "RunStats",
     "apply_baseline",
     "discover_files",
     "find_project_root",
@@ -51,6 +54,7 @@ __all__ = [
     "load_baseline",
     "load_config",
     "make_rules",
+    "rule_is_per_file",
     "run_rules",
     "write_baseline",
 ]

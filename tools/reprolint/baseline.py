@@ -144,7 +144,7 @@ def write_baseline(
     old = previous.entries if previous is not None else {}
     entries = []
     seen: set[str] = set()
-    for finding in sorted(findings):
+    for finding in findings:
         if finding.suppressed:
             continue
         fp = fingerprint(finding)
@@ -161,6 +161,21 @@ def write_baseline(
                 "justification": kept or UNJUSTIFIED,
             }
         )
+    # Sort on line-number-free keys only: findings sort by (path, line,
+    # col), so an unrelated edit that shifts code used to reshuffle the
+    # whole file and bury the real diff.  (rule, path, digit-collapsed
+    # message) matches the fingerprint's own normalisation — stable under
+    # line drift — and the fingerprint breaks remaining ties.
+    entries.sort(
+        key=lambda e: (
+            e["rule"],
+            e["path"],
+            _DIGITS.sub("#", e["message"]),
+            e["fingerprint"],
+        )
+    )
     payload = {"version": 1, "entries": entries}
-    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    path.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
     return len(entries)

@@ -1,0 +1,536 @@
+"""Per-function control-flow graphs for the flow-sensitive passes.
+
+The single-file rules up to now were AST-pattern matchers: they could see
+*that* a lock is acquired, but not *what happens on the way to the
+release* — exactly the blind spot behind this repo's exception-path
+bugs (PR 9's pool.close-under-lock, the PR 7 teardown paths).  This
+module builds one CFG per function so :mod:`reprolint.dataflow` can
+answer path questions ("is the lock released on **every** path out of
+this function, including the exceptional ones?").
+
+Shape
+-----
+
+* One :class:`CFGNode` per *simple* statement, labelled ``L<lineno>``.
+  Compound statements contribute their header (the ``if``/``while`` test,
+  the ``for`` iterable, the ``with`` items) as a node and decompose their
+  bodies.  Three synthetic nodes frame the function: ``entry``, ``exit``
+  (normal return) and ``raise`` (unhandled exception leaves the frame).
+  ``with`` blocks additionally get a ``W<lineno>`` exit node (the
+  ``__exit__`` call — it runs on normal *and* exceptional exits, which is
+  what makes ``with`` safe and bare ``acquire()`` not), and each
+  ``except`` clause an ``H<lineno>`` handler node.
+* Edges carry a kind: ``normal``, ``true``/``false`` (branch and loop
+  decisions), ``back`` (loop back edge), ``break``/``continue``,
+  ``return``, and ``exc`` (exceptional transfer).  A statement *may
+  raise* when it contains a call (or is a ``raise``/``assert``); such
+  statements get an ``exc`` edge to the innermost handler frame —
+  ``except`` handlers, then ``finally`` blocks, then the function's
+  ``raise`` node.
+
+Deliberate approximations (this is a linter, not a verifier):
+
+* A ``finally`` body is built once and shared by every way of entering
+  it; its exits fan out to every continuation that was routed through it
+  (normal, return, exceptional).  Paths that mix an entry reason with a
+  different exit reason are spurious but harmless for the monotone
+  analyses run over the graph.
+* Exception *type* matching is approximate: a raising statement gets an
+  ``exc`` edge to every handler of the enclosing ``try``, plus a
+  propagation edge outward unless some handler is a catch-all (bare
+  ``except``, ``Exception``, ``BaseException``).
+* Nested ``def``/``lambda`` bodies are opaque: defining a function
+  transfers no control into it.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+#: Handler types treated as catching everything (so no propagation edge
+#: escapes the ``try``).  ``Exception`` is not literally a catch-all —
+#: ``KeyboardInterrupt`` escapes it — but treating it as one keeps the
+#: exceptional-path analyses from flagging every ``except Exception``
+#: cleanup as leaky.
+CATCH_ALL_NAMES = frozenset({"BaseException", "Exception"})
+
+_FuncDef = ast.FunctionDef | ast.AsyncFunctionDef
+
+
+@dataclass(frozen=True)
+class CFGEdge:
+    """One directed edge; ``kind`` says why control transfers."""
+
+    src: int
+    dst: int
+    kind: str  # normal | true | false | back | break | continue | return | exc
+
+
+@dataclass
+class CFGNode:
+    """One CFG node: a statement, a handler, or a synthetic marker."""
+
+    idx: int
+    kind: str  # entry | exit | raise | stmt | handler | with-exit
+    stmt: ast.stmt | None = None
+    lineno: int = 0
+
+    @property
+    def label(self) -> str:
+        if self.kind in ("entry", "exit", "raise"):
+            return self.kind
+        if self.kind == "handler":
+            return f"H{self.lineno}"
+        if self.kind == "with-exit":
+            return f"W{self.lineno}"
+        return f"L{self.lineno}"
+
+
+class CFG:
+    """The control-flow graph of one function (or statement list)."""
+
+    def __init__(self) -> None:
+        self.nodes: list[CFGNode] = []
+        self.edges: list[CFGEdge] = []
+        self.entry: int = -1
+        self.exit: int = -1
+        self.raise_exit: int = -1
+        #: statement / handler AST node -> CFG node index (identity keyed).
+        self.stmt_nodes: dict[ast.AST, int] = {}
+        #: with-exit node index -> the ``with`` statement whose
+        #: ``__exit__`` it models (so analyses know what it releases).
+        self.with_exits: dict[int, ast.With | ast.AsyncWith] = {}
+        self._succs: dict[int, list[CFGEdge]] | None = None
+        self._preds: dict[int, list[CFGEdge]] | None = None
+
+    # -- queries ---------------------------------------------------------
+
+    def succs(self, idx: int) -> list[CFGEdge]:
+        if self._succs is None:
+            self._succs = {}
+            for edge in self.edges:
+                self._succs.setdefault(edge.src, []).append(edge)
+        return self._succs.get(idx, [])
+
+    def preds(self, idx: int) -> list[CFGEdge]:
+        if self._preds is None:
+            self._preds = {}
+            for edge in self.edges:
+                self._preds.setdefault(edge.dst, []).append(edge)
+        return self._preds.get(idx, [])
+
+    def node_for(self, stmt: ast.AST) -> CFGNode | None:
+        idx = self.stmt_nodes.get(stmt)
+        return self.nodes[idx] if idx is not None else None
+
+    def iter_stmt_nodes(self) -> Iterator[CFGNode]:
+        for node in self.nodes:
+            if node.stmt is not None:
+                yield node
+
+    def edge_labels(self) -> set[tuple[str, str, str]]:
+        """``(src_label, dst_label, kind)`` triples — what the tests
+        assert exactly on fixture functions."""
+        return {
+            (self.nodes[e.src].label, self.nodes[e.dst].label, e.kind)
+            for e in self.edges
+        }
+
+    # -- construction helpers (used by the builder) ----------------------
+
+    def add_node(
+        self, kind: str, stmt: ast.stmt | None = None, lineno: int = 0
+    ) -> int:
+        idx = len(self.nodes)
+        self.nodes.append(CFGNode(idx=idx, kind=kind, stmt=stmt, lineno=lineno))
+        if stmt is not None:
+            self.stmt_nodes[stmt] = idx
+        return idx
+
+    def add_edge(self, src: int, dst: int, kind: str) -> None:
+        edge = CFGEdge(src, dst, kind)
+        if edge not in self.edges:
+            self.edges.append(edge)
+        self._succs = None
+        self._preds = None
+
+
+def stmt_may_raise(stmt: ast.stmt) -> bool:
+    """Whether executing this (simple) statement can raise.
+
+    Pragmatic: anything containing a call may raise; ``raise`` and
+    ``assert`` always can.  Attribute/subscript faults are ignored —
+    counting them would give every statement an exceptional edge and
+    drown the analyses in noise.
+    """
+    if isinstance(stmt, (ast.Raise, ast.Assert)):
+        return True
+    if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+        return False
+    return expr_may_raise(stmt)
+
+
+def expr_may_raise(node: ast.AST) -> bool:
+    """Whether evaluating this expression (or statement header) can
+    raise — i.e. whether it contains a call outside nested bodies."""
+    for child in _walk_shallow(node):
+        if isinstance(child, (ast.Call, ast.Await)):
+            return True
+    return False
+
+
+def _walk_shallow(node: ast.AST) -> Iterator[ast.AST]:
+    """``ast.walk`` that does not descend into nested function bodies."""
+    stack: list[ast.AST] = [node]
+    while stack:
+        current = stack.pop()
+        yield current
+        if isinstance(current, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue  # a def's body does not run here
+        if isinstance(current, ast.Lambda):
+            stack.extend(ast.iter_child_nodes(current.args))
+            continue  # likewise the lambda body
+        stack.extend(ast.iter_child_nodes(current))
+
+
+def _header_may_raise(stmt: ast.stmt) -> bool:
+    """May-raise for a compound statement's *header* only."""
+    if isinstance(stmt, (ast.If, ast.While)):
+        return expr_may_raise(stmt.test)
+    if isinstance(stmt, (ast.For, ast.AsyncFor)):
+        # Iteration itself may raise (StopIteration is swallowed, but
+        # __iter__/__next__ of arbitrary iterables can fail).
+        return True
+    if isinstance(stmt, (ast.With, ast.AsyncWith)):
+        return any(expr_may_raise(item.context_expr) for item in stmt.items)
+    if isinstance(stmt, ast.Match):
+        return expr_may_raise(stmt.subject)
+    return False
+
+
+def _is_const_true(test: ast.expr) -> bool:
+    return isinstance(test, ast.Constant) and bool(test.value) is True
+
+
+def handler_is_catch_all(handler: ast.ExceptHandler) -> bool:
+    if handler.type is None:
+        return True
+    names = handler_type_names(handler)
+    return bool(names & CATCH_ALL_NAMES)
+
+
+def handler_type_names(handler: ast.ExceptHandler) -> frozenset[str]:
+    """The (rightmost) names of the exception types a handler catches."""
+
+    def name_of(expr: ast.expr) -> str | None:
+        if isinstance(expr, ast.Name):
+            return expr.id
+        if isinstance(expr, ast.Attribute):
+            return expr.attr
+        return None
+
+    if handler.type is None:
+        return frozenset()
+    exprs = (
+        list(handler.type.elts)
+        if isinstance(handler.type, ast.Tuple)
+        else [handler.type]
+    )
+    return frozenset(n for n in (name_of(e) for e in exprs) if n is not None)
+
+
+# ---------------------------------------------------------------------------
+# builder
+# ---------------------------------------------------------------------------
+
+#: a dangling out-edge waiting for its destination: (src node, edge kind)
+_Frontier = list[tuple[int, str]]
+
+#: edge kinds that leave the enclosing construct instead of falling through
+_NONLOCAL_KINDS = frozenset({"return", "break", "continue", "exc"})
+
+
+@dataclass
+class _FunctionFrame:
+    """Outermost frame: returns go to ``exit``, exceptions to ``raise``."""
+
+
+@dataclass
+class _LoopFrame:
+    header: int
+    breaks: _Frontier = field(default_factory=list)
+
+
+@dataclass
+class _WithFrame:
+    exit_node: int
+    pending: set[str] = field(default_factory=set)
+
+
+@dataclass
+class _TryFrame:
+    handlers: list[int]
+    catch_all: bool
+
+
+@dataclass
+class _FinallyFrame:
+    #: (src node, kind) edges to wire into the finally entry.
+    sources: _Frontier = field(default_factory=list)
+    pending: set[str] = field(default_factory=set)
+
+
+_Frame = _FunctionFrame | _LoopFrame | _WithFrame | _TryFrame | _FinallyFrame
+
+
+class _Builder:
+    def __init__(self) -> None:
+        self.cfg = CFG()
+        self.frames: list[_Frame] = []
+
+    def build(self, body: Sequence[ast.stmt]) -> CFG:
+        cfg = self.cfg
+        cfg.entry = cfg.add_node("entry")
+        cfg.exit = cfg.add_node("exit")
+        cfg.raise_exit = cfg.add_node("raise")
+        self.frames = [_FunctionFrame()]
+        frontier = self._seq(list(body), [(cfg.entry, "normal")])
+        self._connect(frontier, cfg.exit)
+        return cfg
+
+    # -- plumbing --------------------------------------------------------
+
+    def _connect(self, frontier: _Frontier, dst: int) -> None:
+        for src, kind in frontier:
+            self.cfg.add_edge(src, dst, kind)
+
+    def _seq(self, stmts: list[ast.stmt], frontier: _Frontier) -> _Frontier:
+        for stmt in stmts:
+            if not frontier:
+                break  # unreachable code after return/raise/break
+            frontier = self._stmt(stmt, frontier)
+        return frontier
+
+    def _route(self, kind: str, src: int) -> None:
+        """Send a non-local transfer (return/break/continue/exc) outward
+        through the frame stack from ``src``."""
+        for frame in reversed(self.frames):
+            if isinstance(frame, _WithFrame):
+                self.cfg.add_edge(src, frame.exit_node, kind)
+                frame.pending.add(kind)
+                return
+            if isinstance(frame, _FinallyFrame):
+                frame.sources.append((src, kind))
+                frame.pending.add(kind)
+                return
+            if isinstance(frame, _TryFrame):
+                if kind != "exc":
+                    continue  # try/except is transparent to return/break
+                for handler in frame.handlers:
+                    self.cfg.add_edge(src, handler, "exc")
+                if frame.catch_all:
+                    return
+                continue  # unmatched exception keeps propagating
+            if isinstance(frame, _LoopFrame):
+                if kind == "break":
+                    frame.breaks.append((src, "break"))
+                    return
+                if kind == "continue":
+                    self.cfg.add_edge(src, frame.header, "continue")
+                    return
+                continue  # return/exc pass through loops
+            # _FunctionFrame.  break/continue only reach here in body
+            # *fragments* (a handler body analysed on its own, where the
+            # loop lives outside the fragment): they complete the
+            # fragment like a return.
+            if kind == "exc":
+                self.cfg.add_edge(src, self.cfg.raise_exit, "exc")
+            else:
+                self.cfg.add_edge(src, self.cfg.exit, kind)
+            return
+
+    # -- statement dispatch ----------------------------------------------
+
+    def _stmt(self, stmt: ast.stmt, frontier: _Frontier) -> _Frontier:
+        if isinstance(stmt, ast.If):
+            return self._if(stmt, frontier)
+        if isinstance(stmt, ast.While):
+            return self._while(stmt, frontier)
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            return self._for(stmt, frontier)
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            return self._with(stmt, frontier)
+        if isinstance(stmt, ast.Try):
+            return self._try(stmt, frontier)
+        if isinstance(stmt, ast.Match):
+            return self._match(stmt, frontier)
+        return self._simple(stmt, frontier)
+
+    def _simple(self, stmt: ast.stmt, frontier: _Frontier) -> _Frontier:
+        node = self.cfg.add_node("stmt", stmt, stmt.lineno)
+        self._connect(frontier, node)
+        if isinstance(stmt, ast.Raise):
+            self._route("exc", node)
+            return []
+        if stmt_may_raise(stmt):
+            self._route("exc", node)
+        if isinstance(stmt, ast.Return):
+            self._route("return", node)
+            return []
+        if isinstance(stmt, ast.Break):
+            self._route("break", node)
+            return []
+        if isinstance(stmt, ast.Continue):
+            self._route("continue", node)
+            return []
+        return [(node, "normal")]
+
+    def _if(self, stmt: ast.If, frontier: _Frontier) -> _Frontier:
+        node = self.cfg.add_node("stmt", stmt, stmt.lineno)
+        self._connect(frontier, node)
+        if _header_may_raise(stmt):
+            self._route("exc", node)
+        out = self._seq(stmt.body, [(node, "true")])
+        if stmt.orelse:
+            out += self._seq(stmt.orelse, [(node, "false")])
+        else:
+            out.append((node, "false"))
+        return out
+
+    def _while(self, stmt: ast.While, frontier: _Frontier) -> _Frontier:
+        header = self.cfg.add_node("stmt", stmt, stmt.lineno)
+        self._connect(frontier, header)
+        if _header_may_raise(stmt):
+            self._route("exc", header)
+        frame = _LoopFrame(header=header)
+        self.frames.append(frame)
+        body_end = self._seq(stmt.body, [(header, "true")])
+        self.frames.pop()
+        for src, _ in body_end:
+            self.cfg.add_edge(src, header, "back")
+        out: _Frontier = list(frame.breaks)
+        if not _is_const_true(stmt.test):
+            if stmt.orelse:
+                out += self._seq(stmt.orelse, [(header, "false")])
+            else:
+                out.append((header, "false"))
+        return out
+
+    def _for(self, stmt: ast.For | ast.AsyncFor, frontier: _Frontier) -> _Frontier:
+        header = self.cfg.add_node("stmt", stmt, stmt.lineno)
+        self._connect(frontier, header)
+        self._route("exc", header)  # __iter__/__next__ may raise
+        frame = _LoopFrame(header=header)
+        self.frames.append(frame)
+        body_end = self._seq(stmt.body, [(header, "true")])
+        self.frames.pop()
+        for src, _ in body_end:
+            self.cfg.add_edge(src, header, "back")
+        out: _Frontier = list(frame.breaks)
+        if stmt.orelse:
+            out += self._seq(stmt.orelse, [(header, "false")])
+        else:
+            out.append((header, "false"))
+        return out
+
+    def _with(
+        self, stmt: ast.With | ast.AsyncWith, frontier: _Frontier
+    ) -> _Frontier:
+        node = self.cfg.add_node("stmt", stmt, stmt.lineno)
+        self._connect(frontier, node)
+        if _header_may_raise(stmt):
+            # __enter__ failing propagates without running __exit__.
+            self._route("exc", node)
+        exit_node = self.cfg.add_node("with-exit", None, stmt.lineno)
+        self.cfg.with_exits[exit_node] = stmt
+        frame = _WithFrame(exit_node=exit_node)
+        self.frames.append(frame)
+        body_end = self._seq(stmt.body, [(node, "normal")])
+        self.frames.pop()
+        self._connect(body_end, exit_node)
+        # __exit__ ran; forward every transfer that was routed through it.
+        out: _Frontier = []
+        if body_end:
+            out.append((exit_node, "normal"))
+        for kind in sorted(frame.pending):
+            if kind == "normal":
+                continue
+            self._route(kind, exit_node)
+        return out
+
+    def _match(self, stmt: ast.Match, frontier: _Frontier) -> _Frontier:
+        node = self.cfg.add_node("stmt", stmt, stmt.lineno)
+        self._connect(frontier, node)
+        if _header_may_raise(stmt):
+            self._route("exc", node)
+        out: _Frontier = []
+        has_wildcard = False
+        for case in stmt.cases:
+            out += self._seq(case.body, [(node, "true")])
+            if (
+                isinstance(case.pattern, ast.MatchAs)
+                and case.pattern.pattern is None
+                and case.guard is None
+            ):
+                has_wildcard = True
+        if not has_wildcard:
+            out.append((node, "false"))
+        return out
+
+    def _try(self, stmt: ast.Try, frontier: _Frontier) -> _Frontier:
+        fin_frame = _FinallyFrame() if stmt.finalbody else None
+        if fin_frame is not None:
+            self.frames.append(fin_frame)
+
+        handler_nodes = [
+            self.cfg.add_node("handler", handler, handler.lineno)
+            for handler in stmt.handlers
+        ]
+        catch_all = any(handler_is_catch_all(h) for h in stmt.handlers)
+
+        try_frame: _TryFrame | None = None
+        if stmt.handlers:
+            try_frame = _TryFrame(handlers=handler_nodes, catch_all=catch_all)
+            self.frames.append(try_frame)
+        body_end = self._seq(stmt.body, list(frontier))
+        if try_frame is not None:
+            self.frames.pop()
+        # ``else`` runs after normal completion, outside handler cover.
+        if stmt.orelse:
+            body_end = self._seq(stmt.orelse, body_end)
+        out: _Frontier = list(body_end)
+        for handler, node in zip(stmt.handlers, handler_nodes):
+            out += self._seq(handler.body, [(node, "normal")])
+
+        if fin_frame is None:
+            return out
+        self.frames.pop()
+        # Everything converges on the finally body: normal completion and
+        # every transfer that was parked while it was on the stack.
+        fin_sources: _Frontier = out + fin_frame.sources
+        if not fin_sources:
+            return []  # try body can never reach the finally (all raise)
+        fin_end = self._seq(stmt.finalbody, fin_sources)
+        # After the finally ran, re-dispatch every parked transfer from
+        # its end (the merged-finally approximation: one body, all
+        # continuations fan out of it).
+        for src, _ in fin_end:
+            for kind in sorted(fin_frame.pending):
+                self._route(kind, src)
+        if any(kind not in _NONLOCAL_KINDS for _, kind in fin_sources):
+            return fin_end
+        return []  # only non-local transfers entered; nothing falls through
+
+
+def build_cfg(func: _FuncDef) -> CFG:
+    """The CFG of one function definition."""
+    return _Builder().build(func.body)
+
+
+def build_body_cfg(body: Sequence[ast.stmt]) -> CFG:
+    """The CFG of a bare statement list (e.g. an ``except`` handler body,
+    analysed as its own fragment — ``break``/``continue``/``return`` in
+    the fragment terminate it like a ``return`` would)."""
+    return _Builder().build(body)

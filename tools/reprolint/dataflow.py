@@ -1,0 +1,193 @@
+"""Generic forward dataflow over :mod:`reprolint.cfg` graphs.
+
+One solver, many analyses: an analysis supplies the lattice (initial
+state, ``join``) and the semantics (``transfer`` per node, optionally
+``transfer_edge`` to refine a state along a particular out-edge — how
+``if lock.acquire(blocking=False):`` gets a held-lockset only on the
+``true`` edge).  The solver is a plain worklist iteration; every lattice
+used here is finite (sets over the locks/resources mentioned in one
+function), so termination needs nothing beyond monotone transfers.
+
+State placement convention — the part that encodes *when* an exception
+can fire:
+
+* A ``normal``/``true``/``false``/... edge out of a node carries the
+  node's OUT state (the statement ran).
+* An ``exc`` edge out of a ``stmt`` node carries the node's IN state:
+  the exception may have fired *before* the statement's effect (the
+  ``self._lock.acquire()`` call that raises has not acquired anything;
+  the ``x = open(...)`` that raises has not bound ``x``).  This is the
+  conservative choice for both may-leak (RES001) and must-hold
+  (locksets) analyses.
+* ``exc`` edges out of synthetic nodes (``with-exit``, ``handler``)
+  carry OUT state: the ``__exit__`` effect has happened by the time the
+  exception continues.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections import deque
+from typing import Generic, Protocol, TypeVar
+
+from reprolint.cfg import CFG, CFGEdge, CFGNode
+
+S = TypeVar("S")
+
+
+class ForwardAnalysis(Protocol[S]):
+    """What an analysis must provide to run on the solver."""
+
+    def initial(self) -> S:
+        """State at function entry."""
+        ...
+
+    def join(self, a: S, b: S) -> S:
+        """Merge states at a control-flow join (must be monotone)."""
+        ...
+
+    def transfer(self, node: CFGNode, state: S) -> S:
+        """OUT state of a node given its IN state."""
+        ...
+
+    def transfer_edge(self, edge: CFGEdge, node: CFGNode, state: S) -> S:
+        """Refine the state carried along one out-edge (``state`` is
+        already IN or OUT per the placement convention)."""
+        ...
+
+
+class Solution(Generic[S]):
+    """Fixpoint states; ``None`` marks CFG nodes never reached."""
+
+    def __init__(
+        self,
+        cfg: CFG,
+        in_states: dict[int, S],
+        out_states: dict[int, S],
+    ) -> None:
+        self.cfg = cfg
+        self.in_states = in_states
+        self.out_states = out_states
+
+    def before(self, stmt: ast.AST) -> S | None:
+        idx = self.cfg.stmt_nodes.get(stmt)
+        return self.in_states.get(idx) if idx is not None else None
+
+    def after(self, stmt: ast.AST) -> S | None:
+        idx = self.cfg.stmt_nodes.get(stmt)
+        return self.out_states.get(idx) if idx is not None else None
+
+    def at_exit(self) -> S | None:
+        return self.in_states.get(self.cfg.exit)
+
+    def at_raise_exit(self) -> S | None:
+        return self.in_states.get(self.cfg.raise_exit)
+
+
+def edge_state(
+    analysis: ForwardAnalysis[S],
+    cfg: CFG,
+    edge: CFGEdge,
+    in_state: S,
+    out_state: S,
+) -> S:
+    """The state carried along ``edge`` per the placement convention."""
+    src = cfg.nodes[edge.src]
+    carried = in_state if (edge.kind == "exc" and src.kind == "stmt") else out_state
+    return analysis.transfer_edge(edge, src, carried)
+
+
+def solve(cfg: CFG, analysis: ForwardAnalysis[S]) -> Solution[S]:
+    """Run ``analysis`` to a fixpoint over ``cfg``."""
+    in_states: dict[int, S] = {cfg.entry: analysis.initial()}
+    out_states: dict[int, S] = {}
+    worklist: deque[int] = deque([cfg.entry])
+    queued = {cfg.entry}
+    while worklist:
+        idx = worklist.popleft()
+        queued.discard(idx)
+        node = cfg.nodes[idx]
+        in_state = in_states[idx]
+        out_state = analysis.transfer(node, in_state)
+        out_states[idx] = out_state
+        for edge in cfg.succs(idx):
+            carried = edge_state(analysis, cfg, edge, in_state, out_state)
+            if edge.dst in in_states:
+                merged = analysis.join(in_states[edge.dst], carried)
+                if merged == in_states[edge.dst]:
+                    continue
+                in_states[edge.dst] = merged
+            else:
+                in_states[edge.dst] = carried
+            if edge.dst not in queued:
+                worklist.append(edge.dst)
+                queued.add(edge.dst)
+    return Solution(cfg, in_states, out_states)
+
+
+def witness_path(
+    cfg: CFG,
+    solution: Solution[S],
+    start: int,
+    targets: frozenset[int],
+    keep: "WitnessPredicate[S]",
+) -> list[CFGNode] | None:
+    """A shortest node path ``start -> some target`` along which ``keep``
+    holds on every carried edge state — the concrete file:line trail a
+    finding cites ("acquired at L12, raises at L15, reaches exit without
+    release").  Returns ``None`` if no such path exists (then the finding
+    is not path-realisable under the analysis and should not fire)."""
+    parents: dict[int, int] = {start: -1}
+    queue: deque[int] = deque([start])
+    found = -1
+    while queue and found < 0:
+        idx = queue.popleft()
+        if idx in targets:
+            found = idx
+            break
+        in_state = solution.in_states.get(idx)
+        out_state = solution.out_states.get(idx)
+        if in_state is None:
+            continue
+        for edge in cfg.succs(idx):
+            if edge.dst in parents:
+                continue
+            carried = (
+                in_state
+                if (edge.kind == "exc" and cfg.nodes[idx].kind == "stmt")
+                else out_state
+            )
+            if carried is None or not keep(carried):
+                continue
+            parents[edge.dst] = idx
+            queue.append(edge.dst)
+    if found < 0:
+        return None
+    path: list[CFGNode] = []
+    idx = found
+    while idx >= 0:
+        path.append(cfg.nodes[idx])
+        idx = parents[idx]
+    path.reverse()
+    return path
+
+
+class WitnessPredicate(Protocol[S]):
+    def __call__(self, state: S) -> bool: ...
+
+
+def render_witness(path: "list[CFGNode]", relpath: str) -> str:
+    """``path/file.py:12 -> :15 -> raise-exit`` style one-liner."""
+    parts: list[str] = []
+    for node in path:
+        if node.kind == "entry":
+            continue
+        if node.kind == "exit":
+            parts.append("function exit")
+        elif node.kind == "raise":
+            parts.append("exception leaves the function")
+        elif node.kind == "with-exit":
+            parts.append(f"{relpath}:{node.lineno} (with-exit)")
+        else:
+            parts.append(f"{relpath}:{node.lineno}")
+    return " -> ".join(parts)

@@ -26,12 +26,17 @@ from __future__ import annotations
 import ast
 import json
 import re
+import time
 import tokenize
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Iterable, Iterator
+from typing import TYPE_CHECKING, Iterable, Iterator
 
 from reprolint.findings import Finding
+from reprolint.stats import RunStats
+
+if TYPE_CHECKING:  # a type-only cycle: program.py imports ModuleContext
+    from reprolint.program import ProgramModel
 
 #: ``# guarded-by: _wakeup`` — declares the lock guarding the attribute
 #: assigned on this line.  Rules read these through
@@ -215,8 +220,8 @@ class Rule:
     def finalize(self) -> Iterable[Finding]:
         return ()
 
-    def check_program(self, program: "object") -> Iterable[Finding]:
-        """Whole-program pass; ``program`` is a ProgramModel."""
+    def check_program(self, program: "ProgramModel") -> Iterable[Finding]:
+        """Whole-program pass over the shared :class:`ProgramModel`."""
         return ()
 
     def finding(
@@ -266,18 +271,18 @@ class LintResult:
     def baselined(self) -> list[Finding]:
         return [f for f in self.findings if f.baselined]
 
-    def to_json(self) -> str:
-        return json.dumps(
-            {
-                "tool": "reprolint",
-                "files_checked": self.files_checked,
-                "errors": self.errors,
-                "findings": [f.to_dict() for f in self.active],
-                "suppressed": [f.to_dict() for f in self.suppressed],
-                "baselined": [f.to_dict() for f in self.baselined],
-            },
-            indent=2,
-        )
+    def to_json(self, stats: RunStats | None = None) -> str:
+        payload: dict[str, object] = {
+            "tool": "reprolint",
+            "files_checked": self.files_checked,
+            "errors": self.errors,
+            "findings": [f.to_dict() for f in self.active],
+            "suppressed": [f.to_dict() for f in self.suppressed],
+            "baselined": [f.to_dict() for f in self.baselined],
+        }
+        if stats is not None:
+            payload["stats"] = stats.to_dict()
+        return json.dumps(payload, indent=2)
 
     def format_human(self) -> str:
         lines = [f.format_human() for f in self.active]
@@ -322,14 +327,40 @@ def discover_files(
     return unique
 
 
+def rule_is_per_file(rule: Rule) -> bool:
+    """Whether a rule's findings depend on one file alone (so its
+    per-file output can be cached and reused on partial runs).  Rules
+    with a ``finalize`` or ``check_program`` override correlate across
+    modules and must re-run whenever *any* file changed."""
+    return (
+        type(rule).finalize is Rule.finalize
+        and type(rule).check_program is Rule.check_program
+    )
+
+
 def run_rules(
     root: Path,
     files: Iterable[Path],
     rules: Iterable[Rule],
+    stats: RunStats | None = None,
+    reuse: dict[str, dict[str, list[Finding]]] | None = None,
+    per_file_out: dict[str, dict[str, list[Finding]]] | None = None,
 ) -> LintResult:
+    """Parse ``files`` and run ``rules`` over them.
+
+    ``stats`` (optional) accumulates parse and per-rule timings.
+    ``reuse`` maps relpath -> rule id -> previously computed findings
+    (pre-suppression); a hit skips that rule's ``check_module`` for that
+    file.  ``per_file_out`` is filled with this run's per-file findings
+    for every :func:`rule_is_per_file` rule — including empty lists, so
+    "ran and found nothing" is distinguishable from "didn't run" — which
+    is what the incremental cache persists.
+    """
+    stats = stats if stats is not None else RunStats()
     result = LintResult()
     rules = list(rules)
     contexts: list[ModuleContext] = []
+    t0 = time.perf_counter()
     for path in files:
         rel = path.resolve().relative_to(root.resolve()).as_posix()
         try:
@@ -337,26 +368,50 @@ def run_rules(
             contexts.append(ModuleContext(path, rel, source))
         except (OSError, SyntaxError, ValueError) as exc:
             result.errors.append(f"{rel}: {exc}")
+    stats.parse_seconds += time.perf_counter() - t0
     result.files_checked = len(contexts)
+    stats.files_analyzed = len(contexts)
     raw: list[tuple[Finding, ModuleContext | None]] = []
     for ctx in contexts:
+        file_reuse = reuse.get(ctx.relpath) if reuse is not None else None
+        if file_reuse is not None:
+            stats.files_from_cache += 1
         for rule in rules:
-            for finding in rule.check_module(ctx):
+            cached = (
+                file_reuse.get(rule.id)
+                if file_reuse is not None and rule_is_per_file(rule)
+                else None
+            )
+            if cached is not None:
+                found = cached
+            else:
+                t0 = time.perf_counter()
+                found = list(rule.check_module(ctx))
+                stats.add(rule.id, time.perf_counter() - t0)
+            if per_file_out is not None and rule_is_per_file(rule):
+                per_file_out.setdefault(ctx.relpath, {})[rule.id] = found
+            for finding in found:
                 raw.append((finding, ctx))
     by_path = {ctx.relpath: ctx for ctx in contexts}
     for rule in rules:
+        t0 = time.perf_counter()
         for finding in rule.finalize():
             raw.append((finding, by_path.get(finding.path)))
+        stats.add(rule.id, time.perf_counter() - t0)
     if any(
         type(rule).check_program is not Rule.check_program for rule in rules
     ):
         # Imported here: program.py needs ModuleContext from this module.
         from reprolint.program import ProgramModel
 
+        t0 = time.perf_counter()
         program = ProgramModel(contexts)
+        stats.add("(program-model)", time.perf_counter() - t0)
         for rule in rules:
+            t0 = time.perf_counter()
             for finding in rule.check_program(program):
                 raw.append((finding, by_path.get(finding.path)))
+            stats.add(rule.id, time.perf_counter() - t0)
     for finding, ctx in raw:
         if ctx is not None:
             supp = ctx.suppressions.get(finding.line)

@@ -1,0 +1,438 @@
+"""On-disk incremental lint cache and the ``--changed-only`` frontier.
+
+The suite runs in CI's pre-test slot under a 30-second budget, and the
+flow-sensitive passes made a full cold run meaningfully more expensive.
+Two layers keep it fast:
+
+* a **run-level cache**: the complete result of a run, keyed by a hash
+  of the engine (every reprolint source file + configuration + version)
+  and the exact ``(relpath, content-hash)`` set it ran over.  A repeat
+  run over an unchanged tree loads findings without parsing a single
+  file — this is where the warm/cold speedup comes from;
+* a **per-file cache**: for each file, its content hash, module name,
+  import list, and the findings of every *per-file* rule
+  (:func:`reprolint.engine.rule_is_per_file`).  On a partial hit the
+  engine still parses everything (the whole-program passes need every
+  module), but skips re-running the per-file rules on unchanged files
+  and reuses their recorded findings.  Cross-module rules (OBS001's
+  finalize, the CONC/ARR program passes) are never served per-file —
+  they re-run whenever anything changed.
+
+Invalidation is by construction, not by mtime: content hashes cover
+source edits (including comments — suppressions live there), and the
+engine fingerprint covers rule-code changes, configuration changes and
+version bumps.  Anything unrecognised in the cache directory is simply
+ignored and rewritten.
+
+``--changed-only`` shrinks the *file set* instead: the ``git status``
+frontier (plus ``--changed-base`` for PR diffs), widened to its
+reverse-dependency closure through the cached import lists, so a change
+to ``repro.graph.csr`` re-lints every module importing it.  The
+whole-program passes then see only that cone — a deliberate tradeoff
+(documented in the README): cross-module findings whose *other* end
+lies outside the cone can be missed, which is why CI runs changed-only
+on pull requests but the full tree on main.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import json
+import subprocess
+import time
+from pathlib import Path
+from typing import Iterable
+
+import reprolint
+from reprolint.config import LintConfig
+from reprolint.engine import LintResult, Rule, run_rules
+from reprolint.findings import Finding
+from reprolint.stats import RunStats
+
+_FILES_INDEX = "files.json"
+_RUNS_DIR = "runs"
+
+
+def engine_fingerprint(config: LintConfig, rules: Iterable[Rule]) -> str:
+    """Hash of everything that affects findings besides file contents:
+    the linter's own source code, the version, the configuration and
+    the enabled rule set."""
+    digest = hashlib.sha256()
+    package_dir = Path(__file__).resolve().parent
+    for source in sorted(package_dir.rglob("*.py")):
+        digest.update(source.relative_to(package_dir).as_posix().encode())
+        digest.update(b"\x00")
+        digest.update(source.read_bytes())
+        digest.update(b"\x00")
+    digest.update(reprolint.__version__.encode())
+    digest.update(
+        json.dumps(
+            {
+                "paths": config.paths,
+                "exclude": config.exclude,
+                "rules": config.rule_options,
+                "enabled": sorted(rule.id for rule in rules),
+            },
+            sort_keys=True,
+            default=str,
+        ).encode()
+    )
+    return digest.hexdigest()
+
+
+def _content_hash(data: bytes) -> str:
+    return hashlib.sha256(data).hexdigest()
+
+
+def _module_imports(tree: ast.AST) -> list[str]:
+    """Imported module names (absolute), for the reverse-dependency
+    closure.  ``from pkg import name`` records both ``pkg`` and
+    ``pkg.name`` — the alias may itself be a submodule."""
+    imports: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                imports.add(alias.name)
+        elif isinstance(node, ast.ImportFrom) and node.module:
+            imports.add(node.module)
+            for alias in node.names:
+                imports.add(f"{node.module}.{alias.name}")
+    return sorted(imports)
+
+
+def _module_candidates(relpath: str) -> list[str]:
+    """Module names a file might be imported as.  ``src/`` and ``tools/``
+    are path roots, not package names, so both the stripped and the raw
+    dotted forms are candidates."""
+    parts = list(Path(relpath).with_suffix("").parts)
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    names = []
+    if parts:
+        names.append(".".join(parts))
+        if parts[0] in ("src", "tools") and len(parts) > 1:
+            names.append(".".join(parts[1:]))
+    return names
+
+
+def _imports_touch(imports: Iterable[str], modules: set[str]) -> bool:
+    for imported in imports:
+        for module in modules:
+            if (
+                imported == module
+                or imported.startswith(module + ".")
+                or module.startswith(imported + ".")
+            ):
+                return True
+    return False
+
+
+class LintCache:
+    """The ``.reprolint_cache/`` directory: per-file index + run cache."""
+
+    def __init__(self, root: Path, cache_dir: Path, engine_key: str) -> None:
+        self.root = root
+        self.dir = cache_dir
+        self.engine_key = engine_key
+        self._files: dict[str, dict[str, object]] = {}
+        self._load_files_index()
+
+    # -- per-file index --------------------------------------------------
+
+    def _load_files_index(self) -> None:
+        path = self.dir / _FILES_INDEX
+        if not path.is_file():
+            return
+        try:
+            data = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return
+        if data.get("engine") != self.engine_key:
+            return  # linter/config changed: the whole index is stale
+        files = data.get("files")
+        if isinstance(files, dict):
+            self._files = {
+                str(rel): entry
+                for rel, entry in files.items()
+                if isinstance(entry, dict)
+            }
+
+    def file_entry(self, relpath: str, content_hash: str) -> dict[str, object] | None:
+        entry = self._files.get(relpath)
+        if entry is not None and entry.get("hash") == content_hash:
+            return entry
+        return None
+
+    def reusable_findings(
+        self, relpath: str, content_hash: str
+    ) -> dict[str, list[Finding]] | None:
+        entry = self.file_entry(relpath, content_hash)
+        if entry is None:
+            return None
+        findings = entry.get("findings")
+        if not isinstance(findings, dict):
+            return None
+        out: dict[str, list[Finding]] = {}
+        for rule_id, items in findings.items():
+            if not isinstance(items, list):
+                return None
+            out[str(rule_id)] = [
+                Finding.from_dict(item)
+                for item in items
+                if isinstance(item, dict)
+            ]
+        return out
+
+    def imports_for(self, relpath: str, content_hash: str) -> list[str] | None:
+        entry = self.file_entry(relpath, content_hash)
+        if entry is None:
+            return None
+        imports = entry.get("imports")
+        if isinstance(imports, list):
+            return [str(name) for name in imports]
+        return None
+
+    def update_files(
+        self,
+        hashes: dict[str, str],
+        imports: dict[str, list[str]],
+        per_file: dict[str, dict[str, list[Finding]]],
+    ) -> None:
+        for relpath, content_hash in hashes.items():
+            fresh = per_file.get(relpath)
+            old = self.file_entry(relpath, content_hash)
+            findings: dict[str, list[dict[str, object]]] = {}
+            old_findings = old.get("findings") if old is not None else None
+            if isinstance(old_findings, dict):
+                for rule_id, items in old_findings.items():
+                    if isinstance(items, list):
+                        findings[str(rule_id)] = items
+            if fresh is not None:
+                for rule_id, found in fresh.items():
+                    findings[rule_id] = [f.to_dict() for f in found]
+            entry: dict[str, object] = {
+                "hash": content_hash,
+                "imports": imports.get(
+                    relpath,
+                    old.get("imports", []) if old is not None else [],
+                ),
+                "findings": findings,
+            }
+            self._files[relpath] = entry
+        self._write_files_index()
+
+    def _write_files_index(self) -> None:
+        payload = {"engine": self.engine_key, "files": self._files}
+        try:
+            self.dir.mkdir(parents=True, exist_ok=True)
+            (self.dir / _FILES_INDEX).write_text(
+                json.dumps(payload, sort_keys=True), encoding="utf-8"
+            )
+        except OSError:
+            pass  # a read-only checkout just runs cold every time
+
+    # -- run-level cache -------------------------------------------------
+
+    def run_key(self, hashes: dict[str, str]) -> str:
+        digest = hashlib.sha256(self.engine_key.encode())
+        digest.update(json.dumps(sorted(hashes.items())).encode())
+        return digest.hexdigest()
+
+    def load_run(self, key: str) -> LintResult | None:
+        path = self.dir / _RUNS_DIR / f"{key}.json"
+        if not path.is_file():
+            return None
+        try:
+            data = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return None
+        findings = data.get("findings")
+        if not isinstance(findings, list):
+            return None
+        result = LintResult()
+        result.findings = [
+            Finding.from_dict(item) for item in findings if isinstance(item, dict)
+        ]
+        checked = data.get("files_checked")
+        result.files_checked = checked if isinstance(checked, int) else 0
+        errors = data.get("errors")
+        if isinstance(errors, list):
+            result.errors = [str(err) for err in errors]
+        return result
+
+    def store_run(self, key: str, result: LintResult) -> None:
+        payload = {
+            "files_checked": result.files_checked,
+            "errors": result.errors,
+            "findings": [f.to_dict() for f in result.findings],
+        }
+        try:
+            runs = self.dir / _RUNS_DIR
+            runs.mkdir(parents=True, exist_ok=True)
+            (runs / f"{key}.json").write_text(
+                json.dumps(payload), encoding="utf-8"
+            )
+        except OSError:
+            pass
+
+
+def execute(
+    root: Path,
+    config: LintConfig,
+    rules: list[Rule],
+    files: list[Path],
+    use_cache: bool = True,
+    cache_dir: Path | None = None,
+    stats: RunStats | None = None,
+) -> LintResult:
+    """Run the lint suite with the incremental cache in front of it."""
+    stats = stats if stats is not None else RunStats()
+    t0 = time.perf_counter()
+    try:
+        if not use_cache:
+            stats.cache = "off"
+            return run_rules(root, files, rules, stats=stats)
+        cache = LintCache(
+            root,
+            cache_dir if cache_dir is not None else config.cache_path,
+            engine_fingerprint(config, rules),
+        )
+        hashes: dict[str, str] = {}
+        imports: dict[str, list[str]] = {}
+        unreadable: list[Path] = []
+        for path in files:
+            rel = path.resolve().relative_to(root.resolve()).as_posix()
+            try:
+                hashes[rel] = _content_hash(path.read_bytes())
+            except OSError:
+                unreadable.append(path)
+        run_key = cache.run_key(hashes)
+        if not unreadable:
+            cached_run = cache.load_run(run_key)
+            if cached_run is not None:
+                stats.cache = "warm"
+                stats.fully_cached = True
+                stats.files_analyzed = cached_run.files_checked
+                stats.files_from_cache = cached_run.files_checked
+                return cached_run
+        reuse: dict[str, dict[str, list[Finding]]] = {}
+        for rel, content_hash in hashes.items():
+            found = cache.reusable_findings(rel, content_hash)
+            if found is not None:
+                reuse[rel] = found
+        stats.cache = "partial" if reuse else "cold"
+        per_file: dict[str, dict[str, list[Finding]]] = {}
+        result = run_rules(
+            root, files, rules, stats=stats, reuse=reuse, per_file_out=per_file
+        )
+        for rel in hashes:
+            file_path = root / rel
+            try:
+                imports[rel] = _module_imports(
+                    ast.parse(file_path.read_text(encoding="utf-8"))
+                )
+            except (OSError, SyntaxError, ValueError):
+                imports[rel] = []
+        cache.update_files(hashes, imports, per_file)
+        if not unreadable and not result.errors:
+            cache.store_run(run_key, result)
+        return result
+    finally:
+        stats.total_seconds += time.perf_counter() - t0
+
+
+# ---------------------------------------------------------------------------
+# --changed-only: the git frontier and its reverse-dependency closure
+# ---------------------------------------------------------------------------
+
+
+def git_changed_files(root: Path, base: str | None = None) -> set[str] | None:
+    """Root-relative paths changed per git (worktree + optional diff
+    against ``base``).  ``None`` when git is unavailable (caller falls
+    back to a full run rather than guessing)."""
+    changed: set[str] = set()
+    try:
+        status = subprocess.run(
+            ["git", "status", "--porcelain"],
+            cwd=root,
+            capture_output=True,
+            text=True,
+            timeout=30,
+            check=True,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    for line in status.stdout.splitlines():
+        if len(line) < 4:
+            continue
+        path = line[3:]
+        if " -> " in path:  # rename: old -> new
+            path = path.split(" -> ", 1)[1]
+        changed.add(path.strip().strip('"'))
+    if base:
+        try:
+            diff = subprocess.run(
+                ["git", "diff", "--name-only", f"{base}...HEAD"],
+                cwd=root,
+                capture_output=True,
+                text=True,
+                timeout=30,
+                check=True,
+            )
+        except (OSError, subprocess.SubprocessError):
+            return None
+        changed.update(
+            line.strip() for line in diff.stdout.splitlines() if line.strip()
+        )
+    return changed
+
+
+def dependency_cone(
+    root: Path,
+    files: list[Path],
+    changed: set[str],
+    cache: LintCache | None = None,
+) -> list[Path]:
+    """The subset of ``files`` to analyse for a change to ``changed``:
+    the changed files themselves plus every file that (transitively)
+    imports one of their modules."""
+    infos: list[tuple[Path, str, list[str], list[str]]] = []
+    for path in files:
+        rel = path.resolve().relative_to(root.resolve()).as_posix()
+        imports: list[str] | None = None
+        if cache is not None:
+            try:
+                imports = cache.imports_for(rel, _content_hash(path.read_bytes()))
+            except OSError:
+                imports = None
+        if imports is None:
+            try:
+                imports = _module_imports(
+                    ast.parse(path.read_text(encoding="utf-8"))
+                )
+            except (OSError, SyntaxError, ValueError):
+                imports = []
+        infos.append((path, rel, _module_candidates(rel), imports))
+
+    in_cone: dict[str, bool] = {rel: rel in changed for _, rel, _, _ in infos}
+    cone_modules: set[str] = set()
+    for _, rel, candidates, _ in infos:
+        if in_cone[rel]:
+            cone_modules.update(candidates)
+    # Also seed modules of changed files outside the lint set (a changed
+    # file not linted here can still invalidate its importers).
+    for rel in changed:
+        if rel.endswith(".py") and rel not in in_cone:
+            cone_modules.update(_module_candidates(rel))
+    changed_any = True
+    while changed_any:
+        changed_any = False
+        for _, rel, candidates, imports in infos:
+            if in_cone[rel]:
+                continue
+            if _imports_touch(imports, cone_modules):
+                in_cone[rel] = True
+                cone_modules.update(candidates)
+                changed_any = True
+    return [path for path, rel, _, _ in infos if in_cone[rel]]

@@ -1,0 +1,159 @@
+"""Lockset (held-locks) analysis shared by LOCK001 and the program model.
+
+A *must* analysis: the state before a statement is the set of locks held
+on **every** path reaching it, so a guarded-access check never trusts a
+lock that only one branch acquired.  Join is therefore set intersection.
+
+The transfer function understands the three ways this codebase takes a
+lock:
+
+* ``with <lock>:`` — held for the body, released at the synthetic
+  with-exit node (normal *and* exceptional exits, which is why ``with``
+  never leaks);
+* a bare ``<lock>.acquire()`` statement — held from the *next*
+  statement on (the acquire call itself may raise before taking the
+  lock, and the exceptional edge out of it carries the not-held state);
+* ``if <lock>.acquire(blocking=False):`` — held only along the ``true``
+  edge, via the edge-transfer hook.
+
+``<lock>.release()`` drops the lock.  What counts as "a lock" is the
+caller's business: ``lock_key`` maps a receiver/context expression to a
+hashable key (LOCK001 uses ``self.<attr>`` names, the program model
+uses ``LockId``) or ``None`` for not-a-lock.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Callable, Generic, Hashable, Sequence, TypeVar
+
+from reprolint.cfg import CFG, CFGEdge, CFGNode, build_body_cfg
+from reprolint.dataflow import Solution, solve
+
+K = TypeVar("K", bound=Hashable)
+
+LockKeyFn = Callable[[ast.expr], "K | None"]
+
+
+def _acquire_call(expr: ast.expr) -> ast.expr | None:
+    """``X`` if ``expr`` is ``X.acquire(...)``, else ``None``."""
+    if (
+        isinstance(expr, ast.Call)
+        and isinstance(expr.func, ast.Attribute)
+        and expr.func.attr == "acquire"
+    ):
+        return expr.func.value
+    return None
+
+
+def _release_call(expr: ast.expr) -> ast.expr | None:
+    if (
+        isinstance(expr, ast.Call)
+        and isinstance(expr.func, ast.Attribute)
+        and expr.func.attr == "release"
+    ):
+        return expr.func.value
+    return None
+
+
+class _LocksetAnalysis(Generic[K]):
+    """Must-held lockset; see module docstring for the semantics."""
+
+    def __init__(self, cfg: CFG, lock_key: LockKeyFn[K]) -> None:
+        self._cfg = cfg
+        self._lock_key = lock_key
+
+    def initial(self) -> frozenset[K]:
+        return frozenset()
+
+    def join(self, a: frozenset[K], b: frozenset[K]) -> frozenset[K]:
+        return a & b
+
+    def _with_locks(self, stmt: ast.With | ast.AsyncWith) -> frozenset[K]:
+        keys: set[K] = set()
+        for item in stmt.items:
+            key = self._lock_key(item.context_expr)
+            if key is not None:
+                keys.add(key)
+        return frozenset(keys)
+
+    def transfer(self, node: CFGNode, state: frozenset[K]) -> frozenset[K]:
+        if node.kind == "with-exit":
+            return state - self._with_locks(self._cfg.with_exits[node.idx])
+        stmt = node.stmt
+        if stmt is None:
+            return state
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            return state | self._with_locks(stmt)
+        out = state
+        # Statement-level acquire()/release() calls, in either the bare
+        # ``Expr`` form or an assignment of the returned bool.
+        for expr in _top_level_calls(stmt):
+            recv = _acquire_call(expr)
+            if recv is not None:
+                key = self._lock_key(recv)
+                if key is not None:
+                    out = out | {key}
+            recv = _release_call(expr)
+            if recv is not None:
+                key = self._lock_key(recv)
+                if key is not None:
+                    out = out - {key}
+        return out
+
+    def transfer_edge(
+        self, edge: CFGEdge, node: CFGNode, state: frozenset[K]
+    ) -> frozenset[K]:
+        # ``if lock.acquire(blocking=False):`` — held only when the test
+        # was true.  The base transfer did NOT add the lock (an If header
+        # has no top-level Expr call), so only refine the true edge.
+        if edge.kind != "true" or not isinstance(node.stmt, (ast.If, ast.While)):
+            return state
+        recv = _acquire_call(node.stmt.test)
+        if recv is None:
+            return state
+        key = self._lock_key(recv)
+        return state if key is None else state | {key}
+
+
+def _top_level_calls(stmt: ast.stmt) -> list[ast.expr]:
+    """Call expressions that *are* the statement (``lock.acquire()``) or
+    its assigned value (``got = lock.acquire(timeout=1)``)."""
+    if isinstance(stmt, ast.Expr):
+        return [stmt.value]
+    if isinstance(stmt, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+        return [stmt.value] if stmt.value is not None else []
+    if isinstance(stmt, ast.Return) and stmt.value is not None:
+        return [stmt.value]
+    return []
+
+
+class LocksetResult(Generic[K]):
+    """Per-statement held-lock sets for one function body."""
+
+    def __init__(self, cfg: CFG, solution: Solution[frozenset[K]]) -> None:
+        self.cfg = cfg
+        self.solution = solution
+
+    def before(self, stmt: ast.AST) -> frozenset[K]:
+        """Locks held on every path reaching ``stmt`` (empty when the
+        statement is unreachable — nothing is trusted there)."""
+        state = self.solution.before(stmt)
+        return state if state is not None else frozenset()
+
+    def statement_map(self) -> dict[ast.AST, frozenset[K]]:
+        """IN-state per statement/handler AST node, identity-keyed."""
+        out: dict[ast.AST, frozenset[K]] = {}
+        for stmt, idx in self.cfg.stmt_nodes.items():
+            state = self.solution.in_states.get(idx)
+            out[stmt] = state if state is not None else frozenset()
+        return out
+
+
+def statement_locksets(
+    body: Sequence[ast.stmt], lock_key: LockKeyFn[K]
+) -> LocksetResult[K]:
+    """Run the lockset analysis over one function body."""
+    cfg = build_body_cfg(body)
+    analysis = _LocksetAnalysis(cfg, lock_key)
+    return LocksetResult(cfg, solve(cfg, analysis))

@@ -38,7 +38,7 @@ from __future__ import annotations
 from typing import Iterable
 
 from reprolint.engine import Finding, Rule
-from reprolint.program import ClassInfo, ProgramModel
+from reprolint.program import AttrAccess, ClassInfo, MethodInfo, ProgramModel
 
 
 class GuardedByInferenceRule(Rule):
@@ -73,7 +73,7 @@ class GuardedByInferenceRule(Rule):
         self, program: ProgramModel, info: ClassInfo
     ) -> Iterable[Finding]:
         # field -> list of (method, access)
-        by_field: dict[str, list] = {}
+        by_field: dict[str, list[tuple[MethodInfo, AttrAccess]]] = {}
         for method in info.methods.values():
             for access in method.accesses:
                 by_field.setdefault(access.attr, []).append((method, access))

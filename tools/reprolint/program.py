@@ -22,11 +22,15 @@ unregister).  The passes in :mod:`reprolint.passes` therefore run over one
   span, every blocking-candidate call, every ``self.attr`` read/write,
   each annotated with the locks lexically held at that point.
 
-Everything is deliberately *approximate*: no aliasing, no inheritance
-resolution, no flow sensitivity beyond lexical ``with`` nesting.  The
-passes compensate by reporting with full witness chains so a human can
-audit each finding in seconds, and by erring toward silence when a
-receiver's type is unknown.
+Everything is deliberately *approximate*: no aliasing and no inheritance
+resolution.  Held-lock sets, though, are computed flow-sensitively since
+the :mod:`reprolint.lockset` dataflow landed: manual
+``acquire()``/``release()`` pairs, conditional acquisition and early
+releases all update the per-statement must-held set that accesses and
+call sites record.  The passes compensate for the remaining
+approximation by reporting with full witness chains so a human can audit
+each finding in seconds, and by erring toward silence when a receiver's
+type is unknown.
 
 One refinement closes the repo's main idiom gap: methods named
 ``*_locked`` are called with their lock already held (the LOCK001
@@ -44,6 +48,7 @@ from dataclasses import dataclass, field
 from typing import Iterable, Iterator
 
 from reprolint.engine import ModuleContext
+from reprolint.lockset import statement_locksets
 
 #: ``threading`` constructors that create a mutual-exclusion object.
 #: Maps constructor name -> reentrant?  (Condition's default inner lock is
@@ -79,7 +84,7 @@ class CallSite:
     node: ast.Call
     line: int
     col: int
-    held: frozenset[LockId]  # locks lexically held at the call
+    held: frozenset[LockId]  # locks must-held at the call (flow-sensitive)
 
 
 @dataclass
@@ -90,7 +95,7 @@ class AttrAccess:
     line: int
     col: int
     is_write: bool
-    held: frozenset[LockId]  # lexical locks only; inherited added later
+    held: frozenset[LockId]  # must-held (flow-sensitive); inherited added later
 
 
 @dataclass
@@ -393,10 +398,32 @@ class _MethodVisitor(ast.NodeVisitor):
         self.method = method
         self.held: list[LockId] = []
         self.with_stack: list[WithLock] = []
+        #: flow-sensitive must-held set at the statement being visited —
+        #: what accesses and call sites record.  Computed by the lockset
+        #: dataflow, so manual acquire()/release() pairs, conditional
+        #: acquisition and early releases are all reflected (the lexical
+        #: ``with_stack`` above remains only for CONC001's ordered
+        #: inner-lock edges).
+        self._flow: frozenset[LockId] = frozenset()
+        self._flow_states: dict[ast.AST, frozenset[LockId]] = {}
+
+    def _lock_key(self, expr: ast.expr) -> LockId | None:
+        return self._lock_of(expr)
 
     def run(self) -> None:
+        self._flow_states = statement_locksets(
+            self.method.node.body, self._lock_key
+        ).statement_map()
         for stmt in self.method.node.body:
             self.visit(stmt)
+
+    def visit(self, node: ast.AST) -> None:
+        # Each statement/handler carries its dataflow IN-state; entering
+        # it makes that the ambient held set for the expressions inside.
+        state = self._flow_states.get(node)
+        if state is not None:
+            self._flow = state
+        super().visit(node)
 
     # Nested defs (closures, callbacks) run at an unknown time with an
     # unknown lock context; analyse their bodies with an EMPTY held set so
@@ -414,11 +441,21 @@ class _MethodVisitor(ast.NodeVisitor):
     def _visit_nested(self, node: ast.AST) -> None:
         saved_held, self.held = self.held, []
         saved_stack, self.with_stack = self.with_stack, []
+        saved_flow, self._flow = self._flow, frozenset()
+        saved_states = self._flow_states
         body = getattr(node, "body", [])
+        if isinstance(body, list) and body:
+            # The closure gets its own dataflow, seeded from an empty
+            # held set (it runs at an unknown time under unknown locks).
+            self._flow_states = statement_locksets(
+                body, self._lock_key
+            ).statement_map()
         for stmt in body if isinstance(body, list) else [body]:
             self.visit(stmt)
         self.held = saved_held
         self.with_stack = saved_stack
+        self._flow = saved_flow
+        self._flow_states = saved_states
 
     def visit_With(self, node: ast.With) -> None:
         self._visit_with(node)
@@ -461,7 +498,7 @@ class _MethodVisitor(ast.NodeVisitor):
         return None
 
     def visit_Call(self, node: ast.Call) -> None:
-        held = frozenset(self.held)
+        held = self._flow
         self.method.call_nodes.append((node, held))
         callee = self.model.resolve_callee(self.info, self.method.ctx, node)
         if callee is not None:
@@ -491,7 +528,7 @@ class _MethodVisitor(ast.NodeVisitor):
                     line=node.lineno,
                     col=node.col_offset,
                     is_write=isinstance(node.ctx, (ast.Store, ast.Del)),
-                    held=frozenset(self.held),
+                    held=self._flow,
                 )
             )
         self.generic_visit(node)

@@ -10,9 +10,12 @@ from __future__ import annotations
 from reprolint.engine import Rule
 from reprolint.passes import PROGRAM_PASSES
 from reprolint.rules.api001 import FactoryOnlyRule
+from reprolint.rules.exc001 import SwallowedExceptionRule
 from reprolint.rules.lock001 import GuardedByRule
+from reprolint.rules.mut001 import FrozenArrayWriteRule
 from reprolint.rules.np001 import ExplicitDtypeRule
 from reprolint.rules.obs001 import ObservabilityRule
+from reprolint.rules.res001 import ResourceLeakRule
 from reprolint.rules.shm001 import SharedMemoryRule
 from reprolint.rules.upd001 import EdgeUpdateFlagRule
 
@@ -23,6 +26,9 @@ MODULE_RULES: tuple[type[Rule], ...] = (
     ExplicitDtypeRule,
     EdgeUpdateFlagRule,
     ObservabilityRule,
+    ResourceLeakRule,
+    SwallowedExceptionRule,
+    FrozenArrayWriteRule,
 )
 
 ALL_RULES: tuple[type[Rule], ...] = MODULE_RULES + PROGRAM_PASSES

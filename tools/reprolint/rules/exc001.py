@@ -1,0 +1,152 @@
+"""EXC001 — swallowed exceptions on the batch/index error paths.
+
+The BatchHL update pipeline reports failure through a typed error
+hierarchy (``BatchError``, ``IndexStateError``) and the shared-memory /
+epoch-file plumbing surfaces environment failures as ``OSError``.  A
+handler that catches one of these (or a catch-all) and neither
+re-raises, converts to a typed error, nor logs it erases the only
+evidence that an update was lost — exactly how the PR 7 tracker leak
+stayed invisible until teardown.
+
+The check is path-sensitive: the handler body is analysed as its own
+CFG fragment, and a finding fires only if the handler can *complete*
+(fall through or ``return``) on some path where nothing was raised or
+logged.  ``except OSError: log.warning(...)`` is clean; ``except
+OSError: pass`` is not; ``if retriable: log(...) else: pass`` is
+flagged because the else path swallows.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator
+
+from reprolint.cfg import (
+    CFG,
+    CFGEdge,
+    CFGNode,
+    build_body_cfg,
+    handler_is_catch_all,
+    handler_type_names,
+)
+from reprolint.dataflow import solve
+from reprolint.engine import Finding, ModuleContext, Rule
+
+#: method names that count as "the exception was recorded".
+_LOG_METHODS = frozenset(
+    {"debug", "info", "warning", "error", "exception", "critical", "log"}
+)
+
+
+class SwallowedExceptionRule(Rule):
+    id = "EXC001"
+    summary = (
+        "except clauses catching BatchError/IndexStateError/OSError (or"
+        " catch-alls) must re-raise, convert to a typed error, or log"
+    )
+    rationale = (
+        "The update pipeline's only failure signals are its typed errors"
+        " and OSError from the shm/epoch plumbing. A handler that"
+        " swallows one silently turns a lost update into a wrong answer"
+        " later (the PR 7 leak was invisible for exactly this reason)."
+        " The check is path-sensitive: every path through the handler"
+        " body must raise or log before the handler completes."
+    )
+    fix_recipe = (
+        "Re-raise ('raise' / 'raise TypedError(...) from exc'), or log"
+        " through the repro.* logging hierarchy before continuing. A"
+        " deliberate swallow belongs in the baseline with a justification,"
+        " not behind a bare 'pass'."
+    )
+
+    def __init__(self) -> None:
+        self.paths: tuple[str, ...] = ("src/repro/",)
+        self.exceptions = frozenset({"BatchError", "IndexStateError", "OSError"})
+
+    def configure(self, options: dict[str, object]) -> None:
+        paths = options.get("paths")
+        if isinstance(paths, list):
+            self.paths = tuple(str(p) for p in paths)
+        names = options.get("exceptions")
+        if isinstance(names, list):
+            self.exceptions = frozenset(str(n) for n in names)
+
+    def check_module(self, ctx: ModuleContext) -> Iterable[Finding]:
+        if not any(ctx.relpath.startswith(p) for p in self.paths):
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ExceptHandler):
+                yield from self._check_handler(ctx, node)
+
+    def _check_handler(
+        self, ctx: ModuleContext, handler: ast.ExceptHandler
+    ) -> Iterator[Finding]:
+        caught = handler_type_names(handler)
+        watched = caught & self.exceptions
+        if not watched and not handler_is_catch_all(handler):
+            return
+        cfg = build_body_cfg(handler.body)
+        solution = solve(cfg, _HandledAnalysis(cfg))
+        at_exit = solution.in_states.get(cfg.exit)
+        if at_exit is None or at_exit:
+            return  # every completing path raised or logged first
+        label = (
+            "/".join(sorted(watched))
+            if watched
+            else "a catch-all except"
+        )
+        yield self.finding(
+            ctx,
+            handler,
+            f"except clause catching {label} can complete without"
+            " re-raising, converting to a typed error, or logging —"
+            " the failure is swallowed",
+            hint=(
+                "add 'raise' (or 'raise TypedError(...) from exc') or a"
+                " logger call on every path; justify deliberate swallows"
+                " in the baseline"
+            ),
+        )
+
+
+class _HandledAnalysis:
+    """Must-analysis: True iff the exception was logged on every path
+    reaching this point.  ``raise`` needs no state — a raising path
+    leaves the fragment through the raise exit and never contributes to
+    the fall-through state at ``exit``."""
+
+    def __init__(self, cfg: CFG) -> None:
+        self._cfg = cfg
+
+    def initial(self) -> bool:
+        return False
+
+    def join(self, a: bool, b: bool) -> bool:
+        return a and b
+
+    def transfer(self, node: CFGNode, state: bool) -> bool:
+        stmt = node.stmt
+        if stmt is None or state:
+            return state
+        return _stmt_logs(stmt)
+
+    def transfer_edge(self, edge: CFGEdge, node: CFGNode, state: bool) -> bool:
+        return state
+
+
+def _stmt_logs(stmt: ast.stmt) -> bool:
+    """Whether this statement records the failure via a logging call."""
+    if isinstance(
+        stmt, (ast.If, ast.While, ast.For, ast.AsyncFor, ast.Try, ast.Match)
+    ):
+        return False  # headers don't log; their bodies have own nodes
+    for node in ast.walk(stmt):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in _LOG_METHODS
+        ):
+            return True
+    return False

@@ -10,10 +10,23 @@ Declaration: annotate the attribute's assignment with a comment::
 
     self._vertex_count = n  # guarded-by: _wakeup
 
-Every later ``self._vertex_count`` read or write inside the class must
-then sit lexically inside ``with self._wakeup:`` — or inside a method
-whose name ends with ``_locked`` (the caller-holds-the-lock convention)
-or ``__init__`` (construction happens-before any sharing).
+Every later ``self._vertex_count`` access inside the class must then be
+*must-protected* by ``self._wakeup`` — and since this pass went
+flow-sensitive, that means the real thing, not a syntax shape.  A
+lockset analysis (:mod:`reprolint.lockset`) computes the locks held on
+every path into each statement, so all of these are understood:
+
+* ``with self._wakeup:`` blocks (as before);
+* manual ``self._wakeup.acquire()`` … ``finally: release()`` pairs;
+* conditional acquisition — ``if self._wakeup.acquire(blocking=False):``
+  protects only the true branch;
+* early release — an access after ``release()`` is flagged even when it
+  sits lexically inside the ``with`` block that first took the lock;
+* joins — an access reached both with and without the lock counts as
+  unprotected (must-analysis: intersection over paths).
+
+Methods named ``*_locked`` (caller holds the lock) and ``__init__``
+(construction happens-before sharing) stay exempt.
 """
 
 from __future__ import annotations
@@ -22,13 +35,40 @@ import ast
 from typing import Iterable, Iterator
 
 from reprolint.engine import Finding, ModuleContext, Rule
+from reprolint.lockset import LocksetResult, statement_locksets
+
+_FuncDef = ast.FunctionDef | ast.AsyncFunctionDef
+
+
+def _self_attr_key(expr: ast.expr) -> str | None:
+    """Lock key: ``self.<attr>`` context/receiver expressions."""
+    if (
+        isinstance(expr, ast.Attribute)
+        and isinstance(expr.value, ast.Name)
+        and expr.value.id == "self"
+    ):
+        return expr.attr
+    return None
 
 
 class GuardedByRule(Rule):
     id = "LOCK001"
     summary = (
-        "attributes declared '# guarded-by: <lock>' may only be touched"
-        " under 'with self.<lock>:' or in a *_locked method"
+        "attributes declared '# guarded-by: <lock>' must be accessed"
+        " with the lock held on every path (with-block, manual"
+        " acquire/release, conditional acquire all understood)"
+    )
+    rationale = (
+        "PR 5's submit/flush race: an accept decision read the vertex"
+        " count outside self._wakeup and validated against stale state."
+        " Lexical 'with' matching missed manual acquire/release pairs"
+        " and, worse, trusted accesses after an early release; the"
+        " lockset dataflow checks what is actually held on every path."
+    )
+    fix_recipe = (
+        "Hold the declared lock across the access: wrap it in 'with"
+        " self.<lock>:', extend the finally of a manual acquire, or move"
+        " the code into a '*_locked' method called under the lock."
     )
 
     #: Methods where lock-free access is part of the convention.
@@ -68,12 +108,43 @@ class GuardedByRule(Rule):
                     guards[target.attr] = (lock, node.lineno)
         return guards
 
+    def _held_at(
+        self,
+        ctx: ModuleContext,
+        method: _FuncDef,
+        locksets: LocksetResult[str],
+        node: ast.AST,
+    ) -> frozenset[str]:
+        """Locks must-held at the access ``node`` inside ``method``.
+
+        The access inherits the IN-state of its innermost enclosing
+        statement in the method's CFG.  Accesses inside nested
+        defs/lambdas take the state at the *definition* statement, plus
+        any ``with`` blocks lexically inside the closure (the closure
+        body is opaque to the method CFG)."""
+        stmts = locksets.cfg.stmt_nodes
+        crossed_def = False
+        current: ast.AST | None = node
+        while current is not None and current is not method:
+            if current in stmts:
+                held = locksets.before(current)
+                if crossed_def:
+                    held = held | frozenset(ctx.held_locks(node))
+                return held
+            if isinstance(
+                current, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+            ):
+                crossed_def = True
+            current = ctx.parent(current)
+        return frozenset()
+
     def _check_class(
         self, ctx: ModuleContext, cls: ast.ClassDef
     ) -> Iterator[Finding]:
         guards = self._guard_map(ctx, cls)
         if not guards:
             return
+        lockset_cache: dict[int, LocksetResult[str]] = {}
         for node in ast.walk(cls):
             if not (
                 isinstance(node, ast.Attribute)
@@ -93,7 +164,11 @@ class GuardedByRule(Rule):
                 or method.name.endswith("_locked")
             ):
                 continue
-            if lock in ctx.held_locks(node):
+            locksets = lockset_cache.get(id(method))
+            if locksets is None:
+                locksets = statement_locksets(method.body, _self_attr_key)
+                lockset_cache[id(method)] = locksets
+            if lock in self._held_at(ctx, method, locksets, node):
                 continue
             access = (
                 "written"
@@ -104,11 +179,12 @@ class GuardedByRule(Rule):
                 ctx,
                 node,
                 f"'self.{node.attr}' (guarded by 'self.{lock}', declared"
-                f" line {decl_line}) is {access} in '{method.name}' outside"
-                f" 'with self.{lock}:'",
+                f" line {decl_line}) is {access} in '{method.name}' without"
+                f" 'self.{lock}' held on every path",
                 hint=(
-                    f"wrap the access in 'with self.{lock}:', move it into"
-                    " a '*_locked' method, or suppress with a reason if the"
-                    " race is benign"
+                    f"hold 'self.{lock}' across the access (with-block or"
+                    " acquire/finally-release), move it into a '*_locked'"
+                    " method, or suppress with a reason if the race is"
+                    " benign"
                 ),
             )

@@ -1,0 +1,430 @@
+"""RES001 — resources must be released on *every* CFG path.
+
+Historical bugs: PR 7's shared-tracker leak (a ``SharedMemory`` block
+that survived abnormal exit) and PR 9's pool.close-under-lock fix both
+came from cleanup that only ran on the happy path.  The syntactic SHM001
+check could only ask "does a ``close()`` appear somewhere in this
+module"; this pass asks the real question — is the resource acquired
+here released on **every** path out of the function, including the
+exceptional edges — and, when not, cites a concrete leak path.
+
+Tracked acquisitions (function-local):
+
+* ``x = SharedMemory(...)`` — released by ``x.close()``;
+* ``x = open(...)`` — released by ``x.close()``;
+* ``x = ThreadPoolExecutor(...)`` / ``ProcessPoolExecutor(...)`` —
+  released by ``x.shutdown(...)``;
+* a bare ``<recv>.acquire()`` statement — released by
+  ``<recv>.release()``.
+
+``with``-acquired resources are never tracked: the synthetic with-exit
+node releases on normal *and* exceptional exits, which is exactly the
+pattern this pass pushes code toward.  A resource that *escapes* the
+function — stored into ``self``/a container, returned, yielded, or
+passed to another call — transfers its release obligation elsewhere and
+is dropped (that is how ``_reallocate`` storing a block into
+``self._blocks`` stays clean while a forgotten local leaks).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator
+
+from reprolint.cfg import CFG, CFGEdge, CFGNode, build_cfg
+from reprolint.dataflow import Solution, render_witness, solve, witness_path
+from reprolint.engine import Finding, ModuleContext, Rule
+
+#: constructor name -> (resource kind, releasing method)
+_CONSTRUCTORS = {
+    "SharedMemory": ("shared-memory block", "close"),
+    "open": ("file", "close"),
+    "ThreadPoolExecutor": ("executor", "shutdown"),
+    "ProcessPoolExecutor": ("executor", "shutdown"),
+}
+
+#: methods whose whole point is to manage the resource across calls —
+#: an ``__enter__`` that acquires without releasing is correct.
+_DEFAULT_EXEMPT = frozenset(
+    {
+        "__enter__",
+        "__exit__",
+        "__del__",
+        "close",
+        "shutdown",
+        "acquire",
+        "release",
+        "detach",
+    }
+)
+
+_FuncDef = ast.FunctionDef | ast.AsyncFunctionDef
+
+
+def _call_name(call: ast.Call) -> str | None:
+    func = call.func
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+def _method_call_on(expr: ast.expr, method: str) -> ast.expr | None:
+    """``X`` if ``expr`` is ``X.<method>(...)``, else ``None``."""
+    if (
+        isinstance(expr, ast.Call)
+        and isinstance(expr.func, ast.Attribute)
+        and expr.func.attr == method
+    ):
+        return expr.func.value
+    return None
+
+
+def _shallow_walk(node: ast.AST) -> Iterator[ast.AST]:
+    """Walk without descending into nested function/lambda bodies."""
+    stack: list[ast.AST] = [node]
+    while stack:
+        current = stack.pop()
+        yield current
+        if isinstance(current, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        stack.extend(ast.iter_child_nodes(current))
+
+
+def _own_statements(func: _FuncDef) -> Iterator[ast.AST]:
+    """Every AST node of this function, nested defs excluded."""
+    for stmt in func.body:
+        yield from _shallow_walk(stmt)
+
+
+def _own_exprs(stmt: ast.stmt) -> list[ast.expr]:
+    """The expressions a statement's CFG node actually evaluates: the
+    whole statement for simple ones, only the header for compound ones
+    (their bodies are separate CFG nodes)."""
+    if isinstance(stmt, (ast.If, ast.While)):
+        return [stmt.test]
+    if isinstance(stmt, (ast.For, ast.AsyncFor)):
+        return [stmt.iter]
+    if isinstance(stmt, (ast.With, ast.AsyncWith)):
+        return [item.context_expr for item in stmt.items]
+    if isinstance(stmt, ast.Match):
+        return [stmt.subject]
+    if isinstance(stmt, ast.Try):
+        return []
+    return [
+        child
+        for child in ast.iter_child_nodes(stmt)
+        if isinstance(child, ast.expr)
+    ]
+
+
+class _Resource:
+    """One tracked acquisition inside one function."""
+
+    def __init__(
+        self,
+        idx: int,
+        kind: str,
+        stmt: ast.stmt,
+        names: set[str],
+        release_method: str,
+        lock_receiver: str | None = None,
+        label: str = "",
+    ) -> None:
+        self.idx = idx
+        self.kind = kind
+        self.stmt = stmt  # the acquiring statement
+        self.names = names  # variable + aliases bound to the resource
+        self.release_method = release_method
+        self.lock_receiver = lock_receiver  # unparsed receiver, locks only
+        self.label = label  # human name for the message
+
+
+class ResourceLeakRule(Rule):
+    id = "RES001"
+    summary = (
+        "SharedMemory/open/executor/bare-acquire resources must be"
+        " released on every path, including exception paths"
+    )
+    rationale = (
+        "PR 7's shared-tracker leak and PR 9's pool teardown bugs were"
+        " cleanup that ran only on the happy path. A lock.acquire() or"
+        " SharedMemory attach followed by a statement that can raise"
+        " leaks the resource on the exceptional edge unless the release"
+        " sits in a finally (or the acquisition uses 'with'). This pass"
+        " runs a may-leak dataflow over each function's CFG — exceptional"
+        " edges included — and reports a concrete leak path."
+    )
+    fix_recipe = (
+        "Prefer 'with resource:' (or contextlib.closing). For manual"
+        " management, acquire immediately before a try and release in its"
+        " finally. If ownership genuinely transfers (stored on self,"
+        " returned), the pass already drops it — check the witness path"
+        " for the branch that skips the handoff."
+    )
+
+    def __init__(self) -> None:
+        self.paths: tuple[str, ...] = ("src/repro/",)
+        self.exempt_methods = _DEFAULT_EXEMPT
+
+    def configure(self, options: dict[str, object]) -> None:
+        paths = options.get("paths")
+        if isinstance(paths, list):
+            self.paths = tuple(str(p) for p in paths)
+        exempt = options.get("exempt_methods")
+        if isinstance(exempt, list):
+            self.exempt_methods = frozenset(str(name) for name in exempt)
+
+    def check_module(self, ctx: ModuleContext) -> Iterable[Finding]:
+        if not any(ctx.relpath.startswith(p) for p in self.paths):
+            return
+        for node in ast.walk(ctx.tree):
+            if (
+                isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+                and node.name not in self.exempt_methods
+            ):
+                yield from self._check_function(ctx, node)
+
+    # -- resource discovery ---------------------------------------------
+
+    def _collect(self, func: _FuncDef) -> list[_Resource]:
+        resources: list[_Resource] = []
+        for node in _own_statements(func):
+            if isinstance(node, ast.Assign):
+                if (
+                    len(node.targets) == 1
+                    and isinstance(node.targets[0], ast.Name)
+                    and isinstance(node.value, ast.Call)
+                ):
+                    name = _call_name(node.value)
+                    entry = _CONSTRUCTORS.get(name or "")
+                    if entry is not None:
+                        kind, release = entry
+                        var = node.targets[0].id
+                        resources.append(
+                            _Resource(
+                                idx=len(resources),
+                                kind=kind,
+                                stmt=node,
+                                names={var},
+                                release_method=release,
+                                label=f"{kind} '{var}'",
+                            )
+                        )
+            elif isinstance(node, ast.Expr):
+                recv = _method_call_on(node.value, "acquire")
+                if recv is not None:
+                    text = ast.unparse(recv)
+                    resources.append(
+                        _Resource(
+                            idx=len(resources),
+                            kind="lock",
+                            stmt=node,
+                            names=set(),
+                            release_method="release",
+                            lock_receiver=text,
+                            label=f"lock '{text}'",
+                        )
+                    )
+        self._extend_aliases(func, resources)
+        return [r for r in resources if not self._escapes(func, r)]
+
+    def _extend_aliases(self, func: _FuncDef, resources: list[_Resource]) -> None:
+        # ``y = x`` where x is a resource variable: y joins the group.
+        # One pass is enough for the chains that occur in practice.
+        for _ in range(2):
+            for node in _own_statements(func):
+                if (
+                    isinstance(node, ast.Assign)
+                    and len(node.targets) == 1
+                    and isinstance(node.targets[0], ast.Name)
+                    and isinstance(node.value, ast.Name)
+                ):
+                    for res in resources:
+                        if node.value.id in res.names:
+                            res.names.add(node.targets[0].id)
+
+    def _escapes(self, func: _FuncDef, res: _Resource) -> bool:
+        """Whether ownership leaves the function (drop tracking)."""
+        if res.kind == "lock":
+            return False  # the obligation is release, not ownership
+        for node in _own_statements(func):
+            if node is res.stmt:
+                continue
+            if isinstance(node, ast.Assign):
+                # self.x = res / container[k] = res  (ownership handoff)
+                if isinstance(node.value, ast.Name) and node.value.id in res.names:
+                    if any(
+                        not isinstance(t, ast.Name) for t in node.targets
+                    ):
+                        return True
+            if isinstance(node, (ast.Return, ast.Yield, ast.YieldFrom)):
+                value = node.value
+                if isinstance(value, ast.Name) and value.id in res.names:
+                    return True
+            if isinstance(node, ast.Call):
+                recv = (
+                    node.func.value
+                    if isinstance(node.func, ast.Attribute)
+                    else None
+                )
+                for arg in list(node.args) + [kw.value for kw in node.keywords]:
+                    if isinstance(arg, ast.Name) and arg.id in res.names:
+                        if not (
+                            isinstance(recv, ast.Name) and recv.id in res.names
+                        ):
+                            return True
+            if isinstance(node, (ast.List, ast.Tuple, ast.Set)):
+                if any(
+                    isinstance(el, ast.Name) and el.id in res.names
+                    for el in node.elts
+                ):
+                    return True
+            if isinstance(node, ast.Dict):
+                if any(
+                    isinstance(v, ast.Name) and v.id in res.names
+                    for v in list(node.keys) + list(node.values)
+                    if v is not None
+                ):
+                    return True
+        return False
+
+    # -- the dataflow ----------------------------------------------------
+
+    def _check_function(
+        self, ctx: ModuleContext, func: _FuncDef
+    ) -> Iterator[Finding]:
+        resources = self._collect(func)
+        if not resources:
+            return
+        cfg = build_cfg(func)
+        analysis = _LeakAnalysis(cfg, resources)
+        solution = solve(cfg, analysis)
+        exits = {
+            cfg.exit: "the function returns",
+            cfg.raise_exit: "an exception propagates",
+        }
+        for res in resources:
+            acquire_idx = cfg.stmt_nodes.get(res.stmt)
+            if acquire_idx is None:
+                continue  # acquisition is unreachable
+            for exit_idx, how in exits.items():
+                state = solution.in_states.get(exit_idx)
+                if state is None or res.idx not in state:
+                    continue
+                path = witness_path(
+                    cfg,
+                    solution,
+                    acquire_idx,
+                    frozenset({exit_idx}),
+                    lambda s, i=res.idx: i in s,
+                )
+                if path is None:
+                    continue
+                witness = render_witness(path, ctx.relpath)
+                yield self.finding(
+                    ctx,
+                    res.stmt,
+                    f"{res.label} acquired here is not"
+                    f" {res.release_method}()d on a path where"
+                    f" {how}; leak path: {witness}",
+                    hint=(
+                        "use 'with', or move the release into a 'finally'"
+                        " covering every statement after the acquisition"
+                    ),
+                )
+                break  # one finding per resource is enough
+
+
+class _LeakAnalysis:
+    """May-analysis: the set of resources still open on *some* path."""
+
+    def __init__(self, cfg: CFG, resources: list[_Resource]) -> None:
+        self._cfg = cfg
+        self._resources = resources
+        self._by_stmt = {id(r.stmt): r for r in resources}
+
+    def initial(self) -> frozenset[int]:
+        return frozenset()
+
+    def join(self, a: frozenset[int], b: frozenset[int]) -> frozenset[int]:
+        return a | b
+
+    def transfer(self, node: CFGNode, state: frozenset[int]) -> frozenset[int]:
+        if node.kind == "with-exit":
+            stmt = self._cfg.with_exits[node.idx]
+            released = {
+                res.idx
+                for res in self._resources
+                for item in stmt.items
+                if self._names_resource(item.context_expr, res)
+            }
+            return state - released
+        stmt = node.stmt
+        if stmt is None:
+            return state
+        out = state
+        acquired = self._by_stmt.get(id(stmt))
+        if acquired is not None:
+            out = out | {acquired.idx}
+        released = {
+            res.idx
+            for res in self._resources
+            if self._stmt_releases(stmt, res)
+        }
+        return out - released
+
+    def transfer_edge(
+        self, edge: CFGEdge, node: CFGNode, state: frozenset[int]
+    ) -> frozenset[int]:
+        # The exc edge out of a statement carries its IN state, so the
+        # exceptional edge out of `shm.close()` would still hold the
+        # resource.  A failing release is not a *silent* leak — the
+        # exception is the signal — so treat it as released.
+        if edge.kind != "exc" or node.stmt is None:
+            return state
+        released = {
+            res.idx
+            for res in self._resources
+            if self._stmt_releases(node.stmt, res)
+        }
+        return state - released
+
+    def _names_resource(self, expr: ast.expr, res: _Resource) -> bool:
+        if isinstance(expr, ast.Name) and expr.id in res.names:
+            return True
+        if res.lock_receiver is not None:
+            try:
+                return ast.unparse(expr) == res.lock_receiver
+            except ValueError:
+                return False
+        return False
+
+    def _stmt_releases(self, stmt: ast.stmt, res: _Resource) -> bool:
+        """Any call to the releasing method on the resource in this
+        statement's own expressions (a compound statement contributes
+        only its header — its body statements have their own nodes)."""
+        for root in _own_exprs(stmt):
+            if self._expr_releases(root, res):
+                return True
+        return False
+
+    def _expr_releases(self, root: ast.expr, res: _Resource) -> bool:
+        for node in _shallow_walk(root):
+            recv = (
+                _method_call_on(node, res.release_method)
+                if isinstance(node, ast.expr)
+                else None
+            )
+            if recv is None:
+                continue
+            if isinstance(recv, ast.Name) and recv.id in res.names:
+                return True
+            if res.lock_receiver is not None:
+                try:
+                    if ast.unparse(recv) == res.lock_receiver:
+                        return True
+                except ValueError:
+                    continue
+        return False

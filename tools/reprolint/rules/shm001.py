@@ -1,4 +1,4 @@
-"""SHM001 — shared-memory lifecycle discipline.
+"""SHM001 — shared-memory ownership discipline.
 
 Historical bug (PR 7): attaching worker processes called
 ``resource_tracker.unregister`` on segments they did not own.  Workers
@@ -8,14 +8,13 @@ writer's registration and the blocks leaked on abnormal exit.  The fix:
 workers never unregister — only the owning ``SharedShardState`` manages
 registration, and ``close()`` + ``unlink()`` run on the owner.
 
-Two checks:
-
-* every module calling ``SharedMemory(create=True)`` must also contain
-  ``.close()`` and ``.unlink()`` calls — an owner without a teardown path
-  leaks named segments past interpreter exit;
-* ``resource_tracker.unregister`` may only be called inside an owner
-  class (``SharedShardState`` by default; configurable via
-  ``owner-classes``).
+One check remains here: ``resource_tracker.unregister`` may only be
+called inside an owner class (``SharedShardState`` by default;
+configurable via ``owner-classes``).  The old module-level "a create
+needs a close()+unlink() *somewhere in the file*" heuristic was
+retired when RES001 landed — the flow-sensitive pass proves the block
+is closed on every path (exception paths included) instead of merely
+grepping for the method names.
 """
 
 from __future__ import annotations
@@ -24,23 +23,6 @@ import ast
 from typing import Iterable, Iterator
 
 from reprolint.engine import Finding, ModuleContext, Rule
-
-
-def _is_shared_memory_create(node: ast.Call) -> bool:
-    func = node.func
-    name = (
-        func.id
-        if isinstance(func, ast.Name)
-        else func.attr if isinstance(func, ast.Attribute) else None
-    )
-    if name != "SharedMemory":
-        return False
-    return any(
-        kw.arg == "create"
-        and isinstance(kw.value, ast.Constant)
-        and kw.value.value is True
-        for kw in node.keywords
-    )
 
 
 def _is_unregister_call(ctx: ModuleContext, node: ast.Call) -> bool:
@@ -68,8 +50,19 @@ def _is_unregister_call(ctx: ModuleContext, node: ast.Call) -> bool:
 class SharedMemoryRule(Rule):
     id = "SHM001"
     summary = (
-        "SharedMemory(create=True) needs a close()+unlink() path;"
-        " resource_tracker.unregister only inside the owner class"
+        "resource_tracker.unregister only inside the owner class"
+        " (attachers share the writer's tracker)"
+    )
+    rationale = (
+        "PR 7: workers unregistered segments they had merely attached."
+        " fork/forkserver children share the writer's tracker process,"
+        " so the worker-side unregister cancelled the writer's"
+        " registration and blocks leaked on abnormal exit."
+    )
+    fix_recipe = (
+        "Workers attach and close() only; registration bookkeeping"
+        " belongs to the block owner (SharedShardState). Release-path"
+        " completeness is RES001's job."
     )
 
     def __init__(self) -> None:
@@ -81,43 +74,7 @@ class SharedMemoryRule(Rule):
             self.owner_classes = frozenset(str(name) for name in owners)
 
     def check_module(self, ctx: ModuleContext) -> Iterable[Finding]:
-        yield from self._check_creates(ctx)
         yield from self._check_unregisters(ctx)
-
-    def _check_creates(self, ctx: ModuleContext) -> Iterator[Finding]:
-        creates = [
-            node
-            for node in ast.walk(ctx.tree)
-            if isinstance(node, ast.Call) and _is_shared_memory_create(node)
-        ]
-        if not creates:
-            return
-        method_calls = {
-            node.func.attr
-            for node in ast.walk(ctx.tree)
-            if isinstance(node, ast.Call)
-            and isinstance(node.func, ast.Attribute)
-        }
-        missing = [
-            name for name in ("close", "unlink") if name not in method_calls
-        ]
-        if not missing:
-            return
-        for node in creates:
-            yield self.finding(
-                ctx,
-                node,
-                "SharedMemory(create=True) without a matching"
-                f" {' + '.join(f'{m}()' for m in missing)} call in this"
-                " module — owned segments must be torn down by their"
-                " creator",
-                hint=(
-                    "give the owning object a close() that calls"
-                    " shm.close() and shm.unlink() (and register an atexit"
-                    " safety net); workers that merely attach call close()"
-                    " only"
-                ),
-            )
 
     def _check_unregisters(self, ctx: ModuleContext) -> Iterator[Finding]:
         for node in ast.walk(ctx.tree):
